@@ -1,0 +1,60 @@
+//! Regenerate the paper's tables and figures on the simulated platforms.
+//!
+//! ```text
+//! repro list                  # show available experiments
+//! repro all                   # run everything (slow but complete)
+//! repro table2 fig5 ...       # run specific artifacts
+//! repro --out results all     # additionally write one .txt per artifact
+//! ```
+
+use syncmark_bench::experiments::{run, EXPERIMENTS};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        if pos + 1 >= args.len() {
+            eprintln!("--out requires a directory");
+            std::process::exit(2);
+        }
+        out_dir = Some(args.remove(pos + 1).into());
+        args.remove(pos);
+    }
+    if args.is_empty() || args[0] == "list" || args[0] == "--help" {
+        println!("usage: repro [--out DIR] [all | list | <experiment>...]\n");
+        println!("available experiments:");
+        for (name, desc, _) in EXPERIMENTS {
+            println!("  {name:<10} {desc}");
+        }
+        return;
+    }
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let names: Vec<&str> = if args[0] == "all" {
+        EXPERIMENTS.iter().map(|(n, _, _)| *n).collect()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for name in names {
+        match run(name) {
+            Some(out) => {
+                println!("{out}");
+                if let Some(dir) = &out_dir {
+                    let path = dir.join(format!("{name}.txt"));
+                    if let Err(e) = std::fs::write(&path, &out) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment {name:?} — try `repro list`");
+                std::process::exit(2);
+            }
+        }
+    }
+}

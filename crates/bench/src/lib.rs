@@ -1,0 +1,8 @@
+//! # syncmark-bench
+//!
+//! The reproduction harness: every table and figure of the paper's
+//! evaluation can be regenerated through [`experiments::EXPERIMENTS`], either
+//! via the `repro` binary or the criterion benches.
+
+pub mod ablations;
+pub mod experiments;

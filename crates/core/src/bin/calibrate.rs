@@ -1,0 +1,50 @@
+//! Calibration helper: prints the measured values of every paper anchor so
+//! architecture parameters can be tuned against the published numbers.
+
+use gpu_arch::GpuArch;
+use sync_micro::{block_sync, grid_sync, launch_overhead, multi_grid, shared_mem};
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let v100 = GpuArch::v100();
+    let p100 = GpuArch::p100();
+    if what == "all" || what == "table1" {
+        for r in launch_overhead::table1(&v100).unwrap() {
+            println!("table1 {}: overhead {:.0} total {:.0}", r.launch_type, r.overhead_ns, r.null_total_ns);
+        }
+    }
+    if what == "all" || what == "fig5" {
+        for a in [&v100, &p100] {
+            let hm = grid_sync::figure5(a).unwrap();
+            print!("{}", hm.render().render());
+        }
+    }
+    if what == "all" || what == "fig4" {
+        for a in [&v100, &p100] {
+            let pts = block_sync::figure4(a).unwrap();
+            let t = block_sync::render_figure4(&[(a, &pts)]);
+            print!("{}", t.render());
+        }
+    }
+    if what == "all" || what == "fig8" {
+        let fig = multi_grid::figure8(&v100).unwrap();
+        for (n, hm) in &fig.maps {
+            println!("-- {} GPUs --", n);
+            print!("{}", hm.render().render());
+        }
+    }
+    if what == "all" || what == "fig7" {
+        let fig = multi_grid::figure7(&p100).unwrap();
+        for (n, hm) in &fig.maps {
+            println!("-- P100 {} GPUs --", n);
+            print!("{}", hm.render().render());
+        }
+    }
+    if what == "all" || what == "smem" {
+        for a in [&v100, &p100] {
+            for r in shared_mem::table3_measurements(a).unwrap() {
+                println!("{} smem {}: bw {:.2} B/c lat {:.1}", a.name, r.scenario, r.bandwidth_bytes_per_cycle, r.latency_cycles);
+            }
+        }
+    }
+}

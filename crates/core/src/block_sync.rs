@@ -1,0 +1,119 @@
+//! Fig. 4: block-synchronization throughput/latency vs active warps per SM.
+
+use crate::measure::{one_sm, sync_chain_cycles, sync_throughput_per_sm, Placement};
+use crate::report::{fmt, TextTable};
+use gpu_arch::GpuArch;
+use gpu_sim::kernels::SyncOp;
+use serde::Serialize;
+use sim_core::SimResult;
+
+/// One point of Fig. 4.
+#[derive(Debug, Clone, Serialize)]
+pub struct BlockSyncPoint {
+    pub warps_per_sm: u32,
+    /// Latency of a dependent chain at this residency, cycles per sync.
+    pub latency_cycles: f64,
+    /// Throughput per warp perspective: warp-syncs per cycle per SM.
+    pub warp_sync_per_cycle: f64,
+}
+
+/// Configuration used for a given warps/SM target: a single block up to 32
+/// warps, then multiple 1024-thread blocks.
+fn config_for(warps: u32) -> (u32, u32) {
+    if warps <= 32 {
+        (1, warps * 32)
+    } else {
+        (warps / 32, 1024)
+    }
+}
+
+/// Sweep warps/SM ∈ {1, 2, 4, ..., 64} (Fig. 4's x axis).
+pub fn figure4(arch: &GpuArch) -> SimResult<Vec<BlockSyncPoint>> {
+    let a1 = one_sm(arch);
+    let p = Placement::single();
+    let mut out = Vec::new();
+    for shift in 0..7u32 {
+        let warps = 1 << shift;
+        let (grid, block) = config_for(warps);
+        let lat = sync_chain_cycles(&a1, &p, SyncOp::Block, 32, grid, block)?.cycles_per_op;
+        let thr = sync_throughput_per_sm(&a1, SyncOp::Block, 48, grid, block)?;
+        out.push(BlockSyncPoint {
+            warps_per_sm: warps,
+            latency_cycles: lat,
+            warp_sync_per_cycle: thr,
+        });
+    }
+    Ok(out)
+}
+
+/// Render Fig. 4's data as a table (one column per architecture).
+pub fn render_figure4(data: &[(&GpuArch, &[BlockSyncPoint])]) -> TextTable {
+    let mut headers = vec!["warps/SM".to_string()];
+    for (a, _) in data {
+        headers.push(format!("{} latency (cyc)", a.name));
+        headers.push(format!("{} thr (warp-sync/cyc)", a.name));
+    }
+    let mut t = TextTable {
+        title: "Fig. 4: block sync vs active warps per SM".into(),
+        headers,
+        rows: Vec::new(),
+    };
+    for i in 0..data[0].1.len() {
+        let mut row = vec![data[0].1[i].warps_per_sm.to_string()];
+        for (_, points) in data {
+            row.push(fmt(points[i].latency_cycles));
+            row.push(fmt(points[i].warp_sync_per_cycle));
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_rises_then_saturates() {
+        let pts = figure4(&GpuArch::v100()).unwrap();
+        // Monotone non-decreasing until the plateau...
+        for w in pts.windows(2) {
+            assert!(
+                w[1].warp_sync_per_cycle >= w[0].warp_sync_per_cycle * 0.95,
+                "throughput dipped: {w:?}"
+            );
+        }
+        // ...and the plateau is near the paper's ~0.475 warp-sync/cycle.
+        let last = pts.last().unwrap();
+        assert!(
+            (last.warp_sync_per_cycle - 0.475).abs() < 0.08,
+            "V100 plateau {}",
+            last.warp_sync_per_cycle
+        );
+    }
+
+    #[test]
+    fn p100_plateau_is_an_order_lower() {
+        let pts = figure4(&GpuArch::p100()).unwrap();
+        let last = pts.last().unwrap();
+        assert!(
+            (last.warp_sync_per_cycle - 0.091).abs() < 0.025,
+            "P100 plateau {}",
+            last.warp_sync_per_cycle
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_residency() {
+        let pts = figure4(&GpuArch::v100()).unwrap();
+        assert!(pts.first().unwrap().latency_cycles < pts.last().unwrap().latency_cycles);
+    }
+
+    #[test]
+    fn render_contains_all_points() {
+        let v = figure4(&GpuArch::v100()).unwrap();
+        let arch = GpuArch::v100();
+        let t = render_figure4(&[(&arch, &v)]);
+        assert_eq!(t.rows.len(), 7);
+    }
+}

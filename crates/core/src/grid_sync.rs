@@ -1,0 +1,169 @@
+//! Figs. 5, 7, 8: grid / multi-grid synchronization latency heat maps over
+//! (blocks per SM × threads per block).
+
+use crate::measure::{cycles_to_us, sync_chain_cycles, Placement};
+use crate::report::{fmt, TextTable};
+use gpu_arch::GpuArch;
+use gpu_sim::kernels::SyncOp;
+use serde::Serialize;
+use sim_core::SimResult;
+
+pub const BLOCKS_PER_SM: [u32; 6] = [1, 2, 4, 8, 16, 32];
+pub const THREADS_PER_BLOCK: [u32; 6] = [32, 64, 128, 256, 512, 1024];
+
+/// A (blocks/SM × threads/block) latency heat map in microseconds; `None`
+/// marks configurations that do not fit co-resident (blank cells in the
+/// paper's figures).
+#[derive(Debug, Clone, Serialize)]
+pub struct HeatMap {
+    pub title: String,
+    pub blocks_per_sm: Vec<u32>,
+    pub threads_per_block: Vec<u32>,
+    /// `cells[i][j]`: blocks_per_sm[i] × threads_per_block[j] → µs.
+    pub cells: Vec<Vec<Option<f64>>>,
+}
+
+impl HeatMap {
+    pub fn cell(&self, blocks_per_sm: u32, threads_per_block: u32) -> Option<f64> {
+        let i = self.blocks_per_sm.iter().position(|&b| b == blocks_per_sm)?;
+        let j = self
+            .threads_per_block
+            .iter()
+            .position(|&t| t == threads_per_block)?;
+        self.cells[i][j]
+    }
+
+    pub fn render(&self) -> TextTable {
+        let mut headers = vec!["blk/SM \\ thr".to_string()];
+        headers.extend(self.threads_per_block.iter().map(|t| t.to_string()));
+        let mut t = TextTable {
+            title: self.title.clone(),
+            headers,
+            rows: Vec::new(),
+        };
+        for (i, &b) in self.blocks_per_sm.iter().enumerate() {
+            let mut row = vec![b.to_string()];
+            for c in &self.cells[i] {
+                row.push(c.map(fmt).unwrap_or_else(|| "".into()));
+            }
+            t.row(row);
+        }
+        t
+    }
+}
+
+/// Number of barrier rounds per configuration (kept small — the chain is in
+/// steady state after the first round).
+const REPS: usize = 4;
+
+/// Measure one heat map for `op` ∈ {Grid, MultiGrid} on `ngpus` devices.
+pub fn sync_heatmap(
+    arch: &GpuArch,
+    placement: &Placement,
+    op: SyncOp,
+    title: &str,
+) -> SimResult<HeatMap> {
+    assert!(matches!(op, SyncOp::Grid | SyncOp::MultiGrid));
+    let mut cells = Vec::new();
+    for &bpsm in &BLOCKS_PER_SM {
+        let mut row = Vec::new();
+        for &tpb in &THREADS_PER_BLOCK {
+            let occ = arch.occupancy(tpb, 0).blocks_per_sm;
+            if bpsm > occ {
+                row.push(None); // cannot co-reside: cooperative launch rejected
+                continue;
+            }
+            let grid = bpsm * arch.num_sms;
+            let m = sync_chain_cycles(arch, placement, op, REPS, grid, tpb)?;
+            row.push(Some(cycles_to_us(arch, m.cycles_per_op)));
+        }
+        cells.push(row);
+    }
+    Ok(HeatMap {
+        title: title.to_string(),
+        blocks_per_sm: BLOCKS_PER_SM.to_vec(),
+        threads_per_block: THREADS_PER_BLOCK.to_vec(),
+        cells,
+    })
+}
+
+/// Fig. 5: single-GPU grid synchronization latency.
+pub fn figure5(arch: &GpuArch) -> SimResult<HeatMap> {
+    sync_heatmap(
+        arch,
+        &Placement::single(),
+        SyncOp::Grid,
+        &format!("Fig. 5: grid sync latency (us), {}", arch.name),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_grid_sync_anchor_cells() {
+        let hm = figure5(&GpuArch::v100()).unwrap();
+        // Paper Fig. 5 (V100): corner anchors, ±30%.
+        for (b, t, expect) in [
+            (1u32, 32u32, 1.43f64),
+            (1, 1024, 2.21),
+            (2, 32, 1.81),
+            (8, 32, 5.07),
+            (32, 32, 19.29),
+            (32, 64, 24.51),
+        ] {
+            let got = hm.cell(b, t).unwrap();
+            assert!(
+                (got - expect).abs() / expect < 0.30,
+                "V100 ({b},{t}): {got:.2} vs paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn p100_grid_sync_anchor_cells() {
+        let hm = figure5(&GpuArch::p100()).unwrap();
+        for (b, t, expect) in [
+            (1u32, 32u32, 1.77f64),
+            (1, 1024, 2.26),
+            (32, 32, 31.69),
+            (16, 128, 14.92),
+        ] {
+            let got = hm.cell(b, t).unwrap();
+            assert!(
+                (got - expect).abs() / expect < 0.30,
+                "P100 ({b},{t}): {got:.2} vs paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_cells_are_blank() {
+        let hm = figure5(&GpuArch::v100()).unwrap();
+        // 1024-thread blocks fit only 2/SM; 512-thread only 4/SM.
+        assert!(hm.cell(4, 1024).is_none());
+        assert!(hm.cell(8, 512).is_none());
+        assert!(hm.cell(2, 1024).is_some());
+    }
+
+    #[test]
+    fn latency_depends_more_on_blocks_than_threads() {
+        // The paper's headline conclusion for grid sync.
+        let hm = figure5(&GpuArch::v100()).unwrap();
+        let by_blocks = hm.cell(32, 32).unwrap() / hm.cell(1, 32).unwrap();
+        let by_threads = hm.cell(1, 1024).unwrap() / hm.cell(1, 32).unwrap();
+        assert!(
+            by_blocks > 3.0 * by_threads,
+            "blocks x{by_blocks:.1} vs threads x{by_threads:.1}"
+        );
+    }
+
+    #[test]
+    fn render_shape() {
+        let hm = figure5(&GpuArch::v100()).unwrap();
+        let t = hm.render();
+        assert_eq!(t.rows.len(), 6);
+        assert_eq!(t.headers.len(), 7);
+    }
+}

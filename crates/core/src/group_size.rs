@@ -1,0 +1,153 @@
+//! §V-A's full group-size sweep: "we tested every possible group size for
+//! both tile group and coalesced group" — tile sizes {1,2,4,8,16,32},
+//! coalesced sizes 1..=32.
+//!
+//! The paper's findings, which the sweep reproduces:
+//! * tile-group latency is independent of the tile size (CUDA merges
+//!   concurrent tile syncs into one instruction);
+//! * coalesced-group size does not matter on P100 (nothing blocks anyway);
+//! * on V100 only the full 32-lane coalesced group takes the fast path —
+//!   every partial size pays the ~108-cycle software path.
+
+use crate::measure::{coalesced_partial_cycles, one_sm, sync_chain_cycles, Placement};
+use crate::report::{fmt, TextTable};
+use gpu_arch::GpuArch;
+use gpu_sim::kernels::SyncOp;
+use serde::Serialize;
+use sim_core::SimResult;
+
+/// Latency of one sync flavour at one group size.
+#[derive(Debug, Clone, Serialize)]
+pub struct GroupSizePoint {
+    pub group_size: u32,
+    pub latency_cycles: f64,
+}
+
+/// Sweep every tile width.
+pub fn tile_size_sweep(arch: &GpuArch) -> SimResult<Vec<GroupSizePoint>> {
+    let a1 = one_sm(arch);
+    let p = Placement::single();
+    [1u32, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&w| {
+            let m = sync_chain_cycles(&a1, &p, SyncOp::Tile(w), 64, 1, 32)?;
+            Ok(GroupSizePoint {
+                group_size: w,
+                latency_cycles: m.cycles_per_op,
+            })
+        })
+        .collect()
+}
+
+/// Sweep every coalesced group size 1..=32.
+pub fn coalesced_size_sweep(arch: &GpuArch) -> SimResult<Vec<GroupSizePoint>> {
+    let a1 = one_sm(arch);
+    (1u32..=32)
+        .map(|k| {
+            let latency_cycles = if k == 32 {
+                sync_chain_cycles(&a1, &Placement::single(), SyncOp::Coalesced, 64, 1, 32)?
+                    .cycles_per_op
+            } else {
+                coalesced_partial_cycles(&a1, k, 64)?
+            };
+            Ok(GroupSizePoint {
+                group_size: k,
+                latency_cycles,
+            })
+        })
+        .collect()
+}
+
+/// Render both sweeps for a set of architectures.
+pub fn render_group_size_sweeps(archs: &[&GpuArch]) -> SimResult<String> {
+    let mut out = String::new();
+    {
+        let mut headers = vec!["tile width".to_string()];
+        headers.extend(archs.iter().map(|a| format!("{} (cyc)", a.name)));
+        let mut t = TextTable {
+            title: "§V-A sweep: tile-group sync latency vs width".into(),
+            headers,
+            rows: Vec::new(),
+        };
+        let sweeps: Vec<Vec<GroupSizePoint>> = archs
+            .iter()
+            .map(|a| tile_size_sweep(a))
+            .collect::<SimResult<_>>()?;
+        for i in 0..sweeps[0].len() {
+            let mut row = vec![sweeps[0][i].group_size.to_string()];
+            for s in &sweeps {
+                row.push(fmt(s[i].latency_cycles));
+            }
+            t.row(row);
+        }
+        out.push_str(&t.render());
+    }
+    {
+        let mut headers = vec!["coalesced size".to_string()];
+        headers.extend(archs.iter().map(|a| format!("{} (cyc)", a.name)));
+        let mut t = TextTable {
+            title: "§V-A sweep: coalesced-group sync latency vs size".into(),
+            headers,
+            rows: Vec::new(),
+        };
+        let sweeps: Vec<Vec<GroupSizePoint>> = archs
+            .iter()
+            .map(|a| coalesced_size_sweep(a))
+            .collect::<SimResult<_>>()?;
+        for i in 0..sweeps[0].len() {
+            let mut row = vec![sweeps[0][i].group_size.to_string()];
+            for s in &sweeps {
+                row.push(fmt(s[i].latency_cycles));
+            }
+            t.row(row);
+        }
+        out.push_str(&t.render());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_width_never_matters() {
+        for arch in [GpuArch::v100(), GpuArch::p100()] {
+            let sweep = tile_size_sweep(&arch).unwrap();
+            let min = sweep.iter().map(|p| p.latency_cycles).fold(f64::MAX, f64::min);
+            let max = sweep.iter().map(|p| p.latency_cycles).fold(0.0, f64::max);
+            assert!(max - min < 1.0, "{}: {sweep:?}", arch.name);
+        }
+    }
+
+    #[test]
+    fn v100_only_full_coalesced_group_is_fast() {
+        let sweep = coalesced_size_sweep(&GpuArch::v100()).unwrap();
+        for p in &sweep {
+            if p.group_size == 32 {
+                assert!(p.latency_cycles < 20.0, "full group slow: {p:?}");
+            } else {
+                assert!(
+                    (p.latency_cycles - 108.0).abs() < 12.0,
+                    "partial group not on the software path: {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p100_coalesced_size_never_matters() {
+        let sweep = coalesced_size_sweep(&GpuArch::p100()).unwrap();
+        let max = sweep.iter().map(|p| p.latency_cycles).fold(0.0, f64::max);
+        assert!(max < 5.0, "{sweep:?}");
+    }
+
+    #[test]
+    fn render_includes_both_sweeps() {
+        let v = GpuArch::v100();
+        let s = render_group_size_sweeps(&[&v]).unwrap();
+        assert!(s.contains("tile-group"));
+        assert!(s.contains("coalesced-group"));
+        assert_eq!(s.matches('\n').count() > 40, true);
+    }
+}

@@ -1,0 +1,41 @@
+//! # sync-micro
+//!
+//! The paper's primary contribution: a micro-benchmark suite and measurement
+//! methodology for the full hierarchy of CUDA synchronization methods —
+//! warp (tile / coalesced / shuffle), block, grid, multi-grid, CPU-side
+//! implicit barriers, and multi-device launch gates — running on the
+//! simulated GPUs of `gpu-sim`/`cuda-rt`.
+//!
+//! Module map to the paper:
+//! * [`launch_overhead`] — §IV / Table I (kernel-fusion method, Eq. 6)
+//! * [`inter_sm`] — §IX-D (CPU-clock differential method, Eqs. 7–8)
+//! * [`warp_sync`] — §V-A / Table II
+//! * [`block_sync`] — §V-B / Fig. 4
+//! * [`grid_sync`] — §V-C / Fig. 5
+//! * [`multi_grid`] — §VI-C / Figs. 7–8
+//! * [`multi_gpu`] — §VI-D / Fig. 9
+//! * [`shared_mem`] — §VII-B / Table III (measured half)
+//! * [`warp_probe`] — §VIII-A / Figs. 17–18
+//! * [`group_size`] — §V-A's every-group-size sweeps
+//! * [`software_barrier`] — §III-B's software barriers as an extension
+//! * [`summary`] — §X / Table VIII, derived from the data
+//! * [`measure`], [`report`] — shared runners and table rendering
+
+pub mod block_sync;
+pub mod grid_sync;
+pub mod group_size;
+pub mod inter_sm;
+pub mod launch_overhead;
+pub mod measure;
+pub mod multi_gpu;
+pub mod multi_grid;
+pub mod plot;
+pub mod report;
+pub mod shared_mem;
+pub mod software_barrier;
+pub mod summary;
+pub mod warp_probe;
+pub mod warp_sync;
+
+pub use measure::{ChainMeasurement, Placement};
+pub use report::TextTable;

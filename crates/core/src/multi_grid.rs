@@ -1,0 +1,128 @@
+//! Figs. 7 & 8: multi-grid synchronization latency across GPU counts.
+
+use crate::grid_sync::{sync_heatmap, HeatMap};
+use crate::measure::Placement;
+use gpu_arch::GpuArch;
+use gpu_node::NodeTopology;
+use gpu_sim::kernels::SyncOp;
+use serde::Serialize;
+use sim_core::SimResult;
+
+/// Fig. 7/8: one heat map per GPU count.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiGridFigure {
+    pub arch: String,
+    pub node: String,
+    pub maps: Vec<(usize, HeatMap)>,
+}
+
+/// Measure multi-grid latency heat maps for the given GPU counts.
+pub fn multi_grid_figure(
+    arch: &GpuArch,
+    topology: &NodeTopology,
+    gpu_counts: &[usize],
+) -> SimResult<MultiGridFigure> {
+    let mut maps = Vec::new();
+    for &n in gpu_counts {
+        assert!(n >= 1 && n <= topology.num_gpus);
+        let placement = Placement::multi(topology.clone(), n);
+        let hm = sync_heatmap(
+            arch,
+            &placement,
+            SyncOp::MultiGrid,
+            &format!("multi-grid sync latency (us), {} GPU(s), {}", n, arch.name),
+        )?;
+        maps.push((n, hm));
+    }
+    Ok(MultiGridFigure {
+        arch: arch.name.clone(),
+        node: topology.name.clone(),
+        maps,
+    })
+}
+
+/// Fig. 7: P100 node, 1 and 2 GPUs.
+pub fn figure7(arch: &GpuArch) -> SimResult<MultiGridFigure> {
+    multi_grid_figure(arch, &NodeTopology::p100_pair(), &[1, 2])
+}
+
+/// Fig. 8: DGX-1 V100, {1, 2, 5, 6, 8} GPUs (the counts the paper plots).
+pub fn figure8(arch: &GpuArch) -> SimResult<MultiGridFigure> {
+    multi_grid_figure(arch, &NodeTopology::dgx1_v100(), &[1, 2, 5, 6, 8])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(fig: &MultiGridFigure, gpus: usize, b: u32, t: u32) -> f64 {
+        fig.maps
+            .iter()
+            .find(|(n, _)| *n == gpus)
+            .unwrap()
+            .1
+            .cell(b, t)
+            .unwrap()
+    }
+
+    #[test]
+    fn v100_multi_grid_anchor_cells() {
+        let fig = figure8(&GpuArch::v100()).unwrap();
+        // Paper Fig. 8 anchors (us), ±35%.
+        for (g, b, t, expect) in [
+            (1usize, 1u32, 32u32, 1.42f64),
+            (2, 1, 32, 6.44),
+            (5, 1, 32, 7.02),
+            (6, 1, 32, 18.67),
+            (8, 1, 32, 20.97),
+            (8, 1, 1024, 26.93),
+        ] {
+            let got = cell(&fig, g, b, t);
+            assert!(
+                (got - expect).abs() / expect < 0.35,
+                "{g} GPUs ({b},{t}): {got:.2} vs paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn plateau_between_2_and_5_then_jump_at_6() {
+        // The structural observation: 2-5 GPUs similar; 6-8 similar but much
+        // higher (DGX-1 quad boundary).
+        let fig = figure8(&GpuArch::v100()).unwrap();
+        let c2 = cell(&fig, 2, 1, 32);
+        let c5 = cell(&fig, 5, 1, 32);
+        let c6 = cell(&fig, 6, 1, 32);
+        let c8 = cell(&fig, 8, 1, 32);
+        assert!((c5 - c2).abs() / c2 < 0.25, "2 vs 5 GPUs: {c2:.2} vs {c5:.2}");
+        assert!(c6 > 2.0 * c5, "jump at 6 GPUs: {c5:.2} -> {c6:.2}");
+        assert!((c8 - c6).abs() / c6 < 0.30, "6 vs 8 GPUs: {c6:.2} vs {c8:.2}");
+    }
+
+    #[test]
+    fn p100_two_gpu_anchors() {
+        let fig = figure7(&GpuArch::p100()).unwrap();
+        for (g, b, t, expect) in [
+            (1usize, 1u32, 32u32, 1.45f64),
+            (2, 1, 32, 7.29),
+            (2, 1, 1024, 8.44),
+            (2, 32, 64, 68.05),
+        ] {
+            let got = cell(&fig, g, b, t);
+            assert!(
+                (got - expect).abs() / expect < 0.35,
+                "P100 {g} GPUs ({b},{t}): {got:.2} vs paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_blocks_and_threads_matter_for_multi_grid() {
+        // Unlike grid sync, multi-grid latency responds strongly to both
+        // dimensions (paper §VI-C).
+        let fig = figure8(&GpuArch::v100()).unwrap();
+        let base = cell(&fig, 1, 1, 32);
+        let threads = cell(&fig, 1, 1, 1024);
+        assert!(threads > 2.5 * base, "{base:.2} -> {threads:.2}");
+    }
+}

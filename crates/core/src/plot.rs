@@ -1,0 +1,223 @@
+//! Terminal plotting: ASCII line charts and shaded heat maps, so the
+//! `repro` output visually resembles the paper's figures rather than only
+//! tabulating them.
+
+use crate::grid_sync::HeatMap;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(name: &str, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            name: name.to_string(),
+            points,
+        }
+    }
+}
+
+/// Axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Linear,
+    Log10,
+}
+
+fn transform(v: f64, s: Scale) -> f64 {
+    match s {
+        Scale::Linear => v,
+        Scale::Log10 => v.max(f64::MIN_POSITIVE).log10(),
+    }
+}
+
+const MARKS: &[char] = &['o', 'x', '+', '*', '#', '@'];
+
+/// Render a character-grid line chart. Each series gets a marker; the
+/// legend maps markers back to names.
+pub fn line_chart(
+    title: &str,
+    series: &[Series],
+    x_scale: Scale,
+    y_scale: Scale,
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    assert!(!series.is_empty());
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    assert!(!all.is_empty(), "nothing to plot");
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &all {
+        let (tx, ty) = (transform(x, x_scale), transform(y, y_scale));
+        x0 = x0.min(tx);
+        x1 = x1.max(tx);
+        y0 = y0.min(ty);
+        y1 = y1.max(ty);
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            let tx = (transform(x, x_scale) - x0) / (x1 - x0);
+            let ty = (transform(y, y_scale) - y0) / (y1 - y0);
+            let col = (tx * (width - 1) as f64).round() as usize;
+            let row = height - 1 - (ty * (height - 1) as f64).round() as usize;
+            grid[row][col] = mark;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let ylab = |frac: f64| -> f64 {
+        let t = y0 + frac * (y1 - y0);
+        match y_scale {
+            Scale::Linear => t,
+            Scale::Log10 => 10f64.powf(t),
+        }
+    };
+    for (r, row) in grid.iter().enumerate() {
+        let frac = 1.0 - r as f64 / (height - 1) as f64;
+        let label = if r == 0 || r == height - 1 || r == height / 2 {
+            format!("{:>9.2}", ylab(frac))
+        } else {
+            " ".repeat(9)
+        };
+        let _ = writeln!(out, "{label} |{}|", row.iter().collect::<String>());
+    }
+    let x0v = match x_scale {
+        Scale::Linear => x0,
+        Scale::Log10 => 10f64.powf(x0),
+    };
+    let x1v = match x_scale {
+        Scale::Linear => x1,
+        Scale::Log10 => 10f64.powf(x1),
+    };
+    let _ = writeln!(
+        out,
+        "{}{:<12.6}{}{:>12.6}",
+        " ".repeat(11),
+        x0v,
+        " ".repeat(width.saturating_sub(24)),
+        x1v
+    );
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "{}{} = {}", " ".repeat(11), MARKS[si % MARKS.len()], s.name);
+    }
+    out
+}
+
+/// Shade a heat map relative to its own min/max (log scale): the visual
+/// analogue of the paper's coloured cells.
+pub fn shade_heatmap(hm: &HeatMap) -> String {
+    const SHADES: &[char] = &['.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let vals: Vec<f64> = hm.cells.iter().flatten().flatten().copied().collect();
+    if vals.is_empty() {
+        return format!("== {} == (empty)\n", hm.title);
+    }
+    let lo = vals.iter().cloned().fold(f64::MAX, f64::min).ln();
+    let hi = vals.iter().cloned().fold(f64::MIN, f64::max).ln();
+    let span = (hi - lo).max(f64::EPSILON);
+    let mut out = format!("== {} (shaded, log scale) ==\n", hm.title);
+    let _ = writeln!(
+        out,
+        "{:>8} {}",
+        "blk\\thr",
+        hm.threads_per_block
+            .iter()
+            .map(|t| format!("{t:>5}"))
+            .collect::<String>()
+    );
+    for (i, &b) in hm.blocks_per_sm.iter().enumerate() {
+        let mut row = format!("{b:>8} ");
+        for c in &hm.cells[i] {
+            match c {
+                Some(v) => {
+                    let f = ((v.ln() - lo) / span).clamp(0.0, 1.0);
+                    let idx = (f * (SHADES.len() - 1) as f64).round() as usize;
+                    row.push_str(&format!("{:>5}", SHADES[idx]));
+                }
+                None => row.push_str("     "),
+            }
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    let _ = writeln!(
+        out,
+        "{:>8} {} = {:.2} .. {} = {:.2} us",
+        "",
+        SHADES[0],
+        lo.exp(),
+        SHADES[SHADES.len() - 1],
+        hi.exp()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_places_extremes() {
+        let s = Series::new("a", vec![(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]);
+        let c = line_chart("t", &[s], Scale::Linear, Scale::Linear, 30, 8);
+        assert!(c.contains("== t =="));
+        assert!(c.contains("o = a"));
+        // Rising series: first data row (top) holds the max point.
+        let rows: Vec<&str> = c.lines().collect();
+        assert!(rows[1].contains('o'), "{c}");
+    }
+
+    #[test]
+    fn log_axes_compress_decades() {
+        let s = Series::new("bw", vec![(0.1, 10.0), (10.0, 100.0), (1000.0, 1000.0)]);
+        let c = line_chart("log", &[s], Scale::Log10, Scale::Log10, 40, 10);
+        // Equal decade steps land at equal column offsets: first at col 0,
+        // second in the middle, third at the end.
+        assert!(c.lines().count() > 10);
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_marks() {
+        let a = Series::new("a", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let b = Series::new("b", vec![(0.0, 1.0), (1.0, 0.0)]);
+        let c = line_chart("two", &[a, b], Scale::Linear, Scale::Linear, 24, 6);
+        assert!(c.contains("o = a") && c.contains("x = b"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_series_panics() {
+        let _ = line_chart("x", &[], Scale::Linear, Scale::Linear, 24, 6);
+    }
+
+    #[test]
+    fn heatmap_shading_spans_the_palette() {
+        let hm = HeatMap {
+            title: "demo".into(),
+            blocks_per_sm: vec![1, 2],
+            threads_per_block: vec![32, 64],
+            cells: vec![
+                vec![Some(1.0), Some(2.0)],
+                vec![Some(10.0), None],
+            ],
+        };
+        let s = shade_heatmap(&hm);
+        assert!(s.contains('.') && s.contains('@'), "{s}");
+        assert!(s.contains("1.00 .. @ = 10.00 us"), "{s}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Fig. 18: per-thread clocks around a warp barrier in fully divergent code
+//! (Fig. 17), showing whether the barrier actually blocks.
+
+use gpu_arch::GpuArch;
+use gpu_sim::kernels;
+use gpu_sim::{GpuSystem, GridLaunch};
+use serde::Serialize;
+use sim_core::SimResult;
+
+/// Per-lane start/end cycle counters from the Fig. 17 kernel.
+#[derive(Debug, Clone, Serialize)]
+pub struct WarpProbeResult {
+    pub arch: String,
+    pub starts: Vec<u64>,
+    pub ends: Vec<u64>,
+}
+
+impl WarpProbeResult {
+    /// Span of the start staircase in cycles.
+    pub fn start_span(&self) -> u64 {
+        self.starts.iter().max().unwrap() - self.starts.iter().min().unwrap()
+    }
+
+    /// True when every lane's end clock trails the last lane's start clock —
+    /// i.e. the barrier blocked all threads (Volta behaviour).
+    pub fn barrier_blocks(&self) -> bool {
+        let last_start = *self.starts.iter().max().unwrap();
+        self.ends.iter().all(|&e| e >= last_start)
+    }
+}
+
+/// Run the Fig. 17 probe on one architecture.
+pub fn figure18(arch: &GpuArch) -> SimResult<WarpProbeResult> {
+    let mut a = arch.clone();
+    a.num_sms = 1;
+    let mut sys = GpuSystem::single(a);
+    let starts = sys.alloc(0, 32);
+    let ends = sys.alloc(0, 32);
+    sys.run(&GridLaunch::single(
+        kernels::warp_probe(),
+        1,
+        32,
+        vec![starts.0 as u64, ends.0 as u64],
+    ))?;
+    Ok(WarpProbeResult {
+        arch: arch.name.clone(),
+        starts: sys.read_u64(starts),
+        ends: sys.read_u64(ends),
+    })
+}
+
+/// Simple text rendering of the two scatter plots.
+pub fn render_figure18(results: &[WarpProbeResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&format!(
+            "== Fig. 18: warp-probe clocks, {} (barrier {}) ==\n",
+            r.arch,
+            if r.barrier_blocks() {
+                "BLOCKS all threads"
+            } else {
+                "does NOT block"
+            }
+        ));
+        out.push_str("lane  start(cyc)  end(cyc)\n");
+        for l in 0..32 {
+            out.push_str(&format!("{:>4}  {:>10}  {:>8}\n", l, r.starts[l], r.ends[l]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volta_blocks_pascal_does_not() {
+        let v = figure18(&GpuArch::v100()).unwrap();
+        let p = figure18(&GpuArch::p100()).unwrap();
+        assert!(v.barrier_blocks(), "V100 must block");
+        assert!(!p.barrier_blocks(), "P100 must not block");
+    }
+
+    #[test]
+    fn staircase_magnitudes_match_paper_order() {
+        // Paper Fig. 18: V100 staircase reaches ~12k cycles, P100 ~8k.
+        let v = figure18(&GpuArch::v100()).unwrap();
+        let p = figure18(&GpuArch::p100()).unwrap();
+        assert!(
+            (6_000..=18_000).contains(&v.start_span()),
+            "V100 span {}",
+            v.start_span()
+        );
+        assert!(
+            (4_000..=12_000).contains(&p.start_span()),
+            "P100 span {}",
+            p.start_span()
+        );
+    }
+
+    #[test]
+    fn render_mentions_blocking_verdicts() {
+        let v = figure18(&GpuArch::v100()).unwrap();
+        let p = figure18(&GpuArch::p100()).unwrap();
+        let s = render_figure18(&[v, p]);
+        assert!(s.contains("BLOCKS all threads"));
+        assert!(s.contains("does NOT block"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Table II: warp-level synchronization latency and throughput.
+
+use crate::measure::{
+    coalesced_partial_cycles, coalesced_partial_throughput_per_sm, one_sm, sync_chain_cycles,
+    sync_throughput_per_sm, Placement,
+};
+use crate::report::{fmt, TextTable};
+use gpu_arch::GpuArch;
+use gpu_sim::kernels::SyncOp;
+use serde::Serialize;
+use sim_core::SimResult;
+
+/// One Table II row.
+#[derive(Debug, Clone, Serialize)]
+pub struct WarpSyncRow {
+    pub name: String,
+    /// Dependent-chain latency, cycles.
+    pub latency_cycles: f64,
+    /// Best throughput over the (threads/block × blocks/SM) sweep,
+    /// sync/cycle per SM (warp-syncs/cycle for the block row).
+    pub throughput_per_cycle: f64,
+    /// CUDA programming-guide reference throughput, thread-ops/cycle,
+    /// where the guide states one.
+    pub reference_ops_per_cycle: Option<f64>,
+}
+
+const LAT_REPS: usize = 128;
+const THR_REPS: usize = 48;
+
+/// Sweep (threads/block, blocks/SM) pairs — "iterating every possibility
+/// pair of up to 1024 threads and up to 64 blocks per SM and recording only
+/// the highest result" (§V-A), restricted to power-of-two steps.
+fn best_throughput(
+    arch: &GpuArch,
+    measure: impl Fn(u32, u32) -> SimResult<f64>,
+) -> SimResult<f64> {
+    let mut best = 0.0f64;
+    for &tpb in &[32u32, 64, 128, 256, 512, 1024] {
+        for &bpsm in &[1u32, 2, 4, 8, 16, 32, 64] {
+            if tpb as u64 * bpsm as u64 > 2 * arch.max_threads_per_sm as u64 {
+                continue; // beyond any useful oversubscription
+            }
+            best = best.max(measure(tpb, bpsm)?);
+        }
+    }
+    Ok(best)
+}
+
+/// Measure all Table II rows for one architecture.
+pub fn table2(arch: &GpuArch) -> SimResult<Vec<WarpSyncRow>> {
+    let a1 = one_sm(arch);
+    let p = Placement::single();
+    let lat = |op: SyncOp| -> SimResult<f64> {
+        Ok(sync_chain_cycles(&a1, &p, op, LAT_REPS, 1, 32)?.cycles_per_op)
+    };
+    let thr = |op: SyncOp| -> SimResult<f64> {
+        best_throughput(&a1, |tpb, bpsm| {
+            sync_throughput_per_sm(&a1, op, THR_REPS, bpsm, tpb)
+        })
+    };
+
+    // Coalesced(1-31): latency of a 16-lane group; max over partial sizes
+    // for throughput.
+    let coa_partial_lat = coalesced_partial_cycles(&a1, 16, LAT_REPS)?;
+    let mut coa_partial_thr = 0.0f64;
+    for k in [1u32, 8, 16, 31] {
+        let t = best_throughput(&a1, |tpb, bpsm| {
+            coalesced_partial_throughput_per_sm(&a1, k, THR_REPS, bpsm, tpb)
+        })?;
+        coa_partial_thr = coa_partial_thr.max(t);
+    }
+
+    let shuffle_ref = 32.0; // programming guide: 32 thread-ops/cycle
+    let block_ref = if arch.compute_capability.0 >= 7 {
+        16.0
+    } else {
+        32.0
+    };
+
+    Ok(vec![
+        WarpSyncRow {
+            name: "Tile(*)".into(),
+            latency_cycles: lat(SyncOp::Tile(32))?,
+            throughput_per_cycle: thr(SyncOp::Tile(32))?,
+            reference_ops_per_cycle: None,
+        },
+        WarpSyncRow {
+            name: "Shuffle(Tile)(*)".into(),
+            latency_cycles: lat(SyncOp::ShflTile)?,
+            throughput_per_cycle: thr(SyncOp::ShflTile)?,
+            reference_ops_per_cycle: Some(shuffle_ref),
+        },
+        WarpSyncRow {
+            name: "Coalesced(1-31)".into(),
+            latency_cycles: coa_partial_lat,
+            throughput_per_cycle: coa_partial_thr,
+            reference_ops_per_cycle: None,
+        },
+        WarpSyncRow {
+            name: "Coalesced(32)".into(),
+            latency_cycles: lat(SyncOp::Coalesced)?,
+            throughput_per_cycle: thr(SyncOp::Coalesced)?,
+            reference_ops_per_cycle: None,
+        },
+        WarpSyncRow {
+            name: "Shuffle(COA)(*)".into(),
+            latency_cycles: lat(SyncOp::ShflCoalesced)?,
+            throughput_per_cycle: thr(SyncOp::ShflCoalesced)?,
+            reference_ops_per_cycle: None,
+        },
+        WarpSyncRow {
+            name: "Block(warp)".into(),
+            latency_cycles: lat(SyncOp::Block)?,
+            throughput_per_cycle: thr(SyncOp::Block)?,
+            reference_ops_per_cycle: Some(block_ref),
+        },
+    ])
+}
+
+/// Render Table II for a pair of architectures (V100 + P100 in the paper).
+pub fn render_table2(archs: &[(&GpuArch, &[WarpSyncRow])]) -> TextTable {
+    let mut headers = vec!["Type".to_string()];
+    for (a, _) in archs {
+        headers.push(format!("{} lat (cyc)", a.name));
+        headers.push(format!("{} thr (sync/cyc)", a.name));
+        headers.push(format!("{} ref (op/cyc)", a.name));
+    }
+    let mut t = TextTable {
+        title: "Table II: performance of warp synchronization in a block".into(),
+        headers,
+        rows: Vec::new(),
+    };
+    let nrows = archs[0].1.len();
+    for i in 0..nrows {
+        let mut row = vec![archs[0].1[i].name.clone()];
+        for (_, rows) in archs {
+            let r = &rows[i];
+            row.push(fmt(r.latency_cycles));
+            row.push(fmt(r.throughput_per_cycle));
+            row.push(
+                r.reference_ops_per_cycle
+                    .map(fmt)
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table II anchors within tolerance — latency side.
+    #[test]
+    fn table2_latencies_match_paper() {
+        let rows = table2(&GpuArch::v100()).unwrap();
+        let expect = [14.0, 22.0, 108.0, 14.0, 77.0, 22.0];
+        for (r, e) in rows.iter().zip(expect) {
+            assert!(
+                (r.latency_cycles - e).abs() / e < 0.20,
+                "{}: {} vs {}",
+                r.name,
+                r.latency_cycles,
+                e
+            );
+        }
+        let rows = table2(&GpuArch::p100()).unwrap();
+        let expect = [1.0, 31.0, 1.0, 1.0, 50.0, 218.0];
+        for (r, e) in rows.iter().zip(expect) {
+            assert!(
+                (r.latency_cycles - e).abs() <= (0.25 * e).max(1.0),
+                "P100 {}: {} vs {}",
+                r.name,
+                r.latency_cycles,
+                e
+            );
+        }
+    }
+
+    /// Paper Table II anchors — throughput side (±25%).
+    #[test]
+    fn table2_throughputs_match_paper() {
+        let rows = table2(&GpuArch::v100()).unwrap();
+        let expect = [0.812, 0.928, 0.167, 1.306, 0.121, 0.475];
+        for (r, e) in rows.iter().zip(expect) {
+            assert!(
+                (r.throughput_per_cycle - e).abs() / e < 0.25,
+                "{}: {} vs {}",
+                r.name,
+                r.throughput_per_cycle,
+                e
+            );
+        }
+    }
+
+    #[test]
+    fn render_includes_both_archs() {
+        let v = table2(&GpuArch::v100()).unwrap();
+        let p = table2(&GpuArch::p100()).unwrap();
+        let va = GpuArch::v100();
+        let pa = GpuArch::p100();
+        let t = render_table2(&[(&va, &v), (&pa, &p)]);
+        let s = t.render();
+        assert!(s.contains("V100 lat"));
+        assert!(s.contains("P100 lat"));
+        assert!(s.contains("Block(warp)"));
+    }
+}

@@ -1,0 +1,120 @@
+//! CUDA-event-style timing on simulated streams.
+//!
+//! Real GPU benchmarking suites (including the paper's harness for the
+//! reduction study) time device work with `cudaEventRecord` /
+//! `cudaEventElapsedTime` instead of host clocks, because events timestamp
+//! *stream* progress and exclude host-side scheduling noise. The simulated
+//! equivalent records the stream's drain time at record position.
+
+use crate::host::HostSim;
+use serde::{Deserialize, Serialize};
+use sim_core::{Ps, SimError, SimResult};
+
+/// Handle to a recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventId(pub u32);
+
+/// A recorded stream timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    pub device: usize,
+    /// When all work enqueued before the record completes.
+    pub at: Ps,
+}
+
+/// Event registry layered over a [`HostSim`].
+#[derive(Debug, Default)]
+pub struct Events {
+    recorded: Vec<Event>,
+}
+
+impl Events {
+    pub fn new() -> Events {
+        Events::default()
+    }
+
+    /// `cudaEventRecord(event, stream)`: the event completes when everything
+    /// currently in `device`'s stream has completed.
+    pub fn record(&mut self, host: &HostSim, device: usize) -> EventId {
+        self.recorded.push(Event {
+            device,
+            at: host.stream_busy_until(device),
+        });
+        EventId(self.recorded.len() as u32 - 1)
+    }
+
+    pub fn get(&self, id: EventId) -> SimResult<Event> {
+        self.recorded
+            .get(id.0 as usize)
+            .copied()
+            .ok_or_else(|| SimError::InvalidLaunch(format!("unknown event {id:?}")))
+    }
+
+    /// `cudaEventElapsedTime`: milliseconds between two recorded events.
+    pub fn elapsed_ms(&self, start: EventId, end: EventId) -> SimResult<f64> {
+        let s = self.get(start)?;
+        let e = self.get(end)?;
+        if e.at < s.at {
+            return Err(SimError::InvalidLaunch(
+                "end event precedes start event".into(),
+            ));
+        }
+        Ok((e.at - s.at).as_ms())
+    }
+
+    /// `cudaEventSynchronize`: block a host thread until the event fires.
+    pub fn synchronize(&self, host: &mut HostSim, thread: usize, id: EventId) -> SimResult<()> {
+        let e = self.get(id)?;
+        host.wait_until(thread, e.at);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_arch::GpuArch;
+    use gpu_sim::{kernels, GpuSystem, GridLaunch};
+
+    fn host() -> HostSim {
+        let mut a = GpuArch::v100();
+        a.num_sms = 2;
+        HostSim::new(GpuSystem::single(a)).without_jitter()
+    }
+
+    #[test]
+    fn events_time_a_sleep_kernel() {
+        let mut h = host();
+        let mut ev = Events::new();
+        let start = ev.record(&h, 0);
+        let l = GridLaunch::single(kernels::sleep_kernel(250_000), 1, 32, vec![]);
+        h.launch(0, &l).unwrap();
+        let end = ev.record(&h, 0);
+        let ms = ev.elapsed_ms(start, end).unwrap();
+        // 250 us sleep + dispatch; events exclude host launch overhead noise.
+        assert!((ms - 0.25).abs() < 0.02, "elapsed {ms} ms");
+    }
+
+    #[test]
+    fn event_synchronize_advances_host() {
+        let mut h = host();
+        let mut ev = Events::new();
+        let l = GridLaunch::single(kernels::sleep_kernel(50_000), 1, 32, vec![]);
+        h.launch(0, &l).unwrap();
+        let done = ev.record(&h, 0);
+        ev.synchronize(&mut h, 0, done).unwrap();
+        assert!(h.now(0).as_us() >= 50.0);
+    }
+
+    #[test]
+    fn reversed_events_error() {
+        let mut h = host();
+        let mut ev = Events::new();
+        let e0 = ev.record(&h, 0);
+        let l = GridLaunch::single(kernels::sleep_kernel(10_000), 1, 32, vec![]);
+        h.launch(0, &l).unwrap();
+        let e1 = ev.record(&h, 0);
+        assert!(ev.elapsed_ms(e1, e0).is_err());
+        assert!(ev.elapsed_ms(e0, EventId(99)).is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! # cuda-rt
+//!
+//! Host-side CUDA runtime model: streams, the three launch paths the paper
+//! benchmarks (`<<<>>>`, `cudaLaunchCooperativeKernel`,
+//! `cudaLaunchCooperativeKernelMultiDevice`), `cudaDeviceSynchronize`, host
+//! threads with OpenMP-style barriers, peer copies, and jittered host
+//! timestamps for the uncertainty analysis of §IX-D.
+
+pub mod events;
+pub mod host;
+
+pub use events::{Event, EventId, Events};
+pub use host::{HostSim, LaunchRecord};

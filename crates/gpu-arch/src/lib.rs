@@ -1,0 +1,17 @@
+//! # gpu-arch
+//!
+//! Architecture descriptions for the simulated GPUs: geometry (SMs,
+//! schedulers, warp size, residency limits), clocks, instruction/barrier
+//! timing parameters, memory-system parameters, and the host-side launch cost
+//! model. Presets are provided for the paper's two platforms (Tesla V100 in a
+//! DGX-1 and a 2×P100 PCIe node) plus an extrapolated A100-like preset.
+//!
+//! Every calibrated constant is documented at its definition in
+//! [`params`]; EXPERIMENTS.md records how the resulting measurements compare
+//! with the paper's published values.
+
+pub mod arch;
+pub mod params;
+
+pub use arch::{GpuArch, Occupancy};
+pub use params::{HostParams, LaunchPath, MemoryParams, SyncInstr, TimingParams};

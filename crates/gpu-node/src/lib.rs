@@ -1,0 +1,14 @@
+//! # gpu-node
+//!
+//! Multi-GPU node models: interconnect topologies, peer-to-peer link classes,
+//! flag-exchange latencies for multi-grid barriers, and peer-copy bandwidth.
+//!
+//! The paper's multi-GPU observations (Figs. 7-9) hinge on the *structure* of
+//! the node: the DGX-1's hybrid cube-mesh gives GPU 0 single-hop NVLink
+//! neighbours {1,2,3,4}, while {5,6,7} are reached over PCIe/QPI -- which is
+//! why multi-grid synchronization over 2-5 GPUs costs roughly the same and
+//! jumps between 5 and 6 GPUs.
+
+pub mod topology;
+
+pub use topology::{LinkClass, NodeTopology};

@@ -1,0 +1,328 @@
+//! Node interconnect topologies.
+
+use serde::{Deserialize, Serialize};
+use sim_core::Ps;
+
+/// Classification of the path between two GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Same GPU.
+    Local,
+    /// Direct high-speed link (NVLink hop, or the single shared PCIe switch
+    /// of a two-GPU node).
+    Near,
+    /// No direct link: routed over PCIe/QPI (DGX-1 cross-corner pairs).
+    Far,
+}
+
+/// A multi-GPU node: which GPU pairs are directly linked and what flag
+/// exchanges / data transfers cost on each class of path.
+///
+/// ```
+/// use gpu_node::{LinkClass, NodeTopology};
+///
+/// let dgx1 = NodeTopology::dgx1_v100();
+/// // GPU 0's NVLink clique is {1,2,3,4}; 5-7 ride PCIe — the structure
+/// // behind the paper's 5-to-6-GPU jump in multi-grid sync cost.
+/// assert_eq!(dgx1.link(0, 4), LinkClass::Near);
+/// assert_eq!(dgx1.link(0, 5), LinkClass::Far);
+/// assert_eq!(dgx1.max_hops(0, &[1, 2, 3, 4]), 1);
+/// assert_eq!(dgx1.max_hops(0, &[1, 2, 3, 4, 5]), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeTopology {
+    pub name: String,
+    pub num_gpus: usize,
+    /// `adjacent[a][b]` — direct high-speed link between GPUs a and b.
+    adjacent: Vec<Vec<bool>>,
+    /// One-way latency of a small flag write/read over a Near path.
+    pub near_flag: Ps,
+    /// One-way latency over a Far path.
+    pub far_flag: Ps,
+    /// Serialization at the barrier master per arriving Near flag.
+    pub near_serial: Ps,
+    /// Serialization at the barrier master per arriving Far flag.
+    pub far_serial: Ps,
+    /// Per-resident-block cost of the system-scope fences a multi-grid
+    /// barrier performs while the inter-GPU phase is pending, ns.
+    pub mgrid_per_block_ns: f64,
+    /// Peer-copy bandwidth over a Near path, GB/s.
+    pub near_bw_gbs: f64,
+    /// Peer-copy bandwidth over a Far path, GB/s.
+    pub far_bw_gbs: f64,
+}
+
+impl NodeTopology {
+    /// A single-GPU "node" (multi-grid collapses to grid sync).
+    pub fn single() -> NodeTopology {
+        NodeTopology {
+            name: "single-GPU".into(),
+            num_gpus: 1,
+            adjacent: vec![vec![false]],
+            near_flag: Ps::ZERO,
+            far_flag: Ps::ZERO,
+            near_serial: Ps::ZERO,
+            far_serial: Ps::ZERO,
+            mgrid_per_block_ns: 0.0,
+            near_bw_gbs: 0.0,
+            far_bw_gbs: 0.0,
+        }
+    }
+
+    /// The paper's V100 platform: DGX-1 with 8 GPUs in an NVLink hybrid
+    /// cube-mesh. Quads {0..3} and {4..7} are fully meshed; the quads are
+    /// joined by the cross links 0-4, 1-5, 2-6, 3-7. Everything else rides
+    /// PCIe/QPI.
+    pub fn dgx1_v100() -> NodeTopology {
+        let n = 8;
+        let mut adjacent = vec![vec![false; n]; n];
+        let mut link = |a: usize, b: usize| {
+            adjacent[a][b] = true;
+            adjacent[b][a] = true;
+        };
+        // Intra-quad full meshes.
+        for q in [0usize, 4] {
+            for i in q..q + 4 {
+                for j in (i + 1)..q + 4 {
+                    link(i, j);
+                }
+            }
+        }
+        // Cross-quad links.
+        for i in 0..4 {
+            link(i, i + 4);
+        }
+        NodeTopology {
+            name: "DGX-1 (8x V100, NVLink hybrid cube-mesh)".into(),
+            num_gpus: n,
+            adjacent,
+            near_flag: Ps::from_us_f64(2.32),
+            far_flag: Ps::from_us_f64(8.05),
+            near_serial: Ps::from_us_f64(0.19),
+            far_serial: Ps::from_us_f64(1.15),
+            mgrid_per_block_ns: 21.0,
+            near_bw_gbs: 22.0,
+            far_bw_gbs: 9.0,
+        }
+    }
+
+    /// The paper's P100 platform: two P100s under one PCIe switch.
+    pub fn p100_pair() -> NodeTopology {
+        NodeTopology {
+            name: "2x P100 (PCIe)".into(),
+            num_gpus: 2,
+            adjacent: vec![vec![false, true], vec![true, false]],
+            near_flag: Ps::from_us_f64(2.80),
+            far_flag: Ps::from_us_f64(2.80),
+            near_serial: Ps::from_us_f64(0.24),
+            far_serial: Ps::from_us_f64(0.24),
+            mgrid_per_block_ns: 27.0,
+            near_bw_gbs: 11.0,
+            far_bw_gbs: 11.0,
+        }
+    }
+
+    /// A DGX-2-style node: 16 GPUs, all-to-all through NVSwitch (beyond the
+    /// paper — lets the benches ask what the 5→6 GPU jump would look like on
+    /// a flat fabric: it disappears).
+    pub fn dgx2_like() -> NodeTopology {
+        let n = 16;
+        let adjacent = (0..n)
+            .map(|i| (0..n).map(|j| i != j).collect())
+            .collect();
+        NodeTopology {
+            name: "DGX-2-like (16 GPUs, NVSwitch all-to-all)".into(),
+            num_gpus: n,
+            adjacent,
+            near_flag: Ps::from_us_f64(2.6),
+            far_flag: Ps::from_us_f64(2.6),
+            near_serial: Ps::from_us_f64(0.19),
+            far_serial: Ps::from_us_f64(0.19),
+            mgrid_per_block_ns: 6.0,
+            near_bw_gbs: 48.0,
+            far_bw_gbs: 48.0,
+        }
+    }
+
+    /// Classify the path between two GPUs.
+    pub fn link(&self, a: usize, b: usize) -> LinkClass {
+        assert!(a < self.num_gpus && b < self.num_gpus, "GPU id out of range");
+        if a == b {
+            LinkClass::Local
+        } else if self.adjacent[a][b] {
+            LinkClass::Near
+        } else {
+            LinkClass::Far
+        }
+    }
+
+    /// Number of fabric hops between two GPUs (0 = same device, 1 = direct
+    /// link, 2 = routed over PCIe/QPI).
+    pub fn hops(&self, a: usize, b: usize) -> u32 {
+        match self.link(a, b) {
+            LinkClass::Local => 0,
+            LinkClass::Near => 1,
+            LinkClass::Far => 2,
+        }
+    }
+
+    /// The maximum hop count from `master` to any GPU in `gpus` — the
+    /// quantity that jumps when a barrier first crosses the DGX-1's quad
+    /// boundary.
+    pub fn max_hops(&self, master: usize, gpus: &[usize]) -> u32 {
+        gpus.iter().map(|&g| self.hops(master, g)).max().unwrap_or(0)
+    }
+
+    /// One-way flag (small write/read) latency between two GPUs.
+    pub fn flag_latency(&self, a: usize, b: usize) -> Ps {
+        match self.link(a, b) {
+            LinkClass::Local => Ps::ZERO,
+            LinkClass::Near => self.near_flag,
+            LinkClass::Far => self.far_flag,
+        }
+    }
+
+    /// Master-side serialization charged per arriving flag from `gpu`.
+    pub fn arrival_serial(&self, master: usize, gpu: usize) -> Ps {
+        match self.link(master, gpu) {
+            LinkClass::Local => Ps::ZERO,
+            LinkClass::Near => self.near_serial,
+            LinkClass::Far => self.far_serial,
+        }
+    }
+
+    /// Peer-copy bandwidth between two distinct GPUs, GB/s.
+    pub fn peer_bandwidth_gbs(&self, a: usize, b: usize) -> f64 {
+        match self.link(a, b) {
+            LinkClass::Local => f64::INFINITY,
+            LinkClass::Near => self.near_bw_gbs,
+            LinkClass::Far => self.far_bw_gbs,
+        }
+    }
+
+    /// Total extra cost of one multi-grid barrier phase pair (arrive +
+    /// release) across `gpus`, relative to local grid barriers, with `master`
+    /// coordinating: 2×(slowest flag) + sum of per-GPU arrival serialization.
+    pub fn mgrid_exchange_cost(&self, master: usize, gpus: &[usize]) -> Ps {
+        let max_flag = gpus
+            .iter()
+            .map(|&g| self.flag_latency(master, g))
+            .max()
+            .unwrap_or(Ps::ZERO);
+        let serial: Ps = gpus
+            .iter()
+            .map(|&g| self.arrival_serial(master, g))
+            .sum();
+        max_flag * 2 + serial
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgx1_quads_are_meshed() {
+        let t = NodeTopology::dgx1_v100();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert_eq!(t.link(i, j), LinkClass::Near, "{i}-{j}");
+                    assert_eq!(t.link(i + 4, j + 4), LinkClass::Near);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dgx1_cross_links_and_far_pairs() {
+        let t = NodeTopology::dgx1_v100();
+        assert_eq!(t.link(0, 4), LinkClass::Near);
+        assert_eq!(t.link(1, 5), LinkClass::Near);
+        assert_eq!(t.link(0, 5), LinkClass::Far);
+        assert_eq!(t.link(0, 7), LinkClass::Far);
+        assert_eq!(t.link(3, 3), LinkClass::Local);
+    }
+
+    #[test]
+    fn dgx1_adjacency_is_symmetric() {
+        let t = NodeTopology::dgx1_v100();
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(t.link(a, b), t.link(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn gpu0_has_exactly_four_near_neighbours() {
+        // This is the structural fact behind the paper's 5->6 GPU jump.
+        let t = NodeTopology::dgx1_v100();
+        let near: Vec<usize> = (1..8)
+            .filter(|&g| t.link(0, g) == LinkClass::Near)
+            .collect();
+        assert_eq!(near, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mgrid_exchange_jumps_when_far_gpu_joins() {
+        let t = NodeTopology::dgx1_v100();
+        let five = t.mgrid_exchange_cost(0, &[1, 2, 3, 4]);
+        let six = t.mgrid_exchange_cost(0, &[1, 2, 3, 4, 5]);
+        // 2-5 GPUs all near: adding GPU 5 (far) should more than double cost.
+        assert!(six.as_us() > 2.0 * five.as_us(), "{} vs {}", six, five);
+    }
+
+    #[test]
+    fn mgrid_exchange_flat_growth_within_quad() {
+        let t = NodeTopology::dgx1_v100();
+        let two = t.mgrid_exchange_cost(0, &[1]);
+        let five = t.mgrid_exchange_cost(0, &[1, 2, 3, 4]);
+        // Growth within the quad is only the per-GPU serialization.
+        assert!((five.as_us() - two.as_us()) < 1.0);
+    }
+
+    #[test]
+    fn p100_pair_is_symmetric_pcie() {
+        let t = NodeTopology::p100_pair();
+        assert_eq!(t.link(0, 1), LinkClass::Near);
+        assert!((t.peer_bandwidth_gbs(0, 1) - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dgx2_has_no_far_pairs() {
+        let t = NodeTopology::dgx2_like();
+        for a in 0..16 {
+            for b in 0..16 {
+                if a != b {
+                    assert_eq!(t.link(a, b), LinkClass::Near);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_is_trivial() {
+        let t = NodeTopology::single();
+        assert_eq!(t.num_gpus, 1);
+        assert_eq!(t.mgrid_exchange_cost(0, &[]), Ps::ZERO);
+    }
+
+    #[test]
+    fn hops_track_link_classes() {
+        let t = NodeTopology::dgx1_v100();
+        assert_eq!(t.hops(0, 0), 0);
+        assert_eq!(t.hops(0, 4), 1);
+        assert_eq!(t.hops(0, 5), 2);
+        assert_eq!(t.max_hops(0, &[1, 2, 3, 4]), 1);
+        assert_eq!(t.max_hops(0, &[1, 2, 3, 4, 5]), 2);
+        assert_eq!(t.max_hops(0, &[]), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_gpu_panics() {
+        let t = NodeTopology::p100_pair();
+        let _ = t.link(0, 2);
+    }
+}

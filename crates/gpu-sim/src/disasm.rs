@@ -1,0 +1,228 @@
+//! Human-readable disassembly of simulated programs — the debugging view
+//! for kernel builders.
+
+use crate::isa::{Instr, Operand, Program, ShflKind, ShflMode, Special};
+use std::fmt::Write as _;
+
+fn op(o: &Operand) -> String {
+    match o {
+        Operand::Reg(r) => format!("r{r}"),
+        Operand::Imm(v) => {
+            // Render small integers plainly; anything that looks like an f64
+            // bit pattern gets both views.
+            if *v < 1 << 20 {
+                format!("{v}")
+            } else {
+                format!("{v:#x}({})", f64::from_bits(*v))
+            }
+        }
+        Operand::Sp(s) => sp(s).to_string(),
+        Operand::Param(p) => format!("param{p}"),
+    }
+}
+
+fn sp(s: &Special) -> &'static str {
+    match s {
+        Special::Tid => "%tid",
+        Special::LaneId => "%lane",
+        Special::WarpId => "%warp",
+        Special::BlockId => "%bid",
+        Special::BlockDim => "%bdim",
+        Special::GridDim => "%gdim",
+        Special::GpuRank => "%gpu",
+        Special::NumGpus => "%ngpus",
+        Special::GlobalTid => "%gtid",
+        Special::GridThreads => "%gthreads",
+    }
+}
+
+/// Disassemble one instruction.
+pub fn instr_to_string(i: &Instr) -> String {
+    use Instr::*;
+    match i {
+        IAdd(d, a, b) => format!("iadd   r{d}, {}, {}", op(a), op(b)),
+        ISub(d, a, b) => format!("isub   r{d}, {}, {}", op(a), op(b)),
+        IMul(d, a, b) => format!("imul   r{d}, {}, {}", op(a), op(b)),
+        IMin(d, a, b) => format!("imin   r{d}, {}, {}", op(a), op(b)),
+        IAnd(d, a, b) => format!("iand   r{d}, {}, {}", op(a), op(b)),
+        CmpLt(d, a, b) => format!("setlt  r{d}, {}, {}", op(a), op(b)),
+        CmpEq(d, a, b) => format!("seteq  r{d}, {}, {}", op(a), op(b)),
+        Mov(d, a) => format!("mov    r{d}, {}", op(a)),
+        I2F(d, a) => format!("i2f    r{d}, {}", op(a)),
+        FAdd(d, a, b) => format!("fadd64 r{d}, {}, {}", op(a), op(b)),
+        FMul(d, a, b) => format!("fmul64 r{d}, {}, {}", op(a), op(b)),
+        FAdd32(d, a, b) => format!("fadd32 r{d}, {}, {}", op(a), op(b)),
+        Bra(t) => format!("bra    @{t}"),
+        BraIf(c, t) => format!("bra.nz {}, @{t}", op(c)),
+        BraIfZ(c, t) => format!("bra.z  {}, @{t}", op(c)),
+        Exit => "exit".to_string(),
+        LdShared { dst, addr, volatile } => format!(
+            "ld.shared{} r{dst}, [{}]",
+            if *volatile { ".volatile" } else { "" },
+            op(addr)
+        ),
+        StShared {
+            addr,
+            val,
+            volatile,
+            pred,
+        } => {
+            let p = pred.map(|p| format!("@{} ", op(&p))).unwrap_or_default();
+            format!(
+                "{p}st.shared{} [{}], {}",
+                if *volatile { ".volatile" } else { "" },
+                op(addr),
+                op(val)
+            )
+        }
+        LdGlobal { dst, buf, idx } => {
+            format!("ld.global r{dst}, {}[{}]", op(buf), op(idx))
+        }
+        StGlobal { buf, idx, val } => {
+            format!("st.global {}[{}], {}", op(buf), op(idx), op(val))
+        }
+        AtomicFAdd {
+            dst_old,
+            buf,
+            idx,
+            val,
+        } => {
+            let d = dst_old.map(|r| format!("r{r}, ")).unwrap_or_default();
+            format!("atom.add.f64 {d}{}[{}], {}", op(buf), op(idx), op(val))
+        }
+        Shfl {
+            dst,
+            val,
+            kind,
+            mode,
+            width,
+        } => {
+            let k = match kind {
+                ShflKind::Tile => "tile",
+                ShflKind::Coalesced => "coa",
+            };
+            let m = match mode {
+                ShflMode::Down(d) => format!("down {d}"),
+                ShflMode::Idx(i) => format!("idx {i}"),
+            };
+            format!("shfl.{k} r{dst}, {}, {m}, w{width}", op(val))
+        }
+        SyncTile { width } => format!("bar.warp.tile w{width}"),
+        SyncCoalesced => "bar.warp.coalesced".to_string(),
+        BarSync => "bar.sync".to_string(),
+        GridSync => "grid.sync".to_string(),
+        MultiGridSync => "multi_grid.sync".to_string(),
+        MemFence => "membar".to_string(),
+        Nanosleep(ns) => format!("nanosleep {}", op(ns)),
+        ReadClock(d) => format!("mov    r{d}, %clock"),
+        MemStream {
+            acc,
+            buf,
+            start,
+            stride,
+            len,
+            flops,
+            eff_permille,
+        } => format!(
+            "stream.global r{acc} += {}[{}:{}:{}] flops={flops} eff={eff_permille}",
+            op(buf),
+            op(start),
+            op(stride),
+            op(len)
+        ),
+        MemCombine {
+            dst,
+            a,
+            b,
+            start,
+            stride,
+            len,
+        } => format!(
+            "combine.global {}[i] = {}[i] + {}[i], i in [{}:{}:{}]",
+            op(dst),
+            op(a),
+            op(b),
+            op(start),
+            op(stride),
+            op(len)
+        ),
+        SmemStream {
+            acc,
+            start,
+            stride,
+            len,
+            flops,
+        } => format!(
+            "stream.shared r{acc} += [{}:{}:{}] flops={flops}",
+            op(start),
+            op(stride),
+            op(len)
+        ),
+    }
+}
+
+/// Disassemble a whole program with instruction indices (branch targets).
+pub fn disassemble(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, instr) in p.instrs.iter().enumerate() {
+        let _ = writeln!(out, "{i:>4}: {}", instr_to_string(instr));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::KernelBuilder;
+    use crate::isa::Operand::*;
+
+    #[test]
+    fn disassembles_every_shape() {
+        let mut b = KernelBuilder::new("d");
+        let r = b.reg();
+        b.mov(r, Imm(3));
+        b.label("top");
+        b.fadd(r, Reg(r), crate::fimm(1.5));
+        b.push(Instr::LdShared {
+            dst: r,
+            addr: Sp(Special::Tid),
+            volatile: true,
+        });
+        b.push(Instr::Shfl {
+            dst: r,
+            val: Reg(r),
+            kind: ShflKind::Tile,
+            mode: ShflMode::Down(4),
+            width: 32,
+        });
+        b.bar_sync();
+        b.bra_if(Reg(r), "top");
+        b.exit();
+        let k = b.build(0);
+        let d = disassemble(&k.program);
+        assert!(d.contains("mov    r0, 3"), "{d}");
+        assert!(d.contains("ld.shared.volatile"), "{d}");
+        assert!(d.contains("shfl.tile"), "{d}");
+        assert!(d.contains("bar.sync"), "{d}");
+        assert!(d.contains("bra.nz r0, @1"), "{d}");
+        assert_eq!(d.lines().count(), 7);
+    }
+
+    #[test]
+    fn float_immediates_show_both_views() {
+        let s = instr_to_string(&Instr::FAdd(0, Reg(0), crate::fimm(2.5)));
+        assert!(s.contains("2.5"), "{s}");
+    }
+
+    #[test]
+    fn canonical_kernels_disassemble() {
+        for k in [
+            crate::kernels::null_kernel(),
+            crate::kernels::warp_probe(),
+            crate::kernels::stream_kernel(2),
+        ] {
+            let d = disassemble(&k.program);
+            assert_eq!(d.lines().count(), k.program.len());
+        }
+    }
+}

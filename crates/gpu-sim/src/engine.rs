@@ -1,0 +1,1515 @@
+//! The SIMT discrete-event execution engine.
+//!
+//! Warps are the scheduled entities. Threads within a warp are grouped by
+//! program counter; the scheduler always runs the lowest-PC group, which
+//! gives structured reconvergence *and* the serialized divergent-branch
+//! staircase of the paper's Fig. 18. On architectures without independent
+//! thread scheduling (Pascal), warp-level barriers never block — they are
+//! plain fences — reproducing §VIII-A.
+//!
+//! Timing comes from per-SM / per-device pipelined resources (schedulers,
+//! barrier unit, warp-sync unit, shared-memory port, L2 atomic unit, DRAM
+//! channel) plus per-instruction latencies from [`gpu_arch::TimingParams`].
+
+use crate::isa::{Instr, Operand, ShflKind, ShflMode, Special, NUM_REGS};
+use crate::mem::SharedMem;
+use crate::system::{ExecReport, GridLaunch, GpuSystem};
+use gpu_arch::GpuArch;
+use sim_core::{Channel, EventQueue, Pipeline, Ps, SimError, SimResult};
+use std::collections::HashMap;
+
+const WARP: u32 = 32;
+const FULL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// (warp index, generation).
+    WarpStep(u32, u32),
+    StartBlock(u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockWaitKind {
+    None,
+    Block,
+    Grid,
+    MultiGrid,
+}
+
+#[derive(Debug, Clone)]
+struct Thread {
+    pc: u32,
+    regs: [u64; NUM_REGS],
+}
+
+#[derive(Debug)]
+struct Warp {
+    rank: u32,
+    sm: u32,
+    sched: u32,
+    block: u32,
+    warp_in_block: u32,
+    gen: u32,
+    threads: Vec<Thread>,
+    /// Lanes that have exited the kernel.
+    exited: u32,
+    /// Lanes parked at a warp-level (tile) barrier.
+    wb_wait: u32,
+    wb_width: u32,
+    /// Lanes parked at a block/grid/multi-grid barrier.
+    blk_wait: u32,
+    blk_kind: BlockWaitKind,
+    /// Mask of the group that executed last step (divergence accounting).
+    last_mask: u32,
+    /// Last step ended with a group blocking at a warp barrier (Volta
+    /// re-queue cost — the Fig. 18 staircase driver).
+    prev_blocked_at_warp_barrier: bool,
+    /// Previous executed instruction was a coalesced shuffle (the software
+    /// path's group descriptor is hot; see Table V's cold-path column).
+    coa_shfl_hot: bool,
+    done: bool,
+}
+
+impl Warp {
+    fn runnable(&self) -> u32 {
+        !(self.exited | self.wb_wait | self.blk_wait)
+            & if self.threads.len() == 32 {
+                FULL
+            } else {
+                (1u32 << self.threads.len()) - 1
+            }
+    }
+
+    fn present(&self) -> u32 {
+        if self.threads.len() == 32 {
+            FULL
+        } else {
+            (1u32 << self.threads.len()) - 1
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BlockRt {
+    rank: u32,
+    sm: u32,
+    block_on_device: u32,
+    /// Engine-global warp index of warp 0; warps are contiguous.
+    warp_start: u32,
+    nwarps: u32,
+    live_warps: u32,
+    /// Block-barrier round state.
+    bar_arrived: u32,
+    bar_waiting: Vec<u32>,
+    bar_last: Ps,
+    started: bool,
+    done: bool,
+    smem: SharedMem,
+}
+
+/// Per-round state of one device's grid barrier.
+#[derive(Debug, Default)]
+struct GridBar {
+    arrived: u32,
+    /// (block index, leader-atomic completion, kind).
+    waiting: Vec<(u32, Ps)>,
+}
+
+/// Per-round state of the node-wide multi-grid barrier.
+#[derive(Debug, Default)]
+struct MultiGridBar {
+    ranks_arrived: u32,
+    /// Per-rank local completion time.
+    rank_done: Vec<Option<Ps>>,
+}
+
+struct SmExec {
+    scheds: Vec<Pipeline>,
+    barrier_unit: Pipeline,
+    sync_unit: Pipeline,
+    smem_port: Pipeline,
+}
+
+struct DevExec {
+    device_id: usize,
+    l2: Pipeline,
+    dram: Channel,
+    sms: Vec<SmExec>,
+    /// Engine block indices not yet started (traditional oversubscription).
+    pending: Vec<u32>,
+    resident: Vec<u32>,
+    max_resident_per_sm: u32,
+    blocks_done: u32,
+    end_time: Ps,
+    grid_bar: GridBar,
+}
+
+/// One recorded execution step (see [`GpuSystem::run_traced`]).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub at: Ps,
+    /// Device rank within the launch.
+    pub rank: u32,
+    pub sm: u32,
+    /// Block index on its device.
+    pub block: u32,
+    pub warp_in_block: u32,
+    /// Mask of lanes that executed.
+    pub lanes: u32,
+    pub pc: u32,
+    pub instr: Instr,
+}
+
+pub(crate) struct Engine<'a> {
+    sys: &'a mut GpuSystem,
+    launch: &'a GridLaunch,
+    arch: GpuArch,
+    ps_per_cycle: f64,
+    now: Ps,
+    q: EventQueue<Ev>,
+    warps: Vec<Warp>,
+    blocks: Vec<BlockRt>,
+    devs: Vec<DevExec>,
+    mgrid: MultiGridBar,
+    peer: HashMap<(usize, usize), Channel>,
+    instrs_executed: u64,
+    warps_run: u64,
+    /// When tracing: (remaining capacity, recorded events).
+    trace: Option<(usize, Vec<TraceEvent>)>,
+}
+
+/// What executing one instruction for a group did.
+enum Step {
+    /// Group advanced; next step at `done`.
+    Ready(Ps),
+    /// Group parked at a barrier; the warp may still have other runnable
+    /// lanes. `true` if it was a warp-level barrier (Volta switch cost).
+    Parked { warp_barrier: bool },
+}
+
+impl<'a> Engine<'a> {
+    pub(crate) fn new(sys: &'a mut GpuSystem, launch: &'a GridLaunch) -> Engine<'a> {
+        let arch = sys.arch.clone();
+        let ps_per_cycle = arch.clock().ps_per_cycle();
+        Engine {
+            sys,
+            launch,
+            arch,
+            ps_per_cycle,
+            now: Ps::ZERO,
+            q: EventQueue::new(),
+            warps: Vec::new(),
+            blocks: Vec::new(),
+            devs: Vec::new(),
+            mgrid: MultiGridBar::default(),
+            peer: HashMap::new(),
+            instrs_executed: 0,
+            warps_run: 0,
+            trace: None,
+        }
+    }
+
+    /// Enable tracing of up to `cap` executed instructions.
+    pub(crate) fn with_trace(mut self, cap: usize) -> Self {
+        self.trace = Some((cap, Vec::new()));
+        self
+    }
+
+    fn cyc(&self, c: f64) -> Ps {
+        Ps((c * self.ps_per_cycle).round().max(0.0) as u64)
+    }
+
+    pub(crate) fn run(self) -> SimResult<ExecReport> {
+        Ok(self.run_full()?.0)
+    }
+
+    pub(crate) fn run_full(mut self) -> SimResult<(ExecReport, Vec<TraceEvent>)> {
+        self.setup();
+        while let Some((t, ev)) = self.q.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            match ev {
+                Ev::WarpStep(w, gen) => {
+                    if self.warps[w as usize].gen == gen && !self.warps[w as usize].done {
+                        self.step_warp(w)?;
+                    }
+                }
+                Ev::StartBlock(b) => self.start_block(b),
+            }
+            if self.instrs_executed > self.sys.instr_limit {
+                let limit = self.sys.instr_limit;
+                return Err(SimError::ProgramError(format!(
+                    "kernel {:?} exceeded {limit} instructions — non-terminating?",
+                    self.launch.kernel.name
+                )));
+            }
+        }
+        self.finish()
+    }
+
+    fn setup(&mut self) {
+        let occ = self
+            .arch
+            .occupancy(self.launch.block_dim, self.launch.kernel.shared_words * 8);
+        let nranks = self.launch.devices.len();
+        for (rank, &device_id) in self.launch.devices.iter().enumerate() {
+            let sms = (0..self.arch.num_sms)
+                .map(|_| SmExec {
+                    scheds: (0..self.arch.schedulers_per_sm)
+                        .map(|_| Pipeline::new())
+                        .collect(),
+                    barrier_unit: Pipeline::new(),
+                    sync_unit: Pipeline::new(),
+                    smem_port: Pipeline::new(),
+                })
+                .collect();
+            let mem = &self.arch.memory;
+            self.devs.push(DevExec {
+                device_id,
+                l2: Pipeline::new(),
+                dram: Channel::new(
+                    mem.dram_effective_gbs(),
+                    self.cyc(mem.dram_latency as f64),
+                ),
+                sms,
+                pending: Vec::new(),
+                resident: vec![0; self.arch.num_sms as usize],
+                max_resident_per_sm: occ.blocks_per_sm.max(1),
+                blocks_done: 0,
+                end_time: Ps::ZERO,
+                grid_bar: GridBar::default(),
+            });
+            // Create block records for this rank.
+            for b in 0..self.launch.grid_dim {
+                let sm = b % self.arch.num_sms;
+                self.blocks.push(BlockRt {
+                    rank: rank as u32,
+                    sm,
+                    block_on_device: b,
+                    warp_start: 0,
+                    nwarps: self.arch.warps_per_block(self.launch.block_dim),
+                    live_warps: 0,
+                    bar_arrived: 0,
+                    bar_waiting: Vec::new(),
+                    bar_last: Ps::ZERO,
+                    started: false,
+                    done: false,
+                    smem: SharedMem::new(self.launch.kernel.shared_words),
+                });
+            }
+        }
+        self.mgrid.rank_done = vec![None; nranks];
+        // Initial wave: fill residency round-robin; queue the rest.
+        for rank in 0..nranks {
+            let base = rank as u32 * self.launch.grid_dim;
+            for b in 0..self.launch.grid_dim {
+                let gb = base + b;
+                let sm = self.blocks[gb as usize].sm as usize;
+                if self.devs[rank].resident[sm] < self.devs[rank].max_resident_per_sm {
+                    self.devs[rank].resident[sm] += 1;
+                    self.q.push(Ps::ZERO, Ev::StartBlock(gb));
+                } else {
+                    self.devs[rank].pending.push(gb);
+                }
+            }
+            // Process pending queue FIFO.
+            self.devs[rank].pending.reverse();
+        }
+    }
+
+    fn start_block(&mut self, gb: u32) {
+        let block_dim = self.launch.block_dim;
+        let b = &mut self.blocks[gb as usize];
+        debug_assert!(!b.started);
+        b.started = true;
+        b.warp_start = self.warps.len() as u32;
+        b.live_warps = b.nwarps;
+        let (rank, sm, wstart, nwarps) = (b.rank, b.sm, b.warp_start, b.nwarps);
+        for wi in 0..nwarps {
+            let lanes_here = (block_dim - wi * WARP).min(WARP);
+            let threads = (0..lanes_here)
+                .map(|_| Thread {
+                    pc: 0,
+                    regs: [0; NUM_REGS],
+                })
+                .collect();
+            let w = Warp {
+                rank,
+                sm,
+                sched: (wi % self.arch.schedulers_per_sm),
+                block: gb,
+                warp_in_block: wi,
+                gen: 0,
+                threads,
+                exited: 0,
+                wb_wait: 0,
+                wb_width: 0,
+                blk_wait: 0,
+                blk_kind: BlockWaitKind::None,
+                last_mask: 0,
+                prev_blocked_at_warp_barrier: false,
+                coa_shfl_hot: false,
+                done: false,
+            };
+            self.warps.push(w);
+            self.warps_run += 1;
+            let widx = wstart + wi;
+            self.schedule_warp(widx, self.now);
+        }
+    }
+
+    fn schedule_warp(&mut self, w: u32, at: Ps) {
+        let warp = &mut self.warps[w as usize];
+        warp.gen = warp.gen.wrapping_add(1);
+        self.q.push(at, Ev::WarpStep(w, warp.gen));
+    }
+
+    // ----- operand evaluation -------------------------------------------------
+
+    fn eval(&self, w: u32, lane: u32, op: Operand) -> u64 {
+        let warp = &self.warps[w as usize];
+        match op {
+            Operand::Reg(r) => warp.threads[lane as usize].regs[r as usize],
+            Operand::Imm(v) => v,
+            Operand::Param(p) => {
+                self.launch.params[warp.rank as usize][p as usize]
+            }
+            Operand::Sp(s) => {
+                let block = &self.blocks[warp.block as usize];
+                let tid = warp.warp_in_block * WARP + lane;
+                match s {
+                    Special::Tid => tid as u64,
+                    Special::LaneId => lane as u64,
+                    Special::WarpId => warp.warp_in_block as u64,
+                    Special::BlockId => block.block_on_device as u64,
+                    Special::BlockDim => self.launch.block_dim as u64,
+                    Special::GridDim => self.launch.grid_dim as u64,
+                    Special::GpuRank => warp.rank as u64,
+                    Special::NumGpus => self.launch.devices.len() as u64,
+                    Special::GlobalTid => {
+                        (block.block_on_device * self.launch.block_dim + tid) as u64
+                    }
+                    Special::GridThreads => {
+                        (self.launch.grid_dim * self.launch.block_dim) as u64
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- resource charging --------------------------------------------------
+
+    /// Issue through the warp's scheduler slot, then optionally a unit.
+    fn charge_sched(&mut self, w: u32) -> Ps {
+        let warp = &self.warps[w as usize];
+        let (rank, sm, sched) = (warp.rank as usize, warp.sm as usize, warp.sched as usize);
+        let interval = self.cyc(self.arch.timing.issue_interval);
+        self.devs[rank].sms[sm].scheds[sched]
+            .issue(self.now, interval, Ps::ZERO)
+            .start
+    }
+
+    // ----- main step ----------------------------------------------------------
+
+    fn step_warp(&mut self, w: u32) -> SimResult<()> {
+        let warp = &self.warps[w as usize];
+        let runnable = warp.runnable();
+        if runnable == 0 {
+            return Ok(()); // Parked or done; a wake will reschedule.
+        }
+        // Min-PC group selection.
+        let mut min_pc = u32::MAX;
+        for lane in 0..warp.threads.len() as u32 {
+            if runnable & (1 << lane) != 0 {
+                min_pc = min_pc.min(warp.threads[lane as usize].pc);
+            }
+        }
+        let mut group = 0u32;
+        for lane in 0..warp.threads.len() as u32 {
+            if runnable & (1 << lane) != 0 && warp.threads[lane as usize].pc == min_pc {
+                group |= 1 << lane;
+            }
+        }
+
+        // Divergence / barrier-requeue switch costs: pay them as a delay and
+        // re-enter (so simulated time never runs backwards for other events).
+        let mut pre = Ps::ZERO;
+        if warp.last_mask != 0 && warp.last_mask != group {
+            pre += self.cyc(self.arch.timing.divergence_switch_cycles as f64);
+            if warp.prev_blocked_at_warp_barrier {
+                pre += self.cyc(self.arch.timing.warp_barrier_switch_cycles as f64);
+            }
+        }
+        {
+            let warp = &mut self.warps[w as usize];
+            warp.last_mask = group;
+            warp.prev_blocked_at_warp_barrier = false;
+        }
+        if !pre.is_zero() {
+            let at = self.now + pre;
+            self.schedule_warp(w, at);
+            return Ok(());
+        }
+
+        // Implicit exit at program end.
+        if min_pc as usize >= self.launch.kernel.program.len() {
+            self.retire_lanes(w, group);
+            return Ok(());
+        }
+
+        let instr = self.launch.kernel.program.instrs[min_pc as usize];
+        self.instrs_executed += 1;
+        if let Some((cap, events)) = &mut self.trace {
+            if events.len() < *cap {
+                let warp = &self.warps[w as usize];
+                events.push(TraceEvent {
+                    at: self.now,
+                    rank: warp.rank,
+                    sm: warp.sm,
+                    block: self.blocks[warp.block as usize].block_on_device,
+                    warp_in_block: warp.warp_in_block,
+                    lanes: group,
+                    pc: min_pc,
+                    instr,
+                });
+            }
+        }
+        match self.exec(w, group, min_pc, instr)? {
+            Step::Ready(done) => {
+                let warp = &self.warps[w as usize];
+                if warp.runnable() != 0 {
+                    self.schedule_warp(w, done);
+                }
+            }
+            Step::Parked { warp_barrier } => {
+                let warp = &mut self.warps[w as usize];
+                warp.prev_blocked_at_warp_barrier = warp_barrier;
+                let still_parked = warp.wb_wait != 0 || warp.blk_wait != 0;
+                if warp.runnable() != 0 && still_parked {
+                    // Other divergent groups keep executing. (If the barrier
+                    // released synchronously, the release already scheduled
+                    // the wake — rescheduling would erase its latency.)
+                    let at = self.now;
+                    self.schedule_warp(w, at);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn advance_pcs(&mut self, w: u32, mask: u32, from_pc: u32) {
+        let warp = &mut self.warps[w as usize];
+        for lane in 0..warp.threads.len() as u32 {
+            if mask & (1 << lane) != 0 {
+                debug_assert_eq!(warp.threads[lane as usize].pc, from_pc);
+                warp.threads[lane as usize].pc = from_pc + 1;
+            }
+        }
+    }
+
+    /// Mark lanes exited; drive warp/block/grid completion bookkeeping.
+    fn retire_lanes(&mut self, w: u32, mask: u32) {
+        let warp = &mut self.warps[w as usize];
+        warp.exited |= mask;
+        let all_exited = warp.exited == warp.present();
+        // Exits may complete a pending warp-level barrier...
+        self.try_release_warp_barrier(w);
+        // ...or turn the remaining lanes into a full block-barrier arrival.
+        {
+            let warp = &self.warps[w as usize];
+            if !all_exited
+                && warp.blk_wait != 0
+                && warp.blk_wait == warp.present() & !warp.exited
+            {
+                let kind = warp.blk_kind;
+                self.warp_arrives_at_block_barrier(w, kind);
+            }
+        }
+        if all_exited {
+            let warp = &mut self.warps[w as usize];
+            if !warp.done {
+                warp.done = true;
+                warp.threads = Vec::new(); // free registers
+                let block = warp.block;
+                self.warp_finished(block, w);
+            }
+        }
+    }
+
+    /// ...and a fully exited warp may complete a pending block barrier or
+    /// finish the block.
+    fn warp_finished(&mut self, gb: u32, _w: u32) {
+        let (live, kind) = {
+            let b = &mut self.blocks[gb as usize];
+            b.live_warps -= 1;
+            let kind = b
+                .bar_waiting
+                .first()
+                .map(|&w| self.warps[w as usize].blk_kind)
+                .filter(|_| b.bar_arrived == b.live_warps);
+            (b.live_warps, kind)
+        };
+        if live == 0 {
+            self.block_finished(gb);
+        } else if let Some(kind) = kind {
+            match kind {
+                BlockWaitKind::Block => self.release_block_barrier(gb),
+                BlockWaitKind::Grid | BlockWaitKind::MultiGrid => {
+                    self.block_arrives_at_grid(gb, kind)
+                }
+                BlockWaitKind::None => {}
+            }
+        }
+    }
+
+    fn block_finished(&mut self, gb: u32) {
+        let b = &mut self.blocks[gb as usize];
+        debug_assert!(!b.done);
+        b.done = true;
+        let (rank, sm) = (b.rank as usize, b.sm as usize);
+        let dev = &mut self.devs[rank];
+        dev.blocks_done += 1;
+        dev.end_time = dev.end_time.max(self.now);
+        dev.resident[sm] -= 1;
+        // Wave scheduling: start a pending block in the freed slot.
+        if let Some(next) = dev.pending.pop() {
+            dev.resident[self.blocks[next as usize].sm as usize] += 1;
+            let dispatch = self.cyc(20.0);
+            self.q.push(self.now + dispatch, Ev::StartBlock(next));
+        }
+    }
+
+    // ----- instruction execution ---------------------------------------------
+
+    fn exec(&mut self, w: u32, group: u32, pc: u32, instr: Instr) -> SimResult<Step> {
+        use Instr::*;
+        let t = self.arch.timing.clone();
+        if !matches!(instr, Shfl { kind: ShflKind::Coalesced, .. }) {
+            self.warps[w as usize].coa_shfl_hot = false;
+        }
+        match instr {
+            IAdd(..) | ISub(..) | IMul(..) | IMin(..) | IAnd(..) | CmpLt(..) | CmpEq(..)
+            | Mov(..) | I2F(..) | FAdd(..) | FMul(..) | FAdd32(..) => {
+                let start = self.charge_sched(w);
+                let lat = match instr {
+                    FAdd(..) | FMul(..) => t.fadd64_latency,
+                    FAdd32(..) => t.fadd32_latency,
+                    _ => t.alu_latency,
+                };
+                for lane in iter_lanes(group) {
+                    let v = match instr {
+                        IAdd(d, a, b) => {
+                            let r = self
+                                .eval(w, lane, a)
+                                .wrapping_add(self.eval(w, lane, b));
+                            (d, r)
+                        }
+                        ISub(d, a, b) => {
+                            let r = self
+                                .eval(w, lane, a)
+                                .wrapping_sub(self.eval(w, lane, b));
+                            (d, r)
+                        }
+                        IMul(d, a, b) => {
+                            let r = self
+                                .eval(w, lane, a)
+                                .wrapping_mul(self.eval(w, lane, b));
+                            (d, r)
+                        }
+                        IMin(d, a, b) => {
+                            let r = self.eval(w, lane, a).min(self.eval(w, lane, b));
+                            (d, r)
+                        }
+                        IAnd(d, a, b) => {
+                            let r = self.eval(w, lane, a) & self.eval(w, lane, b);
+                            (d, r)
+                        }
+                        CmpLt(d, a, b) => {
+                            let r = (self.eval(w, lane, a) < self.eval(w, lane, b)) as u64;
+                            (d, r)
+                        }
+                        CmpEq(d, a, b) => {
+                            let r = (self.eval(w, lane, a) == self.eval(w, lane, b)) as u64;
+                            (d, r)
+                        }
+                        Mov(d, a) => (d, self.eval(w, lane, a)),
+                        I2F(d, a) => (d, (self.eval(w, lane, a) as f64).to_bits()),
+                        FAdd(d, a, b) | FAdd32(d, a, b) => {
+                            let r = f64::from_bits(self.eval(w, lane, a))
+                                + f64::from_bits(self.eval(w, lane, b));
+                            (d, r.to_bits())
+                        }
+                        FMul(d, a, b) => {
+                            let r = f64::from_bits(self.eval(w, lane, a))
+                                * f64::from_bits(self.eval(w, lane, b));
+                            (d, r.to_bits())
+                        }
+                        _ => unreachable!(),
+                    };
+                    self.warps[w as usize].threads[lane as usize].regs[v.0 as usize] = v.1;
+                }
+                self.advance_pcs(w, group, pc);
+                Ok(Step::Ready(start + self.cyc(lat as f64)))
+            }
+
+            Bra(target) => {
+                let start = self.charge_sched(w);
+                for lane in iter_lanes(group) {
+                    self.warps[w as usize].threads[lane as usize].pc = target;
+                }
+                Ok(Step::Ready(start + self.cyc(t.alu_latency as f64)))
+            }
+            BraIf(cond, target) | BraIfZ(cond, target) => {
+                let start = self.charge_sched(w);
+                let want_nonzero = matches!(instr, BraIf(..));
+                for lane in iter_lanes(group) {
+                    let c = self.eval(w, lane, cond) != 0;
+                    let taken = c == want_nonzero;
+                    let th = &mut self.warps[w as usize].threads[lane as usize];
+                    th.pc = if taken { target } else { pc + 1 };
+                }
+                Ok(Step::Ready(start + self.cyc(t.alu_latency as f64)))
+            }
+            Exit => {
+                self.retire_lanes(w, group);
+                Ok(Step::Ready(self.now + self.cyc(1.0)))
+            }
+
+            LdShared { dst, addr, volatile } => {
+                let start = self.charge_sched(w);
+                let warp = &self.warps[w as usize];
+                let (rank, sm, block) = (warp.rank as usize, warp.sm as usize, warp.block);
+                let bytes = 8.0 * group.count_ones() as f64;
+                let port_int = self.cyc(bytes / t.smem_bytes_per_cycle_sm);
+                let port = self.devs[rank].sms[sm].smem_port.issue(start, port_int, Ps::ZERO);
+                let lat = t.smem_latency + if volatile { t.volatile_extra } else { 0 };
+                for lane in iter_lanes(group) {
+                    let a = self.eval(w, lane, addr);
+                    let tid = self.warps[w as usize].warp_in_block * WARP + lane;
+                    let v = self.blocks[block as usize].smem.load(tid, a, volatile)?;
+                    self.warps[w as usize].threads[lane as usize].regs[dst as usize] = v;
+                }
+                self.advance_pcs(w, group, pc);
+                Ok(Step::Ready(port.start + self.cyc(lat as f64)))
+            }
+            StShared {
+                addr,
+                val,
+                volatile,
+                pred,
+            } => {
+                let start = self.charge_sched(w);
+                let warp = &self.warps[w as usize];
+                let (rank, sm, block) = (warp.rank as usize, warp.sm as usize, warp.block);
+                let bytes = 8.0 * group.count_ones() as f64;
+                let port_int = self.cyc(bytes / t.smem_bytes_per_cycle_sm);
+                let port = self.devs[rank].sms[sm].smem_port.issue(start, port_int, Ps::ZERO);
+                for lane in iter_lanes(group) {
+                    if let Some(p) = pred {
+                        if self.eval(w, lane, p) == 0 {
+                            continue;
+                        }
+                    }
+                    let a = self.eval(w, lane, addr);
+                    let v = self.eval(w, lane, val);
+                    let tid = self.warps[w as usize].warp_in_block * WARP + lane;
+                    self.blocks[block as usize].smem.store(tid, a, v, volatile)?;
+                }
+                self.advance_pcs(w, group, pc);
+                let lat = if volatile { t.volatile_extra } else { 0 } + 1;
+                Ok(Step::Ready(port.start + self.cyc(lat as f64)))
+            }
+
+            LdGlobal { dst, buf, idx } => {
+                let start = self.charge_sched(w);
+                let warp_rank = self.warps[w as usize].rank as usize;
+                let mut remote = false;
+                for lane in iter_lanes(group) {
+                    let b = self.eval(w, lane, buf) as usize;
+                    let i = self.eval(w, lane, idx);
+                    let buffer = self
+                        .sys
+                        .bufs
+                        .get(b)
+                        .ok_or_else(|| SimError::MemoryFault(format!("bad buffer id {b}")))?;
+                    remote |= buffer.device != self.devs[warp_rank].device_id;
+                    let v = buffer.load(i)?;
+                    self.warps[w as usize].threads[lane as usize].regs[dst as usize] = v;
+                }
+                self.advance_pcs(w, group, pc);
+                let mut done = start + self.cyc(self.arch.memory.dram_latency as f64);
+                if remote {
+                    let dev = self.devs[warp_rank].device_id;
+                    done += self.remote_flag_latency(dev);
+                }
+                Ok(Step::Ready(done))
+            }
+            StGlobal { buf, idx, val } => {
+                let start = self.charge_sched(w);
+                for lane in iter_lanes(group) {
+                    let b = self.eval(w, lane, buf) as usize;
+                    let i = self.eval(w, lane, idx);
+                    let v = self.eval(w, lane, val);
+                    let buffer = self
+                        .sys
+                        .bufs
+                        .get_mut(b)
+                        .ok_or_else(|| SimError::MemoryFault(format!("bad buffer id {b}")))?;
+                    buffer.store(i, v)?;
+                }
+                self.advance_pcs(w, group, pc);
+                // Stores are fire-and-forget: only issue cost.
+                Ok(Step::Ready(start + self.cyc(4.0)))
+            }
+            AtomicFAdd {
+                dst_old,
+                buf,
+                idx,
+                val,
+            } => {
+                let warp_rank = self.warps[w as usize].rank as usize;
+                let start = self.charge_sched(w);
+                let mut done = start;
+                for lane in iter_lanes(group) {
+                    let b = self.eval(w, lane, buf) as usize;
+                    let i = self.eval(w, lane, idx);
+                    let v = f64::from_bits(self.eval(w, lane, val));
+                    let int_ps = self.cyc(t.l2_atomic_interval);
+                    let lat_ps = self.cyc(t.global_atomic_latency as f64);
+                    let iss = self.devs[warp_rank].l2.issue(start, int_ps, lat_ps);
+                    done = done.max(iss.done);
+                    let buffer = self
+                        .sys
+                        .bufs
+                        .get_mut(b)
+                        .ok_or_else(|| SimError::MemoryFault(format!("bad buffer id {b}")))?;
+                    let old = f64::from_bits(buffer.load(i)?);
+                    buffer.store(i, (old + v).to_bits())?;
+                    if let Some(d) = dst_old {
+                        self.warps[w as usize].threads[lane as usize].regs[d as usize] =
+                            old.to_bits();
+                    }
+                }
+                self.advance_pcs(w, group, pc);
+                Ok(Step::Ready(done))
+            }
+
+            Shfl {
+                dst,
+                val,
+                kind,
+                mode,
+                width,
+            } => {
+                let start = self.charge_sched(w);
+                let mut si = match kind {
+                    ShflKind::Tile => t.shfl_tile,
+                    ShflKind::Coalesced => t.shfl_coalesced,
+                };
+                if kind == ShflKind::Coalesced {
+                    // Cold group descriptor: the software path rebuilds the
+                    // member mask unless the previous instruction was also a
+                    // coalesced shuffle (Table V vs Table II).
+                    if !self.warps[w as usize].coa_shfl_hot {
+                        si.latency_cycles = t.shfl_coalesced_cold_cycles;
+                    }
+                    self.warps[w as usize].coa_shfl_hot = true;
+                } else {
+                    self.warps[w as usize].coa_shfl_hot = false;
+                }
+                let warp = &self.warps[w as usize];
+                let (rank, sm) = (warp.rank as usize, warp.sm as usize);
+                let int_ps = self.cyc(1.0 / si.throughput_per_sm);
+                let unit = self.devs[rank].sms[sm].sync_unit.issue(start, int_ps, Ps::ZERO);
+                // Gather source values first (exchange happens "at once").
+                let mut new: Vec<(u32, u64)> = Vec::new();
+                for lane in iter_lanes(group) {
+                    let src_lane = match mode {
+                        ShflMode::Down(delta) => {
+                            let l = lane + delta;
+                            let tile_end = (lane / width + 1) * width;
+                            if l < tile_end && (l as usize) < self.warps[w as usize].threads.len()
+                            {
+                                l
+                            } else {
+                                lane
+                            }
+                        }
+                        ShflMode::Idx(i) => {
+                            let base = lane / width * width;
+                            let l = base + (i % width);
+                            if (l as usize) < self.warps[w as usize].threads.len() {
+                                l
+                            } else {
+                                lane
+                            }
+                        }
+                    };
+                    let v = self.eval(w, src_lane, val);
+                    new.push((lane, v));
+                }
+                for (lane, v) in new {
+                    self.warps[w as usize].threads[lane as usize].regs[dst as usize] = v;
+                }
+                self.advance_pcs(w, group, pc);
+                Ok(Step::Ready(unit.start + self.cyc(si.latency_cycles as f64)))
+            }
+
+            SyncTile { width } => self.warp_barrier(w, group, pc, width, ShflKind::Tile),
+            SyncCoalesced => self.warp_barrier(w, group, pc, WARP, ShflKind::Coalesced),
+            MemFence => {
+                let start = self.charge_sched(w);
+                let block = self.warps[w as usize].block;
+                for lane in iter_lanes(group) {
+                    let tid = self.warps[w as usize].warp_in_block * WARP + lane;
+                    self.blocks[block as usize].smem.fence(tid);
+                }
+                self.advance_pcs(w, group, pc);
+                Ok(Step::Ready(start + self.cyc(4.0)))
+            }
+
+            BarSync => self.block_level_barrier(w, group, pc, BlockWaitKind::Block),
+            GridSync => self.block_level_barrier(w, group, pc, BlockWaitKind::Grid),
+            MultiGridSync => self.block_level_barrier(w, group, pc, BlockWaitKind::MultiGrid),
+
+            Nanosleep(ns) => {
+                let start = self.charge_sched(w);
+                let mut max_ns = 0u64;
+                for lane in iter_lanes(group) {
+                    max_ns = max_ns.max(self.eval(w, lane, ns));
+                }
+                self.advance_pcs(w, group, pc);
+                Ok(Step::Ready(start + Ps::from_ns(max_ns)))
+            }
+            ReadClock(dst) => {
+                let start = self.charge_sched(w);
+                let done = start + self.cyc(t.clock_read_latency as f64);
+                let cycles = self.arch.clock().to_cycles_u64(done);
+                for lane in iter_lanes(group) {
+                    self.warps[w as usize].threads[lane as usize].regs[dst as usize] = cycles;
+                }
+                self.advance_pcs(w, group, pc);
+                Ok(Step::Ready(done))
+            }
+
+            MemStream {
+                acc,
+                buf,
+                start: st,
+                stride,
+                len,
+                flops,
+                eff_permille,
+            } => self.mem_stream(w, group, pc, acc, buf, st, stride, len, flops, eff_permille),
+            MemCombine {
+                dst,
+                a,
+                b,
+                start: st,
+                stride,
+                len,
+            } => self.mem_combine(w, group, pc, dst, a, b, st, stride, len),
+            SmemStream {
+                acc,
+                start: st,
+                stride,
+                len,
+                flops,
+            } => self.smem_stream(w, group, pc, acc, st, stride, len, flops),
+        }
+    }
+
+    /// Vectorized `dst[i] = a[i] + b[i]`: exact elementwise math, bandwidth
+    /// timing over local DRAM plus any peer links the operand buffers need.
+    #[allow(clippy::too_many_arguments)]
+    fn mem_combine(
+        &mut self,
+        w: u32,
+        group: u32,
+        pc: u32,
+        dst: Operand,
+        a: Operand,
+        b: Operand,
+        st: Operand,
+        stride: Operand,
+        len: Operand,
+    ) -> SimResult<Step> {
+        let start = self.charge_sched(w);
+        let warp_rank = self.warps[w as usize].rank as usize;
+        let local_dev = self.devs[warp_rank].device_id;
+        let mut total_elems = 0u64;
+        let mut remote: Vec<usize> = Vec::new();
+        for lane in iter_lanes(group) {
+            let d = self.eval(w, lane, dst) as usize;
+            let ab = self.eval(w, lane, a) as usize;
+            let bb = self.eval(w, lane, b) as usize;
+            let s0 = self.eval(w, lane, st);
+            let k = self.eval(w, lane, stride).max(1);
+            let n = self.eval(w, lane, len);
+            for &buf in &[d, ab, bb] {
+                let buffer = self
+                    .sys
+                    .bufs
+                    .get(buf)
+                    .ok_or_else(|| SimError::MemoryFault(format!("bad buffer id {buf}")))?;
+                if n > buffer.len() {
+                    return Err(SimError::MemoryFault(format!(
+                        "combine cap {n} beyond buffer of {} words",
+                        buffer.len()
+                    )));
+                }
+                if buffer.device != local_dev {
+                    remote.push(buffer.device);
+                }
+            }
+            let mut i = s0;
+            while i < n {
+                let va = f64::from_bits(self.sys.bufs[ab].load(i)?);
+                let vb = f64::from_bits(self.sys.bufs[bb].load(i)?);
+                self.sys.bufs[d].store(i, (va + vb).to_bits())?;
+                i += k;
+                total_elems += 1;
+            }
+        }
+        self.advance_pcs(w, group, pc);
+        // Traffic: one read per source, one write to dst.
+        let bytes = total_elems * 8;
+        let local_done = self.devs[warp_rank].dram.transfer(start, bytes * 3).done;
+        let mut done = local_done;
+        remote.sort_unstable();
+        remote.dedup();
+        for rd in remote {
+            done = done.max(self.peer_channel(rd, local_dev).transfer(start, bytes).done);
+        }
+        Ok(Step::Ready(done))
+    }
+
+    /// Key for the peer channel between `remote` and `local`: NVLink pairs
+    /// ride their own link; PCIe-routed (Far) traffic shares one ingress
+    /// bus per destination device.
+    fn peer_channel(&mut self, remote: usize, local: usize) -> &mut Channel {
+        let far = self.sys.topology.link(remote, local) == gpu_node::LinkClass::Far;
+        let key = if far { (usize::MAX, local) } else { (remote, local) };
+        let lat = self.sys.topology.flag_latency(remote, local);
+        let bw = self.sys.topology.peer_bandwidth_gbs(remote, local);
+        self.peer
+            .entry(key)
+            .or_insert_with(|| Channel::new(bw.max(0.001), lat))
+    }
+
+    fn remote_flag_latency(&self, dev: usize) -> Ps {
+        // One-way small-transfer latency to the nearest peer; used for the
+        // rare single-word remote accesses.
+        let topo = &self.sys.topology;
+        (0..topo.num_gpus)
+            .filter(|&g| g != dev)
+            .map(|g| topo.flag_latency(dev, g))
+            .min()
+            .unwrap_or(Ps::ZERO)
+    }
+
+    // ----- warp-level (tile / coalesced) barriers ------------------------------
+
+    fn warp_barrier(
+        &mut self,
+        w: u32,
+        group: u32,
+        pc: u32,
+        width: u32,
+        kind: ShflKind,
+    ) -> SimResult<Step> {
+        let t = &self.arch.timing;
+        let full_warp_group = {
+            let warp = &self.warps[w as usize];
+            group == warp.present() & !warp.exited && group.count_ones() == WARP
+        };
+        let si = match kind {
+            ShflKind::Tile => t.tile_sync,
+            ShflKind::Coalesced => {
+                if full_warp_group {
+                    t.coalesced_sync_full
+                } else {
+                    t.coalesced_sync_partial
+                }
+            }
+        };
+        let interval = self.cyc(1.0 / si.throughput_per_sm);
+        let latency = self.cyc(si.latency_cycles as f64);
+
+        if !si.blocking {
+            // Pascal: a fence, not a barrier (paper §VIII-A / Fig. 18 right).
+            let start = self.charge_sched(w);
+            let warp = &self.warps[w as usize];
+            let (rank, sm) = (warp.rank as usize, warp.sm as usize);
+            let unit = self.devs[rank].sms[sm].sync_unit.issue(start, interval, Ps::ZERO);
+            let block = self.warps[w as usize].block;
+            for lane in iter_lanes(group) {
+                let tid = self.warps[w as usize].warp_in_block * WARP + lane;
+                self.blocks[block as usize].smem.fence(tid);
+            }
+            self.advance_pcs(w, group, pc);
+            return Ok(Step::Ready(unit.start + latency));
+        }
+
+        // Volta: park the group; release each width-tile once all its
+        // non-exited lanes are waiting.
+        {
+            let warp = &mut self.warps[w as usize];
+            warp.wb_wait |= group;
+            warp.wb_width = width;
+        }
+        let released = self.try_release_warp_barrier(w);
+        if released & group != 0 {
+            // This group's tile completed immediately (converged warp).
+            let start = self.charge_sched(w);
+            let warp = &self.warps[w as usize];
+            let (rank, sm) = (warp.rank as usize, warp.sm as usize);
+            let unit = self.devs[rank].sms[sm].sync_unit.issue(start, interval, Ps::ZERO);
+            Ok(Step::Ready(unit.start + latency))
+        } else {
+            Ok(Step::Parked { warp_barrier: true })
+        }
+    }
+
+    /// Release any warp-barrier tiles whose non-exited lanes are all waiting.
+    /// Returns the mask of released lanes (already advanced past the barrier).
+    fn try_release_warp_barrier(&mut self, w: u32) -> u32 {
+        let (width, present, exited, waiting) = {
+            let warp = &self.warps[w as usize];
+            (warp.wb_width, warp.present(), warp.exited, warp.wb_wait)
+        };
+        if waiting == 0 {
+            return 0;
+        }
+        let width = width.max(1);
+        let mut released = 0u32;
+        let mut tile_base = 0;
+        while tile_base < WARP {
+            let tile: u32 = if width >= 32 {
+                FULL
+            } else {
+                (((1u64 << width) - 1) as u32) << tile_base
+            };
+            let scope = tile & present & !exited;
+            if scope != 0 && waiting & scope == scope {
+                released |= scope;
+            }
+            tile_base += width;
+        }
+        if released != 0 {
+            let latency = self.cyc(self.arch.timing.tile_sync.latency_cycles as f64);
+            // Commit stores of all released lanes; each advances past its own
+            // barrier site (divergent code can sync at different PCs).
+            let block = self.warps[w as usize].block;
+            for lane in iter_lanes(released) {
+                let tid = self.warps[w as usize].warp_in_block * WARP + lane;
+                self.blocks[block as usize].smem.fence(tid);
+                self.warps[w as usize].threads[lane as usize].pc += 1;
+            }
+            {
+                let warp = &mut self.warps[w as usize];
+                warp.wb_wait &= !released;
+            }
+            // Wake the warp if it had no schedulable lanes until now.
+            let at = self.now + latency;
+            self.schedule_warp(w, at);
+        }
+        released
+    }
+
+    // ----- block / grid / multi-grid barriers ----------------------------------
+
+    fn block_level_barrier(
+        &mut self,
+        w: u32,
+        group: u32,
+        pc: u32,
+        kind: BlockWaitKind,
+    ) -> SimResult<Step> {
+        // The whole warp (its non-exited lanes) must converge on the barrier.
+        {
+            let warp = &mut self.warps[w as usize];
+            warp.blk_wait |= group;
+            warp.blk_kind = kind;
+            let need = warp.present() & !warp.exited;
+            if warp.blk_wait != need {
+                // Divergent: other lanes must reach the barrier first.
+                return Ok(Step::Parked { warp_barrier: false });
+            }
+        }
+        let _ = pc;
+        self.warp_arrives_at_block_barrier(w, kind);
+        Ok(Step::Parked { warp_barrier: false })
+    }
+
+    /// A whole warp (all non-exited lanes) reached a block-level barrier:
+    /// serialize its arrival at the SM barrier unit and release / escalate
+    /// when it is the last one.
+    fn warp_arrives_at_block_barrier(&mut self, w: u32, kind: BlockWaitKind) {
+        let t = self.arch.timing.clone();
+        let warp = &self.warps[w as usize];
+        let (rank, sm, block) = (warp.rank as usize, warp.sm as usize, warp.block);
+        let arr_int = self.cyc(t.block_sync_arrival_cycles);
+        let arrival = self.devs[rank].sms[sm]
+            .barrier_unit
+            .issue(self.now, arr_int, Ps::ZERO);
+        let b = &mut self.blocks[block as usize];
+        b.bar_arrived += 1;
+        b.bar_waiting.push(w);
+        b.bar_last = b.bar_last.max(arrival.start + arr_int);
+        if b.bar_arrived == b.live_warps {
+            match kind {
+                BlockWaitKind::Block => self.release_block_barrier(block),
+                BlockWaitKind::Grid | BlockWaitKind::MultiGrid => {
+                    self.block_arrives_at_grid(block, kind)
+                }
+                BlockWaitKind::None => unreachable!(),
+            }
+        }
+    }
+
+    fn release_block_barrier(&mut self, gb: u32) {
+        let t = self.arch.timing.clone();
+        let release = {
+            let b = &mut self.blocks[gb as usize];
+            b.smem.fence_all();
+            b.bar_last + self.cyc(t.block_sync_latency as f64)
+        };
+        let waiting = std::mem::take(&mut self.blocks[gb as usize].bar_waiting);
+        self.blocks[gb as usize].bar_arrived = 0;
+        self.blocks[gb as usize].bar_last = Ps::ZERO;
+        for w in waiting {
+            self.release_warp_from_block_barrier(w, release);
+        }
+    }
+
+    fn release_warp_from_block_barrier(&mut self, w: u32, at: Ps) {
+        let warp = &mut self.warps[w as usize];
+        let mask = std::mem::take(&mut warp.blk_wait);
+        warp.blk_kind = BlockWaitKind::None;
+        if mask == 0 {
+            return;
+        }
+        let lane = mask.trailing_zeros();
+        let pc = warp.threads[lane as usize].pc;
+        for l in iter_lanes(mask) {
+            warp.threads[l as usize].pc = pc + 1;
+        }
+        self.schedule_warp(w, at);
+    }
+
+    /// A block's warps are all parked on grid/multi-grid sync: its leader
+    /// performs the arrival atomic, contended by every leader already
+    /// spinning on the release flag.
+    fn block_arrives_at_grid(&mut self, gb: u32, kind: BlockWaitKind) {
+        let t = self.arch.timing.clone();
+        let (rank, bar_last) = {
+            let b = &self.blocks[gb as usize];
+            (b.rank as usize, b.bar_last)
+        };
+        // Intra-block convergence first (same cost as a block barrier).
+        let local = bar_last + self.cyc(t.block_sync_latency as f64);
+        let spinning = self.devs[rank].grid_bar.waiting.len() as f64;
+        let interval =
+            t.l2_atomic_interval * (1.0 + t.poll_contention_per_block * spinning);
+        let int_ps = self.cyc(interval);
+        let lat_ps = self.cyc(t.global_atomic_latency as f64);
+        let iss = self.devs[rank].l2.issue(local, int_ps, lat_ps);
+        let dev = &mut self.devs[rank];
+        dev.grid_bar.arrived += 1;
+        dev.grid_bar.waiting.push((gb, iss.done));
+        if dev.grid_bar.arrived == self.launch.grid_dim {
+            let local_done = dev
+                .grid_bar
+                .waiting
+                .iter()
+                .map(|&(_, d)| d)
+                .max()
+                .unwrap_or(self.now);
+            match kind {
+                BlockWaitKind::Grid => self.release_grid(rank, local_done, false, Ps::ZERO),
+                BlockWaitKind::MultiGrid => self.rank_arrives_at_mgrid(rank, local_done),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// All blocks of `rank` arrived: wake them. `extra_release` shifts the
+    /// release flag time (multi-grid exchange); `mgrid` selects the heavier
+    /// per-warp system-scope release cost and per-block fence cost.
+    fn release_grid(&mut self, rank: usize, release_flag: Ps, mgrid: bool, _pad: Ps) {
+        let t = self.arch.timing.clone();
+        let per_warp = if mgrid {
+            t.mgrid_release_per_warp
+        } else {
+            t.grid_release_per_warp
+        };
+        // The per-block system-scope fence cost only exists when the barrier
+        // actually spans devices (a 1-GPU multi-grid launch degenerates to a
+        // grid barrier, matching the paper's near-identical 1-GPU columns).
+        let per_block_ns = if mgrid && self.launch.devices.len() > 1 {
+            self.sys.topology.mgrid_per_block_ns
+        } else {
+            0.0
+        };
+        let poll = self.cyc(t.poll_interval as f64);
+        let l2_lat = self.cyc(self.arch.memory.l2_latency as f64);
+        let waiting = std::mem::take(&mut self.devs[rank].grid_bar.waiting);
+        self.devs[rank].grid_bar.arrived = 0;
+        for (order, (gb, atomic_done)) in waiting.into_iter().enumerate() {
+            // The leader polls every `poll` cycles from its own arrival.
+            let wake_base = if release_flag <= atomic_done {
+                atomic_done
+            } else {
+                let gap = (release_flag - atomic_done).0;
+                let k = gap.div_ceil(poll.0.max(1));
+                atomic_done + Ps(k * poll.0)
+            } + l2_lat
+                + Ps::from_ns_f64(per_block_ns * order as f64);
+            let b = &mut self.blocks[gb as usize];
+            b.smem.fence_all();
+            b.bar_arrived = 0;
+            b.bar_last = Ps::ZERO;
+            let warps = std::mem::take(&mut b.bar_waiting);
+            for (i, w) in warps.into_iter().enumerate() {
+                let at = wake_base + self.cyc(per_warp * i as f64);
+                self.release_warp_from_block_barrier(w, at);
+            }
+        }
+    }
+
+    /// One device finished its local multi-grid arrival; when all ranks have,
+    /// run the inter-GPU flag exchange and release every rank.
+    fn rank_arrives_at_mgrid(&mut self, rank: usize, local_done: Ps) {
+        self.mgrid.rank_done[rank] = Some(local_done);
+        self.mgrid.ranks_arrived += 1;
+        if self.mgrid.ranks_arrived as usize != self.launch.devices.len() {
+            return;
+        }
+        let topo = self.sys.topology.clone();
+        let master = self.launch.devices[0];
+        // Arrival: every rank's leader flags the master.
+        let mut master_done = Ps::ZERO;
+        let mut serial = Ps::ZERO;
+        for (r, &dev) in self.launch.devices.iter().enumerate() {
+            let d = self.mgrid.rank_done[r].expect("rank arrived");
+            master_done = master_done.max(d + topo.flag_latency(dev, master));
+            serial += topo.arrival_serial(master, dev);
+        }
+        master_done += serial;
+        // Release: master flags every rank back.
+        let ranks: Vec<(usize, Ps)> = self
+            .launch
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(r, &dev)| (r, master_done + topo.flag_latency(master, dev)))
+            .collect();
+        self.mgrid.ranks_arrived = 0;
+        self.mgrid.rank_done.iter_mut().for_each(|d| *d = None);
+        for (r, release) in ranks {
+            self.release_grid(r, release, true, Ps::ZERO);
+        }
+    }
+
+    // ----- vectorized streams ---------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn mem_stream(
+        &mut self,
+        w: u32,
+        group: u32,
+        pc: u32,
+        acc: u8,
+        buf: Operand,
+        st: Operand,
+        stride: Operand,
+        len: Operand,
+        flops: u8,
+        eff_permille: u16,
+    ) -> SimResult<Step> {
+        let start = self.charge_sched(w);
+        let warp_rank = self.warps[w as usize].rank as usize;
+        let mut total_elems = 0u64;
+        let mut max_iters = 0u64;
+        let mut remote_dev: Option<usize> = None;
+        for lane in iter_lanes(group) {
+            let b = self.eval(w, lane, buf) as usize;
+            let s = self.eval(w, lane, st);
+            let k = self.eval(w, lane, stride).max(1);
+            let n = self.eval(w, lane, len);
+            let buffer = self
+                .sys
+                .bufs
+                .get(b)
+                .ok_or_else(|| SimError::MemoryFault(format!("bad buffer id {b}")))?;
+            if buffer.device != self.devs[warp_rank].device_id {
+                remote_dev = Some(buffer.device);
+            }
+            let (sum, cnt) = buffer.strided_sum(s, k, n)?;
+            total_elems += cnt;
+            max_iters = max_iters.max(cnt);
+            let th = &mut self.warps[w as usize].threads[lane as usize];
+            let old = f64::from_bits(th.regs[acc as usize]);
+            th.regs[acc as usize] = (old + sum).to_bits();
+        }
+        self.advance_pcs(w, group, pc);
+        // A sub-unity efficiency stretches the channel occupancy, modelling
+        // less ideal access patterns of baseline implementations.
+        let eff = (eff_permille.clamp(1, 1000)) as u64;
+        let bytes = total_elems * 8 * 1000 / eff;
+        let (dram_latency, warp_mlp_bytes) = {
+            let mem = &self.arch.memory;
+            (mem.dram_latency, mem.warp_mlp_bytes)
+        };
+        let local_dev_id = self.devs[warp_rank].device_id;
+        let ch_done = match remote_dev {
+            None => self.devs[warp_rank].dram.transfer(start, bytes).done,
+            Some(rd) => self.peer_channel(rd, local_dev_id).transfer(start, bytes).done,
+        };
+        // Little's-law per-warp floor: limited memory-level parallelism.
+        let warp_bytes: u64 = bytes.min(max_iters * 8 * group.count_ones() as u64);
+        let floor_cycles =
+            warp_bytes as f64 * dram_latency as f64 / warp_mlp_bytes as f64;
+        let tail = self.cyc((flops as u64 * self.arch.timing.fadd64_latency) as f64);
+        let done = ch_done.max(start + self.cyc(floor_cycles)) + tail;
+        Ok(Step::Ready(done))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn smem_stream(
+        &mut self,
+        w: u32,
+        group: u32,
+        pc: u32,
+        acc: u8,
+        st: Operand,
+        stride: Operand,
+        len: Operand,
+        flops: u8,
+    ) -> SimResult<Step> {
+        let start = self.charge_sched(w);
+        let warp = &self.warps[w as usize];
+        let (rank, sm, block) = (warp.rank as usize, warp.sm as usize, warp.block as usize);
+        let warp_in_block = warp.warp_in_block;
+        let mut total_elems = 0u64;
+        let mut max_iters = 0u64;
+        for lane in iter_lanes(group) {
+            let s = self.eval(w, lane, st);
+            let k = self.eval(w, lane, stride).max(1);
+            let n = self.eval(w, lane, len);
+            let tid = warp_in_block * WARP + lane;
+            let mut sum = 0.0f64;
+            let mut i = s;
+            let smem_len = self.blocks[block].smem.len() as u64;
+            let cap = n.min(smem_len);
+            let mut cnt = 0u64;
+            while i < cap {
+                sum += f64::from_bits(self.blocks[block].smem.load(tid, i, false)?);
+                i += k;
+                cnt += 1;
+            }
+            total_elems += cnt;
+            max_iters = max_iters.max(cnt);
+            let th = &mut self.warps[w as usize].threads[lane as usize];
+            let old = f64::from_bits(th.regs[acc as usize]);
+            th.regs[acc as usize] = (old + sum).to_bits();
+        }
+        self.advance_pcs(w, group, pc);
+        let t = &self.arch.timing;
+        // Dependent-loop floor per warp; port bandwidth cap across warps.
+        let iter_cycles = t.smem_scan_iter_cycles + flops as f64 * t.smem_flop_extra_cycles;
+        let loop_cycles = max_iters as f64 * iter_cycles;
+        let bytes = total_elems as f64 * 8.0;
+        let port_int = self.cyc(bytes / t.smem_bytes_per_cycle_sm);
+        let port = self.devs[rank].sms[sm].smem_port.issue(start, port_int, Ps::ZERO);
+        let done = (port.start + port_int).max(start + self.cyc(loop_cycles));
+        Ok(Step::Ready(done))
+    }
+
+    // ----- wrap-up ----------------------------------------------------------------
+
+    fn finish(self) -> SimResult<(ExecReport, Vec<TraceEvent>)> {
+        let mut blocked = Vec::new();
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.done {
+                continue;
+            }
+            if !b.started {
+                blocked.push(format!(
+                    "block {} (device rank {}) never started",
+                    b.block_on_device, b.rank
+                ));
+                continue;
+            }
+            // Describe why this block is stuck.
+            let mut reasons = Vec::new();
+            for wi in b.warp_start..b.warp_start + b.nwarps {
+                let w = &self.warps[wi as usize];
+                if w.done {
+                    continue;
+                }
+                if w.wb_wait != 0 {
+                    reasons.push(format!(
+                        "warp {} lanes {:#010x} at warp barrier",
+                        w.warp_in_block, w.wb_wait
+                    ));
+                } else if w.blk_wait != 0 {
+                    let kind = match w.blk_kind {
+                        BlockWaitKind::Block => "block barrier",
+                        BlockWaitKind::Grid => "grid barrier",
+                        BlockWaitKind::MultiGrid => "multi-grid barrier",
+                        BlockWaitKind::None => "barrier",
+                    };
+                    reasons.push(format!("warp {} at {}", w.warp_in_block, kind));
+                }
+            }
+            blocked.push(format!(
+                "block {} (device rank {}): {}",
+                b.block_on_device,
+                b.rank,
+                if reasons.is_empty() {
+                    "stalled".to_string()
+                } else {
+                    reasons.join(", ")
+                }
+            ));
+            let _ = i;
+        }
+        if !blocked.is_empty() {
+            return Err(SimError::Deadlock {
+                at: self.now,
+                blocked,
+            });
+        }
+        let device_durations: Vec<Ps> = self.devs.iter().map(|d| d.end_time).collect();
+        Ok((
+            ExecReport {
+                duration: device_durations.iter().copied().max().unwrap_or(Ps::ZERO),
+                device_durations,
+                blocks_run: self.blocks.len() as u64,
+                warps_run: self.warps_run,
+                instrs_executed: self.instrs_executed,
+            },
+            self.trace.map(|(_, ev)| ev).unwrap_or_default(),
+        ))
+    }
+}
+
+/// Iterate the set lanes of a mask.
+fn iter_lanes(mask: u32) -> impl Iterator<Item = u32> {
+    (0..32u32).filter(move |l| mask & (1 << l) != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_lanes_yields_set_bits() {
+        let lanes: Vec<u32> = iter_lanes(0b1010_0001).collect();
+        assert_eq!(lanes, vec![0, 5, 7]);
+        assert_eq!(iter_lanes(0).count(), 0);
+        assert_eq!(iter_lanes(u32::MAX).count(), 32);
+    }
+}

@@ -1,0 +1,465 @@
+//! The simulated instruction set and kernel builder.
+//!
+//! Kernels are small register-machine programs, deliberately close to the
+//! PTX-level shapes the paper's micro-benchmarks compile to: dependent ALU
+//! chains (Wong's method), barrier repeats, shuffle trees, clock reads around
+//! divergent branches (Fig. 17), grid-stride streaming loops (Fig. 10), and
+//! `nanosleep`-controlled kernels (Fig. 3).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Register index. Each thread owns [`NUM_REGS`] 64-bit registers.
+pub type Reg = u8;
+
+/// Registers per thread.
+pub const NUM_REGS: usize = 16;
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Operand {
+    /// A thread register.
+    Reg(Reg),
+    /// An immediate 64-bit value (use `f64::to_bits` for float immediates).
+    Imm(u64),
+    /// A special (read-only) register.
+    Sp(Special),
+    /// A kernel parameter slot, bound at launch.
+    Param(u8),
+}
+
+/// Special read-only registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Special {
+    /// Thread index within the block.
+    Tid,
+    /// Lane index within the warp.
+    LaneId,
+    /// Warp index within the block.
+    WarpId,
+    /// Block index within the (per-device) grid.
+    BlockId,
+    /// Threads per block.
+    BlockDim,
+    /// Blocks per device grid.
+    GridDim,
+    /// Device rank within a multi-device launch (0 for single-device).
+    GpuRank,
+    /// Number of devices in the launch.
+    NumGpus,
+    /// Global thread index: `BlockId * BlockDim + Tid`.
+    GlobalTid,
+    /// Total threads in this device's grid: `GridDim * BlockDim`.
+    GridThreads,
+}
+
+/// Shuffle flavours — tile-group vs coalesced-group shuffles cost differently
+/// (paper Table II) and behave differently on Pascal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShflKind {
+    Tile,
+    Coalesced,
+}
+
+/// Shuffle addressing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShflMode {
+    /// Read the register of `lane + delta` (identity when out of range).
+    Down(u32),
+    /// Read the register of an absolute lane.
+    Idx(u32),
+}
+
+/// One instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    // --- integer ALU ---
+    IAdd(Reg, Operand, Operand),
+    ISub(Reg, Operand, Operand),
+    IMul(Reg, Operand, Operand),
+    IMin(Reg, Operand, Operand),
+    /// Bitwise and.
+    IAnd(Reg, Operand, Operand),
+    /// dst = (a < b) as 0/1 (unsigned).
+    CmpLt(Reg, Operand, Operand),
+    /// dst = (a == b) as 0/1.
+    CmpEq(Reg, Operand, Operand),
+    Mov(Reg, Operand),
+    /// dst = (f64)(src as integer) — integer-to-float conversion.
+    I2F(Reg, Operand),
+
+    // --- floating point (f64 bit patterns in registers) ---
+    FAdd(Reg, Operand, Operand),
+    FMul(Reg, Operand, Operand),
+    /// FP32-latency add (still computed in f64): the instruction both
+    /// measurement methods of §IX must time at 4 (V100) / 6 (P100) cycles.
+    FAdd32(Reg, Operand, Operand),
+
+    // --- control flow ---
+    /// Unconditional branch to an instruction index.
+    Bra(u32),
+    /// Branch when the operand is non-zero.
+    BraIf(Operand, u32),
+    /// Branch when the operand is zero.
+    BraIfZ(Operand, u32),
+    /// Thread exits the kernel.
+    Exit,
+
+    // --- shared memory (per-block), addresses in 8-byte words ---
+    LdShared {
+        dst: Reg,
+        addr: Operand,
+        volatile: bool,
+    },
+    StShared {
+        addr: Operand,
+        val: Operand,
+        volatile: bool,
+        /// Optional predicate: store only in threads where it is non-zero.
+        /// (Compilers predicate short `if` bodies instead of branching.)
+        pred: Option<Operand>,
+    },
+
+    // --- global memory (device buffers), indices in 8-byte words ---
+    LdGlobal {
+        dst: Reg,
+        buf: Operand,
+        idx: Operand,
+    },
+    StGlobal {
+        buf: Operand,
+        idx: Operand,
+        val: Operand,
+    },
+    /// f64 atomic add on a device buffer; optionally returns the old value.
+    AtomicFAdd {
+        dst_old: Option<Reg>,
+        buf: Operand,
+        idx: Operand,
+        val: Operand,
+    },
+
+    // --- warp data exchange / synchronization ---
+    Shfl {
+        dst: Reg,
+        val: Operand,
+        kind: ShflKind,
+        mode: ShflMode,
+        /// Tile width for `Tile` shuffles (1..=32, power of two).
+        width: u32,
+    },
+    /// Tile-group barrier over lanes partitioned into `width`-sized tiles.
+    SyncTile {
+        width: u32,
+    },
+    /// Coalesced-group barrier (the currently converged active threads).
+    SyncCoalesced,
+    /// Block barrier (`__syncthreads`).
+    BarSync,
+    /// Grid barrier (requires a cooperative launch).
+    GridSync,
+    /// Multi-grid barrier (requires a multi-device cooperative launch).
+    MultiGridSync,
+    /// Memory fence: commits this thread's pending shared stores.
+    MemFence,
+
+    // --- timing utilities ---
+    /// Sleep this warp for an operand number of nanoseconds.
+    Nanosleep(Operand),
+    /// Read the SM cycle counter into a register.
+    ReadClock(Reg),
+
+    // --- vectorized streaming (Fig. 10 loop, one event per warp) ---
+    /// `acc += sum of f64 buf[i] for i = start, start+stride, ... while i <
+    /// len`, per thread, plus `flops` f64 adds per element. Timed by the
+    /// DRAM bandwidth/latency model.
+    MemStream {
+        acc: Reg,
+        buf: Operand,
+        start: Operand,
+        stride: Operand,
+        len: Operand,
+        flops: u8,
+        /// Achieved fraction of the tuned streaming bandwidth, in permille
+        /// (1000 = the architecture's full streaming efficiency). Baselines
+        /// with less ideal access patterns set this below 1000.
+        eff_permille: u16,
+    },
+    /// Vectorized elementwise combine: `dst[i] = a[i] + b[i]` for
+    /// `i = start, start+stride, ... < len`, per thread. The workhorse of
+    /// collective operations (allreduce steps); timed like [`Instr::MemStream`]
+    /// with three streams' worth of traffic, remote buffers paying their
+    /// link.
+    MemCombine {
+        dst: Operand,
+        a: Operand,
+        b: Operand,
+        start: Operand,
+        stride: Operand,
+        len: Operand,
+    },
+    /// Same loop over this block's shared memory, timed by the shared-memory
+    /// port model (Table III micro-benchmark / the serial scan of Table V).
+    SmemStream {
+        acc: Reg,
+        start: Operand,
+        stride: Operand,
+        len: Operand,
+        /// Extra f64 adds per element (the Fig. 10 micro-benchmark carries
+        /// two imitation adds; a plain reduction scan carries none).
+        flops: u8,
+    },
+}
+
+/// A finished program: straight-line instruction array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    pub instrs: Vec<Instr>,
+}
+
+impl Program {
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// A kernel: a program plus its static shared-memory footprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    pub name: String,
+    pub program: Program,
+    /// Static shared memory per block, in 8-byte words.
+    pub shared_words: u32,
+    /// Architectural registers each thread uses (the builder's high-water
+    /// mark) — an input to register-limited occupancy.
+    pub regs_per_thread: u32,
+}
+
+/// Builder with labels, forward references, and convenience emitters.
+///
+/// ```
+/// use gpu_sim::isa::{KernelBuilder, Operand::*, Special};
+/// let mut b = KernelBuilder::new("count");
+/// let r = b.reg();
+/// b.mov(r, Imm(0));
+/// b.label("loop");
+/// b.iadd(r, Reg(r), Imm(1));
+/// let c = b.reg();
+/// b.cmp_lt(c, Reg(r), Imm(10));
+/// b.bra_if(Reg(c), "loop");
+/// let k = b.build(0);
+/// assert_eq!(k.program.len(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct KernelBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    labels: HashMap<String, u32>,
+    /// (instruction index, label) patches to resolve at build time.
+    patches: Vec<(usize, String)>,
+    next_reg: Reg,
+}
+
+impl KernelBuilder {
+    pub fn new(name: &str) -> KernelBuilder {
+        KernelBuilder {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Allocate a fresh register.
+    pub fn reg(&mut self) -> Reg {
+        assert!(
+            (self.next_reg as usize) < NUM_REGS,
+            "out of registers ({} available)",
+            NUM_REGS
+        );
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    /// Define a label at the current position.
+    pub fn label(&mut self, name: &str) {
+        let at = self.instrs.len() as u32;
+        let prev = self.labels.insert(name.to_string(), at);
+        assert!(prev.is_none(), "duplicate label {name:?}");
+    }
+
+    pub fn push(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    // Convenience emitters for the common instructions.
+    pub fn mov(&mut self, d: Reg, a: Operand) -> &mut Self {
+        self.push(Instr::Mov(d, a))
+    }
+    pub fn iadd(&mut self, d: Reg, a: Operand, b: Operand) -> &mut Self {
+        self.push(Instr::IAdd(d, a, b))
+    }
+    pub fn isub(&mut self, d: Reg, a: Operand, b: Operand) -> &mut Self {
+        self.push(Instr::ISub(d, a, b))
+    }
+    pub fn imul(&mut self, d: Reg, a: Operand, b: Operand) -> &mut Self {
+        self.push(Instr::IMul(d, a, b))
+    }
+    pub fn fadd(&mut self, d: Reg, a: Operand, b: Operand) -> &mut Self {
+        self.push(Instr::FAdd(d, a, b))
+    }
+    pub fn fadd32(&mut self, d: Reg, a: Operand, b: Operand) -> &mut Self {
+        self.push(Instr::FAdd32(d, a, b))
+    }
+    pub fn cmp_lt(&mut self, d: Reg, a: Operand, b: Operand) -> &mut Self {
+        self.push(Instr::CmpLt(d, a, b))
+    }
+    pub fn cmp_eq(&mut self, d: Reg, a: Operand, b: Operand) -> &mut Self {
+        self.push(Instr::CmpEq(d, a, b))
+    }
+    pub fn read_clock(&mut self, d: Reg) -> &mut Self {
+        self.push(Instr::ReadClock(d))
+    }
+    pub fn bar_sync(&mut self) -> &mut Self {
+        self.push(Instr::BarSync)
+    }
+    pub fn grid_sync(&mut self) -> &mut Self {
+        self.push(Instr::GridSync)
+    }
+    pub fn multi_grid_sync(&mut self) -> &mut Self {
+        self.push(Instr::MultiGridSync)
+    }
+    pub fn exit(&mut self) -> &mut Self {
+        self.push(Instr::Exit)
+    }
+
+    /// Branch to a label (forward references allowed).
+    pub fn bra(&mut self, label: &str) -> &mut Self {
+        self.patches.push((self.instrs.len(), label.to_string()));
+        self.push(Instr::Bra(u32::MAX))
+    }
+
+    pub fn bra_if(&mut self, cond: Operand, label: &str) -> &mut Self {
+        self.patches.push((self.instrs.len(), label.to_string()));
+        self.push(Instr::BraIf(cond, u32::MAX))
+    }
+
+    pub fn bra_ifz(&mut self, cond: Operand, label: &str) -> &mut Self {
+        self.patches.push((self.instrs.len(), label.to_string()));
+        self.push(Instr::BraIfZ(cond, u32::MAX))
+    }
+
+    /// Emit `n` copies of an instruction (the paper's `repeat(N)` macro).
+    pub fn repeat(&mut self, n: usize, i: Instr) -> &mut Self {
+        for _ in 0..n {
+            self.push(i);
+        }
+        self
+    }
+
+    /// Resolve labels and produce the kernel.
+    pub fn build(mut self, shared_words: u32) -> Kernel {
+        for (at, label) in &self.patches {
+            let target = *self
+                .labels
+                .get(label)
+                .unwrap_or_else(|| panic!("undefined label {label:?}"));
+            match &mut self.instrs[*at] {
+                Instr::Bra(t) | Instr::BraIf(_, t) | Instr::BraIfZ(_, t) => *t = target,
+                other => unreachable!("patch at non-branch {other:?}"),
+            }
+        }
+        Kernel {
+            name: self.name,
+            program: Program {
+                instrs: self.instrs,
+            },
+            shared_words,
+            regs_per_thread: self.next_reg as u32,
+        }
+    }
+}
+
+/// Float immediate helper.
+pub fn fimm(v: f64) -> Operand {
+    Operand::Imm(v.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Operand::*;
+    use super::*;
+
+    #[test]
+    fn builder_allocates_registers() {
+        let mut b = KernelBuilder::new("t");
+        let r0 = b.reg();
+        let r1 = b.reg();
+        assert_eq!((r0, r1), (0, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn builder_register_exhaustion_panics() {
+        let mut b = KernelBuilder::new("t");
+        for _ in 0..=NUM_REGS {
+            b.reg();
+        }
+    }
+
+    #[test]
+    fn labels_resolve_backward_and_forward() {
+        let mut b = KernelBuilder::new("t");
+        b.label("top");
+        b.bra("bottom");
+        b.mov(0, Imm(1));
+        b.bra("top");
+        b.label("bottom");
+        b.exit();
+        let k = b.build(0);
+        assert_eq!(k.program.instrs[0], Instr::Bra(3));
+        assert_eq!(k.program.instrs[2], Instr::Bra(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn undefined_label_panics_at_build() {
+        let mut b = KernelBuilder::new("t");
+        b.bra("nowhere");
+        let _ = b.build(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_label_panics() {
+        let mut b = KernelBuilder::new("t");
+        b.label("x");
+        b.label("x");
+    }
+
+    #[test]
+    fn repeat_unrolls() {
+        let mut b = KernelBuilder::new("t");
+        b.repeat(5, Instr::SyncTile { width: 32 });
+        let k = b.build(0);
+        assert_eq!(k.program.len(), 5);
+        assert!(k
+            .program
+            .instrs
+            .iter()
+            .all(|i| matches!(i, Instr::SyncTile { width: 32 })));
+    }
+
+    #[test]
+    fn fimm_round_trips() {
+        if let Imm(bits) = fimm(2.5) {
+            assert_eq!(f64::from_bits(bits), 2.5);
+        } else {
+            panic!("fimm did not produce an immediate");
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Canonical kernels from the paper, as reusable builders.
+//!
+//! * [`null_kernel`] / [`sleep_kernel`] — Fig. 3's launch-overhead probes.
+//! * [`chain_kernel`] — Fig. 19's dependent-chain shape (Wong's method).
+//! * [`sync_chain`] — a chain of synchronization instructions with clock
+//!   reads around it, the workhorse of Tables II and Figs. 4–8.
+//! * [`coalesced_partial_chain`] — partial coalesced groups (Table II's
+//!   "Coalesced(1–31)" row).
+//! * [`warp_probe`] — Fig. 17's 32-arm divergent barrier probe.
+//! * [`stream_kernel`] — Fig. 10's grid-stride bandwidth loop.
+
+use crate::isa::{Instr, Kernel, KernelBuilder, Operand, ShflKind, ShflMode, Special};
+use Operand::{Imm, Param, Reg, Sp};
+
+/// Which synchronization instruction a chain exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncOp {
+    /// Tile-group sync of the given width.
+    Tile(u32),
+    /// Coalesced-group sync (converged full warp unless threads diverge).
+    Coalesced,
+    /// Shuffle-down through a tile group (implies synchronization).
+    ShflTile,
+    /// Shuffle-down through a coalesced group.
+    ShflCoalesced,
+    /// Block barrier (`__syncthreads`).
+    Block,
+    /// Grid barrier (cooperative launch required).
+    Grid,
+    /// Multi-grid barrier (multi-device cooperative launch required).
+    MultiGrid,
+}
+
+impl SyncOp {
+    fn emit(self, b: &mut KernelBuilder, scratch: crate::isa::Reg) {
+        match self {
+            SyncOp::Tile(width) => {
+                b.push(Instr::SyncTile { width });
+            }
+            SyncOp::Coalesced => {
+                b.push(Instr::SyncCoalesced);
+            }
+            SyncOp::ShflTile => {
+                b.push(Instr::Shfl {
+                    dst: scratch,
+                    val: Reg(scratch),
+                    kind: ShflKind::Tile,
+                    mode: ShflMode::Down(1),
+                    width: 32,
+                });
+            }
+            SyncOp::ShflCoalesced => {
+                b.push(Instr::Shfl {
+                    dst: scratch,
+                    val: Reg(scratch),
+                    kind: ShflKind::Coalesced,
+                    mode: ShflMode::Down(1),
+                    width: 32,
+                });
+            }
+            SyncOp::Block => {
+                b.bar_sync();
+            }
+            SyncOp::Grid => {
+                b.grid_sync();
+            }
+            SyncOp::MultiGrid => {
+                b.multi_grid_sync();
+            }
+        }
+    }
+}
+
+/// An empty kernel (every thread exits immediately).
+pub fn null_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("null");
+    b.exit();
+    b.build(0)
+}
+
+/// Fig. 3: a kernel whose execution latency is controlled by `nanosleep`.
+pub fn sleep_kernel(ns: u64) -> Kernel {
+    let mut b = KernelBuilder::new("sleep");
+    b.push(Instr::Nanosleep(Imm(ns)));
+    b.exit();
+    b.build(0)
+}
+
+/// Fig. 19 / Wong's method: `repeats` dependent steps emitted by `emit`,
+/// bracketed by clock reads. Each thread stores its elapsed cycles to
+/// `param(0)[global_tid]`.
+pub fn chain_kernel(
+    name: &str,
+    repeats: usize,
+    emit: impl Fn(&mut KernelBuilder, crate::isa::Reg),
+) -> Kernel {
+    let mut b = KernelBuilder::new(name);
+    let acc = b.reg();
+    let t0 = b.reg();
+    let t1 = b.reg();
+    b.mov(acc, crate::isa::fimm(1.0));
+    b.read_clock(t0);
+    for _ in 0..repeats {
+        emit(&mut b, acc);
+    }
+    b.read_clock(t1);
+    b.isub(t1, Reg(t1), Reg(t0));
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::GlobalTid),
+        val: Reg(t1),
+    });
+    b.exit();
+    b.build(0)
+}
+
+/// Dependent chain of FP32 adds — the reference instruction both of the
+/// paper's measurement methods must agree on (§IX-D).
+pub fn fadd32_chain(repeats: usize) -> Kernel {
+    chain_kernel("fadd32-chain", repeats, |b, acc| {
+        b.fadd32(acc, Reg(acc), crate::isa::fimm(1.0));
+    })
+}
+
+/// A chain of `repeats` synchronization ops with clock reads around it.
+/// Elapsed cycles stored to `param(0)[global_tid]`.
+pub fn sync_chain(op: SyncOp, repeats: usize) -> Kernel {
+    chain_kernel(&format!("sync-chain-{op:?}"), repeats, |b, acc| {
+        op.emit(b, acc);
+    })
+}
+
+/// A chain of `repeats` synchronization ops with no timing reads — used for
+/// throughput sweeps where the host measures kernel duration.
+pub fn sync_throughput(op: SyncOp, repeats: usize) -> Kernel {
+    let mut b = KernelBuilder::new(&format!("sync-thr-{op:?}"));
+    let acc = b.reg();
+    b.mov(acc, crate::isa::fimm(1.0));
+    for _ in 0..repeats {
+        op.emit(&mut b, acc);
+    }
+    b.exit();
+    b.build(0)
+}
+
+/// Table II "Coalesced(1–31)": lanes below `k` form a partial coalesced
+/// group and sync `repeats` times; the rest exit immediately. Lane 0 stores
+/// its elapsed cycles to `param(0)[0]`.
+pub fn coalesced_partial_chain(k: u32, repeats: usize) -> Kernel {
+    assert!((1..=32).contains(&k));
+    let mut b = KernelBuilder::new("coalesced-partial");
+    let c = b.reg();
+    let t0 = b.reg();
+    let t1 = b.reg();
+    b.cmp_lt(c, Sp(Special::LaneId), Imm(k as u64));
+    b.bra_ifz(Reg(c), "out");
+    b.read_clock(t0);
+    for _ in 0..repeats {
+        b.push(Instr::SyncCoalesced);
+    }
+    b.read_clock(t1);
+    b.isub(t1, Reg(t1), Reg(t0));
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::LaneId),
+        val: Reg(t1),
+    });
+    b.label("out");
+    b.exit();
+    b.build(0)
+}
+
+/// Throughput variant of [`coalesced_partial_chain`]: lanes below `k` in
+/// every warp sync `repeats` times, no clocks (host-timed sweeps).
+pub fn coalesced_partial_throughput(k: u32, repeats: usize) -> Kernel {
+    assert!((1..=32).contains(&k));
+    let mut b = KernelBuilder::new("coalesced-partial-thr");
+    let c = b.reg();
+    b.cmp_lt(c, Sp(Special::LaneId), Imm(k as u64));
+    b.bra_ifz(Reg(c), "out");
+    for _ in 0..repeats {
+        b.push(Instr::SyncCoalesced);
+    }
+    b.label("out");
+    b.exit();
+    b.build(0)
+}
+
+/// Fig. 17: every lane takes its own branch arm, records a start clock,
+/// synchronizes the warp, records an end clock. Start clocks go to
+/// `param(0)[lane]`, end clocks to `param(1)[lane]`.
+///
+/// On V100 the barrier blocks: end clocks cluster after the last arrival.
+/// On P100 it does not: end clocks follow the start staircase (Fig. 18).
+pub fn warp_probe() -> Kernel {
+    let mut b = KernelBuilder::new("warp-probe");
+    let c = b.reg();
+    let t0 = b.reg();
+    let t1 = b.reg();
+    for lane in 0..31u32 {
+        b.cmp_eq(c, Sp(Special::LaneId), Imm(lane as u64));
+        b.bra_ifz(Reg(c), &format!("next{lane}"));
+        b.read_clock(t0);
+        b.push(Instr::SyncTile { width: 32 });
+        b.read_clock(t1);
+        b.bra("store");
+        b.label(&format!("next{lane}"));
+    }
+    // Final else arm (lane 31).
+    b.read_clock(t0);
+    b.push(Instr::SyncTile { width: 32 });
+    b.read_clock(t1);
+    b.label("store");
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::LaneId),
+        val: Reg(t0),
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Sp(Special::LaneId),
+        val: Reg(t1),
+    });
+    b.exit();
+    b.build(0)
+}
+
+/// Fig. 10: the grid-stride streaming loop `while (i<n) {sum+=g[i]; i+=gs}`
+/// over `param(0)` with `param(1)` elements, `flops` extra adds per element.
+/// Each thread stores its partial sum to `param(2)[global_tid]`.
+pub fn stream_kernel(flops: u8) -> Kernel {
+    stream_kernel_eff(flops, 1000)
+}
+
+/// [`stream_kernel`] with an explicit streaming-efficiency (permille).
+pub fn stream_kernel_eff(flops: u8, eff_permille: u16) -> Kernel {
+    let mut b = KernelBuilder::new("stream");
+    let acc = b.reg();
+    let start = b.reg();
+    let stride = b.reg();
+    b.mov(acc, Imm(0));
+    // start = gpu_rank * grid_threads + global_tid; stride = n_gpus * grid_threads
+    let t = b.reg();
+    b.imul(t, Sp(Special::GpuRank), Sp(Special::GridThreads));
+    b.iadd(start, Reg(t), Sp(Special::GlobalTid));
+    b.imul(stride, Sp(Special::NumGpus), Sp(Special::GridThreads));
+    b.push(Instr::MemStream {
+        acc,
+        buf: Param(0),
+        start: Reg(start),
+        stride: Reg(stride),
+        len: Param(1),
+        flops,
+        eff_permille,
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(2),
+        idx: Sp(Special::GlobalTid),
+        val: Reg(acc),
+    });
+    b.exit();
+    b.build(0)
+}
+
+/// Table III: shared-memory streaming. `threads_live` threads of the block
+/// each stream `per_thread_iters` words of shared memory (stride =
+/// `threads_live`), then store their partials to `param(0)[tid]`.
+pub fn smem_stream_kernel(shared_words: u32, threads_live: u32) -> Kernel {
+    let mut b = KernelBuilder::new("smem-stream");
+    let acc = b.reg();
+    let c = b.reg();
+    b.mov(acc, Imm(0));
+    b.cmp_lt(c, Sp(Special::Tid), Imm(threads_live as u64));
+    b.bra_ifz(Reg(c), "out");
+    b.push(Instr::SmemStream {
+        acc,
+        start: Sp(Special::Tid),
+        stride: Imm(threads_live as u64),
+        len: Imm(shared_words as u64),
+        // Fig. 10's micro-benchmark carries two imitation adds.
+        flops: 2,
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::Tid),
+        val: Reg(acc),
+    });
+    b.label("out");
+    b.exit();
+    b.build(shared_words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_programs() {
+        assert_eq!(null_kernel().program.len(), 1);
+        assert!(sleep_kernel(1000).program.len() >= 2);
+        assert_eq!(
+            sync_chain(SyncOp::Tile(32), 10).name,
+            "sync-chain-Tile(32)"
+        );
+        assert!(fadd32_chain(256).program.len() > 256);
+        assert!(warp_probe().program.len() > 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn partial_chain_rejects_zero_group() {
+        let _ = coalesced_partial_chain(0, 4);
+    }
+}

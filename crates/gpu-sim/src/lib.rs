@@ -1,0 +1,29 @@
+//! # gpu-sim
+//!
+//! A discrete-event SIMT GPU simulator purpose-built to reproduce the
+//! synchronization behaviour studied in "A Study of Single and Multi-device
+//! Synchronization Methods in Nvidia GPUs" (Zhang et al., 2020):
+//!
+//! * a small PTX-shaped ISA with a kernel builder ([`isa`]),
+//! * warps with per-thread PCs (Volta) or lockstep fencing (Pascal),
+//!   min-PC-group divergence, and the full barrier hierarchy — tile /
+//!   coalesced / shuffle, block, grid, and multi-grid ([`engine`]),
+//! * shared memory with a store-visibility model that makes unsynchronized
+//!   warp reductions *incorrect*, as on real hardware ([`mem`]),
+//! * DRAM/L2/shared-memory port/barrier-unit contention models, and
+//! * deadlock detection for partial-group synchronization (paper §VIII-B).
+
+pub mod disasm;
+pub mod engine;
+pub mod isa;
+pub mod kernels;
+pub mod mem;
+pub mod system;
+pub mod timeline;
+
+pub use disasm::{disassemble, instr_to_string};
+pub use engine::TraceEvent;
+pub use timeline::render_timeline;
+pub use isa::{fimm, Instr, Kernel, KernelBuilder, Operand, Program, Reg, ShflKind, ShflMode, Special};
+pub use mem::{BufData, BufId, Buffer, SharedMem};
+pub use system::{ExecReport, GridLaunch, GpuSystem, LaunchKind};

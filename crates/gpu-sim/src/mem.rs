@@ -1,0 +1,345 @@
+//! Device memory buffers and the shared-memory visibility model.
+
+use serde::{Deserialize, Serialize};
+use sim_core::{SimError, SimResult};
+
+/// Handle to a device buffer, global across all GPUs of a [`crate::GpuSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BufId(pub u32);
+
+impl BufId {
+    pub fn as_operand(self) -> crate::isa::Operand {
+        crate::isa::Operand::Imm(self.0 as u64)
+    }
+}
+
+/// Backing contents of a buffer.
+///
+/// Dense buffers hold real 64-bit words (exact semantics, O(n) streaming).
+/// Synthetic buffers describe f64 contents by a closed form so multi-gigabyte
+/// reductions can be streamed in O(1) per thread — the workload-generation
+/// substitute for the paper's giant device arrays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BufData {
+    Dense(Vec<u64>),
+    /// f64 value at index i is `a + b * i`; length `len` words.
+    Linear { a: f64, b: f64, len: u64 },
+}
+
+/// A device memory allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Buffer {
+    /// Owning device.
+    pub device: usize,
+    pub data: BufData,
+}
+
+impl Buffer {
+    pub fn len(&self) -> u64 {
+        match &self.data {
+            BufData::Dense(v) => v.len() as u64,
+            BufData::Linear { len, .. } => *len,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read one word (f64 bits for synthetic buffers).
+    pub fn load(&self, idx: u64) -> SimResult<u64> {
+        if idx >= self.len() {
+            return Err(SimError::MemoryFault(format!(
+                "load at {idx} beyond buffer of {} words",
+                self.len()
+            )));
+        }
+        Ok(match &self.data {
+            BufData::Dense(v) => v[idx as usize],
+            BufData::Linear { a, b, .. } => (a + b * idx as f64).to_bits(),
+        })
+    }
+
+    /// Write one word. Writing to a synthetic buffer densifies it first
+    /// (allowed only for small synthetic buffers, as a guard against
+    /// accidentally materializing gigabytes).
+    pub fn store(&mut self, idx: u64, val: u64) -> SimResult<()> {
+        if idx >= self.len() {
+            return Err(SimError::MemoryFault(format!(
+                "store at {idx} beyond buffer of {} words",
+                self.len()
+            )));
+        }
+        if let BufData::Linear { len, .. } = &self.data {
+            const DENSIFY_LIMIT: u64 = 1 << 22;
+            if *len > DENSIFY_LIMIT {
+                return Err(SimError::MemoryFault(format!(
+                    "store to synthetic buffer of {len} words (> {DENSIFY_LIMIT}) \
+                     would materialize it"
+                )));
+            }
+            let dense: Vec<u64> = (0..*len).map(|i| self.load(i).unwrap()).collect();
+            self.data = BufData::Dense(dense);
+        }
+        match &mut self.data {
+            BufData::Dense(v) => v[idx as usize] = val,
+            BufData::Linear { .. } => unreachable!(),
+        }
+        Ok(())
+    }
+
+    /// Sum of f64 words at `start, start+stride, ...` below `len_cap`,
+    /// plus the number of elements touched. Closed form for synthetic
+    /// buffers; exact loop for dense ones.
+    pub fn strided_sum(&self, start: u64, stride: u64, len_cap: u64) -> SimResult<(f64, u64)> {
+        assert!(stride > 0, "stride must be positive");
+        let cap = len_cap.min(self.len());
+        if len_cap > self.len() {
+            return Err(SimError::MemoryFault(format!(
+                "stream cap {len_cap} beyond buffer of {} words",
+                self.len()
+            )));
+        }
+        if start >= cap {
+            return Ok((0.0, 0));
+        }
+        let n = (cap - start).div_ceil(stride);
+        match &self.data {
+            BufData::Dense(v) => {
+                let mut s = 0.0;
+                let mut i = start;
+                while i < cap {
+                    s += f64::from_bits(v[i as usize]);
+                    i += stride;
+                }
+                Ok((s, n))
+            }
+            BufData::Linear { a, b, .. } => {
+                // sum_{k=0}^{n-1} (a + b(start + k*stride))
+                //   = n*a + b*(n*start + stride*n(n-1)/2)
+                let nf = n as f64;
+                let s = nf * a + b * (nf * start as f64 + stride as f64 * nf * (nf - 1.0) / 2.0);
+                Ok((s, n))
+            }
+        }
+    }
+}
+
+/// One shared-memory word with the paper-motivated visibility rule: a
+/// non-volatile store is visible to its own thread immediately but to other
+/// threads only after the writer executes a fence-carrying instruction (any
+/// sync). This makes the "nosync" warp reduction *incorrect* — Table V's
+/// footnote — while tile/coalesced-sync and volatile versions stay correct.
+#[derive(Debug, Clone, Copy, Default)]
+struct SmemWord {
+    committed: u64,
+    /// Uncommitted store: (writer thread id within block, value).
+    pending: Option<(u32, u64)>,
+}
+
+/// Per-block shared memory.
+#[derive(Debug, Clone)]
+pub struct SharedMem {
+    words: Vec<SmemWord>,
+}
+
+impl SharedMem {
+    pub fn new(words: u32) -> SharedMem {
+        SharedMem {
+            words: vec![SmemWord::default(); words as usize],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    fn check(&self, addr: u64) -> SimResult<usize> {
+        if (addr as usize) < self.words.len() {
+            Ok(addr as usize)
+        } else {
+            Err(SimError::MemoryFault(format!(
+                "shared access at {addr} beyond {} words",
+                self.words.len()
+            )))
+        }
+    }
+
+    /// Load as seen by `thread`.
+    pub fn load(&self, thread: u32, addr: u64, volatile: bool) -> SimResult<u64> {
+        let i = self.check(addr)?;
+        let w = &self.words[i];
+        Ok(match w.pending {
+            // A thread always sees its own pending store; a volatile load
+            // still cannot see *another* thread's uncommitted store.
+            Some((t, v)) if t == thread => v,
+            _ => {
+                let _ = volatile; // volatile affects timing, not visibility.
+                w.committed
+            }
+        })
+    }
+
+    /// Store by `thread`. Volatile stores commit immediately.
+    pub fn store(&mut self, thread: u32, addr: u64, val: u64, volatile: bool) -> SimResult<()> {
+        let i = self.check(addr)?;
+        if volatile {
+            self.words[i].committed = val;
+            self.words[i].pending = None;
+        } else {
+            self.words[i].pending = Some((thread, val));
+        }
+        Ok(())
+    }
+
+    /// Commit all pending stores by `thread` (the effect of a fence or any
+    /// synchronization instruction executed by that thread).
+    pub fn fence(&mut self, thread: u32) {
+        for w in &mut self.words {
+            if let Some((t, v)) = w.pending {
+                if t == thread {
+                    w.committed = v;
+                    w.pending = None;
+                }
+            }
+        }
+    }
+
+    /// Commit everything (block barrier: every participant fences).
+    pub fn fence_all(&mut self) {
+        for w in &mut self.words {
+            if let Some((_, v)) = w.pending {
+                w.committed = v;
+                w.pending = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(vals: &[f64]) -> Buffer {
+        Buffer {
+            device: 0,
+            data: BufData::Dense(vals.iter().map(|v| v.to_bits()).collect()),
+        }
+    }
+
+    #[test]
+    fn dense_load_store_round_trip() {
+        let mut b = dense(&[1.0, 2.0, 3.0]);
+        assert_eq!(f64::from_bits(b.load(1).unwrap()), 2.0);
+        b.store(1, 9.5f64.to_bits()).unwrap();
+        assert_eq!(f64::from_bits(b.load(1).unwrap()), 9.5);
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let b = dense(&[1.0]);
+        assert!(matches!(b.load(1), Err(SimError::MemoryFault(_))));
+        let mut b = dense(&[1.0]);
+        assert!(b.store(5, 0).is_err());
+    }
+
+    #[test]
+    fn linear_buffer_matches_dense_sum() {
+        let lin = Buffer {
+            device: 0,
+            data: BufData::Linear {
+                a: 0.5,
+                b: 0.25,
+                len: 1000,
+            },
+        };
+        let vals: Vec<f64> = (0..1000).map(|i| 0.5 + 0.25 * i as f64).collect();
+        let den = dense(&vals);
+        for (start, stride) in [(0u64, 1u64), (3, 7), (999, 1), (0, 999), (5, 128)] {
+            let (a, na) = lin.strided_sum(start, stride, 1000).unwrap();
+            let (b, nb) = den.strided_sum(start, stride, 1000).unwrap();
+            assert_eq!(na, nb, "count start={start} stride={stride}");
+            assert!((a - b).abs() < 1e-6 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn strided_sum_start_beyond_cap_is_empty() {
+        let b = dense(&[1.0, 2.0]);
+        let (s, n) = b.strided_sum(5, 1, 2).unwrap();
+        assert_eq!((s, n), (0.0, 0));
+    }
+
+    #[test]
+    fn strided_sum_rejects_cap_beyond_len() {
+        let b = dense(&[1.0, 2.0]);
+        assert!(b.strided_sum(0, 1, 3).is_err());
+    }
+
+    #[test]
+    fn huge_synthetic_store_is_rejected() {
+        let mut b = Buffer {
+            device: 0,
+            data: BufData::Linear {
+                a: 0.0,
+                b: 1.0,
+                len: 1 << 30,
+            },
+        };
+        assert!(b.store(0, 0).is_err());
+    }
+
+    #[test]
+    fn small_synthetic_densifies_on_store() {
+        let mut b = Buffer {
+            device: 0,
+            data: BufData::Linear {
+                a: 1.0,
+                b: 0.0,
+                len: 4,
+            },
+        };
+        b.store(2, 7.0f64.to_bits()).unwrap();
+        assert_eq!(f64::from_bits(b.load(2).unwrap()), 7.0);
+        assert_eq!(f64::from_bits(b.load(0).unwrap()), 1.0);
+    }
+
+    #[test]
+    fn smem_own_store_visible_others_stale() {
+        let mut s = SharedMem::new(4);
+        s.store(0, 2, 5, false).unwrap();
+        assert_eq!(s.load(0, 2, false).unwrap(), 5, "own store visible");
+        assert_eq!(s.load(1, 2, false).unwrap(), 0, "other thread sees stale");
+        // Volatile load does not reveal another thread's pending store.
+        assert_eq!(s.load(1, 2, true).unwrap(), 0);
+    }
+
+    #[test]
+    fn smem_fence_commits_only_own_stores() {
+        let mut s = SharedMem::new(4);
+        s.store(0, 0, 10, false).unwrap();
+        s.store(1, 1, 11, false).unwrap();
+        s.fence(0);
+        assert_eq!(s.load(2, 0, false).unwrap(), 10);
+        assert_eq!(s.load(2, 1, false).unwrap(), 0);
+        s.fence_all();
+        assert_eq!(s.load(2, 1, false).unwrap(), 11);
+    }
+
+    #[test]
+    fn smem_volatile_store_commits_immediately() {
+        let mut s = SharedMem::new(2);
+        s.store(0, 0, 42, true).unwrap();
+        assert_eq!(s.load(1, 0, false).unwrap(), 42);
+    }
+
+    #[test]
+    fn smem_bounds_fault() {
+        let s = SharedMem::new(2);
+        assert!(s.load(0, 2, false).is_err());
+    }
+}

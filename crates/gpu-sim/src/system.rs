@@ -1,0 +1,439 @@
+//! The simulated GPU system: devices, memory, and kernel launches.
+
+use crate::engine::Engine;
+use crate::isa::Kernel;
+use crate::mem::{BufData, BufId, Buffer};
+use gpu_arch::GpuArch;
+use gpu_node::NodeTopology;
+use serde::{Deserialize, Serialize};
+use sim_core::{Ps, SimError, SimResult};
+
+/// Which launch API a kernel was started with (paper §IV). Grid sync is only
+/// legal in cooperative launches; multi-grid sync only in multi-device
+/// cooperative launches — using them elsewhere is an invalid launch, and
+/// cooperative grids must fit co-resident or they are rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LaunchKind {
+    /// `kernel<<<...>>>` — the classic stream launch.
+    Traditional,
+    /// `cudaLaunchCooperativeKernel` — enables `grid.sync()`.
+    Cooperative,
+    /// `cudaLaunchCooperativeKernelMultiDevice` — enables multi-grid sync.
+    CooperativeMultiDevice,
+}
+
+/// A device-side grid launch description.
+#[derive(Debug, Clone)]
+pub struct GridLaunch {
+    pub kernel: Kernel,
+    /// Blocks per participating device.
+    pub grid_dim: u32,
+    /// Threads per block.
+    pub block_dim: u32,
+    pub kind: LaunchKind,
+    /// Participating device ids (exactly one unless multi-device).
+    pub devices: Vec<usize>,
+    /// Kernel parameters, one vector per participating device (same order).
+    pub params: Vec<Vec<u64>>,
+}
+
+impl GridLaunch {
+    /// Single-device launch with the same params every launch kind.
+    pub fn single(kernel: Kernel, grid_dim: u32, block_dim: u32, params: Vec<u64>) -> GridLaunch {
+        GridLaunch {
+            kernel,
+            grid_dim,
+            block_dim,
+            kind: LaunchKind::Traditional,
+            devices: vec![0],
+            params: vec![params],
+        }
+    }
+
+    pub fn cooperative(mut self) -> GridLaunch {
+        self.kind = LaunchKind::Cooperative;
+        self
+    }
+
+    pub fn on_device(mut self, device: usize) -> GridLaunch {
+        self.devices = vec![device];
+        self
+    }
+
+    /// Multi-device cooperative launch over `devices`, with per-device params.
+    pub fn multi(
+        kernel: Kernel,
+        grid_dim: u32,
+        block_dim: u32,
+        devices: Vec<usize>,
+        params: Vec<Vec<u64>>,
+    ) -> GridLaunch {
+        assert_eq!(devices.len(), params.len(), "one param set per device");
+        GridLaunch {
+            kernel,
+            grid_dim,
+            block_dim,
+            kind: LaunchKind::CooperativeMultiDevice,
+            devices,
+            params,
+        }
+    }
+}
+
+/// Execution statistics of one kernel run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecReport {
+    /// Wall time of the slowest participating device.
+    pub duration: Ps,
+    /// Per participating device (launch order), time until its grid drained.
+    pub device_durations: Vec<Ps>,
+    pub blocks_run: u64,
+    pub warps_run: u64,
+    pub instrs_executed: u64,
+}
+
+impl ExecReport {
+    /// Duration in cycles of the given device clock.
+    pub fn cycles(&self, arch: &GpuArch) -> u64 {
+        arch.clock().to_cycles_u64(self.duration)
+    }
+}
+
+/// A node of simulated GPUs with its interconnect and all device memory.
+///
+/// ```
+/// use gpu_sim::{GpuSystem, GridLaunch, kernels};
+/// use gpu_arch::GpuArch;
+///
+/// let mut arch = GpuArch::v100();
+/// arch.num_sms = 2;
+/// let mut sys = GpuSystem::single(arch);
+/// let report = sys
+///     .run(&GridLaunch::single(kernels::null_kernel(), 4, 64, vec![]))
+///     .unwrap();
+/// assert_eq!(report.blocks_run, 4);
+/// assert_eq!(report.warps_run, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpuSystem {
+    pub arch: GpuArch,
+    pub topology: NodeTopology,
+    pub(crate) bufs: Vec<Buffer>,
+    /// Instruction budget per kernel before the engine declares the kernel
+    /// non-terminating (spin loops that never observe their condition).
+    pub instr_limit: u64,
+}
+
+impl GpuSystem {
+    /// A node of `topology.num_gpus` identical GPUs.
+    pub fn new(arch: GpuArch, topology: NodeTopology) -> GpuSystem {
+        GpuSystem {
+            arch,
+            topology,
+            bufs: Vec::new(),
+            instr_limit: 200_000_000,
+        }
+    }
+
+    /// Lower (or raise) the per-kernel instruction budget — useful to make
+    /// spin-loop livelocks fail fast in tests.
+    pub fn with_instr_limit(mut self, limit: u64) -> GpuSystem {
+        self.instr_limit = limit;
+        self
+    }
+
+    /// Convenience: a single-GPU system.
+    pub fn single(arch: GpuArch) -> GpuSystem {
+        GpuSystem::new(arch, NodeTopology::single())
+    }
+
+    pub fn num_gpus(&self) -> usize {
+        self.topology.num_gpus
+    }
+
+    fn check_device(&self, device: usize) {
+        assert!(
+            device < self.num_gpus(),
+            "device {device} out of range ({} GPUs)",
+            self.num_gpus()
+        );
+    }
+
+    /// Allocate a zero-filled dense buffer of `words` 64-bit words.
+    pub fn alloc(&mut self, device: usize, words: u64) -> BufId {
+        self.check_device(device);
+        self.bufs.push(Buffer {
+            device,
+            data: BufData::Dense(vec![0; words as usize]),
+        });
+        BufId(self.bufs.len() as u32 - 1)
+    }
+
+    /// Allocate a dense buffer holding the given f64 values.
+    pub fn alloc_f64(&mut self, device: usize, vals: &[f64]) -> BufId {
+        self.check_device(device);
+        self.bufs.push(Buffer {
+            device,
+            data: BufData::Dense(vals.iter().map(|v| v.to_bits()).collect()),
+        });
+        BufId(self.bufs.len() as u32 - 1)
+    }
+
+    /// Allocate a synthetic buffer whose f64 value at index i is `a + b*i`.
+    /// O(1) storage regardless of length — the workload generator for
+    /// multi-gigabyte reduction inputs.
+    pub fn alloc_linear(&mut self, device: usize, a: f64, b: f64, len: u64) -> BufId {
+        self.check_device(device);
+        self.bufs.push(Buffer {
+            device,
+            data: BufData::Linear { a, b, len },
+        });
+        BufId(self.bufs.len() as u32 - 1)
+    }
+
+    pub fn buffer(&self, id: BufId) -> &Buffer {
+        &self.bufs[id.0 as usize]
+    }
+
+    pub fn buffer_mut(&mut self, id: BufId) -> &mut Buffer {
+        &mut self.bufs[id.0 as usize]
+    }
+
+    /// Read back a buffer as f64 values.
+    pub fn read_f64(&self, id: BufId) -> Vec<f64> {
+        let b = self.buffer(id);
+        (0..b.len())
+            .map(|i| f64::from_bits(b.load(i).unwrap()))
+            .collect()
+    }
+
+    /// Read back a buffer as raw words.
+    pub fn read_u64(&self, id: BufId) -> Vec<u64> {
+        let b = self.buffer(id);
+        (0..b.len()).map(|i| b.load(i).unwrap()).collect()
+    }
+
+    /// Validate and execute a grid launch to completion, returning its
+    /// device-side timing. Host-side launch overheads are *not* included —
+    /// they belong to the `cuda-rt` stream model.
+    pub fn run(&mut self, launch: &GridLaunch) -> SimResult<ExecReport> {
+        self.validate(launch)?;
+        Engine::new(self, launch).run()
+    }
+
+    /// [`Self::run`] with an execution trace: records up to `max_events`
+    /// executed instructions (time, warp, lane mask, pc, instruction) for
+    /// debugging kernel builders. Pair with [`crate::disasm`] for rendering.
+    pub fn run_traced(
+        &mut self,
+        launch: &GridLaunch,
+        max_events: usize,
+    ) -> SimResult<(ExecReport, Vec<crate::engine::TraceEvent>)> {
+        self.validate(launch)?;
+        Engine::new(self, launch).with_trace(max_events).run_full()
+    }
+
+    fn validate(&self, launch: &GridLaunch) -> SimResult<()> {
+        if launch.devices.is_empty() {
+            return Err(SimError::InvalidLaunch("no devices".into()));
+        }
+        for &d in &launch.devices {
+            if d >= self.num_gpus() {
+                return Err(SimError::InvalidLaunch(format!(
+                    "device {d} out of range ({} GPUs)",
+                    self.num_gpus()
+                )));
+            }
+        }
+        {
+            let mut seen = launch.devices.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() != launch.devices.len() {
+                return Err(SimError::InvalidLaunch("duplicate device".into()));
+            }
+        }
+        if launch.params.len() != launch.devices.len() {
+            return Err(SimError::InvalidLaunch(format!(
+                "{} param sets for {} devices",
+                launch.params.len(),
+                launch.devices.len()
+            )));
+        }
+        if launch.block_dim == 0 || launch.block_dim > self.arch.max_threads_per_block {
+            return Err(SimError::InvalidLaunch(format!(
+                "block_dim {} out of range",
+                launch.block_dim
+            )));
+        }
+        if launch.grid_dim == 0 {
+            return Err(SimError::InvalidLaunch("grid_dim is zero".into()));
+        }
+        if launch.kernel.shared_words * 8 > self.arch.shared_mem_per_sm_bytes {
+            return Err(SimError::InvalidLaunch(format!(
+                "{} words of shared memory exceed the SM's capacity",
+                launch.kernel.shared_words
+            )));
+        }
+        match launch.kind {
+            LaunchKind::Traditional | LaunchKind::Cooperative => {
+                if launch.devices.len() != 1 {
+                    return Err(SimError::InvalidLaunch(
+                        "single-device launch on multiple devices".into(),
+                    ));
+                }
+            }
+            LaunchKind::CooperativeMultiDevice => {}
+        }
+        // Cooperative grids must be fully co-resident or grid.sync deadlocks;
+        // CUDA rejects the launch instead.
+        if launch.kind != LaunchKind::Traditional {
+            let max =
+                self.arch
+                    .max_cooperative_blocks(launch.block_dim, launch.kernel.shared_words * 8);
+            if launch.grid_dim > max {
+                return Err(SimError::InvalidLaunch(format!(
+                    "cooperative launch of {} blocks exceeds co-resident capacity {}",
+                    launch.grid_dim, max
+                )));
+            }
+        }
+        let uses_grid_sync = launch
+            .kernel
+            .program
+            .instrs
+            .iter()
+            .any(|i| matches!(i, crate::isa::Instr::GridSync));
+        let uses_mgrid_sync = launch
+            .kernel
+            .program
+            .instrs
+            .iter()
+            .any(|i| matches!(i, crate::isa::Instr::MultiGridSync));
+        if uses_grid_sync && launch.kind == LaunchKind::Traditional {
+            return Err(SimError::InvalidLaunch(
+                "grid.sync() requires a cooperative launch".into(),
+            ));
+        }
+        if uses_mgrid_sync && launch.kind != LaunchKind::CooperativeMultiDevice {
+            return Err(SimError::InvalidLaunch(
+                "multi_grid.sync() requires cudaLaunchCooperativeKernelMultiDevice".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Time to copy `bytes` from `src` device to `dst` device over the node
+    /// fabric (used by the host runtime's peer-copy model).
+    pub fn peer_copy_time(&self, src: usize, dst: usize, bytes: u64) -> Ps {
+        self.check_device(src);
+        self.check_device(dst);
+        if src == dst {
+            // Device-local copy at DRAM bandwidth (read + write).
+            let gbs = self.arch.memory.dram_effective_gbs() / 2.0;
+            return Ps((bytes as f64 / (gbs / 1e3)).ceil() as u64);
+        }
+        let gbs = self.topology.peer_bandwidth_gbs(src, dst);
+        let lat = self.topology.flag_latency(src, dst);
+        lat + Ps((bytes as f64 / (gbs / 1e3)).ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::KernelBuilder;
+
+    fn null_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("null");
+        b.exit();
+        b.build(0)
+    }
+
+    fn grid_sync_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("gs");
+        b.grid_sync();
+        b.build(0)
+    }
+
+    #[test]
+    fn alloc_and_read_back() {
+        let mut sys = GpuSystem::single(GpuArch::v100());
+        let b = sys.alloc_f64(0, &[1.0, 2.0, 3.0]);
+        assert_eq!(sys.read_f64(b), vec![1.0, 2.0, 3.0]);
+        let z = sys.alloc(0, 4);
+        assert_eq!(sys.read_u64(z), vec![0; 4]);
+    }
+
+    #[test]
+    fn linear_alloc_is_cheap_and_readable() {
+        let mut sys = GpuSystem::single(GpuArch::v100());
+        let b = sys.alloc_linear(0, 2.0, 0.5, 1 << 40);
+        assert_eq!(sys.buffer(b).len(), 1 << 40);
+        assert_eq!(f64::from_bits(sys.buffer(b).load(4).unwrap()), 4.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut sys = GpuSystem::single(GpuArch::v100());
+        let k = null_kernel();
+        // zero grid
+        let l = GridLaunch::single(k.clone(), 0, 32, vec![]);
+        assert!(matches!(sys.run(&l), Err(SimError::InvalidLaunch(_))));
+        // oversized block
+        let l = GridLaunch::single(k.clone(), 1, 2048, vec![]);
+        assert!(sys.run(&l).is_err());
+        // bad device
+        let l = GridLaunch::single(k, 1, 32, vec![]).on_device(3);
+        assert!(sys.run(&l).is_err());
+    }
+
+    #[test]
+    fn grid_sync_requires_cooperative_launch() {
+        let mut sys = GpuSystem::single(GpuArch::v100());
+        let l = GridLaunch::single(grid_sync_kernel(), 8, 32, vec![]);
+        assert!(matches!(sys.run(&l), Err(SimError::InvalidLaunch(_))));
+        let l = GridLaunch::single(grid_sync_kernel(), 8, 32, vec![]).cooperative();
+        assert!(sys.run(&l).is_ok());
+    }
+
+    #[test]
+    fn cooperative_launch_must_fit_coresident() {
+        let mut sys = GpuSystem::single(GpuArch::v100());
+        // 1024-thread blocks: 2 per SM * 80 SMs = 160 max.
+        let l = GridLaunch::single(grid_sync_kernel(), 161, 1024, vec![]).cooperative();
+        assert!(matches!(sys.run(&l), Err(SimError::InvalidLaunch(_))));
+        let l = GridLaunch::single(grid_sync_kernel(), 160, 1024, vec![]).cooperative();
+        assert!(sys.run(&l).is_ok());
+    }
+
+    #[test]
+    fn traditional_launch_may_oversubscribe() {
+        let mut sys = GpuSystem::single(GpuArch::v100());
+        let l = GridLaunch::single(null_kernel(), 10_000, 256, vec![]);
+        let r = sys.run(&l).unwrap();
+        assert_eq!(r.blocks_run, 10_000);
+    }
+
+    #[test]
+    fn multi_grid_sync_requires_multi_device_launch() {
+        let mut sys = GpuSystem::new(GpuArch::v100(), gpu_node::NodeTopology::dgx1_v100());
+        let mut b = KernelBuilder::new("mg");
+        b.multi_grid_sync();
+        let k = b.build(0);
+        let l = GridLaunch::single(k.clone(), 8, 32, vec![]).cooperative();
+        assert!(sys.run(&l).is_err());
+        let l = GridLaunch::multi(k, 8, 32, vec![0, 1], vec![vec![], vec![]]);
+        assert!(sys.run(&l).is_ok());
+    }
+
+    #[test]
+    fn peer_copy_time_scales_with_link() {
+        let sys = GpuSystem::new(GpuArch::v100(), gpu_node::NodeTopology::dgx1_v100());
+        let near = sys.peer_copy_time(0, 1, 1 << 20);
+        let far = sys.peer_copy_time(0, 5, 1 << 20);
+        assert!(far > near);
+        let local = sys.peer_copy_time(0, 0, 1 << 20);
+        assert!(local < near);
+    }
+}

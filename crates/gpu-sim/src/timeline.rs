@@ -1,0 +1,113 @@
+//! Render an execution trace as a per-warp timeline — a poor man's
+//! Nsight-style view of what the simulated SMs were doing.
+
+use crate::engine::TraceEvent;
+use crate::isa::Instr;
+use sim_core::Ps;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Classify an instruction into a one-character timeline glyph.
+fn glyph(i: &Instr) -> char {
+    use Instr::*;
+    match i {
+        IAdd(..) | ISub(..) | IMul(..) | IMin(..) | IAnd(..) | CmpLt(..) | CmpEq(..)
+        | Mov(..) | I2F(..) | FAdd(..) | FMul(..) | FAdd32(..) => 'a',
+        Bra(..) | BraIf(..) | BraIfZ(..) | Exit => 'b',
+        LdShared { .. } | StShared { .. } | SmemStream { .. } => 's',
+        LdGlobal { .. } | StGlobal { .. } | MemStream { .. } | MemCombine { .. } => 'g',
+        AtomicFAdd { .. } => 'A',
+        Shfl { .. } => 'h',
+        SyncTile { .. } | SyncCoalesced => 'w',
+        BarSync => 'B',
+        GridSync => 'G',
+        MultiGridSync => 'M',
+        MemFence => 'f',
+        Nanosleep(..) => 'z',
+        ReadClock(..) => 'c',
+    }
+}
+
+/// Render `events` into a timeline of `width` character-columns. One row per
+/// (rank, block, warp); each cell shows the *last* instruction class that
+/// warp issued in that time slice, `.` where it issued nothing.
+pub fn render_timeline(events: &[TraceEvent], width: usize) -> String {
+    assert!(width >= 10, "timeline too narrow");
+    if events.is_empty() {
+        return "(empty trace)\n".to_string();
+    }
+    let t0 = events.first().map(|e| e.at).unwrap_or(Ps::ZERO);
+    let t1 = events.iter().map(|e| e.at).max().unwrap_or(t0);
+    let span = (t1 - t0).0.max(1);
+    let mut rows: BTreeMap<(u32, u32, u32), Vec<char>> = BTreeMap::new();
+    for e in events {
+        let row = rows
+            .entry((e.rank, e.block, e.warp_in_block))
+            .or_insert_with(|| vec!['.'; width]);
+        let col = (((e.at - t0).0 as u128 * (width - 1) as u128) / span as u128) as usize;
+        row[col] = glyph(&e.instr);
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "timeline: {} .. {} ({} events; a=alu b=branch s=smem g=gmem A=atomic \
+         h=shfl w=warp-sync B=block-sync G=grid-sync M=mgrid-sync f=fence z=sleep c=clock)",
+        t0,
+        t1,
+        events.len()
+    );
+    for ((rank, block, warp), row) in rows {
+        let _ = writeln!(
+            out,
+            "g{rank}/b{block:<4}/w{warp:<3} |{}|",
+            row.iter().collect::<String>()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+    use crate::{GpuSystem, GridLaunch};
+    use gpu_arch::GpuArch;
+
+    #[test]
+    fn timeline_renders_barrier_glyphs() {
+        let mut arch = GpuArch::v100();
+        arch.num_sms = 2;
+        let mut sys = GpuSystem::single(arch);
+        let out = sys.alloc(0, 4 * 64);
+        let k = kernels::sync_chain(crate::kernels::SyncOp::Block, 8);
+        let (_, trace) = sys
+            .run_traced(
+                &GridLaunch::single(k, 4, 64, vec![out.0 as u64]),
+                10_000,
+            )
+            .unwrap();
+        let tl = render_timeline(&trace, 60);
+        assert!(tl.contains('B'), "no block-sync glyph:\n{tl}");
+        assert!(tl.contains("g0/b0"), "{tl}");
+        // 4 blocks x 2 warps = 8 rows + header.
+        assert_eq!(tl.lines().count(), 9, "{tl}");
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        assert_eq!(render_timeline(&[], 40), "(empty trace)\n");
+    }
+
+    #[test]
+    fn columns_scale_with_time() {
+        let mut arch = GpuArch::v100();
+        arch.num_sms = 1;
+        let mut sys = GpuSystem::single(arch);
+        let k = kernels::sleep_kernel(10_000);
+        let (_, trace) = sys
+            .run_traced(&GridLaunch::single(k, 1, 32, vec![]), 100)
+            .unwrap();
+        let tl = render_timeline(&trace, 40);
+        assert!(tl.contains('z'), "{tl}");
+    }
+}

@@ -1,0 +1,475 @@
+//! End-to-end behaviour of the SIMT engine: semantics, timing shapes, and
+//! the paper's qualitative observations.
+
+use gpu_sim::isa::{Instr, KernelBuilder, Operand::*, ShflKind, ShflMode, Special};
+use gpu_sim::kernels::{self, SyncOp};
+use gpu_sim::{fimm, GpuSystem, GridLaunch};
+use gpu_arch::GpuArch;
+use gpu_node::NodeTopology;
+use sim_core::SimError;
+
+fn v100_small(sms: u32) -> GpuArch {
+    let mut a = GpuArch::v100();
+    a.num_sms = sms;
+    a
+}
+
+fn p100_small(sms: u32) -> GpuArch {
+    let mut a = GpuArch::p100();
+    a.num_sms = sms;
+    a
+}
+
+// ---------- semantics ---------------------------------------------------------
+
+#[test]
+fn threads_write_their_global_ids() {
+    let mut sys = GpuSystem::single(v100_small(4));
+    let out = sys.alloc(0, 256);
+    let mut b = KernelBuilder::new("ids");
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::GlobalTid),
+        val: Sp(Special::GlobalTid),
+    });
+    b.exit();
+    let k = b.build(0);
+    let l = GridLaunch::single(k, 4, 64, vec![out.0 as u64]);
+    sys.run(&l).unwrap();
+    let vals = sys.read_u64(out);
+    assert_eq!(vals, (0u64..256).collect::<Vec<_>>());
+}
+
+#[test]
+fn loop_counts_to_ten() {
+    let mut sys = GpuSystem::single(v100_small(1));
+    let out = sys.alloc(0, 32);
+    let mut b = KernelBuilder::new("loop");
+    let r = b.reg();
+    let c = b.reg();
+    b.mov(r, Imm(0));
+    b.label("top");
+    b.iadd(r, Reg(r), Imm(1));
+    b.cmp_lt(c, Reg(r), Imm(10));
+    b.bra_if(Reg(c), "top");
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::Tid),
+        val: Reg(r),
+    });
+    b.exit();
+    let k = b.build(0);
+    sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
+        .unwrap();
+    assert!(sys.read_u64(out).iter().all(|&v| v == 10));
+}
+
+#[test]
+fn float_math_works() {
+    let mut sys = GpuSystem::single(v100_small(1));
+    let out = sys.alloc(0, 32);
+    let mut b = KernelBuilder::new("fmath");
+    let r = b.reg();
+    b.mov(r, fimm(1.5));
+    b.fadd(r, Reg(r), fimm(2.25));
+    b.push(Instr::FMul(r, Reg(r), fimm(2.0)));
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::Tid),
+        val: Reg(r),
+    });
+    b.exit();
+    sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
+        .unwrap();
+    assert_eq!(sys.read_f64(out)[0], 7.5);
+}
+
+#[test]
+fn shuffle_down_moves_values() {
+    let mut sys = GpuSystem::single(v100_small(1));
+    let out = sys.alloc(0, 32);
+    let mut b = KernelBuilder::new("shfl");
+    let r = b.reg();
+    b.mov(r, Sp(Special::LaneId));
+    b.push(Instr::Shfl {
+        dst: r,
+        val: Reg(r),
+        kind: ShflKind::Tile,
+        mode: ShflMode::Down(4),
+        width: 32,
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::LaneId),
+        val: Reg(r),
+    });
+    b.exit();
+    sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
+        .unwrap();
+    let vals = sys.read_u64(out);
+    // lane L gets lane L+4's value; top 4 lanes keep their own.
+    for l in 0..28 {
+        assert_eq!(vals[l], l as u64 + 4);
+    }
+    for l in 28..32 {
+        assert_eq!(vals[l], l as u64);
+    }
+}
+
+#[test]
+fn memstream_sums_match_on_both_backings() {
+    let mut sys = GpuSystem::single(v100_small(2));
+    let n = 10_000u64;
+    let dense_vals: Vec<f64> = (0..n).map(|i| (i % 97) as f64 * 0.5).collect();
+    let expect: f64 = dense_vals.iter().sum();
+    let data = sys.alloc_f64(0, &dense_vals);
+    let out = sys.alloc(0, 2 * 64);
+    let k = kernels::stream_kernel(1);
+    let l = GridLaunch::single(k, 2, 64, vec![data.0 as u64, n, out.0 as u64]);
+    sys.run(&l).unwrap();
+    let total: f64 = sys.read_f64(out).iter().sum();
+    assert!((total - expect).abs() < 1e-6 * expect.max(1.0), "{total} vs {expect}");
+}
+
+// ---------- timing: intra-SM methods ------------------------------------------
+
+/// Wong's chain must recover the FP32 add latency: 4 cycles on V100, 6 on
+/// P100 (§IX-D's cross-validation anchor).
+#[test]
+fn wong_chain_recovers_fadd32_latency() {
+    for (arch, expect) in [(v100_small(1), 4.0), (p100_small(1), 6.0)] {
+        let mut sys = GpuSystem::single(arch);
+        let out = sys.alloc(0, 32);
+        let reps = 512;
+        let k = kernels::fadd32_chain(reps);
+        sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
+            .unwrap();
+        let cycles = sys.read_u64(out)[0] as f64;
+        let per = cycles / reps as f64;
+        assert!(
+            (per - expect).abs() < 0.5,
+            "measured {per:.2} cycles, expected {expect}"
+        );
+    }
+}
+
+#[test]
+fn tile_sync_latency_near_table2() {
+    // V100: 14 cycles; P100: 1 cycle (non-blocking fence).
+    for (arch, expect, tol) in [(v100_small(1), 14.0, 2.0), (p100_small(1), 1.0, 1.5)] {
+        let mut sys = GpuSystem::single(arch);
+        let out = sys.alloc(0, 32);
+        let reps = 128;
+        let k = kernels::sync_chain(SyncOp::Tile(32), reps);
+        sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
+            .unwrap();
+        let per = sys.read_u64(out)[0] as f64 / reps as f64;
+        assert!(
+            (per - expect).abs() <= tol,
+            "tile sync {per:.2} cycles, expected ~{expect}"
+        );
+    }
+}
+
+#[test]
+fn tile_sync_latency_insensitive_to_group_size() {
+    // Paper: tile width does not change latency (merged instruction).
+    let mut per_width = Vec::new();
+    for width in [1u32, 2, 4, 8, 16, 32] {
+        let mut sys = GpuSystem::single(v100_small(1));
+        let out = sys.alloc(0, 32);
+        let k = kernels::sync_chain(SyncOp::Tile(width), 64);
+        sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
+            .unwrap();
+        per_width.push(sys.read_u64(out)[0] as f64 / 64.0);
+    }
+    let min = per_width.iter().cloned().fold(f64::MAX, f64::min);
+    let max = per_width.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max - min < 1.0, "{per_width:?}");
+}
+
+#[test]
+fn partial_coalesced_sync_is_slow_on_volta_only() {
+    // V100: 108-cycle software path for groups of 1-31; P100: ~1 cycle.
+    let mut sys = GpuSystem::single(v100_small(1));
+    let out = sys.alloc(0, 32);
+    let k = kernels::coalesced_partial_chain(16, 64);
+    sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
+        .unwrap();
+    let per = sys.read_u64(out)[0] as f64 / 64.0;
+    assert!((per - 108.0).abs() < 10.0, "V100 partial coalesced {per:.1}");
+
+    let mut sys = GpuSystem::single(p100_small(1));
+    let out = sys.alloc(0, 32);
+    let k = kernels::coalesced_partial_chain(16, 64);
+    sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
+        .unwrap();
+    let per = sys.read_u64(out)[0] as f64 / 64.0;
+    assert!(per < 5.0, "P100 partial coalesced {per:.1}");
+}
+
+#[test]
+fn block_sync_latency_near_table2() {
+    // Single warp dependent chain: ~22 cycles V100, ~218 P100.
+    for (arch, expect, tol) in [(v100_small(1), 22.0, 3.0), (p100_small(1), 218.0, 12.0)] {
+        let mut sys = GpuSystem::single(arch);
+        let out = sys.alloc(0, 32);
+        let reps = 64;
+        let k = kernels::sync_chain(SyncOp::Block, reps);
+        sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
+            .unwrap();
+        let per = sys.read_u64(out)[0] as f64 / reps as f64;
+        assert!(
+            (per - expect).abs() <= tol,
+            "block sync {per:.2} cycles, expected ~{expect}"
+        );
+    }
+}
+
+#[test]
+fn block_sync_scales_with_warp_count() {
+    // Fig. 4: more active warps -> more arrival serialization per sync.
+    let mut lat = Vec::new();
+    for threads in [32u32, 256, 1024] {
+        let mut sys = GpuSystem::single(v100_small(1));
+        let out = sys.alloc(0, threads as u64);
+        let k = kernels::sync_chain(SyncOp::Block, 32);
+        sys.run(&GridLaunch::single(k, 1, threads, vec![out.0 as u64]))
+            .unwrap();
+        let per = sys.read_u64(out)[0] as f64 / 32.0;
+        lat.push(per);
+    }
+    assert!(lat[0] < lat[1] && lat[1] < lat[2], "{lat:?}");
+    // 32 warps: ~ 20 + 2.1*32 = 87 cycles.
+    assert!((lat[2] - 87.0).abs() < 15.0, "1024-thread block sync {lat:?}");
+}
+
+// ---------- grid & multi-grid barriers -----------------------------------------
+
+#[test]
+fn grid_sync_completes_and_orders_memory() {
+    // Producer blocks write, grid.sync, consumer blocks read.
+    let mut sys = GpuSystem::single(v100_small(4));
+    let buf = sys.alloc(0, 4);
+    let out = sys.alloc(0, 4);
+    let mut b = KernelBuilder::new("gs-order");
+    let c = b.reg();
+    let v = b.reg();
+    // block 0 writes 42+blockid to buf[blockid]
+    b.cmp_eq(c, Sp(Special::Tid), Imm(0));
+    b.bra_ifz(Reg(c), "sync");
+    b.iadd(v, Sp(Special::BlockId), Imm(42));
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::BlockId),
+        val: Reg(v),
+    });
+    b.label("sync");
+    b.grid_sync();
+    // After the barrier every block 's thread 0 reads its neighbour's slot.
+    b.cmp_eq(c, Sp(Special::Tid), Imm(0));
+    b.bra_ifz(Reg(c), "out");
+    let nb = b.reg();
+    b.iadd(nb, Sp(Special::BlockId), Imm(1));
+    b.push(Instr::IMin(nb, Reg(nb), Imm(3)));
+    b.push(Instr::LdGlobal {
+        dst: v,
+        buf: Param(0),
+        idx: Reg(nb),
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Sp(Special::BlockId),
+        val: Reg(v),
+    });
+    b.label("out");
+    b.exit();
+    let k = b.build(0);
+    let l = GridLaunch::single(k, 4, 32, vec![buf.0 as u64, out.0 as u64]).cooperative();
+    sys.run(&l).unwrap();
+    assert_eq!(sys.read_u64(out), vec![43, 44, 45, 45]);
+}
+
+#[test]
+fn grid_sync_latency_grows_with_blocks_per_sm() {
+    // Fig. 5: latency driven by blocks/SM far more than threads/block.
+    let arch = GpuArch::v100();
+    let mut by_blocks = Vec::new();
+    for bpsm in [1u32, 2, 4] {
+        let mut sys = GpuSystem::single(arch.clone());
+        let out = sys.alloc(0, (80 * bpsm * 32) as u64);
+        let k = kernels::sync_chain(SyncOp::Grid, 4);
+        let l = GridLaunch::single(k, 80 * bpsm, 32, vec![out.0 as u64]).cooperative();
+        sys.run(&l).unwrap();
+        by_blocks.push(sys.read_u64(out)[0] as f64 / 4.0);
+    }
+    assert!(by_blocks[0] < by_blocks[1] && by_blocks[1] < by_blocks[2], "{by_blocks:?}");
+}
+
+#[test]
+fn multi_grid_sync_runs_on_two_gpus() {
+    let mut sys = GpuSystem::new(GpuArch::v100(), NodeTopology::dgx1_v100());
+    let out0 = sys.alloc(0, 32 * 80);
+    let out1 = sys.alloc(1, 32 * 80);
+    let k = kernels::sync_chain(SyncOp::MultiGrid, 2);
+    let l = GridLaunch::multi(
+        k,
+        80,
+        32,
+        vec![0, 1],
+        vec![vec![out0.0 as u64], vec![out1.0 as u64]],
+    );
+    let r = sys.run(&l).unwrap();
+    // Multi-grid across NVLink costs several microseconds per round.
+    assert!(r.duration.as_us() > 5.0, "duration {}", r.duration);
+    assert_eq!(r.device_durations.len(), 2);
+}
+
+// ---------- §VIII-B deadlocks ---------------------------------------------------
+
+#[test]
+fn partial_grid_sync_deadlocks() {
+    // Only even blocks call grid.sync(): deadlock, as the paper observed.
+    let mut sys = GpuSystem::single(v100_small(4));
+    let mut b = KernelBuilder::new("partial-grid");
+    let c = b.reg();
+    let bit = b.reg();
+    b.push(Instr::IAnd(bit, Sp(Special::BlockId), Imm(1)));
+    b.cmp_eq(c, Reg(bit), Imm(0));
+    b.bra_ifz(Reg(c), "out");
+    b.grid_sync();
+    b.label("out");
+    b.exit();
+    let k = b.build(0);
+    let l = GridLaunch::single(k, 4, 32, vec![]).cooperative();
+    match sys.run(&l) {
+        Err(SimError::Deadlock { blocked, .. }) => {
+            assert!(blocked.iter().any(|s| s.contains("grid barrier")), "{blocked:?}");
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn partial_multi_grid_sync_deadlocks() {
+    // Only GPU 0 calls multi_grid.sync(): deadlock.
+    let mut sys = GpuSystem::new(v100_small(2), NodeTopology::dgx1_v100());
+    let mut b = KernelBuilder::new("partial-mgrid");
+    let c = b.reg();
+    b.cmp_eq(c, Sp(Special::GpuRank), Imm(0));
+    b.bra_ifz(Reg(c), "out");
+    b.multi_grid_sync();
+    b.label("out");
+    b.exit();
+    let k = b.build(0);
+    let l = GridLaunch::multi(k, 2, 32, vec![0, 1], vec![vec![], vec![]]);
+    assert!(matches!(sys.run(&l), Err(SimError::Deadlock { .. })));
+}
+
+#[test]
+fn block_sync_with_exited_threads_does_not_deadlock() {
+    // Half of each warp exits early; the rest __syncthreads: completes
+    // (exited threads are not counted), matching observed CUDA behaviour.
+    let mut sys = GpuSystem::single(v100_small(1));
+    let mut b = KernelBuilder::new("partial-block");
+    let c = b.reg();
+    b.cmp_lt(c, Sp(Special::Tid), Imm(16));
+    b.bra_ifz(Reg(c), "out");
+    b.bar_sync();
+    b.label("out");
+    b.exit();
+    let k = b.build(0);
+    let l = GridLaunch::single(k, 1, 64, vec![]);
+    sys.run(&l).unwrap();
+}
+
+#[test]
+fn warp_barrier_with_exited_lanes_completes() {
+    let mut sys = GpuSystem::single(v100_small(1));
+    let mut b = KernelBuilder::new("partial-warp");
+    let c = b.reg();
+    b.cmp_lt(c, Sp(Special::LaneId), Imm(8));
+    b.bra_ifz(Reg(c), "out");
+    b.push(Instr::SyncTile { width: 32 });
+    b.label("out");
+    b.exit();
+    let k = b.build(0);
+    sys.run(&GridLaunch::single(k, 1, 32, vec![])).unwrap();
+}
+
+// ---------- §VIII-A / Fig. 18: does a warp barrier actually block? ---------------
+
+#[test]
+fn warp_probe_v100_blocks_until_last_arrival() {
+    let mut sys = GpuSystem::single(v100_small(1));
+    let starts_buf = sys.alloc(0, 32);
+    let ends_buf = sys.alloc(0, 32);
+    let k = kernels::warp_probe();
+    sys.run(&GridLaunch::single(
+        k,
+        1,
+        32,
+        vec![starts_buf.0 as u64, ends_buf.0 as u64],
+    ))
+    .unwrap();
+    let starts = sys.read_u64(starts_buf);
+    let ends = sys.read_u64(ends_buf);
+    let max_start = *starts.iter().max().unwrap();
+    let min_start = *starts.iter().min().unwrap();
+    // Start staircase spans thousands of cycles (paper: ~12k).
+    assert!(max_start - min_start > 3_000, "staircase span {}", max_start - min_start);
+    // Barrier blocks: every end is after the last start.
+    assert!(ends.iter().all(|&e| e >= max_start), "V100 ends must trail last arrival");
+    // Ends cluster after the barrier: their spread is small relative to the
+    // start staircase (post-barrier clock reads still serialize per lane).
+    let spread = ends.iter().max().unwrap() - ends.iter().min().unwrap();
+    assert!(
+        (spread as f64) < 0.25 * (max_start - min_start) as f64,
+        "end spread {spread} vs staircase {}",
+        max_start - min_start
+    );
+}
+
+#[test]
+fn warp_probe_p100_does_not_block() {
+    let mut sys = GpuSystem::single(p100_small(1));
+    let starts_buf = sys.alloc(0, 32);
+    let ends_buf = sys.alloc(0, 32);
+    let k = kernels::warp_probe();
+    sys.run(&GridLaunch::single(
+        k,
+        1,
+        32,
+        vec![starts_buf.0 as u64, ends_buf.0 as u64],
+    ))
+    .unwrap();
+    let starts = sys.read_u64(starts_buf);
+    let ends = sys.read_u64(ends_buf);
+    let max_start = *starts.iter().max().unwrap();
+    // Early lanes finish long before the last lane even starts.
+    let early_end = ends.iter().min().unwrap();
+    assert!(*early_end < max_start, "P100 barrier must not block");
+    // Ends follow the staircase: each lane's end shortly after its start.
+    for l in 0..32 {
+        assert!(ends[l] >= starts[l] && ends[l] - starts[l] < 300, "lane {l}");
+    }
+}
+
+// ---------- nanosleep & clocks ---------------------------------------------------
+
+#[test]
+fn nanosleep_controls_kernel_duration() {
+    let mut sys = GpuSystem::single(v100_small(1));
+    let k = kernels::sleep_kernel(10_000); // 10 us
+    let r = sys.run(&GridLaunch::single(k, 1, 32, vec![])).unwrap();
+    assert!((r.duration.as_us() - 10.0).abs() < 0.5, "{}", r.duration);
+}
+
+#[test]
+fn report_counts_blocks_and_warps() {
+    let mut sys = GpuSystem::single(v100_small(2));
+    let k = kernels::null_kernel();
+    let r = sys.run(&GridLaunch::single(k, 6, 128, vec![])).unwrap();
+    assert_eq!(r.blocks_run, 6);
+    assert_eq!(r.warps_run, 6 * 4);
+}

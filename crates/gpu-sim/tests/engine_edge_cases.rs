@@ -1,0 +1,487 @@
+//! Second-wave engine tests: instruction semantics, divergence corners,
+//! error paths, oversubscription, and multi-round barrier loops.
+
+use gpu_arch::GpuArch;
+use gpu_node::NodeTopology;
+use gpu_sim::isa::{Instr, KernelBuilder, Operand::*, ShflKind, ShflMode, Special};
+use gpu_sim::kernels::{self, SyncOp};
+use gpu_sim::{fimm, GpuSystem, GridLaunch};
+use sim_core::SimError;
+
+fn v100(sms: u32) -> GpuArch {
+    let mut a = GpuArch::v100();
+    a.num_sms = sms;
+    a
+}
+
+// ---------- instruction semantics ----------------------------------------------
+
+#[test]
+fn shuffle_idx_broadcasts_a_lane() {
+    let mut sys = GpuSystem::single(v100(1));
+    let out = sys.alloc(0, 32);
+    let mut b = KernelBuilder::new("shfl-idx");
+    let r = b.reg();
+    b.mov(r, Sp(Special::LaneId));
+    b.push(Instr::Shfl {
+        dst: r,
+        val: Reg(r),
+        kind: ShflKind::Tile,
+        mode: ShflMode::Idx(7),
+        width: 32,
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::LaneId),
+        val: Reg(r),
+    });
+    b.exit();
+    sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
+        .unwrap();
+    assert!(sys.read_u64(out).iter().all(|&v| v == 7));
+}
+
+#[test]
+fn shuffle_idx_respects_tile_width() {
+    // width 8: each 8-lane tile broadcasts its own lane (base + idx%8).
+    let mut sys = GpuSystem::single(v100(1));
+    let out = sys.alloc(0, 32);
+    let mut b = KernelBuilder::new("shfl-idx-w8");
+    let r = b.reg();
+    b.mov(r, Sp(Special::LaneId));
+    b.push(Instr::Shfl {
+        dst: r,
+        val: Reg(r),
+        kind: ShflKind::Tile,
+        mode: ShflMode::Idx(3),
+        width: 8,
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::LaneId),
+        val: Reg(r),
+    });
+    b.exit();
+    sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
+        .unwrap();
+    let v = sys.read_u64(out);
+    for lane in 0..32u64 {
+        assert_eq!(v[lane as usize], lane / 8 * 8 + 3, "lane {lane}");
+    }
+}
+
+#[test]
+fn predicated_store_skips_false_lanes() {
+    let mut sys = GpuSystem::single(v100(1));
+    let out = sys.alloc(0, 32);
+    let mut b = KernelBuilder::new("pred-st");
+    let c = b.reg();
+    let v = b.reg();
+    b.cmp_lt(c, Sp(Special::Tid), Imm(10));
+    b.mov(v, Imm(5));
+    // Store 5 to shared only where tid < 10, then copy shared to global.
+    b.push(Instr::StShared {
+        addr: Sp(Special::Tid),
+        val: Reg(v),
+        volatile: false,
+        pred: Some(Reg(c)),
+    });
+    b.bar_sync();
+    b.push(Instr::LdShared {
+        dst: v,
+        addr: Sp(Special::Tid),
+        volatile: false,
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::Tid),
+        val: Reg(v),
+    });
+    b.exit();
+    sys.run(&GridLaunch::single(b.build(32), 1, 32, vec![out.0 as u64]))
+        .unwrap();
+    let got = sys.read_u64(out);
+    for t in 0..32 {
+        assert_eq!(got[t], if t < 10 { 5 } else { 0 }, "tid {t}");
+    }
+}
+
+#[test]
+fn atomic_fadd_returns_old_values_in_order() {
+    let mut sys = GpuSystem::single(v100(1));
+    let cell = sys.alloc_f64(0, &[0.0]);
+    let olds = sys.alloc(0, 32);
+    let mut b = KernelBuilder::new("atomic-old");
+    let o = b.reg();
+    b.push(Instr::AtomicFAdd {
+        dst_old: Some(o),
+        buf: Param(0),
+        idx: Imm(0),
+        val: fimm(1.0),
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Sp(Special::Tid),
+        val: Reg(o),
+    });
+    b.exit();
+    sys.run(&GridLaunch::single(
+        b.build(0),
+        1,
+        32,
+        vec![cell.0 as u64, olds.0 as u64],
+    ))
+    .unwrap();
+    assert_eq!(sys.read_f64(cell)[0], 32.0);
+    let mut olds: Vec<f64> = sys.read_f64(olds);
+    olds.sort_by(f64::total_cmp);
+    let expect: Vec<f64> = (0..32).map(|i| i as f64).collect();
+    assert_eq!(olds, expect, "each lane must see a distinct old value");
+}
+
+#[test]
+fn i2f_converts_integers() {
+    let mut sys = GpuSystem::single(v100(1));
+    let out = sys.alloc(0, 32);
+    let mut b = KernelBuilder::new("i2f");
+    let r = b.reg();
+    b.push(Instr::I2F(r, Sp(Special::Tid)));
+    b.fadd(r, Reg(r), fimm(0.5));
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::Tid),
+        val: Reg(r),
+    });
+    b.exit();
+    sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
+        .unwrap();
+    let v = sys.read_f64(out);
+    for t in 0..32 {
+        assert_eq!(v[t], t as f64 + 0.5);
+    }
+}
+
+#[test]
+fn volatile_loads_see_volatile_stores_across_threads() {
+    // Lane 0 volatile-stores; lane 1 reads it after a plain (non-barrier)
+    // reconvergence — visible because volatile stores commit immediately.
+    let mut sys = GpuSystem::single(v100(1));
+    let out = sys.alloc(0, 32);
+    let mut b = KernelBuilder::new("vol");
+    let c = b.reg();
+    let v = b.reg();
+    b.cmp_eq(c, Sp(Special::LaneId), Imm(0));
+    b.bra_ifz(Reg(c), "rd");
+    b.mov(v, Imm(99));
+    b.push(Instr::StShared {
+        addr: Imm(0),
+        val: Reg(v),
+        volatile: true,
+        pred: None,
+    });
+    b.label("rd");
+    b.push(Instr::LdShared {
+        dst: v,
+        addr: Imm(0),
+        volatile: true,
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::LaneId),
+        val: Reg(v),
+    });
+    b.exit();
+    sys.run(&GridLaunch::single(b.build(4), 1, 32, vec![out.0 as u64]))
+        .unwrap();
+    // Lane 0 executes the store arm first (lowest PC group ordering), so by
+    // the time the other lanes load, the value is committed.
+    assert_eq!(sys.read_u64(out)[1], 99);
+}
+
+// ---------- configuration corners ------------------------------------------------
+
+#[test]
+fn partial_last_warp_runs_correctly() {
+    // 70 threads: two full warps + one 6-lane warp.
+    let mut sys = GpuSystem::single(v100(1));
+    let out = sys.alloc(0, 70);
+    let mut b = KernelBuilder::new("partial-warp");
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::Tid),
+        val: Sp(Special::Tid),
+    });
+    b.bar_sync();
+    b.exit();
+    let r = sys
+        .run(&GridLaunch::single(b.build(0), 1, 70, vec![out.0 as u64]))
+        .unwrap();
+    assert_eq!(r.warps_run, 3);
+    assert_eq!(sys.read_u64(out), (0u64..70).collect::<Vec<_>>());
+}
+
+#[test]
+fn grid_sync_loops_for_many_rounds() {
+    // 20 rounds of grid sync across 2 blocks/SM: the barrier state machine
+    // must reset cleanly between rounds.
+    let mut sys = GpuSystem::single(v100(4));
+    let out = sys.alloc(0, 8 * 32);
+    let k = kernels::sync_chain(SyncOp::Grid, 20);
+    let l = GridLaunch::single(k, 8, 32, vec![out.0 as u64]).cooperative();
+    let rep = sys.run(&l).unwrap();
+    let per = sys.read_u64(out)[0] as f64 / 20.0;
+    assert!(per > 500.0, "grid sync per round {per}");
+    assert_eq!(rep.blocks_run, 8);
+}
+
+#[test]
+fn oversubscribed_waves_preserve_semantics() {
+    // 1000 blocks on 2 SMs: every block must still run exactly once.
+    let mut sys = GpuSystem::single(v100(2));
+    let out = sys.alloc(0, 1000);
+    let mut b = KernelBuilder::new("wave");
+    let o = b.reg();
+    b.push(Instr::AtomicFAdd {
+        dst_old: Some(o),
+        buf: Param(0),
+        idx: Sp(Special::BlockId),
+        val: fimm(1.0),
+    });
+    b.exit();
+    let l = GridLaunch::single(b.build(0), 1000, 32, vec![out.0 as u64]);
+    let rep = sys.run(&l).unwrap();
+    assert_eq!(rep.blocks_run, 1000);
+    assert!(sys.read_f64(out).iter().all(|&v| v == 32.0));
+}
+
+#[test]
+fn nanosleep_takes_the_lanes_maximum() {
+    let mut sys = GpuSystem::single(v100(1));
+    let mut b = KernelBuilder::new("sleep-max");
+    let ns = b.reg();
+    // lane * 100 ns: the warp sleeps for the longest lane (3100 ns).
+    b.imul(ns, Sp(Special::LaneId), Imm(100));
+    b.push(Instr::Nanosleep(Reg(ns)));
+    b.exit();
+    let r = sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![])).unwrap();
+    assert!(
+        (r.duration.as_ns() - 3100.0).abs() < 50.0,
+        "duration {}",
+        r.duration
+    );
+}
+
+#[test]
+fn exit_in_divergent_branch_retires_lanes() {
+    // Half the warp exits early; the other half keeps working.
+    let mut sys = GpuSystem::single(v100(1));
+    let out = sys.alloc(0, 32);
+    let mut b = KernelBuilder::new("half-exit");
+    let c = b.reg();
+    b.cmp_lt(c, Sp(Special::LaneId), Imm(16));
+    b.bra_if(Reg(c), "work");
+    b.exit();
+    b.label("work");
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::LaneId),
+        val: Imm(1),
+    });
+    b.exit();
+    sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
+        .unwrap();
+    let v = sys.read_u64(out);
+    for lane in 0..32 {
+        assert_eq!(v[lane], u64::from(lane < 16), "lane {lane}");
+    }
+}
+
+// ---------- error paths -------------------------------------------------------------
+
+#[test]
+fn bad_buffer_id_faults() {
+    let mut sys = GpuSystem::single(v100(1));
+    let mut b = KernelBuilder::new("bad-buf");
+    let r = b.reg();
+    b.push(Instr::LdGlobal {
+        dst: r,
+        buf: Imm(999),
+        idx: Imm(0),
+    });
+    b.exit();
+    let e = sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![]));
+    assert!(matches!(e, Err(SimError::MemoryFault(_))), "{e:?}");
+}
+
+#[test]
+fn out_of_bounds_global_store_faults() {
+    let mut sys = GpuSystem::single(v100(1));
+    let buf = sys.alloc(0, 4);
+    let mut b = KernelBuilder::new("oob");
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::Tid), // tids 4..31 are out of bounds
+        val: Imm(1),
+    });
+    b.exit();
+    assert!(sys
+        .run(&GridLaunch::single(b.build(0), 1, 32, vec![buf.0 as u64]))
+        .is_err());
+}
+
+#[test]
+fn shared_memory_overflow_faults() {
+    let mut sys = GpuSystem::single(v100(1));
+    let mut b = KernelBuilder::new("smem-oob");
+    b.push(Instr::LdShared {
+        dst: 0,
+        addr: Imm(100),
+        volatile: false,
+    });
+    b.exit();
+    // 4 words of shared memory, access at 100.
+    assert!(sys
+        .run(&GridLaunch::single(b.build(4), 1, 32, vec![]))
+        .is_err());
+}
+
+#[test]
+fn infinite_loop_hits_the_instruction_limit() {
+    let mut sys = GpuSystem::single(v100(1)).with_instr_limit(10_000);
+    let mut b = KernelBuilder::new("forever");
+    b.label("x");
+    b.bra("x");
+    let e = sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![]));
+    assert!(matches!(e, Err(SimError::ProgramError(_))), "{e:?}");
+}
+
+// ---------- multi-device corners ----------------------------------------------------
+
+#[test]
+fn remote_memstream_pays_the_link() {
+    // Streaming a buffer that lives on another GPU is much slower than
+    // streaming local memory.
+    let arch = v100(2);
+    let topo = NodeTopology::dgx1_v100();
+    let n = 1_000_000u64;
+
+    let run_with = |owner: usize| -> sim_core::Ps {
+        let mut sys = GpuSystem::new(arch.clone(), topo.clone());
+        let data = sys.alloc_linear(owner, 1.0, 0.0, n);
+        // Enough warps that the local run is bandwidth-bound, not
+        // latency-bound, so the link difference dominates.
+        let out = sys.alloc(0, 64 * 256);
+        let k = kernels::stream_kernel(0);
+        // Kernel runs on device 0 either way.
+        let l = GridLaunch::single(k, 64, 256, vec![data.0 as u64, n, out.0 as u64]);
+        sys.run(&l).unwrap().duration
+    };
+    let local = run_with(0);
+    let remote = run_with(1);
+    assert!(
+        remote.as_us() > 5.0 * local.as_us(),
+        "local {local}, remote {remote}"
+    );
+}
+
+#[test]
+fn multi_grid_rounds_alternate_cleanly() {
+    // Multi-round multi-grid sync across 3 GPUs: per-round cost stays flat
+    // (no state leaks between rounds).
+    let mut sys = GpuSystem::new(v100(4), NodeTopology::dgx1_v100());
+    let bufs: Vec<u64> = (0..3).map(|d| sys.alloc(d, 4 * 32).0 as u64).collect();
+    let k = kernels::sync_chain(SyncOp::MultiGrid, 6);
+    let l = GridLaunch::multi(
+        k,
+        4,
+        32,
+        vec![0, 1, 2],
+        bufs.iter().map(|&b| vec![b]).collect(),
+    );
+    sys.run(&l).unwrap();
+    let per6 = sys.buffer(gpu_sim::BufId(bufs[0] as u32)).load(0).unwrap() as f64 / 6.0;
+
+    let mut sys = GpuSystem::new(v100(4), NodeTopology::dgx1_v100());
+    let bufs: Vec<u64> = (0..3).map(|d| sys.alloc(d, 4 * 32).0 as u64).collect();
+    let k = kernels::sync_chain(SyncOp::MultiGrid, 2);
+    let l = GridLaunch::multi(
+        k,
+        4,
+        32,
+        vec![0, 1, 2],
+        bufs.iter().map(|&b| vec![b]).collect(),
+    );
+    sys.run(&l).unwrap();
+    let per2 = sys.buffer(gpu_sim::BufId(bufs[0] as u32)).load(0).unwrap() as f64 / 2.0;
+    assert!(
+        (per6 - per2).abs() / per2 < 0.25,
+        "per-round drifted: {per2} vs {per6}"
+    );
+}
+
+// ---------- execution tracing --------------------------------------------------------
+
+#[test]
+fn trace_records_executed_instructions_in_time_order() {
+    let mut sys = GpuSystem::single(v100(1));
+    let out = sys.alloc(0, 32);
+    let mut b = KernelBuilder::new("traced");
+    let r = b.reg();
+    b.mov(r, Imm(7));
+    b.iadd(r, Reg(r), Imm(1));
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::Tid),
+        val: Reg(r),
+    });
+    b.exit();
+    let (rep, trace) = sys
+        .run_traced(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]), 100)
+        .unwrap();
+    assert_eq!(rep.instrs_executed as usize, trace.len());
+    assert_eq!(trace.len(), 4);
+    for w in trace.windows(2) {
+        assert!(w[1].at >= w[0].at, "trace out of order");
+    }
+    assert_eq!(trace[0].pc, 0);
+    assert_eq!(trace[0].lanes, u32::MAX, "converged warp executes all lanes");
+    // The trace disassembles.
+    let listing: Vec<String> = trace
+        .iter()
+        .map(|e| gpu_sim::instr_to_string(&e.instr))
+        .collect();
+    assert!(listing[0].starts_with("mov"), "{listing:?}");
+    assert!(listing[3].starts_with("exit"), "{listing:?}");
+}
+
+#[test]
+fn trace_capacity_is_respected() {
+    let mut sys = GpuSystem::single(v100(1));
+    let k = kernels::fadd32_chain(256);
+    let out = sys.alloc(0, 32);
+    let (rep, trace) = sys
+        .run_traced(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]), 16)
+        .unwrap();
+    assert_eq!(trace.len(), 16);
+    assert!(rep.instrs_executed > 16);
+}
+
+#[test]
+fn trace_shows_divergent_lane_masks() {
+    let mut sys = GpuSystem::single(v100(1));
+    let mut b = KernelBuilder::new("div-trace");
+    let c = b.reg();
+    b.cmp_lt(c, Sp(Special::LaneId), Imm(16));
+    b.bra_ifz(Reg(c), "other");
+    b.iadd(c, Reg(c), Imm(0)); // taken arm
+    b.exit();
+    b.label("other");
+    b.isub(c, Reg(c), Imm(0)); // fall-through arm
+    b.exit();
+    let (_, trace) = sys
+        .run_traced(&GridLaunch::single(b.build(0), 1, 32, vec![]), 100)
+        .unwrap();
+    let masks: Vec<u32> = trace.iter().map(|e| e.lanes).collect();
+    assert!(masks.contains(&0x0000FFFF), "lower-half group missing: {masks:?}");
+    assert!(masks.contains(&0xFFFF0000), "upper-half group missing: {masks:?}");
+}

@@ -1,0 +1,12 @@
+//! # perf-model
+//!
+//! The paper's §VII-A analytical performance model: Little's law for
+//! concurrency (Eq. 1), the fewer-vs-more-threads inequality (Eq. 2), and
+//! the derived switching points (Eqs. 4-5), applied to decide when a
+//! reduction should drop from many workers to few (Tables III and IV).
+
+pub mod littles_law;
+pub mod switch_point;
+
+pub use littles_law::{concurrency_bytes, ConfigModel};
+pub use switch_point::{basic_wins, choose, switch_points, table4, Choice, Regime, ScenarioPrediction, SwitchPoints};

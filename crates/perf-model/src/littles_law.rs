@@ -1,0 +1,98 @@
+//! Eq. 1: `C = T × Thr` — concurrency from latency and throughput.
+
+use serde::{Deserialize, Serialize};
+
+/// The measured performance of one worker configuration ("basic" or "more"
+/// in the paper's terminology): a bandwidth in bytes/cycle and a per-element
+/// latency in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfigModel {
+    pub name_threads: u32,
+    /// Throughput in bytes per cycle (Table III "bandwidth").
+    pub bytes_per_cycle: f64,
+    /// Latency in cycles (Table III "latency").
+    pub latency_cycles: f64,
+}
+
+impl ConfigModel {
+    pub fn new(name_threads: u32, bytes_per_cycle: f64, latency_cycles: f64) -> ConfigModel {
+        assert!(bytes_per_cycle > 0.0 && latency_cycles > 0.0);
+        ConfigModel {
+            name_threads,
+            bytes_per_cycle,
+            latency_cycles,
+        }
+    }
+
+    /// Eq. 1: the concurrency (bytes in flight) this configuration sustains.
+    pub fn concurrency_bytes(&self) -> f64 {
+        self.bytes_per_cycle * self.latency_cycles
+    }
+
+    /// Time (cycles) to process `bytes` of input in the throughput regime,
+    /// pipelined behind the initial latency (the paper's
+    /// `T + max(0, N - C)/Thr` term from Eq. 2).
+    pub fn time_cycles(&self, bytes: f64) -> f64 {
+        self.latency_cycles + (bytes - self.concurrency_bytes()).max(0.0) / self.bytes_per_cycle
+    }
+}
+
+/// Standalone Eq. 1 helper.
+pub fn concurrency_bytes(latency_cycles: f64, bytes_per_cycle: f64) -> f64 {
+    latency_cycles * bytes_per_cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table III, V100: every row's concurrency column is C = T * Thr.
+    #[test]
+    fn table3_concurrency_column_v100() {
+        let rows = [
+            (ConfigModel::new(1, 0.62, 13.0), 8.0),
+            (ConfigModel::new(32, 19.6, 13.0), 256.0),
+            (ConfigModel::new(1024, 215.0, 13.0), 2796.0),
+        ];
+        for (cfg, expect) in rows {
+            let c = cfg.concurrency_bytes();
+            assert!(
+                (c - expect).abs() / expect < 0.02,
+                "{} threads: {c} vs {expect}",
+                cfg.name_threads
+            );
+        }
+    }
+
+    #[test]
+    fn table3_concurrency_column_p100() {
+        let rows = [
+            (ConfigModel::new(1, 0.43, 18.5), 8.0),
+            (ConfigModel::new(32, 13.8, 18.5), 256.0),
+            (ConfigModel::new(1024, 141.0, 18.5), 2615.0),
+        ];
+        for (cfg, expect) in rows {
+            let c = cfg.concurrency_bytes();
+            assert!(
+                (c - expect).abs() / expect < 0.03,
+                "{} threads: {c} vs {expect}",
+                cfg.name_threads
+            );
+        }
+    }
+
+    #[test]
+    fn time_is_latency_below_concurrency() {
+        let cfg = ConfigModel::new(32, 19.6, 13.0);
+        assert_eq!(cfg.time_cycles(100.0), 13.0);
+        // Above concurrency: latency + excess/bandwidth.
+        let t = cfg.time_cycles(cfg.concurrency_bytes() + 196.0);
+        assert!((t - (13.0 + 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_throughput() {
+        let _ = ConfigModel::new(1, 0.0, 13.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Eqs. 2–5: when is the "basic" (fewer-threads) configuration faster than
+//! the "more" (more-threads-plus-synchronization) configuration?
+
+use crate::littles_law::ConfigModel;
+use serde::{Deserialize, Serialize};
+
+/// The two switch points of Table IV for one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchPoints {
+    /// Eq. 5: below this input size (bytes) the basic configuration wins
+    /// even in the throughput-bound regime (`N_l`).
+    pub nl_bytes: f64,
+    /// Eq. 4: below this input size (bytes) the basic configuration wins in
+    /// the latency-bound regime (`N_m`).
+    pub nm_bytes: f64,
+}
+
+/// A full Table IV row: the scenario, the synchronization cost used, and
+/// the predicted switch points.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioPrediction {
+    pub scenario: String,
+    pub sync_latency_cycles: f64,
+    pub points: SwitchPoints,
+}
+
+/// Compute Eqs. 4 and 5 for a (basic, more) configuration pair.
+///
+/// `t_sync_cycles` is the synchronization cost the "more" configuration
+/// pays (the paper uses five synchronization steps of its reduction tree).
+///
+/// ```
+/// use perf_model::{switch_points, ConfigModel};
+///
+/// // Table III, V100: one thread vs one warp; 5 tile shuffles cost 110 cyc.
+/// let thread = ConfigModel::new(1, 0.62, 13.0);
+/// let warp = ConfigModel::new(32, 19.6, 13.0);
+/// let p = switch_points(&thread, &warp, 110.0);
+/// // Paper Table IV: Nl = 70 B, Nm = 76 B.
+/// assert!((p.nl_bytes - 70.0).abs() < 3.0);
+/// assert!((p.nm_bytes - 76.0).abs() < 3.0);
+/// ```
+pub fn switch_points(basic: &ConfigModel, more: &ConfigModel, t_sync_cycles: f64) -> SwitchPoints {
+    assert!(
+        more.bytes_per_cycle > basic.bytes_per_cycle,
+        "the 'more' configuration must have higher throughput"
+    );
+    // Eq. 5: N_l < T_sync * Thr_more * Thr_basic / (Thr_more - Thr_basic)
+    let nl_bytes = t_sync_cycles * more.bytes_per_cycle * basic.bytes_per_cycle
+        / (more.bytes_per_cycle - basic.bytes_per_cycle);
+    // Eq. 4: N_m < (T + T_sync) * Thr_basic
+    let nm_bytes = (basic.latency_cycles + t_sync_cycles) * basic.bytes_per_cycle;
+    SwitchPoints { nl_bytes, nm_bytes }
+}
+
+/// Eq. 2 directly: is the basic configuration at least as fast as the
+/// synchronized "more" configuration for `n_bytes` of input?
+pub fn basic_wins(basic: &ConfigModel, more: &ConfigModel, t_sync_cycles: f64, n_bytes: f64) -> bool {
+    let t_basic = basic.time_cycles(n_bytes);
+    // Eq. 3: T_more = T_basic-latency + T_sync.
+    let t_more = more.latency_cycles + t_sync_cycles
+        + (n_bytes - more.concurrency_bytes()).max(0.0) / more.bytes_per_cycle;
+    t_basic <= t_more
+}
+
+/// Build the two Table IV scenarios from Table III-style measurements:
+/// 1. one thread vs one warp (sync = 5 warp-level shuffles),
+/// 2. 32 threads vs 1024 threads (sync = 5 block barriers).
+pub fn table4(
+    one_thread: &ConfigModel,
+    one_warp: &ConfigModel,
+    thirty_two: &ConfigModel,
+    full_block: &ConfigModel,
+    warp_sync5_cycles: f64,
+    block_sync5_cycles: f64,
+) -> Vec<ScenarioPrediction> {
+    vec![
+        ScenarioPrediction {
+            scenario: "1 thread vs 1 warp".into(),
+            sync_latency_cycles: warp_sync5_cycles,
+            points: switch_points(one_thread, one_warp, warp_sync5_cycles),
+        },
+        ScenarioPrediction {
+            scenario: "32 threads vs 1024 threads".into(),
+            sync_latency_cycles: block_sync5_cycles,
+            points: switch_points(thirty_two, full_block, block_sync5_cycles),
+        },
+    ]
+}
+
+/// The paper's three §VII-A scenarios for a given input size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Regime {
+    /// Scenario 1: N fits in the basic configuration's concurrency — fewer
+    /// threads always win.
+    WithinBasicConcurrency,
+    /// Scenario 2: N exceeds the basic concurrency but not the bigger
+    /// configuration's — Eq. 4 (`N_m`) decides.
+    BetweenConcurrencies,
+    /// Scenario 3: N exceeds both concurrencies — Eq. 5 (`N_l`) decides.
+    ThroughputBound,
+}
+
+/// Which configuration to use and why, for `n_bytes` of input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Choice {
+    pub regime: Regime,
+    /// True: use the basic (fewer-threads) configuration.
+    pub use_basic: bool,
+}
+
+/// Classify the input size into the paper's scenario and pick the winner.
+pub fn choose(basic: &ConfigModel, more: &ConfigModel, t_sync_cycles: f64, n_bytes: f64) -> Choice {
+    let regime = if n_bytes <= basic.concurrency_bytes() {
+        Regime::WithinBasicConcurrency
+    } else if n_bytes <= more.concurrency_bytes() {
+        Regime::BetweenConcurrencies
+    } else {
+        Regime::ThroughputBound
+    };
+    let use_basic = match regime {
+        // Scenario 1: "using fewer threads would always be more profitable."
+        Regime::WithinBasicConcurrency => true,
+        Regime::BetweenConcurrencies => {
+            n_bytes < (basic.latency_cycles + t_sync_cycles) * basic.bytes_per_cycle
+        }
+        Regime::ThroughputBound => basic_wins(basic, more, t_sync_cycles, n_bytes),
+    };
+    Choice { regime, use_basic }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v100() -> (ConfigModel, ConfigModel, ConfigModel, ConfigModel) {
+        (
+            ConfigModel::new(1, 0.62, 13.0),
+            ConfigModel::new(32, 19.6, 13.0),
+            ConfigModel::new(32, 19.6, 13.0),
+            ConfigModel::new(1024, 215.0, 13.0),
+        )
+    }
+
+    /// Table IV, V100 row: Nl=70 B, Nm=76 B (warp); Nl=9076, Nm=8501 (block).
+    #[test]
+    fn table4_v100_matches_paper() {
+        let (t1, w1, t32, b1024) = v100();
+        let rows = table4(&t1, &w1, &t32, &b1024, 110.0, 420.0);
+        let warp = rows[0].points;
+        assert!((warp.nl_bytes - 70.0).abs() < 3.0, "Nl {}", warp.nl_bytes);
+        assert!((warp.nm_bytes - 76.0).abs() < 3.0, "Nm {}", warp.nm_bytes);
+        let block = rows[1].points;
+        assert!(
+            (block.nl_bytes - 9076.0).abs() / 9076.0 < 0.03,
+            "Nl {}",
+            block.nl_bytes
+        );
+        assert!(
+            (block.nm_bytes - 8501.0).abs() / 8501.0 < 0.03,
+            "Nm {}",
+            block.nm_bytes
+        );
+    }
+
+    /// Table IV, P100 row: Nl=32681, Nm=29737 B for the block scenario.
+    #[test]
+    fn table4_p100_matches_paper() {
+        let t32 = ConfigModel::new(32, 13.8, 18.5);
+        let b1024 = ConfigModel::new(1024, 141.0, 18.5);
+        let p = switch_points(&t32, &b1024, 2135.0);
+        assert!((p.nl_bytes - 32681.0).abs() / 32681.0 < 0.04, "Nl {}", p.nl_bytes);
+        assert!((p.nm_bytes - 29737.0).abs() / 29737.0 < 0.04, "Nm {}", p.nm_bytes);
+        // P100 warp scenario: Nl=70, Nm=75.
+        let t1 = ConfigModel::new(1, 0.43, 18.5);
+        let w1 = ConfigModel::new(32, 13.8, 18.5);
+        let p = switch_points(&t1, &w1, 155.0);
+        assert!((p.nl_bytes - 70.0).abs() < 4.0, "Nl {}", p.nl_bytes);
+        assert!((p.nm_bytes - 75.0).abs() < 4.0, "Nm {}", p.nm_bytes);
+    }
+
+    /// The paper's conclusions: reduce 32 doubles (256 B) with a warp, not a
+    /// thread — but do NOT use 1024 threads for 1024 doubles (8192 B).
+    #[test]
+    fn paper_conclusions_hold() {
+        let (t1, w1, t32, b1024) = v100();
+        // 32 doubles = 256 B > Nl(70): the warp ("more") wins.
+        assert!(!basic_wins(&t1, &w1, 110.0, 256.0));
+        // 1024 doubles = 8192 B < Nl(9076): 32 threads ("basic") win.
+        assert!(basic_wins(&t32, &b1024, 420.0, 8192.0));
+    }
+
+    #[test]
+    fn far_above_switch_point_more_wins() {
+        let (_, _, t32, b1024) = v100();
+        assert!(!basic_wins(&t32, &b1024, 420.0, 1_000_000.0));
+    }
+
+    #[test]
+    fn choose_walks_through_all_three_regimes() {
+        let (t1, w1, _, _) = v100();
+        // 4 B: within the single thread's 8-B concurrency.
+        let c = choose(&t1, &w1, 110.0, 4.0);
+        assert_eq!(c.regime, Regime::WithinBasicConcurrency);
+        assert!(c.use_basic);
+        // 100 B: between 8 B and 256 B.
+        let c = choose(&t1, &w1, 110.0, 100.0);
+        assert_eq!(c.regime, Regime::BetweenConcurrencies);
+        assert!(!c.use_basic, "100 B > Nm(76 B): the warp wins");
+        // 10 B: between, but below Nm.
+        let c = choose(&t1, &w1, 110.0, 10.0);
+        assert_eq!(c.regime, Regime::BetweenConcurrencies);
+        assert!(c.use_basic);
+        // 1 MB: throughput-bound.
+        let c = choose(&t1, &w1, 110.0, 1e6);
+        assert_eq!(c.regime, Regime::ThroughputBound);
+        assert!(!c.use_basic);
+    }
+
+    #[test]
+    #[should_panic]
+    fn switch_points_reject_inverted_throughput() {
+        let a = ConfigModel::new(32, 19.6, 13.0);
+        let b = ConfigModel::new(1, 0.62, 13.0);
+        let _ = switch_points(&a, &b, 110.0);
+    }
+}

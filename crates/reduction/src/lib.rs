@@ -1,0 +1,15 @@
+//! # reduction
+//!
+//! The paper's §VII case study: the reduction operator implemented with
+//! every synchronization strategy the study characterizes.
+
+pub mod allreduce;
+pub mod block;
+pub mod device;
+pub mod multi;
+pub mod warp;
+
+pub use allreduce::{allreduce_series, measure_allreduce, AllReduceAlgo, AllReduceSample};
+pub use device::{figure15, measure_device_reduce, table6, DeviceReduceMethod, DeviceReduceSample};
+pub use multi::{figure16, measure_multi_gpu_reduce, MultiGpuReduceMethod, MultiGpuReduceSample};
+pub use warp::{run_warp_reduce, table5, WarpReduceResult, WarpReduceVariant};

@@ -1,0 +1,348 @@
+//! Table V: seven ways to sum 32 doubles inside one warp (Fig. 11's loop),
+//! differing only in how (or whether) they synchronize.
+//!
+//! The shared-memory tree uses 16 words of zero padding above the data so
+//! the textbook `sm[tid] += sm[tid+step]` needs neither predication nor
+//! clamping — upper lanes harmlessly add zeros (their slots are never read
+//! again by the lanes that matter).
+
+use gpu_arch::GpuArch;
+use gpu_sim::isa::{Instr, Kernel, KernelBuilder, Operand, ShflKind, ShflMode, Special};
+use gpu_sim::{GpuSystem, GridLaunch};
+use serde::Serialize;
+use sim_core::SimResult;
+use Operand::{Imm, Param, Reg, Sp};
+
+/// The synchronization strategy of a warp-level reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum WarpReduceVariant {
+    /// One thread scans all 32 values.
+    Serial,
+    /// Tree without any synchronization — **incorrect** on real hardware
+    /// and in this simulator (stale shared-memory reads).
+    NoSync,
+    /// Tree with `volatile` shared accesses, no barrier.
+    Volatile,
+    /// Tree with tile-group synchronization.
+    Tile,
+    /// Tree with coalesced-group synchronization.
+    Coalesced,
+    /// Shuffle tree through a tile group.
+    TileShuffle,
+    /// Shuffle tree through a coalesced group.
+    CoalescedShuffle,
+}
+
+impl WarpReduceVariant {
+    pub const ALL: [WarpReduceVariant; 7] = [
+        WarpReduceVariant::Serial,
+        WarpReduceVariant::NoSync,
+        WarpReduceVariant::Volatile,
+        WarpReduceVariant::Tile,
+        WarpReduceVariant::Coalesced,
+        WarpReduceVariant::TileShuffle,
+        WarpReduceVariant::CoalescedShuffle,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            WarpReduceVariant::Serial => "serial",
+            WarpReduceVariant::NoSync => "nosync",
+            WarpReduceVariant::Volatile => "volatile",
+            WarpReduceVariant::Tile => "tile",
+            WarpReduceVariant::Coalesced => "coa",
+            WarpReduceVariant::TileShuffle => "tile shuffle",
+            WarpReduceVariant::CoalescedShuffle => "coa shuffle",
+        }
+    }
+}
+
+/// Shared-memory layout: 32 data words + 16 words of zero padding.
+const SMEM_WORDS: u32 = 48;
+const STEPS: [u64; 5] = [16, 8, 4, 2, 1];
+
+/// Build the Table V kernel for one variant.
+///
+/// Params: 0 = input buffer (32 doubles), 1 = per-lane elapsed cycles out,
+/// 2 = per-lane result out (lane 0's entry is the reduction result).
+pub fn warp_reduce_kernel(variant: WarpReduceVariant) -> Kernel {
+    let mut b = KernelBuilder::new(&format!("warp-reduce-{}", variant.name()));
+    let sum = b.reg();
+    let t0 = b.reg();
+    let t1 = b.reg();
+    let addr = b.reg();
+    let x = b.reg();
+    let y = b.reg();
+    let c = b.reg();
+
+    // Load input into shared memory and registers, commit with a block sync
+    // (outside the timed region).
+    b.push(Instr::LdGlobal {
+        dst: sum,
+        buf: Param(0),
+        idx: Sp(Special::Tid),
+    });
+    b.push(Instr::StShared {
+        addr: Sp(Special::Tid),
+        val: Reg(sum),
+        volatile: false,
+        pred: None,
+    });
+    b.bar_sync();
+
+    b.read_clock(t0);
+    match variant {
+        WarpReduceVariant::Serial => {
+            b.cmp_eq(c, Sp(Special::Tid), Imm(0));
+            b.bra_ifz(Reg(c), "done");
+            b.mov(sum, Imm(0));
+            b.push(Instr::SmemStream {
+                acc: sum,
+                start: Imm(0),
+                stride: Imm(1),
+                len: Imm(32),
+                flops: 0,
+            });
+            b.label("done");
+        }
+        WarpReduceVariant::NoSync
+        | WarpReduceVariant::Volatile
+        | WarpReduceVariant::Tile
+        | WarpReduceVariant::Coalesced => {
+            let volatile = variant == WarpReduceVariant::Volatile;
+            for step in STEPS {
+                b.iadd(addr, Sp(Special::Tid), Imm(step));
+                b.push(Instr::LdShared {
+                    dst: x,
+                    addr: Sp(Special::Tid),
+                    volatile,
+                });
+                b.push(Instr::LdShared {
+                    dst: y,
+                    addr: Reg(addr),
+                    volatile,
+                });
+                b.fadd(x, Reg(x), Reg(y));
+                b.push(Instr::StShared {
+                    addr: Sp(Special::Tid),
+                    val: Reg(x),
+                    volatile,
+                    pred: None,
+                });
+                match variant {
+                    WarpReduceVariant::Tile => {
+                        b.push(Instr::SyncTile { width: 32 });
+                    }
+                    WarpReduceVariant::Coalesced => {
+                        b.push(Instr::SyncCoalesced);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        WarpReduceVariant::TileShuffle | WarpReduceVariant::CoalescedShuffle => {
+            let kind = if variant == WarpReduceVariant::TileShuffle {
+                ShflKind::Tile
+            } else {
+                ShflKind::Coalesced
+            };
+            for step in STEPS {
+                b.push(Instr::Shfl {
+                    dst: y,
+                    val: Reg(sum),
+                    kind,
+                    mode: ShflMode::Down(step as u32),
+                    width: 32,
+                });
+                b.fadd(sum, Reg(sum), Reg(y));
+            }
+        }
+    }
+    b.read_clock(t1);
+    b.isub(t1, Reg(t1), Reg(t0));
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Sp(Special::Tid),
+        val: Reg(t1),
+    });
+    // Publish the result: shared-memory variants read sm[0] (lane 0 sees its
+    // own pending store; for nosync this is exactly the stale value chain).
+    match variant {
+        WarpReduceVariant::TileShuffle | WarpReduceVariant::CoalescedShuffle
+        | WarpReduceVariant::Serial => {}
+        _ => {
+            b.push(Instr::LdShared {
+                dst: sum,
+                addr: Imm(0),
+                volatile: false,
+            });
+        }
+    }
+    b.push(Instr::StGlobal {
+        buf: Param(2),
+        idx: Sp(Special::Tid),
+        val: Reg(sum),
+    });
+    b.exit();
+    b.build(SMEM_WORDS)
+}
+
+/// One Table V measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct WarpReduceResult {
+    pub variant: String,
+    pub latency_cycles: f64,
+    pub correct: bool,
+    pub result: f64,
+    pub expected: f64,
+}
+
+/// Run one variant over the given 32 inputs.
+pub fn run_warp_reduce(
+    arch: &GpuArch,
+    variant: WarpReduceVariant,
+    inputs: &[f64; 32],
+) -> SimResult<WarpReduceResult> {
+    let mut a = arch.clone();
+    a.num_sms = 1;
+    let mut sys = GpuSystem::single(a);
+    let data = sys.alloc_f64(0, inputs);
+    let times = sys.alloc(0, 32);
+    let results = sys.alloc(0, 32);
+    let kernel = warp_reduce_kernel(variant);
+    sys.run(&GridLaunch::single(
+        kernel,
+        1,
+        32,
+        vec![data.0 as u64, times.0 as u64, results.0 as u64],
+    ))?;
+    let latency_cycles = sys.read_u64(times)[0] as f64;
+    let result = sys.read_f64(results)[0];
+    let expected: f64 = inputs.iter().sum();
+    Ok(WarpReduceResult {
+        variant: variant.name().to_string(),
+        latency_cycles,
+        correct: (result - expected).abs() <= 1e-9 * expected.abs().max(1.0),
+        result,
+        expected,
+    })
+}
+
+/// Table V: all variants on distinct inputs (so staleness shows).
+///
+/// ```
+/// use gpu_arch::GpuArch;
+///
+/// let rows = reduction::table5(&GpuArch::v100()).unwrap();
+/// let nosync = rows.iter().find(|r| r.variant == "nosync").unwrap();
+/// assert!(!nosync.correct, "the unsynchronized tree reads stale values");
+/// ```
+pub fn table5(arch: &GpuArch) -> SimResult<Vec<WarpReduceResult>> {
+    let mut inputs = [0.0f64; 32];
+    for (i, v) in inputs.iter_mut().enumerate() {
+        *v = (i + 1) as f64 * 0.5;
+    }
+    WarpReduceVariant::ALL
+        .iter()
+        .map(|&v| run_warp_reduce(arch, v, &inputs))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_name<'a>(rows: &'a [WarpReduceResult], name: &str) -> &'a WarpReduceResult {
+        rows.iter().find(|r| r.variant == name).unwrap()
+    }
+
+    #[test]
+    fn correctness_matches_table5_footnote() {
+        for arch in [GpuArch::v100(), GpuArch::p100()] {
+            let rows = table5(&arch).unwrap();
+            for r in &rows {
+                if r.variant == "nosync" {
+                    assert!(!r.correct, "{}: nosync must be incorrect", arch.name);
+                } else {
+                    assert!(
+                        r.correct,
+                        "{}: {} gave {} expected {}",
+                        arch.name, r.variant, r.result, r.expected
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v100_latencies_near_paper() {
+        let rows = table5(&GpuArch::v100()).unwrap();
+        // Paper Table V (V100): serial 299, volatile 237, tile 237, coa 237,
+        // tile-shuffle 164, coa-shuffle 1261.
+        for (name, expect, tol) in [
+            ("serial", 299.0, 0.15),
+            ("volatile", 237.0, 0.20),
+            ("tile", 237.0, 0.20),
+            ("coa", 237.0, 0.20),
+            ("tile shuffle", 164.0, 0.15),
+            ("coa shuffle", 1261.0, 0.25),
+        ] {
+            let r = by_name(&rows, name);
+            assert!(
+                (r.latency_cycles - expect).abs() / expect < tol,
+                "V100 {}: {} vs paper {}",
+                name,
+                r.latency_cycles,
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn p100_latencies_near_paper() {
+        let rows = table5(&GpuArch::p100()).unwrap();
+        for (name, expect, tol) in [
+            ("serial", 383.0, 0.15),
+            ("volatile", 282.0, 0.20),
+            ("tile", 281.0, 0.20),
+            ("coa", 251.0, 0.25),
+            ("tile shuffle", 212.0, 0.20),
+            ("coa shuffle", 1423.0, 0.25),
+        ] {
+            let r = by_name(&rows, name);
+            assert!(
+                (r.latency_cycles - expect).abs() / expect < tol,
+                "P100 {}: {} vs paper {}",
+                name,
+                r.latency_cycles,
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn tile_shuffle_is_fastest_correct_variant() {
+        // The paper's takeaway used in the case study.
+        for arch in [GpuArch::v100(), GpuArch::p100()] {
+            let rows = table5(&arch).unwrap();
+            let shfl = by_name(&rows, "tile shuffle").latency_cycles;
+            for r in rows.iter().filter(|r| r.correct && r.variant != "tile shuffle") {
+                assert!(
+                    shfl <= r.latency_cycles,
+                    "{}: {} ({}) beat tile shuffle ({shfl})",
+                    arch.name,
+                    r.variant,
+                    r.latency_cycles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_shuffle_is_by_far_the_slowest() {
+        let rows = table5(&GpuArch::v100()).unwrap();
+        let coa = by_name(&rows, "coa shuffle").latency_cycles;
+        let serial = by_name(&rows, "serial").latency_cycles;
+        assert!(coa > 3.0 * serial, "coa shuffle {coa} vs serial {serial}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Simulation errors.
+
+use crate::time::Ps;
+use std::fmt;
+
+/// Reasons a simulation cannot make progress or a request is invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The event queue drained while entities were still blocked — the
+    /// simulated program deadlocked. Paper §VIII-B observes exactly this when
+    /// a subset of a grid (or of a multi-grid group) calls the group barrier.
+    Deadlock {
+        /// Simulated time at which progress stopped.
+        at: Ps,
+        /// Human-readable descriptions of the blocked entities.
+        blocked: Vec<String>,
+    },
+    /// A launch or API call was rejected (e.g. cooperative grid does not fit
+    /// co-resident, block too large, no peer access between devices).
+    InvalidLaunch(String),
+    /// A kernel touched memory outside an allocation.
+    MemoryFault(String),
+    /// Malformed program (undefined label, bad register, ...).
+    ProgramError(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { at, blocked } => {
+                write!(
+                    f,
+                    "deadlock at t={at}: {} blocked entit{} ({})",
+                    blocked.len(),
+                    if blocked.len() == 1 { "y" } else { "ies" },
+                    blocked.join("; ")
+                )
+            }
+            SimError::InvalidLaunch(msg) => write!(f, "invalid launch: {msg}"),
+            SimError::MemoryFault(msg) => write!(f, "memory fault: {msg}"),
+            SimError::ProgramError(msg) => write!(f, "program error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_display_counts_entities() {
+        let e = SimError::Deadlock {
+            at: Ps::from_us(3),
+            blocked: vec!["warp 0".into(), "warp 1".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("2 blocked entities"), "{s}");
+        assert!(s.contains("warp 0; warp 1"), "{s}");
+    }
+
+    #[test]
+    fn singular_entity_grammar() {
+        let e = SimError::Deadlock {
+            at: Ps::ZERO,
+            blocked: vec!["block (0,0)".into()],
+        };
+        assert!(e.to_string().contains("1 blocked entity ("));
+    }
+
+    #[test]
+    fn other_variants_display() {
+        assert!(SimError::InvalidLaunch("too big".into())
+            .to_string()
+            .contains("too big"));
+        assert!(SimError::MemoryFault("oob".into()).to_string().contains("oob"));
+        assert!(SimError::ProgramError("label".into())
+            .to_string()
+            .contains("label"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Deterministic discrete-event queue.
+//!
+//! Events are ordered by time; ties are broken by insertion sequence number so
+//! a simulation replays identically regardless of heap internals.
+
+use crate::time::Ps;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    time: Ps,
+    seq: u64,
+}
+
+/// A min-heap of timed events with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Key, EventSlot<E>)>>,
+    seq: u64,
+}
+
+// BinaryHeap needs Ord on the payload; we wrap the event so only the key is
+// compared (the slot always compares equal).
+#[derive(Debug)]
+struct EventSlot<E>(E);
+
+impl<E> PartialEq for EventSlot<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventSlot<E> {}
+impl<E> PartialOrd for EventSlot<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventSlot<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn push(&mut self, at: Ps, event: E) {
+        let key = Key {
+            time: at,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        self.heap.push(Reverse((key, EventSlot(event))));
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(Ps, E)> {
+        self.heap
+            .pop()
+            .map(|Reverse((k, EventSlot(e)))| (k.time, e))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Ps> {
+        self.heap.peek().map(|Reverse((k, _))| k.time)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Ps(30), "c");
+        q.push(Ps(10), "a");
+        q.push(Ps(20), "b");
+        assert_eq!(q.pop(), Some((Ps(10), "a")));
+        assert_eq!(q.pop(), Some((Ps(20), "b")));
+        assert_eq!(q.pop(), Some((Ps(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Ps(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Ps(5), i)));
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Ps(7), ());
+        q.push(Ps(3), ());
+        assert_eq!(q.peek_time(), Some(Ps(3)));
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Ps(10), 1);
+        q.push(Ps(5), 0);
+        assert_eq!(q.pop(), Some((Ps(5), 0)));
+        q.push(Ps(7), 2);
+        q.push(Ps(12), 3);
+        assert_eq!(q.pop(), Some((Ps(7), 2)));
+        assert_eq!(q.pop(), Some((Ps(10), 1)));
+        assert_eq!(q.pop(), Some((Ps(12), 3)));
+    }
+}

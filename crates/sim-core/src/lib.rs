@@ -1,0 +1,20 @@
+//! # sim-core
+//!
+//! The discrete-event backbone shared by every simulated component in the
+//! `syncmark` workspace: the global picosecond timeline, a deterministic event
+//! queue, pipelined-resource contention models, online statistics (including
+//! the paper's Eq. 8 uncertainty propagation), and simulation error types —
+//! most notably structured deadlock reports, which the paper's §VIII-B
+//! experiments rely on.
+
+pub mod error;
+pub mod event;
+pub mod resource;
+pub mod stats;
+pub mod time;
+
+pub use error::{SimError, SimResult};
+pub use event::EventQueue;
+pub use resource::{interval_from_ops_per_cycle, Channel, Issue, Pipeline};
+pub use stats::{linear_slope, propagate_difference_quotient, OnlineStats, Summary};
+pub use time::{Clock, Ps};

@@ -1,0 +1,260 @@
+//! Simulation time.
+//!
+//! All simulated entities share a single global timeline measured in
+//! **picoseconds** (`Ps`). Picoseconds are fine enough to represent single
+//! cycles of multi-GHz clocks without rounding drift (1 cycle @ 1312 MHz =
+//! 762.2 ps) while a `u64` still spans ~213 days of simulated time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point on (or span of) the simulated timeline, in picoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Ps(pub u64);
+
+impl Ps {
+    pub const ZERO: Ps = Ps(0);
+    pub const MAX: Ps = Ps(u64::MAX);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub fn from_ns(ns: u64) -> Ps {
+        Ps(ns * 1_000)
+    }
+
+    /// Construct from (possibly fractional) nanoseconds.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Ps {
+        Ps((ns * 1e3).round().max(0.0) as u64)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub fn from_us(us: u64) -> Ps {
+        Ps(us * 1_000_000)
+    }
+
+    /// Construct from (possibly fractional) microseconds.
+    #[inline]
+    pub fn from_us_f64(us: f64) -> Ps {
+        Ps((us * 1e6).round().max(0.0) as u64)
+    }
+
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    #[inline]
+    pub fn saturating_sub(self, rhs: Ps) -> Ps {
+        Ps(self.0.saturating_sub(rhs.0))
+    }
+
+    #[inline]
+    pub fn max(self, rhs: Ps) -> Ps {
+        Ps(self.0.max(rhs.0))
+    }
+
+    #[inline]
+    pub fn min(self, rhs: Ps) -> Ps {
+        Ps(self.0.min(rhs.0))
+    }
+
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Ps {
+    type Output = Ps;
+    #[inline]
+    fn add(self, rhs: Ps) -> Ps {
+        Ps(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ps {
+    #[inline]
+    fn add_assign(&mut self, rhs: Ps) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ps {
+    type Output = Ps;
+    #[inline]
+    fn sub(self, rhs: Ps) -> Ps {
+        Ps(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ps {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Ps) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Ps {
+    type Output = Ps;
+    #[inline]
+    fn mul(self, rhs: u64) -> Ps {
+        Ps(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ps {
+    type Output = Ps;
+    #[inline]
+    fn div(self, rhs: u64) -> Ps {
+        Ps(self.0 / rhs)
+    }
+}
+
+impl Sum for Ps {
+    fn sum<I: Iterator<Item = Ps>>(iter: I) -> Ps {
+        iter.fold(Ps::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Ps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.as_ms())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ns", self.as_ns())
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+/// A device clock: converts between cycles of a fixed-frequency clock and
+/// global picosecond time.
+///
+/// The conversion is done in integer picoseconds-per-kilocycle to keep the
+/// simulation deterministic across platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Clock {
+    /// Clock frequency in MHz (e.g. 1312.0 for a boosted V100).
+    mhz: f64,
+}
+
+impl Clock {
+    pub fn from_mhz(mhz: f64) -> Clock {
+        assert!(mhz > 0.0, "clock frequency must be positive");
+        Clock { mhz }
+    }
+
+    #[inline]
+    pub fn mhz(&self) -> f64 {
+        self.mhz
+    }
+
+    /// Picoseconds per clock cycle (fractional).
+    #[inline]
+    pub fn ps_per_cycle(&self) -> f64 {
+        1e6 / self.mhz
+    }
+
+    /// Convert a whole number of cycles to a time span.
+    #[inline]
+    pub fn cycles(&self, n: u64) -> Ps {
+        Ps((n as f64 * self.ps_per_cycle()).round() as u64)
+    }
+
+    /// Convert a fractional number of cycles to a time span.
+    #[inline]
+    pub fn cycles_f64(&self, n: f64) -> Ps {
+        Ps((n * self.ps_per_cycle()).round().max(0.0) as u64)
+    }
+
+    /// Convert a time span to (fractional) cycles.
+    #[inline]
+    pub fn to_cycles(&self, t: Ps) -> f64 {
+        t.0 as f64 / self.ps_per_cycle()
+    }
+
+    /// Convert a time span to whole cycles (rounded to nearest).
+    #[inline]
+    pub fn to_cycles_u64(&self, t: Ps) -> u64 {
+        self.to_cycles(t).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ps_constructors_and_accessors() {
+        assert_eq!(Ps::from_ns(5), Ps(5_000));
+        assert_eq!(Ps::from_us(3), Ps(3_000_000));
+        assert!((Ps::from_us(2).as_us() - 2.0).abs() < 1e-12);
+        assert!((Ps::from_ns(1500).as_us() - 1.5).abs() < 1e-12);
+        assert_eq!(Ps::from_ns_f64(1.5), Ps(1_500));
+        assert_eq!(Ps::from_us_f64(0.25), Ps(250_000));
+    }
+
+    #[test]
+    fn ps_arithmetic() {
+        let a = Ps(100);
+        let b = Ps(40);
+        assert_eq!(a + b, Ps(140));
+        assert_eq!(a - b, Ps(60));
+        assert_eq!(a * 3, Ps(300));
+        assert_eq!(a / 4, Ps(25));
+        assert_eq!(b.saturating_sub(a), Ps::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        let total: Ps = [a, b, Ps(1)].into_iter().sum();
+        assert_eq!(total, Ps(141));
+    }
+
+    #[test]
+    fn ps_display_picks_sane_units() {
+        assert_eq!(format!("{}", Ps(999)), "999ps");
+        assert_eq!(format!("{}", Ps::from_ns(2)), "2.000ns");
+        assert_eq!(format!("{}", Ps::from_us(7)), "7.000us");
+        assert_eq!(format!("{}", Ps(1_500_000_000)), "1.500ms");
+    }
+
+    #[test]
+    fn clock_round_trips_cycles() {
+        let c = Clock::from_mhz(1312.0);
+        let t = c.cycles(1000);
+        let cycles = c.to_cycles(t);
+        assert!((cycles - 1000.0).abs() < 0.01, "got {cycles}");
+        assert_eq!(c.to_cycles_u64(t), 1000);
+    }
+
+    #[test]
+    fn clock_one_ghz_cycle_is_1ns() {
+        let c = Clock::from_mhz(1000.0);
+        assert_eq!(c.cycles(1), Ps::from_ns(1));
+        assert_eq!(c.cycles_f64(0.5), Ps(500));
+    }
+
+    #[test]
+    #[should_panic]
+    fn clock_rejects_nonpositive_freq() {
+        let _ = Clock::from_mhz(0.0);
+    }
+}

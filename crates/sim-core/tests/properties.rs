@@ -1,0 +1,66 @@
+//! Property-based tests for the discrete-event backbone.
+
+use proptest::prelude::*;
+use sim_core::{EventQueue, OnlineStats, Pipeline, Ps};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Events always pop in non-decreasing time order, with FIFO ties.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Ps(t), i);
+        }
+        let mut last: Option<(Ps, usize)> = None;
+        while let Some((t, id)) = q.pop() {
+            if let Some((lt, lid)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(id > lid, "FIFO tie-break violated");
+                }
+            }
+            last = Some((t, id));
+        }
+    }
+
+    /// A pipeline never accepts a new op before the previous issue slot
+    /// frees, and completions never precede starts.
+    #[test]
+    fn pipeline_is_monotone(ops in prop::collection::vec((0u64..1000, 1u64..50, 0u64..200), 1..100)) {
+        let mut p = Pipeline::new();
+        let mut last_start = Ps::ZERO;
+        let mut issued = 0u64;
+        for &(now, interval, latency) in &ops {
+            let r = p.issue(Ps(now), Ps(interval), Ps(latency));
+            prop_assert!(r.start >= last_start, "issue slots went backwards");
+            prop_assert!(r.start >= Ps(now));
+            prop_assert!(r.done == r.start + Ps(latency));
+            last_start = r.start;
+            issued += 1;
+        }
+        prop_assert_eq!(p.ops_issued(), issued);
+    }
+
+    /// Welford matches the two-pass reference for arbitrary samples.
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 2..300)) {
+        let mut s = OnlineStats::new();
+        s.extend(xs.iter().copied());
+        let n = xs.len() as f64;
+        let mean: f64 = xs.iter().sum::<f64>() / n;
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+    }
+
+    /// Ps arithmetic round-trips through ns conversions within rounding.
+    #[test]
+    fn ps_unit_conversions_round_trip(ns in 0u64..10_000_000) {
+        let t = Ps::from_ns(ns);
+        prop_assert_eq!(t.as_ns() as u64, ns);
+        let t2 = Ps::from_ns_f64(t.as_ns());
+        prop_assert_eq!(t2, t);
+    }
+}

@@ -1,0 +1,95 @@
+//! The workload that motivates the paper's introduction: a data-parallel
+//! training loop (Chainer-style) where every iteration streams activations,
+//! computes gradients, and allreduces them across the node's GPUs.
+//!
+//! This example runs a synthetic training loop on the simulated DGX-1 and
+//! compares iteration time under the three allreduce strategies, at two
+//! model sizes — showing where synchronization cost stops mattering.
+//!
+//! ```text
+//! cargo run --release --example data_parallel_training
+//! ```
+
+use syncmark::prelude::*;
+use reduction::AllReduceAlgo;
+
+/// Synthetic per-iteration device work: forward + backward modeled as two
+/// streaming passes over the activations (batch elements per GPU).
+fn compute_us(h: &mut cuda_rt::HostSim, dev: usize, acts: gpu_sim::BufId, n: u64) -> SimResult<()> {
+    let out = h.sys.alloc(dev, (2 * h.sys.arch.num_sms.min(40) * 256) as u64);
+    for _pass in 0..2 {
+        let k = gpu_sim::kernels::stream_kernel(2);
+        let l = GridLaunch::single(
+            k,
+            2 * h.sys.arch.num_sms.min(40),
+            256,
+            vec![acts.0 as u64, n, out.0 as u64],
+        )
+        .on_device(dev);
+        h.launch(dev, &l)?;
+    }
+    h.device_synchronize(dev, dev);
+    Ok(())
+}
+
+fn main() -> SimResult<()> {
+    let arch = GpuArch::v100();
+    let topo = NodeTopology::dgx1_v100();
+    let n_gpus = 8;
+    let batch_elems: u64 = 320_000_000; // 2.56 GB of activations per GPU
+
+    println!(
+        "data-parallel training on simulated {}, {n_gpus} GPUs, {} MB activations/GPU",
+        topo.name,
+        batch_elems * 8 / 1_000_000
+    );
+    println!(
+        "{:<22} {:>14} {:>14} {:>16} {:>10}",
+        "gradient size", "compute (us)", "allreduce (us)", "iteration (us)", "sync %"
+    );
+
+    for grad_elems in [250_000u64, 8_000_000] {
+        for algo in [
+            AllReduceAlgo::GatherBroadcast,
+            AllReduceAlgo::Ring,
+            AllReduceAlgo::MultiGridKernel,
+        ] {
+            // Compute phase (identical across strategies): each GPU streams
+            // its batch twice.
+            let sys = GpuSystem::new(arch.clone(), topo.clone());
+            let mut h = cuda_rt::HostSim::with_threads(sys, n_gpus).without_jitter();
+            let acts: Vec<gpu_sim::BufId> = (0..n_gpus)
+                .map(|d| h.sys.alloc_linear(d, 0.1, 1e-9, batch_elems))
+                .collect();
+            let t0 = h.now(0);
+            for d in 0..n_gpus {
+                compute_us(&mut h, d, acts[d], batch_elems)?;
+            }
+            h.omp_barrier(&[]);
+            let compute = (h.now(0) - t0).as_us();
+
+            // Gradient exchange.
+            let s = reduction::measure_allreduce(&arch, &topo, algo, n_gpus, grad_elems)?;
+            assert!(s.correct, "{} produced wrong gradients", s.algo);
+            let iter = compute + s.latency_us;
+            println!(
+                "{:<22} {:>14.0} {:>14.0} {:>16.0} {:>9.1}%",
+                format!("{} MB / {}", grad_elems * 8 / 1_000_000, s.algo),
+                compute,
+                s.latency_us,
+                iter,
+                100.0 * s.latency_us / iter
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "with a small model the iteration stays compute-bound whichever barrier\n\
+         strategy moves the gradients; with a large model the exchange dominates\n\
+         and the algorithm choice carries straight into iteration time — the\n\
+         paper's \"if the program size is large enough, the performance\n\
+         difference would not be so severe\" argument, and its converse."
+    );
+    Ok(())
+}

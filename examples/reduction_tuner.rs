@@ -1,0 +1,89 @@
+//! The paper's §VII workflow end to end: measure the platform, feed the
+//! measurements into the Little's-law performance model, predict the
+//! input-size switching points between worker configurations, and verify
+//! the prediction against actual simulated reductions.
+//!
+//! ```text
+//! cargo run --release --example reduction_tuner
+//! ```
+
+use perf_model::{basic_wins, switch_points, ConfigModel};
+use syncmark::prelude::*;
+use sync_micro::measure::{one_sm, sync_chain_cycles};
+
+fn main() -> SimResult<()> {
+    for arch in [GpuArch::v100(), GpuArch::p100()] {
+        println!("== {} ==", arch.name);
+
+        // 1. Measure shared-memory bandwidth/latency (Table III).
+        let rows = sync_micro::shared_mem::table3_measurements(&arch)?;
+        let one_thread =
+            ConfigModel::new(1, rows[0].bandwidth_bytes_per_cycle, rows[0].latency_cycles);
+        let one_warp =
+            ConfigModel::new(32, rows[1].bandwidth_bytes_per_cycle, rows[1].latency_cycles);
+        let full_block = ConfigModel::new(
+            1024,
+            rows[2].bandwidth_bytes_per_cycle,
+            rows[2].latency_cycles,
+        );
+        for (m, label) in [
+            (&one_thread, "1 thread"),
+            (&one_warp, "1 warp"),
+            (&full_block, "1024 thr"),
+        ] {
+            println!(
+                "  {label:>8}: {:.2} B/cyc, {:.1} cyc latency, concurrency {:.0} B",
+                m.bytes_per_cycle,
+                m.latency_cycles,
+                m.concurrency_bytes()
+            );
+        }
+
+        // 2. Measure the synchronization costs the bigger configs pay.
+        let a1 = one_sm(&arch);
+        let p = Placement::single();
+        let warp_sync5 =
+            5.0 * sync_chain_cycles(&a1, &p, SyncOp::ShflTile, 40, 1, 32)?.cycles_per_op;
+        let block_sync5 =
+            5.0 * sync_chain_cycles(&a1, &p, SyncOp::Block, 40, 1, 1024)?.cycles_per_op;
+
+        // 3. Predict switch points (Table IV).
+        let warp_pts = switch_points(&one_thread, &one_warp, warp_sync5);
+        let block_pts = switch_points(&one_warp, &full_block, block_sync5);
+        println!(
+            "  thread->warp switch at ~{:.0} B ({:.0} doubles); warp/32thr->1024thr at ~{:.0} B ({:.0} doubles)",
+            warp_pts.nl_bytes,
+            warp_pts.nl_bytes / 8.0,
+            block_pts.nl_bytes,
+            block_pts.nl_bytes / 8.0
+        );
+
+        // 4. The paper's two conclusions, checked through Eq. 2.
+        let use_warp_for_32 = !basic_wins(&one_thread, &one_warp, warp_sync5, 32.0 * 8.0);
+        let use_32thr_for_1024 = basic_wins(&one_warp, &full_block, block_sync5, 1024.0 * 8.0);
+        println!(
+            "  -> reduce 32 doubles with a warp: {use_warp_for_32}; \
+             reduce 1024 doubles with only 32 threads: {use_32thr_for_1024}"
+        );
+        assert!(use_warp_for_32 && use_32thr_for_1024);
+
+        // 5. Tune the device-wide reduction: pick the method per size.
+        println!("  device-wide reduction (latency us):");
+        for mb in [0.1f64, 10.0, 1000.0] {
+            let n = (mb * 1e6 / 8.0) as u64;
+            let mut best: Option<(String, f64)> = None;
+            for m in reduction::DeviceReduceMethod::ALL {
+                let s = reduction::measure_device_reduce(&arch, m, n)?;
+                assert!(s.correct);
+                if best.as_ref().map(|(_, l)| s.latency_us < *l).unwrap_or(true) {
+                    best = Some((s.method.clone(), s.latency_us));
+                }
+                print!("    {:>7.1} MB {:<16} {:>9.1}", mb, s.method, s.latency_us);
+                println!();
+            }
+            let (name, lat) = best.unwrap();
+            println!("    -> best at {mb} MB: {name} ({lat:.1} us)");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,164 @@
+//! The paper's §VII aside, made concrete: "There is a potential of improving
+//! data reuse by the means of replacing several kernel invocations with a
+//! single persistent kernel that uses [grid] synchronization. An example of
+//! that would be replacing kernel invocations in iterative stencil methods
+//! with a persistent kernel that includes the time loop inside the kernel."
+//!
+//! This example runs a 1-D Jacobi stencil both ways on the simulated V100 —
+//! one kernel launch per timestep (the implicit barrier) versus one
+//! persistent cooperative kernel with `grid.sync()` per timestep — checks
+//! both against a CPU reference, and compares per-step cost.
+//!
+//! ```text
+//! cargo run --release --example stencil_persistent
+//! ```
+
+use syncmark::prelude::*;
+use gpu_sim::isa::{Instr, Operand::*, Special};
+
+const POINTS: u32 = 80 * 256; // interior points; buffers add 2 halo cells
+const STEPS: u32 = 50;
+const BLOCK: u32 = 256;
+
+/// One Jacobi update for the thread's point: dst[i] = (src[i-1] + src[i] +
+/// src[i+1]) / 3, with i = global_tid + 1 (halo at both ends).
+fn emit_step(b: &mut KernelBuilder, src: gpu_sim::Reg, dst: gpu_sim::Reg) {
+    let i = b.reg();
+    let l = b.reg();
+    let c = b.reg();
+    let r = b.reg();
+    b.iadd(i, Sp(Special::GlobalTid), Imm(1));
+    b.isub(l, Reg(i), Imm(1));
+    b.iadd(r, Reg(i), Imm(1));
+    b.push(Instr::LdGlobal { dst: l, buf: Reg(src), idx: Reg(l) });
+    b.push(Instr::LdGlobal { dst: c, buf: Reg(src), idx: Reg(i) });
+    b.push(Instr::LdGlobal { dst: r, buf: Reg(src), idx: Reg(r) });
+    b.fadd(l, Reg(l), Reg(c));
+    b.fadd(l, Reg(l), Reg(r));
+    b.push(Instr::FMul(l, Reg(l), gpu_sim::fimm(1.0 / 3.0)));
+    b.push(Instr::StGlobal { buf: Reg(dst), idx: Reg(i), val: Reg(l) });
+}
+
+/// Persistent kernel: the time loop lives on the device; buffers swap in
+/// registers; one `grid.sync()` per step.
+fn persistent_kernel(steps: u32) -> Kernel {
+    let mut b = KernelBuilder::new("stencil-persistent");
+    let src = b.reg();
+    let dst = b.reg();
+    let tmp = b.reg();
+    let round = b.reg();
+    let cond = b.reg();
+    b.mov(src, Param(0));
+    b.mov(dst, Param(1));
+    b.mov(round, Imm(0));
+    b.label("time");
+    emit_step(&mut b, src, dst);
+    b.grid_sync();
+    b.mov(tmp, Reg(src));
+    b.mov(src, Reg(dst));
+    b.mov(dst, Reg(tmp));
+    b.iadd(round, Reg(round), Imm(1));
+    b.cmp_lt(cond, Reg(round), Imm(steps as u64));
+    b.bra_if(Reg(cond), "time");
+    b.exit();
+    b.build(0)
+}
+
+/// One-step kernel for the relaunch variant.
+fn step_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("stencil-step");
+    let src = b.reg();
+    let dst = b.reg();
+    b.mov(src, Param(0));
+    b.mov(dst, Param(1));
+    emit_step(&mut b, src, dst);
+    b.exit();
+    b.build(0)
+}
+
+fn cpu_reference(init: &[f64], steps: u32) -> Vec<f64> {
+    let mut a = init.to_vec();
+    let mut b = init.to_vec();
+    for _ in 0..steps {
+        for i in 1..a.len() - 1 {
+            b[i] = (a[i - 1] + a[i] + a[i + 1]) / 3.0;
+        }
+        std::mem::swap(&mut a, &mut b);
+    }
+    a
+}
+
+fn init_data() -> Vec<f64> {
+    (0..POINTS as usize + 2)
+        .map(|i| ((i * 37) % 101) as f64 * 0.25)
+        .collect()
+}
+
+fn check(got: &[f64], want: &[f64]) {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (g - w).abs() <= 1e-9 * w.abs().max(1.0),
+            "mismatch at {i}: {g} vs {w}"
+        );
+    }
+}
+
+fn main() -> SimResult<()> {
+    let arch = GpuArch::v100();
+    let grid = POINTS / BLOCK;
+    let init = init_data();
+    let reference = cpu_reference(&init, STEPS);
+
+    // --- Variant A: one launch per timestep (implicit barrier). -----------
+    let mut h = cuda_rt::HostSim::new(GpuSystem::single(arch.clone())).without_jitter();
+    let a = h.sys.alloc_f64(0, &init);
+    let bbuf = h.sys.alloc_f64(0, &init);
+    let t0 = h.now(0);
+    let (mut src, mut dst) = (a, bbuf);
+    for _ in 0..STEPS {
+        let l = GridLaunch::single(step_kernel(), grid, BLOCK, vec![src.0 as u64, dst.0 as u64]);
+        h.launch(0, &l)?;
+        std::mem::swap(&mut src, &mut dst);
+    }
+    h.device_synchronize(0, 0);
+    let relaunch_us = (h.now(0) - t0).as_us();
+    check(&h.sys.read_f64(src), &reference);
+
+    // --- Variant B: one persistent cooperative kernel. ---------------------
+    let mut h = cuda_rt::HostSim::new(GpuSystem::single(arch.clone())).without_jitter();
+    let a = h.sys.alloc_f64(0, &init);
+    let bbuf = h.sys.alloc_f64(0, &init);
+    let t0 = h.now(0);
+    let l = GridLaunch::single(
+        persistent_kernel(STEPS),
+        grid,
+        BLOCK,
+        vec![a.0 as u64, bbuf.0 as u64],
+    )
+    .cooperative();
+    h.launch(0, &l)?;
+    h.device_synchronize(0, 0);
+    let persistent_us = (h.now(0) - t0).as_us();
+    let final_buf = if STEPS % 2 == 1 { bbuf } else { a };
+    check(&h.sys.read_f64(final_buf), &reference);
+
+    println!("1-D Jacobi stencil, {POINTS} points, {STEPS} timesteps, simulated {}", arch.name);
+    println!(
+        "  relaunch every step (implicit barrier): {relaunch_us:8.1} us  ({:.2} us/step)",
+        relaunch_us / STEPS as f64
+    );
+    println!(
+        "  persistent kernel + grid.sync():        {persistent_us:8.1} us  ({:.2} us/step)",
+        persistent_us / STEPS as f64
+    );
+    println!(
+        "  -> persistent kernel is {:.2}x faster per step: each relaunch pays the\n\
+         \x20   stream pipeline interval (~3 us) while a device-side grid.sync()\n\
+         \x20   costs ~1.5 us — exactly the trade the paper's §VII aside predicts\n\
+         \x20   for small iterative kernels (both variants verified against the\n\
+         \x20   CPU reference).",
+        relaunch_us / persistent_us
+    );
+    assert!(persistent_us < relaunch_us);
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! # syncmark
+//!
+//! A full reproduction of **"A Study of Single and Multi-device
+//! Synchronization Methods in Nvidia GPUs"** (Zhang, Wahib, Zhang, Matsuoka;
+//! 2020) as a Rust workspace, with the paper's hardware replaced by a
+//! calibrated discrete-event SIMT simulator.
+//!
+//! The facade re-exports every workspace crate:
+//!
+//! * [`sim_core`] — discrete-event backbone (time, events, resources, stats)
+//! * [`gpu_arch`] — V100 / P100 / A100-like architecture parameter sets
+//! * [`gpu_node`] — DGX-1 / PCIe / NVSwitch node topologies
+//! * [`gpu_sim`] — the SIMT simulator: ISA, warps, divergence, the barrier
+//!   hierarchy, shared/global memory, deadlock detection
+//! * [`cuda_rt`] — host runtime: streams, launch paths, device sync, host
+//!   threads + OpenMP-style barriers, peer copies
+//! * [`sync_micro`] — the paper's contribution: the micro-benchmark
+//!   methodology and every Table/Figure driver
+//! * [`perf_model`] — Little's-law model and switch-point predictor
+//! * [`reduction`] — the §VII reduction case study
+//!
+//! Quick start:
+//!
+//! ```
+//! use syncmark::prelude::*;
+//!
+//! // Measure the latency of a tile-group barrier on a simulated V100.
+//! let arch = GpuArch::v100();
+//! let m = sync_micro::measure::sync_chain_cycles(
+//!     &sync_micro::measure::one_sm(&arch),
+//!     &Placement::single(),
+//!     SyncOp::Tile(32),
+//!     64, // chained barriers
+//!     1,  // blocks
+//!     32, // threads per block
+//! )
+//! .unwrap();
+//! assert!((m.cycles_per_op - 14.0).abs() < 2.0); // paper Table II: 14 cycles
+//! ```
+
+pub use cuda_rt;
+pub use gpu_arch;
+pub use gpu_node;
+pub use gpu_sim;
+pub use perf_model;
+pub use reduction;
+pub use sim_core;
+pub use sync_micro;
+
+/// The most commonly used types, in one import.
+pub mod prelude {
+    pub use cuda_rt::HostSim;
+    pub use gpu_arch::GpuArch;
+    pub use gpu_node::NodeTopology;
+    pub use gpu_sim::kernels::SyncOp;
+    pub use gpu_sim::{GpuSystem, GridLaunch, Kernel, KernelBuilder, LaunchKind};
+    pub use sim_core::{Ps, SimError, SimResult};
+    pub use sync_micro::Placement;
+}

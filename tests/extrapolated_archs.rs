@@ -1,0 +1,131 @@
+//! The methodology must *generalize*: every measurement driver has to run
+//! unmodified on architectures the paper never saw (T4-like, A100-like) and
+//! produce internally consistent results. This is the "apply the suite to
+//! the next GPU" use case a downstream adopter has.
+
+use syncmark::prelude::*;
+use gpu_arch::GpuArch;
+
+fn extrapolated() -> [GpuArch; 2] {
+    [GpuArch::t4_like(), GpuArch::a100_like()]
+}
+
+#[test]
+fn table2_runs_on_extrapolated_parts() {
+    for arch in extrapolated() {
+        let rows = sync_micro::warp_sync::table2(&arch).unwrap();
+        assert_eq!(rows.len(), 6, "{}", arch.name);
+        for r in &rows {
+            assert!(
+                r.latency_cycles > 0.0 && r.latency_cycles < 1000.0,
+                "{}: {} latency {}",
+                arch.name,
+                r.name,
+                r.latency_cycles
+            );
+            assert!(r.throughput_per_cycle > 0.0);
+        }
+    }
+}
+
+#[test]
+fn volta_descendants_block_at_warp_barriers() {
+    // Both extrapolated parts inherit independent thread scheduling, so the
+    // Fig. 18 probe must show blocking behaviour.
+    for arch in extrapolated() {
+        let probe = sync_micro::warp_probe::figure18(&arch).unwrap();
+        assert!(probe.barrier_blocks(), "{} should block", arch.name);
+    }
+}
+
+#[test]
+fn grid_sync_scales_with_sm_count_across_parts() {
+    // Same blocks/SM, more SMs => more arrival traffic => slower barrier.
+    let mut lat = Vec::new();
+    for arch in [GpuArch::t4_like(), GpuArch::v100(), GpuArch::a100_like()] {
+        let m = sync_micro::measure::sync_chain_cycles(
+            &arch,
+            &Placement::single(),
+            SyncOp::Grid,
+            4,
+            arch.num_sms, // 1 block per SM
+            32,
+        )
+        .unwrap();
+        lat.push((arch.num_sms, m.cycles_per_op));
+    }
+    // 40, 80, 108 SMs: arrival-serialization portion must grow in order.
+    assert!(lat[0].1 < lat[1].1, "{lat:?}");
+    assert!(lat[1].1 < lat[2].1, "{lat:?}");
+}
+
+#[test]
+fn reduction_study_ports_to_extrapolated_parts() {
+    for arch in extrapolated() {
+        // Table V and the device-wide methods must stay *correct*.
+        let rows = reduction::table5(&arch).unwrap();
+        for r in &rows {
+            if r.variant != "nosync" {
+                assert!(r.correct, "{}: {}", arch.name, r.variant);
+            }
+        }
+        let mut small = arch.clone();
+        small.num_sms = small.num_sms.min(8);
+        for m in reduction::DeviceReduceMethod::ALL_EXTENDED {
+            let s = reduction::measure_device_reduce(&small, m, 200_000).unwrap();
+            assert!(s.correct, "{}: {}", arch.name, s.method);
+        }
+    }
+}
+
+#[test]
+fn a100_bandwidth_advantage_shows_in_table6() {
+    let v = reduction::table6(&GpuArch::v100()).unwrap();
+    let a = reduction::table6(&GpuArch::a100_like()).unwrap();
+    // The A100-like part's 1555 GB/s peak must translate into measured
+    // reduction bandwidth well above the V100's.
+    assert!(
+        a[0].bandwidth_gbs > 1.5 * v[0].bandwidth_gbs,
+        "A100-like {} vs V100 {}",
+        a[0].bandwidth_gbs,
+        v[0].bandwidth_gbs
+    );
+}
+
+#[test]
+fn switch_points_shift_with_the_architecture() {
+    // Faster barriers (A100-like) pull the 32-vs-1024-thread switch point
+    // down; the prediction pipeline must reflect that end to end.
+    let nl = |arch: &GpuArch| -> f64 {
+        let rows = sync_micro::shared_mem::table3_measurements(arch).unwrap();
+        let warp = perf_model::ConfigModel::new(
+            32,
+            rows[1].bandwidth_bytes_per_cycle,
+            rows[1].latency_cycles,
+        );
+        let full = perf_model::ConfigModel::new(
+            1024,
+            rows[2].bandwidth_bytes_per_cycle,
+            rows[2].latency_cycles,
+        );
+        let a1 = sync_micro::measure::one_sm(arch);
+        let blk5 = 5.0
+            * sync_micro::measure::sync_chain_cycles(
+                &a1,
+                &Placement::single(),
+                SyncOp::Block,
+                40,
+                1,
+                1024,
+            )
+            .unwrap()
+            .cycles_per_op;
+        perf_model::switch_points(&warp, &full, blk5).nl_bytes
+    };
+    let v100 = nl(&GpuArch::v100());
+    let a100 = nl(&GpuArch::a100_like());
+    assert!(
+        a100 < v100,
+        "faster barrier should lower Nl: A100-like {a100} vs V100 {v100}"
+    );
+}

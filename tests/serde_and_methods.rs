@@ -1,0 +1,134 @@
+//! Serialization round trips for every config type, and cross-method
+//! agreement checks for the measurement machinery.
+
+use syncmark::prelude::*;
+use gpu_sim::kernels::SyncOp as Op;
+
+#[test]
+fn arch_round_trips_through_json() {
+    for arch in [GpuArch::v100(), GpuArch::p100(), GpuArch::a100_like()] {
+        let json = serde_json::to_string(&arch).unwrap();
+        let back: GpuArch = serde_json::from_str(&json).unwrap();
+        assert_eq!(arch, back, "{} lost data in serde", arch.name);
+    }
+}
+
+#[test]
+fn topology_round_trips_through_json() {
+    for topo in [
+        NodeTopology::single(),
+        NodeTopology::dgx1_v100(),
+        NodeTopology::p100_pair(),
+        NodeTopology::dgx2_like(),
+    ] {
+        let json = serde_json::to_string(&topo).unwrap();
+        let back: NodeTopology = serde_json::from_str(&json).unwrap();
+        assert_eq!(topo, back, "{} lost data in serde", topo.name);
+    }
+}
+
+#[test]
+fn kernels_round_trip_through_json() {
+    for k in [
+        gpu_sim::kernels::null_kernel(),
+        gpu_sim::kernels::warp_probe(),
+        gpu_sim::kernels::sync_chain(Op::Grid, 4),
+        gpu_sim::kernels::stream_kernel(2),
+    ] {
+        let json = serde_json::to_string(&k).unwrap();
+        let back: Kernel = serde_json::from_str(&json).unwrap();
+        assert_eq!(k, back, "kernel {} lost data in serde", k.name);
+    }
+}
+
+#[test]
+fn a_deserialized_arch_actually_runs() {
+    let json = serde_json::to_string(&GpuArch::v100()).unwrap();
+    let mut arch: GpuArch = serde_json::from_str(&json).unwrap();
+    arch.num_sms = 2;
+    let mut sys = GpuSystem::single(arch);
+    let r = sys
+        .run(&GridLaunch::single(
+            gpu_sim::kernels::null_kernel(),
+            4,
+            64,
+            vec![],
+        ))
+        .unwrap();
+    assert_eq!(r.blocks_run, 4);
+}
+
+/// §IX-D generalized: the inter-SM (host-clock differential) method and the
+/// device-clock chain must agree on *grid synchronization* too — the very
+/// instruction the method was invented for.
+#[test]
+fn inter_sm_and_device_clock_agree_on_grid_sync() {
+    let arch = GpuArch::v100();
+    // Device-clock chain measurement.
+    let chain = sync_micro::measure::sync_chain_cycles(
+        &arch,
+        &sync_micro::Placement::single(),
+        Op::Grid,
+        8,
+        arch.num_sms,
+        32,
+    )
+    .unwrap()
+    .cycles_per_op;
+    // Host-clock differential measurement (Eq. 7).
+    let inter = sync_micro::inter_sm::measure_inter_sm(
+        &arch,
+        NodeTopology::single(),
+        &[0],
+        Op::Grid,
+        arch.num_sms,
+        32,
+        64,
+        8,
+        12,
+    )
+    .unwrap();
+    let rel = (inter.latency_cycles - chain).abs() / chain;
+    assert!(
+        rel < 0.10,
+        "methods disagree on grid sync: chain {chain:.0} vs inter-SM {:.0} cycles",
+        inter.latency_cycles
+    );
+}
+
+/// The same agreement on the block barrier across both architectures.
+#[test]
+fn inter_sm_and_device_clock_agree_on_block_sync() {
+    for arch in [GpuArch::v100(), GpuArch::p100()] {
+        let a1 = sync_micro::measure::one_sm(&arch);
+        let chain = sync_micro::measure::sync_chain_cycles(
+            &a1,
+            &sync_micro::Placement::single(),
+            Op::Block,
+            64,
+            1,
+            32,
+        )
+        .unwrap()
+        .cycles_per_op;
+        let inter = sync_micro::inter_sm::measure_inter_sm(
+            &a1,
+            NodeTopology::single(),
+            &[0],
+            Op::Block,
+            1,
+            32,
+            4096,
+            512,
+            10,
+        )
+        .unwrap();
+        let rel = (inter.latency_cycles - chain).abs() / chain;
+        assert!(
+            rel < 0.10,
+            "{}: chain {chain:.1} vs inter-SM {:.1}",
+            arch.name,
+            inter.latency_cycles
+        );
+    }
+}
