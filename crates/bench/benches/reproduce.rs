@@ -1,42 +1,24 @@
-//! Criterion benches: one group per paper artifact. Each iteration
+//! Artifact benches: one case per paper artifact. Each iteration
 //! regenerates the artifact (or a representative slice of it) from scratch
 //! on the simulated platforms, so `cargo bench` both exercises every
 //! reproduction path and tracks the simulator's own performance.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
 use gpu_sim::kernels::SyncOp;
-use std::hint::black_box;
-use std::time::Duration;
 use sync_micro::measure::{sync_chain_cycles, Placement};
 use syncmark_bench::experiments;
+use syncmark_bench::harness::Runner;
 
-fn quick(c: &mut Criterion, name: &str, mut f: impl FnMut() -> String) {
-    let mut g = c.benchmark_group("reproduce");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
-    g.bench_function(name, |b| b.iter(|| black_box(f())));
-    g.finish();
-}
+fn main() {
+    let r = Runner::from_args("reproduce");
 
-/// Table I: the kernel-fusion launch-overhead measurement.
-fn bench_table1(c: &mut Criterion) {
-    quick(c, "table1_launch_overhead", experiments::table1);
-}
+    r.case("table1_launch_overhead", experiments::table1);
+    r.case("table2_warp_sync", experiments::table2);
+    r.case("fig4_block_sync", experiments::figure4);
 
-/// Table II: warp sync latency/throughput sweep.
-fn bench_table2(c: &mut Criterion) {
-    quick(c, "table2_warp_sync", experiments::table2);
-}
-
-/// Fig. 4: block-sync saturation curve.
-fn bench_fig4(c: &mut Criterion) {
-    quick(c, "fig4_block_sync", experiments::figure4);
-}
-
-/// Fig. 5: one representative grid-sync heat-map column per architecture.
-fn bench_fig5(c: &mut Criterion) {
-    quick(c, "fig5_grid_sync_column", || {
+    // Fig. 5: one representative grid-sync heat-map column per architecture.
+    r.case("fig5_grid_sync_column", || {
         let mut out = String::new();
         for arch in [GpuArch::v100(), GpuArch::p100()] {
             for bpsm in [1u32, 4, 16] {
@@ -54,16 +36,11 @@ fn bench_fig5(c: &mut Criterion) {
         }
         out
     });
-}
 
-/// Fig. 7: the P100 pair heat maps.
-fn bench_fig7(c: &mut Criterion) {
-    quick(c, "fig7_multi_grid_p100", experiments::figure7);
-}
+    r.case("fig7_multi_grid_p100", experiments::figure7);
 
-/// Fig. 8: a representative multi-grid slice across GPU counts.
-fn bench_fig8(c: &mut Criterion) {
-    quick(c, "fig8_multi_grid_dgx1_slice", || {
+    // Fig. 8: a representative multi-grid slice across GPU counts.
+    r.case("fig8_multi_grid_dgx1_slice", || {
         let arch = GpuArch::v100();
         let mut out = String::new();
         for n in [2usize, 6, 8] {
@@ -73,32 +50,15 @@ fn bench_fig8(c: &mut Criterion) {
         }
         out
     });
-}
 
-/// Fig. 9: the full three-method comparison.
-fn bench_fig9(c: &mut Criterion) {
-    quick(c, "fig9_multi_gpu_barriers", experiments::figure9);
-}
+    r.case("fig9_multi_gpu_barriers", experiments::figure9);
+    r.case("table3_smem_concurrency", experiments::table3);
+    r.case("table4_switch_points", experiments::table4);
+    r.case("table5_warp_reduce", experiments::table5);
 
-/// Table III: shared-memory measurements + Little's law.
-fn bench_table3(c: &mut Criterion) {
-    quick(c, "table3_smem_concurrency", experiments::table3);
-}
-
-/// Table IV: the measured-data switch-point pipeline.
-fn bench_table4(c: &mut Criterion) {
-    quick(c, "table4_switch_points", experiments::table4);
-}
-
-/// Table V: all warp-reduction variants on both architectures.
-fn bench_table5(c: &mut Criterion) {
-    quick(c, "table5_warp_reduce", experiments::table5);
-}
-
-/// Fig. 15: one mid-size point of every method (the full sweep is the
-/// repro binary's job).
-fn bench_fig15(c: &mut Criterion) {
-    quick(c, "fig15_device_reduce_100mb", || {
+    // Fig. 15: one mid-size point of every method (the full sweep is the
+    // repro binary's job).
+    r.case("fig15_device_reduce_100mb", || {
         let arch = GpuArch::v100();
         let n = (100e6 / 8.0) as u64;
         let mut out = String::new();
@@ -108,16 +68,11 @@ fn bench_fig15(c: &mut Criterion) {
         }
         out
     });
-}
 
-/// Table VI: bandwidth-bound reduction on both architectures.
-fn bench_table6(c: &mut Criterion) {
-    quick(c, "table6_reduce_bandwidth", experiments::table6);
-}
+    r.case("table6_reduce_bandwidth", experiments::table6);
 
-/// Fig. 16: both multi-GPU reduction methods at 8 GPUs.
-fn bench_fig16(c: &mut Criterion) {
-    quick(c, "fig16_multi_gpu_reduce_8gpu", || {
+    // Fig. 16: both multi-GPU reduction methods at 8 GPUs.
+    r.case("fig16_multi_gpu_reduce_8gpu", || {
         let arch = GpuArch::v100();
         let topo = NodeTopology::dgx1_v100();
         let mut out = String::new();
@@ -125,40 +80,22 @@ fn bench_fig16(c: &mut Criterion) {
             reduction::MultiGpuReduceMethod::MultiGridSync,
             reduction::MultiGpuReduceMethod::CpuSideBarrier,
         ] {
-            let s =
-                reduction::measure_multi_gpu_reduce(&arch, &topo, m, 8, (1e9 / 8.0) as u64)
-                    .unwrap();
+            let s = reduction::measure_multi_gpu_reduce(&arch, &topo, m, 8, (1e9 / 8.0) as u64)
+                .unwrap();
             out.push_str(&format!("{}:{:.0}GB/s ", s.method, s.throughput_gbs));
         }
         out
     });
-}
 
-/// Fig. 18: the warp-barrier blocking probe.
-fn bench_fig18(c: &mut Criterion) {
-    quick(c, "fig18_warp_probe", experiments::figure18);
-}
+    r.case("fig18_warp_probe", experiments::figure18);
+    r.case("sec8b_deadlock_matrix", experiments::deadlocks);
+    r.case("table7_environment", experiments::table7);
+    r.case("table8_summary", experiments::table8);
+    r.case("sec9d_method_validation", experiments::method_validation);
+    r.case("ablations", syncmark_bench::ablations::all);
 
-/// §VIII-B: the deadlock matrix.
-fn bench_deadlocks(c: &mut Criterion) {
-    quick(c, "sec8b_deadlock_matrix", experiments::deadlocks);
-}
-
-/// Tables VII/VIII and the §IX-D cross-validation.
-fn bench_meta(c: &mut Criterion) {
-    quick(c, "table7_environment", experiments::table7);
-    quick(c, "table8_summary", experiments::table8);
-    quick(c, "sec9d_method_validation", experiments::method_validation);
-}
-
-/// Ablations.
-fn bench_ablations(c: &mut Criterion) {
-    quick(c, "ablations", syncmark_bench::ablations::all);
-}
-
-/// Extension: the ring allreduce at 8 GPUs.
-fn bench_allreduce(c: &mut Criterion) {
-    quick(c, "ext_allreduce_ring_8gpu", || {
+    // Extension: the ring allreduce at 8 GPUs.
+    r.case("ext_allreduce_ring_8gpu", || {
         let s = reduction::measure_allreduce(
             &GpuArch::v100(),
             &NodeTopology::dgx1_v100(),
@@ -170,45 +107,16 @@ fn bench_allreduce(c: &mut Criterion) {
         assert!(s.correct);
         format!("{:.0} us", s.latency_us)
     });
-}
 
-/// Extension: software barriers vs grid.sync.
-fn bench_software_barriers(c: &mut Criterion) {
-    quick(c, "ext_software_barriers", || {
+    // Extension: software barriers vs grid.sync.
+    r.case("ext_software_barriers", || {
         let rows = sync_micro::software_barrier::comparison(&GpuArch::v100()).unwrap();
         format!("{} methods", rows.len())
     });
-}
 
-/// Extension: the §V-A group-size sweeps.
-fn bench_group_sizes(c: &mut Criterion) {
-    quick(c, "ext_group_size_sweeps", || {
+    // Extension: the §V-A group-size sweeps.
+    r.case("ext_group_size_sweeps", || {
         let v = GpuArch::v100();
         sync_micro::group_size::render_group_size_sweeps(&[&v]).unwrap()
     });
 }
-
-criterion_group!(
-    artifacts,
-    bench_table1,
-    bench_table2,
-    bench_fig4,
-    bench_fig5,
-    bench_fig7,
-    bench_fig8,
-    bench_fig9,
-    bench_table3,
-    bench_table4,
-    bench_table5,
-    bench_fig15,
-    bench_table6,
-    bench_fig16,
-    bench_fig18,
-    bench_deadlocks,
-    bench_meta,
-    bench_ablations,
-    bench_allreduce,
-    bench_software_barriers,
-    bench_group_sizes,
-);
-criterion_main!(artifacts);

@@ -2,12 +2,10 @@
 //! retires instructions, barriers, and blocks. These are the numbers that
 //! bound how much sweep resolution the reproduction harness can afford.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gpu_arch::GpuArch;
 use gpu_sim::kernels::{self, SyncOp};
 use gpu_sim::{GpuSystem, GridLaunch};
-use std::hint::black_box;
-use std::time::Duration;
+use syncmark_bench::harness::Runner;
 
 fn arch_with_sms(n: u32) -> GpuArch {
     let mut a = GpuArch::v100();
@@ -15,101 +13,53 @@ fn arch_with_sms(n: u32) -> GpuArch {
     a
 }
 
-/// Dependent ALU chain: pure interpreter throughput.
-fn bench_alu_chain(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(20).measurement_time(Duration::from_secs(3));
-    let reps = 4096;
-    g.throughput(Throughput::Elements(reps as u64));
-    g.bench_function("alu_chain_instrs", |b| {
-        b.iter(|| {
-            let mut sys = GpuSystem::single(arch_with_sms(1));
-            let out = sys.alloc(0, 32);
-            let k = kernels::fadd32_chain(reps);
-            let r = sys
-                .run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
-                .unwrap();
-            black_box(r.instrs_executed)
-        })
-    });
-    g.finish();
-}
+fn main() {
+    let r = Runner::from_args("simulator");
 
-/// Block barriers with a full SM of warps.
-fn bench_block_barriers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(20).measurement_time(Duration::from_secs(3));
-    let reps = 64;
-    g.throughput(Throughput::Elements(64 * reps as u64));
-    g.bench_function("block_barrier_warp_arrivals", |b| {
-        b.iter(|| {
-            let mut sys = GpuSystem::single(arch_with_sms(1));
-            let k = kernels::sync_throughput(SyncOp::Block, reps);
-            let r = sys.run(&GridLaunch::single(k, 2, 1024, vec![])).unwrap();
-            black_box(r.warps_run)
-        })
+    // Dependent ALU chain: pure interpreter throughput.
+    r.case("alu_chain_instrs", || {
+        let mut sys = GpuSystem::single(arch_with_sms(1));
+        let out = sys.alloc(0, 32);
+        let k = kernels::fadd32_chain(4096);
+        sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
+            .unwrap()
+            .instrs_executed
     });
-    g.finish();
-}
 
-/// A full-device grid barrier round.
-fn bench_grid_barrier(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
-    g.bench_function("grid_barrier_80sm", |b| {
-        b.iter(|| {
-            let mut sys = GpuSystem::single(GpuArch::v100());
-            let k = kernels::sync_throughput(SyncOp::Grid, 4);
-            let l = GridLaunch::single(k, 8 * 80, 32, vec![]).cooperative();
-            black_box(sys.run(&l).unwrap().duration)
-        })
+    // Block barriers with a full SM of warps.
+    r.case("block_barrier_warp_arrivals", || {
+        let mut sys = GpuSystem::single(arch_with_sms(1));
+        let k = kernels::sync_throughput(SyncOp::Block, 64);
+        sys.run(&GridLaunch::single(k, 2, 1024, vec![]))
+            .unwrap()
+            .warps_run
     });
-    g.finish();
-}
 
-/// Oversubscribed traditional launch: block wave scheduling.
-fn bench_wave_scheduling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("wave_scheduling_10k_blocks", |b| {
-        b.iter(|| {
-            let mut sys = GpuSystem::single(arch_with_sms(8));
-            let k = kernels::null_kernel();
-            black_box(
-                sys.run(&GridLaunch::single(k, 10_000, 64, vec![]))
-                    .unwrap()
-                    .blocks_run,
-            )
-        })
+    // A full-device grid barrier round.
+    r.case("grid_barrier_80sm", || {
+        let mut sys = GpuSystem::single(GpuArch::v100());
+        let k = kernels::sync_throughput(SyncOp::Grid, 4);
+        let l = GridLaunch::single(k, 8 * 80, 32, vec![]).cooperative();
+        sys.run(&l).unwrap().duration
     });
-    g.finish();
-}
 
-/// Multi-GB streaming reduction (vectorized MemStream path).
-fn bench_memstream(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
-    g.bench_function("memstream_1gb_reduce", |b| {
-        b.iter(|| {
-            let s = reduction::measure_device_reduce(
-                &GpuArch::v100(),
-                reduction::DeviceReduceMethod::Implicit,
-                (1e9 / 8.0) as u64,
-            )
-            .unwrap();
-            black_box(s.bandwidth_gbs)
-        })
+    // Oversubscribed traditional launch: block wave scheduling.
+    r.case("wave_scheduling_10k_blocks", || {
+        let mut sys = GpuSystem::single(arch_with_sms(8));
+        let k = kernels::null_kernel();
+        sys.run(&GridLaunch::single(k, 10_000, 64, vec![]))
+            .unwrap()
+            .blocks_run
     });
-    g.finish();
-}
 
-criterion_group!(
-    simulator,
-    bench_alu_chain,
-    bench_block_barriers,
-    bench_grid_barrier,
-    bench_wave_scheduling,
-    bench_memstream,
-);
-criterion_main!(simulator);
+    // Multi-GB streaming reduction (vectorized MemStream path).
+    r.case("memstream_1gb_reduce", || {
+        let s = reduction::measure_device_reduce(
+            &GpuArch::v100(),
+            reduction::DeviceReduceMethod::Implicit,
+            (1e9 / 8.0) as u64,
+        )
+        .unwrap();
+        s.bandwidth_gbs
+    });
+}

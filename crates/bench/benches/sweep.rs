@@ -1,0 +1,54 @@
+//! Serial vs parallel sweep-engine throughput on a real workload: the
+//! Fig. 5 grid-sync heatmap on a cut-down V100. The final line prints the
+//! measured speedup so CI logs show how much the thread pool buys on the
+//! runner's core count.
+
+use gpu_arch::GpuArch;
+use gpu_sim::kernels::SyncOp;
+use std::time::Instant;
+use sync_micro::{grid_sync, measure::Placement, sweep};
+use syncmark_bench::harness::Runner;
+
+fn small_v100() -> GpuArch {
+    let mut a = GpuArch::v100();
+    a.num_sms = 8;
+    a
+}
+
+fn heatmap_at(jobs: usize) -> f64 {
+    sweep::set_jobs(jobs);
+    let arch = small_v100();
+    let hm = grid_sync::sync_heatmap(&arch, &Placement::single(), SyncOp::Grid, "bench").unwrap();
+    sweep::set_jobs(0); // restore the default for anything that runs after
+    hm.cells.iter().flatten().filter_map(|c| *c).sum()
+}
+
+fn main() {
+    let r = Runner::from_args("sweep");
+
+    r.case("grid_heatmap_serial", || heatmap_at(1));
+    // Fixed worker count: exercises the pool (claim/collect overhead) even
+    // on a single-core host, where it should cost roughly nothing.
+    r.case("grid_heatmap_4_workers", || heatmap_at(4));
+    r.case(
+        "grid_heatmap_parallel",
+        || heatmap_at(sweep::default_jobs()),
+    );
+
+    // One clean head-to-head sample for the speedup line (the harness cases
+    // above report medians; this is the single-shot ratio).
+    let t = Instant::now();
+    let a = heatmap_at(1);
+    let serial = t.elapsed();
+    let t = Instant::now();
+    let b = heatmap_at(sweep::default_jobs());
+    let parallel = t.elapsed();
+    assert_eq!(a, b, "parallel sweep changed the result");
+    println!(
+        "sweep/speedup: {:.2}x on {} workers (serial {:.2}s, parallel {:.2}s)",
+        serial.as_secs_f64() / parallel.as_secs_f64(),
+        sweep::default_jobs(),
+        serial.as_secs_f64(),
+        parallel.as_secs_f64()
+    );
+}

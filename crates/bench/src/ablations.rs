@@ -151,7 +151,10 @@ mod tests {
             .filter_map(|l| l.split_whitespace().nth(2))
             .filter_map(|v| v.parse().ok())
             .collect();
-        assert!(rows.len() == 3 && rows[0] < rows[1] && rows[1] < rows[2], "{rows:?}");
+        assert!(
+            rows.len() == 3 && rows[0] < rows[1] && rows[1] < rows[2],
+            "{rows:?}"
+        );
     }
 
     #[test]
@@ -187,8 +190,14 @@ mod tests {
         let dgx1_6 = cell(3, 1);
         let sw_5 = cell(2, 2);
         let sw_6 = cell(3, 2);
-        assert!(dgx1_6 > 2.0 * dgx1_5, "DGX-1 jump missing: {dgx1_5} -> {dgx1_6}");
-        assert!(sw_6 < 1.2 * sw_5, "NVSwitch should be flat: {sw_5} -> {sw_6}");
+        assert!(
+            dgx1_6 > 2.0 * dgx1_5,
+            "DGX-1 jump missing: {dgx1_5} -> {dgx1_6}"
+        );
+        assert!(
+            sw_6 < 1.2 * sw_5,
+            "NVSwitch should be flat: {sw_5} -> {sw_6}"
+        );
     }
 
     #[test]

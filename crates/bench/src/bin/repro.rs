@@ -4,14 +4,46 @@
 //! repro list                  # show available experiments
 //! repro all                   # run everything (slow but complete)
 //! repro table2 fig5 ...       # run specific artifacts
+//! repro --jobs 8 all          # run the registry (and inner sweeps) on 8 workers
 //! repro --out results all     # additionally write one .txt per artifact
 //! ```
+//!
+//! Experiment names are validated up front: a typo anywhere in the argument
+//! list aborts before any experiment runs or the `--out` directory is
+//! created, so a failed invocation never leaves partial results behind.
+//!
+//! Output order on stdout is always the requested order, independent of
+//! `--jobs` — per-experiment wall-clock progress goes to stderr instead.
 
-use syncmark_bench::experiments::{run, EXPERIMENTS};
+use std::time::Instant;
+use syncmark_bench::experiments::{Experiment, EXPERIMENTS};
+
+fn usage_and_list() {
+    println!("usage: repro [--jobs N] [--out DIR] [all | list | <experiment>...]\n");
+    println!("available experiments:");
+    for (name, desc, _) in EXPERIMENTS {
+        println!("  {name:<10} {desc}");
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_dir: Option<std::path::PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        if pos + 1 >= args.len() {
+            eprintln!("--jobs requires a worker count");
+            std::process::exit(2);
+        }
+        let n: usize = match args[pos + 1].parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--jobs requires a number, got {:?}", args[pos + 1]);
+                std::process::exit(2);
+            }
+        };
+        sync_micro::sweep::set_jobs(n);
+        args.drain(pos..pos + 2);
+    }
     if let Some(pos) = args.iter().position(|a| a == "--out") {
         if pos + 1 >= args.len() {
             eprintln!("--out requires a directory");
@@ -21,12 +53,28 @@ fn main() {
         args.remove(pos);
     }
     if args.is_empty() || args[0] == "list" || args[0] == "--help" {
-        println!("usage: repro [--out DIR] [all | list | <experiment>...]\n");
-        println!("available experiments:");
-        for (name, desc, _) in EXPERIMENTS {
-            println!("  {name:<10} {desc}");
-        }
+        usage_and_list();
         return;
+    }
+    let names: Vec<&str> = if args[0] == "all" {
+        EXPERIMENTS.iter().map(|(n, _, _)| *n).collect()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    // Validate every name before running anything (or touching --out).
+    let mut selected: Vec<&Experiment> = Vec::new();
+    let mut unknown = Vec::new();
+    for name in &names {
+        match EXPERIMENTS.iter().find(|(n, _, _)| n == name) {
+            Some(e) => selected.push(e),
+            None => unknown.push(*name),
+        }
+    }
+    if !unknown.is_empty() {
+        for name in unknown {
+            eprintln!("unknown experiment {name:?} — try `repro list`");
+        }
+        std::process::exit(2);
     }
     if let Some(dir) = &out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -34,27 +82,30 @@ fn main() {
             std::process::exit(1);
         }
     }
-    let names: Vec<&str> = if args[0] == "all" {
-        EXPERIMENTS.iter().map(|(n, _, _)| *n).collect()
-    } else {
-        args.iter().map(|s| s.as_str()).collect()
-    };
-    for name in names {
-        match run(name) {
-            Some(out) => {
-                println!("{out}");
-                if let Some(dir) = &out_dir {
-                    let path = dir.join(format!("{name}.txt"));
-                    if let Err(e) = std::fs::write(&path, &out) {
-                        eprintln!("cannot write {}: {e}", path.display());
-                        std::process::exit(1);
-                    }
-                }
-            }
-            None => {
-                eprintln!("unknown experiment {name:?} — try `repro list`");
-                std::process::exit(2);
+    // Run the registry entries themselves as a sweep (experiments nest their
+    // own cell-level sweeps on the same worker setting).
+    let wall = Instant::now();
+    let results = sync_micro::sweep::map(selected, |(name, _, f)| {
+        let t = Instant::now();
+        let out = f();
+        let dt = t.elapsed();
+        eprintln!("[repro] {name:<12} {:8.2}s", dt.as_secs_f64());
+        (*name, out)
+    });
+    for (name, out) in &results {
+        println!("{out}");
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{name}.txt"));
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
             }
         }
     }
+    eprintln!(
+        "[repro] {} experiment(s) in {:.2}s on {} worker(s)",
+        results.len(),
+        wall.elapsed().as_secs_f64(),
+        sync_micro::sweep::jobs()
+    );
 }

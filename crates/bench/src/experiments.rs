@@ -12,8 +12,8 @@ use perf_model::ConfigModel;
 use sim_core::SimError;
 use sync_micro::report::{fmt, TextTable};
 use sync_micro::{
-    block_sync, grid_sync, inter_sm, launch_overhead, measure, multi_gpu, multi_grid,
-    shared_mem, summary, warp_probe, warp_sync,
+    block_sync, grid_sync, inter_sm, launch_overhead, measure, multi_gpu, multi_grid, shared_mem,
+    summary, sweep, warp_probe, warp_sync,
 };
 
 /// Table I: launch overhead and null-kernel total latency (V100 platform —
@@ -93,7 +93,9 @@ pub fn figure9() -> String {
     let series = vec![
         Series::new(
             "multi-device launch",
-            pts.iter().map(|p| (p.gpus as f64, p.multi_device_launch_us)).collect(),
+            pts.iter()
+                .map(|p| (p.gpus as f64, p.multi_device_launch_us))
+                .collect(),
         ),
         Series::new(
             "CPU-side barrier",
@@ -101,15 +103,21 @@ pub fn figure9() -> String {
         ),
         Series::new(
             "mgrid 1x32",
-            pts.iter().map(|p| (p.gpus as f64, p.mgrid_fast_us)).collect(),
+            pts.iter()
+                .map(|p| (p.gpus as f64, p.mgrid_fast_us))
+                .collect(),
         ),
         Series::new(
             "mgrid 1x1024",
-            pts.iter().map(|p| (p.gpus as f64, p.mgrid_general_us)).collect(),
+            pts.iter()
+                .map(|p| (p.gpus as f64, p.mgrid_general_us))
+                .collect(),
         ),
         Series::new(
             "mgrid 32x64",
-            pts.iter().map(|p| (p.gpus as f64, p.mgrid_slow_us)).collect(),
+            pts.iter()
+                .map(|p| (p.gpus as f64, p.mgrid_slow_us))
+                .collect(),
         ),
     ];
     s.push_str(&line_chart(
@@ -234,11 +242,25 @@ pub fn figure15() -> String {
             .iter()
             .map(|m| sync_micro::plot::Series::new(m.name(), Vec::new()))
             .collect();
+        // Every (size × method) point is an independent simulation: run the
+        // whole grid as one sweep, then fill the table rows in input order.
+        let nmethods = reduction::DeviceReduceMethod::ALL.len();
+        let mut points = Vec::new();
         for &mb in sizes {
+            for m in reduction::DeviceReduceMethod::ALL {
+                points.push((mb, m));
+            }
+        }
+        let samples = sweep::map(points, |(mb, m)| {
             let n = (mb * 1e6 / 8.0) as u64;
+            reduction::measure_device_reduce(&arch, m, n).expect("fig15")
+        });
+        for (ri, &mb) in sizes.iter().enumerate() {
             let mut row = vec![fmt(mb)];
-            for (mi, m) in reduction::DeviceReduceMethod::ALL.into_iter().enumerate() {
-                let smp = reduction::measure_device_reduce(&arch, m, n).expect("fig15");
+            for (mi, smp) in samples[ri * nmethods..(ri + 1) * nmethods]
+                .iter()
+                .enumerate()
+            {
                 assert!(smp.correct, "{} wrong at {mb} MB", smp.method);
                 row.push(fmt(smp.latency_us));
                 series[mi].points.push((mb, smp.latency_us));
@@ -247,7 +269,10 @@ pub fn figure15() -> String {
         }
         s.push_str(&t.render());
         s.push_str(&sync_micro::plot::line_chart(
-            &format!("Fig. 15 (chart): {} latency (us) vs size (MB), log-log", arch.name),
+            &format!(
+                "Fig. 15 (chart): {} latency (us) vs size (MB), log-log",
+                arch.name
+            ),
             &series,
             sync_micro::plot::Scale::Log10,
             sync_micro::plot::Scale::Log10,
@@ -262,7 +287,14 @@ pub fn figure15() -> String {
 pub fn table6() -> String {
     let mut t = TextTable::new(
         "Table VI: bandwidth (GB/s) of the reduction methods",
-        &["arch", "implicit", "grid sync", "CUB-like", "SDK-like", "theory"],
+        &[
+            "arch",
+            "implicit",
+            "grid sync",
+            "CUB-like",
+            "SDK-like",
+            "theory",
+        ],
     );
     for arch in [GpuArch::v100(), GpuArch::p100()] {
         let rows = reduction::table6(&arch).expect("table6");
@@ -388,7 +420,11 @@ pub fn deadlocks() -> String {
         use gpu_sim::isa::Operand::*;
         let c = b.reg();
         let bit = b.reg();
-        b.push(gpu_sim::Instr::IAnd(bit, Sp(gpu_sim::Special::BlockId), Imm(1)));
+        b.push(gpu_sim::Instr::IAnd(
+            bit,
+            Sp(gpu_sim::Special::BlockId),
+            Imm(1),
+        ));
         b.cmp_eq(c, Reg(bit), Imm(0));
         b.bra_ifz(Reg(c), "out");
         b.grid_sync();
@@ -469,7 +505,13 @@ pub fn table8() -> String {
 pub fn method_validation() -> String {
     let mut t = TextTable::new(
         "§IX-D: inter-SM method vs Wong's method on the FP32 add",
-        &["arch", "inter-SM (cyc)", "sigma (cyc)", "Wong (cyc)", "expected"],
+        &[
+            "arch",
+            "inter-SM (cyc)",
+            "sigma (cyc)",
+            "Wong (cyc)",
+            "expected",
+        ],
     );
     for (arch, expect) in [(GpuArch::v100(), 4.0), (GpuArch::p100(), 6.0)] {
         let (inter, wong) = inter_sm::validate_against_fadd(&arch).expect("validate");
@@ -568,15 +610,39 @@ pub const EXPERIMENTS: &[Experiment] = &[
     ("table6", "reduction bandwidth", table6),
     ("fig16", "multi-GPU reduction throughput", figure16),
     ("fig18", "warp-barrier blocking probe", figure18),
-    ("deadlocks", "partial-group sync outcomes (§VIII-B)", deadlocks),
+    (
+        "deadlocks",
+        "partial-group sync outcomes (§VIII-B)",
+        deadlocks,
+    ),
     ("table7", "environment", table7),
     ("table8", "summary of observations", table8),
-    ("validate", "inter-SM vs Wong cross-validation (§IX-D)", method_validation),
+    (
+        "validate",
+        "inter-SM vs Wong cross-validation (§IX-D)",
+        method_validation,
+    ),
     ("groupsize", "§V-A group-size sweeps", group_sizes),
-    ("allreduce", "allreduce algorithms on DGX-1 (extension)", allreduce),
-    ("calibration", "parameter-to-anchor calibration sheets", calibration),
-    ("swbarrier", "software vs hardware device-wide barriers", software_barriers),
-    ("ablation", "design-choice ablations + extrapolations", crate::ablations::all),
+    (
+        "allreduce",
+        "allreduce algorithms on DGX-1 (extension)",
+        allreduce,
+    ),
+    (
+        "calibration",
+        "parameter-to-anchor calibration sheets",
+        calibration,
+    ),
+    (
+        "swbarrier",
+        "software vs hardware device-wide barriers",
+        software_barriers,
+    ),
+    (
+        "ablation",
+        "design-choice ablations + extrapolations",
+        crate::ablations::all,
+    ),
 ];
 
 /// Run one experiment by name.

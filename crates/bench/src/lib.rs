@@ -2,7 +2,8 @@
 //!
 //! The reproduction harness: every table and figure of the paper's
 //! evaluation can be regenerated through [`experiments::EXPERIMENTS`], either
-//! via the `repro` binary or the criterion benches.
+//! via the `repro` binary or the benches.
 
 pub mod ablations;
 pub mod experiments;
+pub mod harness;

@@ -1,0 +1,50 @@
+//! The sweep engine must be invisible in the output: any artifact rendered
+//! at `--jobs 1` must be byte-identical at `--jobs 8`. Collection is
+//! slot-indexed, so completion order cannot leak into the tables; this test
+//! pins that guarantee on a single- and a multi-GPU figure.
+//!
+//! Everything lives in one `#[test]` because `sweep::set_jobs` is process
+//! global and libtest runs test functions concurrently.
+
+use gpu_arch::GpuArch;
+use sync_micro::{grid_sync, multi_grid};
+
+fn small(mut a: GpuArch) -> GpuArch {
+    a.num_sms = 8;
+    a
+}
+
+fn render_fig5(arch: &GpuArch) -> String {
+    grid_sync::figure5(arch).unwrap().render().render()
+}
+
+fn render_fig7(arch: &GpuArch) -> String {
+    let fig = multi_grid::figure7(arch).unwrap();
+    fig.maps
+        .iter()
+        .map(|(_, hm)| hm.render().render())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn rendered_tables_are_byte_identical_across_worker_counts() {
+    let v100 = small(GpuArch::v100());
+    let p100 = small(GpuArch::p100());
+
+    sync_micro::sweep::set_jobs(1);
+    let fig5_serial = render_fig5(&v100);
+    let fig7_serial = render_fig7(&p100);
+
+    sync_micro::sweep::set_jobs(8);
+    let fig5_parallel = render_fig5(&v100);
+    let fig7_parallel = render_fig7(&p100);
+
+    sync_micro::sweep::set_jobs(0);
+
+    assert_eq!(fig5_serial, fig5_parallel, "figure5 differs across jobs");
+    assert_eq!(fig7_serial, fig7_parallel, "figure7 differs across jobs");
+    // Sanity: the tables actually contain data, not just headers.
+    assert!(fig5_serial.lines().count() > 5);
+    assert!(fig7_serial.lines().count() > 10);
+}

@@ -1,0 +1,76 @@
+//! End-to-end checks of the `repro` binary: upfront name validation (no
+//! side effects on a typo) and deterministic stdout ordering under --jobs.
+
+use std::path::Path;
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn unknown_name_fails_fast_without_creating_out_dir() {
+    let out = std::env::temp_dir().join("syncmark-repro-cli-unknown-out");
+    let _ = std::fs::remove_dir_all(&out);
+    let r = repro()
+        .args(["--out", out.to_str().unwrap(), "table2", "no-such-figure"])
+        .output()
+        .unwrap();
+    assert_eq!(r.status.code(), Some(2), "expected exit 2 on unknown name");
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    assert!(
+        stderr.contains("no-such-figure"),
+        "stderr names the bad experiment: {stderr}"
+    );
+    // Nothing ran, nothing was written: validation precedes all side effects.
+    assert!(
+        !Path::new(&out).exists(),
+        "--out dir must not be created when validation fails"
+    );
+    let stdout = String::from_utf8_lossy(&r.stdout);
+    assert!(
+        stdout.is_empty(),
+        "no experiment output on failure: {stdout}"
+    );
+}
+
+#[test]
+fn list_names_every_experiment() {
+    let r = repro().arg("list").output().unwrap();
+    assert!(r.status.success());
+    let stdout = String::from_utf8_lossy(&r.stdout);
+    for name in ["table2", "fig5", "fig7", "table7", "deadlocks"] {
+        assert!(stdout.contains(name), "list is missing {name}: {stdout}");
+    }
+}
+
+#[test]
+fn bad_jobs_value_is_rejected() {
+    let r = repro().args(["--jobs", "many", "table7"]).output().unwrap();
+    assert_eq!(r.status.code(), Some(2));
+}
+
+#[test]
+fn parallel_run_prints_outputs_in_request_order() {
+    // Two cheap experiments; with --jobs 2 they run concurrently but stdout
+    // must still follow the requested order, byte-identical to serial.
+    let serial = repro()
+        .args(["--jobs", "1", "deadlocks", "table7"])
+        .output()
+        .unwrap();
+    assert!(serial.status.success(), "serial run failed");
+    let parallel = repro()
+        .args(["--jobs", "2", "deadlocks", "table7"])
+        .output()
+        .unwrap();
+    assert!(parallel.status.success(), "parallel run failed");
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout),
+        String::from_utf8_lossy(&parallel.stdout),
+        "stdout must not depend on --jobs"
+    );
+    let out = String::from_utf8_lossy(&serial.stdout);
+    let d = out.find("DEADLOCK").expect("deadlocks output present");
+    let t = out.find("Table VII").expect("table7 output present");
+    assert!(d < t, "outputs out of request order");
+}

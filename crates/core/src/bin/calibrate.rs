@@ -10,7 +10,10 @@ fn main() {
     let p100 = GpuArch::p100();
     if what == "all" || what == "table1" {
         for r in launch_overhead::table1(&v100).unwrap() {
-            println!("table1 {}: overhead {:.0} total {:.0}", r.launch_type, r.overhead_ns, r.null_total_ns);
+            println!(
+                "table1 {}: overhead {:.0} total {:.0}",
+                r.launch_type, r.overhead_ns, r.null_total_ns
+            );
         }
     }
     if what == "all" || what == "fig5" {
@@ -43,7 +46,10 @@ fn main() {
     if what == "all" || what == "smem" {
         for a in [&v100, &p100] {
             for r in shared_mem::table3_measurements(a).unwrap() {
-                println!("{} smem {}: bw {:.2} B/c lat {:.1}", a.name, r.scenario, r.bandwidth_bytes_per_cycle, r.latency_cycles);
+                println!(
+                    "{} smem {}: bw {:.2} B/c lat {:.1}",
+                    a.name, r.scenario, r.bandwidth_bytes_per_cycle, r.latency_cycles
+                );
             }
         }
     }

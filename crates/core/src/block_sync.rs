@@ -27,23 +27,23 @@ fn config_for(warps: u32) -> (u32, u32) {
     }
 }
 
-/// Sweep warps/SM ∈ {1, 2, 4, ..., 64} (Fig. 4's x axis).
+/// Sweep warps/SM ∈ {1, 2, 4, ..., 64} (Fig. 4's x axis). Each residency
+/// point is an independent pair of simulations, run on the shared sweep
+/// pool with results in x-axis order.
 pub fn figure4(arch: &GpuArch) -> SimResult<Vec<BlockSyncPoint>> {
     let a1 = one_sm(arch);
     let p = Placement::single();
-    let mut out = Vec::new();
-    for shift in 0..7u32 {
-        let warps = 1 << shift;
+    let warps: Vec<u32> = (0..7u32).map(|shift| 1 << shift).collect();
+    crate::sweep::try_map(warps, |warps| {
         let (grid, block) = config_for(warps);
         let lat = sync_chain_cycles(&a1, &p, SyncOp::Block, 32, grid, block)?.cycles_per_op;
         let thr = sync_throughput_per_sm(&a1, SyncOp::Block, 48, grid, block)?;
-        out.push(BlockSyncPoint {
+        Ok(BlockSyncPoint {
             warps_per_sm: warps,
             latency_cycles: lat,
             warp_sync_per_cycle: thr,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// Render Fig. 4's data as a table (one column per architecture).

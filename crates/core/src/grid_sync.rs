@@ -25,7 +25,10 @@ pub struct HeatMap {
 
 impl HeatMap {
     pub fn cell(&self, blocks_per_sm: u32, threads_per_block: u32) -> Option<f64> {
-        let i = self.blocks_per_sm.iter().position(|&b| b == blocks_per_sm)?;
+        let i = self
+            .blocks_per_sm
+            .iter()
+            .position(|&b| b == blocks_per_sm)?;
         let j = self
             .threads_per_block
             .iter()
@@ -54,9 +57,51 @@ impl HeatMap {
 
 /// Number of barrier rounds per configuration (kept small — the chain is in
 /// steady state after the first round).
-const REPS: usize = 4;
+pub(crate) const REPS: usize = 4;
+
+/// One feasible heat-map cell: axis indices plus launch geometry.
+/// Configurations that cannot co-reside (the blank cells of the paper's
+/// figures) are never planned at all.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CellPlan {
+    pub i: usize,
+    pub j: usize,
+    pub bpsm: u32,
+    pub tpb: u32,
+}
+
+/// Plan the feasible cells of the (blocks/SM × threads/block) sweep.
+pub(crate) fn plan_cells(arch: &GpuArch) -> Vec<CellPlan> {
+    let mut plan = Vec::new();
+    for (i, &bpsm) in BLOCKS_PER_SM.iter().enumerate() {
+        for (j, &tpb) in THREADS_PER_BLOCK.iter().enumerate() {
+            if bpsm <= arch.occupancy(tpb, 0).blocks_per_sm {
+                plan.push(CellPlan { i, j, bpsm, tpb });
+            }
+        }
+    }
+    plan
+}
+
+/// Assemble measured cell values (same order as the plan) into the full
+/// grid, leaving unplanned cells blank.
+pub(crate) fn assemble_heatmap(title: &str, plan: &[CellPlan], values: Vec<f64>) -> HeatMap {
+    let mut cells = vec![vec![None; THREADS_PER_BLOCK.len()]; BLOCKS_PER_SM.len()];
+    for (c, v) in plan.iter().zip(values) {
+        cells[c.i][c.j] = Some(v);
+    }
+    HeatMap {
+        title: title.to_string(),
+        blocks_per_sm: BLOCKS_PER_SM.to_vec(),
+        threads_per_block: THREADS_PER_BLOCK.to_vec(),
+        cells,
+    }
+}
 
 /// Measure one heat map for `op` ∈ {Grid, MultiGrid} on `ngpus` devices.
+/// The feasible cells run on the shared sweep pool (see [`crate::sweep`]);
+/// results are assembled in plan order, so the map is identical to a serial
+/// run at any worker count.
 pub fn sync_heatmap(
     arch: &GpuArch,
     placement: &Placement,
@@ -64,27 +109,12 @@ pub fn sync_heatmap(
     title: &str,
 ) -> SimResult<HeatMap> {
     assert!(matches!(op, SyncOp::Grid | SyncOp::MultiGrid));
-    let mut cells = Vec::new();
-    for &bpsm in &BLOCKS_PER_SM {
-        let mut row = Vec::new();
-        for &tpb in &THREADS_PER_BLOCK {
-            let occ = arch.occupancy(tpb, 0).blocks_per_sm;
-            if bpsm > occ {
-                row.push(None); // cannot co-reside: cooperative launch rejected
-                continue;
-            }
-            let grid = bpsm * arch.num_sms;
-            let m = sync_chain_cycles(arch, placement, op, REPS, grid, tpb)?;
-            row.push(Some(cycles_to_us(arch, m.cycles_per_op)));
-        }
-        cells.push(row);
-    }
-    Ok(HeatMap {
-        title: title.to_string(),
-        blocks_per_sm: BLOCKS_PER_SM.to_vec(),
-        threads_per_block: THREADS_PER_BLOCK.to_vec(),
-        cells,
-    })
+    let plan = plan_cells(arch);
+    let values = crate::sweep::try_map(plan.clone(), |c| {
+        let m = sync_chain_cycles(arch, placement, op, REPS, c.bpsm * arch.num_sms, c.tpb)?;
+        Ok(cycles_to_us(arch, m.cycles_per_op))
+    })?;
+    Ok(assemble_heatmap(title, &plan, values))
 }
 
 /// Fig. 5: single-GPU grid synchronization latency.

@@ -114,7 +114,10 @@ mod tests {
     fn tile_width_never_matters() {
         for arch in [GpuArch::v100(), GpuArch::p100()] {
             let sweep = tile_size_sweep(&arch).unwrap();
-            let min = sweep.iter().map(|p| p.latency_cycles).fold(f64::MAX, f64::min);
+            let min = sweep
+                .iter()
+                .map(|p| p.latency_cycles)
+                .fold(f64::MAX, f64::min);
             let max = sweep.iter().map(|p| p.latency_cycles).fold(0.0, f64::max);
             assert!(max - min < 1.0, "{}: {sweep:?}", arch.name);
         }
@@ -148,6 +151,6 @@ mod tests {
         let s = render_group_size_sweeps(&[&v]).unwrap();
         assert!(s.contains("tile-group"));
         assert!(s.contains("coalesced-group"));
-        assert_eq!(s.matches('\n').count() > 40, true);
+        assert!(s.matches('\n').count() > 40);
     }
 }

@@ -12,7 +12,7 @@ use cuda_rt::HostSim;
 use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
 use gpu_sim::kernels;
-use gpu_sim::{GridLaunch, GpuSystem, LaunchKind};
+use gpu_sim::{GpuSystem, GridLaunch, LaunchKind};
 use serde::Serialize;
 use sim_core::SimResult;
 
@@ -44,7 +44,7 @@ pub fn measure_launch_path(
     kind: LaunchKind,
     sleep_ns: u64,
     devices: &[usize],
-    topology: NodeTopology,
+    topology: impl Into<std::sync::Arc<NodeTopology>>,
 ) -> SimResult<LaunchOverheadRow> {
     let mut arch = arch.clone();
     arch.num_sms = arch.num_sms.min(4); // null grids: SM count is irrelevant
@@ -107,32 +107,22 @@ pub fn measure_launch_path(
 }
 
 /// Reproduce Table I on the given architecture (V100 in the paper — the
-/// sleep instruction only exists on Volta).
+/// sleep instruction only exists on Volta). The three launch paths are
+/// independent measurements, so they run as one sweep; the row order is the
+/// input order regardless of which finishes first.
 pub fn table1(arch: &GpuArch) -> SimResult<Vec<LaunchOverheadRow>> {
     let sleep = 10_000; // 10 us, as in Fig. 3
-    Ok(vec![
-        measure_launch_path(
-            arch,
-            LaunchKind::Traditional,
-            sleep,
-            &[0],
-            NodeTopology::single(),
-        )?,
-        measure_launch_path(
-            arch,
-            LaunchKind::Cooperative,
-            sleep,
-            &[0],
-            NodeTopology::single(),
-        )?,
-        measure_launch_path(
-            arch,
+    let paths = vec![
+        (LaunchKind::Traditional, NodeTopology::single()),
+        (LaunchKind::Cooperative, NodeTopology::single()),
+        (
             LaunchKind::CooperativeMultiDevice,
-            sleep,
-            &[0],
             NodeTopology::dgx1_v100(),
-        )?,
-    ])
+        ),
+    ];
+    crate::sweep::try_map(paths, |(kind, topology)| {
+        measure_launch_path(arch, kind, sleep, &[0], topology)
+    })
 }
 
 /// §IX-B's warning demonstrated: running the fusion protocol with kernels
@@ -153,7 +143,11 @@ pub fn unsaturated_overhead_ns(arch: &GpuArch) -> SimResult<f64> {
 pub fn render_table1(rows: &[LaunchOverheadRow]) -> TextTable {
     let mut t = TextTable::new(
         "Table I: launch overhead and null-kernel total latency",
-        &["Launch Type", "Launch Overhead (ns)", "Kernel Total Latency (ns)"],
+        &[
+            "Launch Type",
+            "Launch Overhead (ns)",
+            "Kernel Total Latency (ns)",
+        ],
     );
     for r in rows {
         t.row(vec![

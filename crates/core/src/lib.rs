@@ -34,6 +34,7 @@ pub mod report;
 pub mod shared_mem;
 pub mod software_barrier;
 pub mod summary;
+pub mod sweep;
 pub mod warp_probe;
 pub mod warp_sync;
 

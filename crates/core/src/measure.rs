@@ -3,8 +3,9 @@
 use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
 use gpu_sim::kernels::{self, SyncOp};
-use gpu_sim::{ExecReport, GridLaunch, GpuSystem, LaunchKind};
+use gpu_sim::{ExecReport, GpuSystem, GridLaunch, LaunchKind};
 use sim_core::{Ps, SimResult};
+use std::sync::Arc;
 
 /// One dependent-chain measurement (Wong's method, §IX-C).
 #[derive(Debug, Clone)]
@@ -14,10 +15,12 @@ pub struct ChainMeasurement {
     pub report: ExecReport,
 }
 
-/// Where a launch should run.
+/// Where a launch should run. The topology is behind an `Arc` so sweep
+/// drivers building one `Placement` per cell share a single description
+/// instead of deep-cloning the interconnect tables per cell.
 #[derive(Debug, Clone)]
 pub struct Placement {
-    pub topology: NodeTopology,
+    pub topology: Arc<NodeTopology>,
     /// Devices participating (multi-grid) — `vec![0]` for single-GPU.
     pub devices: Vec<usize>,
 }
@@ -25,12 +28,13 @@ pub struct Placement {
 impl Placement {
     pub fn single() -> Placement {
         Placement {
-            topology: NodeTopology::single(),
+            topology: Arc::new(NodeTopology::single()),
             devices: vec![0],
         }
     }
 
-    pub fn multi(topology: NodeTopology, ngpus: usize) -> Placement {
+    pub fn multi(topology: impl Into<Arc<NodeTopology>>, ngpus: usize) -> Placement {
+        let topology = topology.into();
         assert!(ngpus >= 1 && ngpus <= topology.num_gpus);
         Placement {
             topology,
@@ -68,6 +72,10 @@ fn launch_for(
 }
 
 /// Run a clocked chain of `reps` sync ops and report cycles/op.
+///
+/// The topology is shared from the placement's `Arc` (no per-cell deep
+/// clone); the arch is copied once into the fresh `GpuSystem`, where the
+/// engine then aliases it for every launch.
 pub fn sync_chain_cycles(
     arch: &GpuArch,
     placement: &Placement,
@@ -78,7 +86,14 @@ pub fn sync_chain_cycles(
 ) -> SimResult<ChainMeasurement> {
     let mut sys = GpuSystem::new(arch.clone(), placement.topology.clone());
     let kernel = kernels::sync_chain(op, reps);
-    let launch = launch_for(&mut sys, op, kernel, grid_dim, block_dim, &placement.devices);
+    let launch = launch_for(
+        &mut sys,
+        op,
+        kernel,
+        grid_dim,
+        block_dim,
+        &placement.devices,
+    );
     let out = launch.params[0][0];
     let report = sys.run(&launch)?;
     let cycles = sys
@@ -159,8 +174,8 @@ mod tests {
     #[test]
     fn chain_measurement_matches_direct_engine_use() {
         let arch = one_sm(&GpuArch::v100());
-        let m = sync_chain_cycles(&arch, &Placement::single(), SyncOp::Tile(32), 64, 1, 32)
-            .unwrap();
+        let m =
+            sync_chain_cycles(&arch, &Placement::single(), SyncOp::Tile(32), 64, 1, 32).unwrap();
         assert!((m.cycles_per_op - 14.0).abs() < 2.0, "{}", m.cycles_per_op);
     }
 

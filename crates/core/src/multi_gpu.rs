@@ -11,6 +11,7 @@ use gpu_sim::kernels::{self, SyncOp};
 use gpu_sim::{GpuSystem, GridLaunch, LaunchKind};
 use serde::Serialize;
 use sim_core::SimResult;
+use std::sync::Arc;
 
 /// One GPU-count sample of Fig. 9 (all in microseconds).
 #[derive(Debug, Clone, Serialize)]
@@ -34,7 +35,7 @@ pub struct MultiGpuPoint {
 /// ~250 µs necessary for 8 GPUs (§IX-B).
 const SLEEP_NS: u64 = 250_000;
 
-fn cpu_side_overhead_us(arch: &GpuArch, topology: &NodeTopology, n: usize) -> SimResult<f64> {
+fn cpu_side_overhead_us(arch: &GpuArch, topology: &Arc<NodeTopology>, n: usize) -> SimResult<f64> {
     let mut arch_small = arch.clone();
     arch_small.num_sms = arch_small.num_sms.min(4);
     let sys = GpuSystem::new(arch_small, topology.clone());
@@ -64,42 +65,84 @@ fn cpu_side_overhead_us(arch: &GpuArch, topology: &NodeTopology, n: usize) -> Si
 
 fn mgrid_us(
     arch: &GpuArch,
-    topology: &NodeTopology,
+    topology: &Arc<NodeTopology>,
     n: usize,
     bpsm: u32,
     tpb: u32,
 ) -> SimResult<f64> {
     let placement = Placement::multi(topology.clone(), n);
-    let m = sync_chain_cycles(arch, &placement, SyncOp::MultiGrid, 4, bpsm * arch.num_sms, tpb)?;
+    let m = sync_chain_cycles(
+        arch,
+        &placement,
+        SyncOp::MultiGrid,
+        4,
+        bpsm * arch.num_sms,
+        tpb,
+    )?;
     Ok(cycles_to_us(arch, m.cycles_per_op))
 }
 
+/// One of the five measurements behind a [`MultiGpuPoint`] — the sweep
+/// item, so every (GPU count × method) pair runs independently.
+#[derive(Debug, Clone, Copy)]
+enum Fig9Metric {
+    Launch,
+    CpuSide,
+    Mgrid { bpsm: u32, tpb: u32 },
+}
+
+const FIG9_METRICS: [Fig9Metric; 5] = [
+    Fig9Metric::Launch,
+    Fig9Metric::CpuSide,
+    Fig9Metric::Mgrid { bpsm: 1, tpb: 32 },
+    Fig9Metric::Mgrid { bpsm: 1, tpb: 1024 },
+    Fig9Metric::Mgrid { bpsm: 32, tpb: 64 },
+];
+
 /// Measure Fig. 9 for the given GPU counts (1..=8 in the paper).
+///
+/// Each of the figure's `counts × 5` curves' points is an independent
+/// simulation, so all of them are flattened into one sweep and reassembled
+/// per GPU count afterwards.
 pub fn figure9(
     arch: &GpuArch,
     topology: &NodeTopology,
     gpu_counts: &[usize],
 ) -> SimResult<Vec<MultiGpuPoint>> {
-    let mut out = Vec::new();
+    let topology = Arc::new(topology.clone());
+    let mut points = Vec::new();
     for &n in gpu_counts {
-        let devices: Vec<usize> = (0..n).collect();
-        let launch_row = measure_launch_path(
-            arch,
-            LaunchKind::CooperativeMultiDevice,
-            SLEEP_NS,
-            &devices,
-            topology.clone(),
-        )?;
-        out.push(MultiGpuPoint {
-            gpus: n,
-            multi_device_launch_us: launch_row.overhead_ns / 1e3,
-            cpu_side_us: cpu_side_overhead_us(arch, topology, n)?,
-            mgrid_fast_us: mgrid_us(arch, topology, n, 1, 32)?,
-            mgrid_general_us: mgrid_us(arch, topology, n, 1, 1024)?,
-            mgrid_slow_us: mgrid_us(arch, topology, n, 32, 64)?,
-        });
+        for m in FIG9_METRICS {
+            points.push((n, m));
+        }
     }
-    Ok(out)
+    let values = crate::sweep::try_map(points, |(n, metric)| match metric {
+        Fig9Metric::Launch => {
+            let devices: Vec<usize> = (0..n).collect();
+            let row = measure_launch_path(
+                arch,
+                LaunchKind::CooperativeMultiDevice,
+                SLEEP_NS,
+                &devices,
+                topology.clone(),
+            )?;
+            Ok(row.overhead_ns / 1e3)
+        }
+        Fig9Metric::CpuSide => cpu_side_overhead_us(arch, &topology, n),
+        Fig9Metric::Mgrid { bpsm, tpb } => mgrid_us(arch, &topology, n, bpsm, tpb),
+    })?;
+    Ok(gpu_counts
+        .iter()
+        .zip(values.chunks(FIG9_METRICS.len()))
+        .map(|(&n, v)| MultiGpuPoint {
+            gpus: n,
+            multi_device_launch_us: v[0],
+            cpu_side_us: v[1],
+            mgrid_fast_us: v[2],
+            mgrid_general_us: v[3],
+            mgrid_slow_us: v[4],
+        })
+        .collect())
 }
 
 pub fn render_figure9(points: &[MultiGpuPoint]) -> TextTable {
@@ -132,12 +175,7 @@ mod tests {
     use super::*;
 
     fn fig9_small() -> Vec<MultiGpuPoint> {
-        figure9(
-            &GpuArch::v100(),
-            &NodeTopology::dgx1_v100(),
-            &[1, 2, 3, 8],
-        )
-        .unwrap()
+        figure9(&GpuArch::v100(), &NodeTopology::dgx1_v100(), &[1, 2, 3, 8]).unwrap()
     }
 
     #[test]

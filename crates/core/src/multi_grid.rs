@@ -1,12 +1,13 @@
 //! Figs. 7 & 8: multi-grid synchronization latency across GPU counts.
 
-use crate::grid_sync::{sync_heatmap, HeatMap};
-use crate::measure::Placement;
+use crate::grid_sync::{self, HeatMap};
+use crate::measure::{cycles_to_us, sync_chain_cycles, Placement};
 use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
 use gpu_sim::kernels::SyncOp;
 use serde::Serialize;
 use sim_core::SimResult;
+use std::sync::Arc;
 
 /// Fig. 7/8: one heat map per GPU count.
 #[derive(Debug, Clone, Serialize)]
@@ -17,23 +18,47 @@ pub struct MultiGridFigure {
 }
 
 /// Measure multi-grid latency heat maps for the given GPU counts.
+///
+/// All `gpu_counts × feasible cells` points are independent, so they are
+/// flattened into a single sweep instead of one sweep per GPU count —
+/// the pool stays busy across map boundaries. Every point shares one
+/// `Arc`'d topology; results land back in (count, cell) order.
 pub fn multi_grid_figure(
     arch: &GpuArch,
     topology: &NodeTopology,
     gpu_counts: &[usize],
 ) -> SimResult<MultiGridFigure> {
-    let mut maps = Vec::new();
     for &n in gpu_counts {
         assert!(n >= 1 && n <= topology.num_gpus);
+    }
+    let topology = Arc::new(topology.clone());
+    let plan = grid_sync::plan_cells(arch);
+    let mut points = Vec::new();
+    for &n in gpu_counts {
+        for &c in &plan {
+            points.push((n, c));
+        }
+    }
+    let values = crate::sweep::try_map(points, |(n, c)| {
         let placement = Placement::multi(topology.clone(), n);
-        let hm = sync_heatmap(
+        let m = sync_chain_cycles(
             arch,
             &placement,
             SyncOp::MultiGrid,
-            &format!("multi-grid sync latency (us), {} GPU(s), {}", n, arch.name),
+            grid_sync::REPS,
+            c.bpsm * arch.num_sms,
+            c.tpb,
         )?;
-        maps.push((n, hm));
-    }
+        Ok(cycles_to_us(arch, m.cycles_per_op))
+    })?;
+    let maps = gpu_counts
+        .iter()
+        .zip(values.chunks(plan.len()))
+        .map(|(&n, vals)| {
+            let title = format!("multi-grid sync latency (us), {} GPU(s), {}", n, arch.name);
+            (n, grid_sync::assemble_heatmap(&title, &plan, vals.to_vec()))
+        })
+        .collect();
     Ok(MultiGridFigure {
         arch: arch.name.clone(),
         node: topology.name.clone(),
@@ -94,9 +119,15 @@ mod tests {
         let c5 = cell(&fig, 5, 1, 32);
         let c6 = cell(&fig, 6, 1, 32);
         let c8 = cell(&fig, 8, 1, 32);
-        assert!((c5 - c2).abs() / c2 < 0.25, "2 vs 5 GPUs: {c2:.2} vs {c5:.2}");
+        assert!(
+            (c5 - c2).abs() / c2 < 0.25,
+            "2 vs 5 GPUs: {c2:.2} vs {c5:.2}"
+        );
         assert!(c6 > 2.0 * c5, "jump at 6 GPUs: {c5:.2} -> {c6:.2}");
-        assert!((c8 - c6).abs() / c6 < 0.30, "6 vs 8 GPUs: {c6:.2} vs {c8:.2}");
+        assert!(
+            (c8 - c6).abs() / c6 < 0.30,
+            "6 vs 8 GPUs: {c6:.2} vs {c8:.2}"
+        );
     }
 
     #[test]

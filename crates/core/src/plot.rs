@@ -115,7 +115,13 @@ pub fn line_chart(
         x1v
     );
     for (si, s) in series.iter().enumerate() {
-        let _ = writeln!(out, "{}{} = {}", " ".repeat(11), MARKS[si % MARKS.len()], s.name);
+        let _ = writeln!(
+            out,
+            "{}{} = {}",
+            " ".repeat(11),
+            MARKS[si % MARKS.len()],
+            s.name
+        );
     }
     out
 }
@@ -211,10 +217,7 @@ mod tests {
             title: "demo".into(),
             blocks_per_sm: vec![1, 2],
             threads_per_block: vec![32, 64],
-            cells: vec![
-                vec![Some(1.0), Some(2.0)],
-                vec![Some(10.0), None],
-            ],
+            cells: vec![vec![Some(1.0), Some(2.0)], vec![Some(10.0), None]],
         };
         let s = shade_heatmap(&hm);
         assert!(s.contains('.') && s.contains('@'), "{s}");

@@ -55,8 +55,11 @@ pub fn table8(volta: &GpuArch, pascal: &GpuArch) -> SimResult<Vec<Observation>> 
     });
 
     // Multi-grid: both dimensions matter — measured on a 2-GPU DGX-1 slice.
-    let mgrid = |bpsm: u32, tpb: u32| -> SimResult<f64> {
-        let p = crate::measure::Placement::multi(gpu_node::NodeTopology::dgx1_v100(), 2);
+    // The three probe configurations are independent, so they run as one
+    // sweep sharing the topology.
+    let topo = std::sync::Arc::new(gpu_node::NodeTopology::dgx1_v100());
+    let probes = crate::sweep::try_map(vec![(1u32, 32u32), (8, 32), (1, 1024)], |(bpsm, tpb)| {
+        let p = crate::measure::Placement::multi(topo.clone(), 2);
         let m = crate::measure::sync_chain_cycles(
             volta,
             &p,
@@ -66,10 +69,8 @@ pub fn table8(volta: &GpuArch, pascal: &GpuArch) -> SimResult<Vec<Observation>> 
             tpb,
         )?;
         Ok(m.cycles_per_op)
-    };
-    let base = mgrid(1, 32)?;
-    let more_blocks = mgrid(8, 32)?;
-    let more_threads = mgrid(1, 1024)?;
+    })?;
+    let (base, more_blocks, more_threads) = (probes[0], probes[1], probes[2]);
     out.push(Observation {
         topic: "Multi-Grid Sync".into(),
         statement: "Both blocks/SM and warps/SM affect performance; acceptable if \
@@ -95,7 +96,11 @@ pub fn render_table8(obs: &[Observation]) -> String {
     for o in obs {
         s.push_str(&format!(
             "[{}] {}: {}\n",
-            if o.supported { "supported" } else { "NOT SUPPORTED" },
+            if o.supported {
+                "supported"
+            } else {
+                "NOT SUPPORTED"
+            },
             o.topic,
             o.statement
         ));
@@ -120,7 +125,12 @@ mod tests {
     fn render_lists_every_topic() {
         let obs = table8(&GpuArch::v100(), &GpuArch::p100()).unwrap();
         let s = render_table8(&obs);
-        for topic in ["Warp Level Sync", "Block Sync", "Grid Sync", "Multi-Grid Sync"] {
+        for topic in [
+            "Warp Level Sync",
+            "Block Sync",
+            "Grid Sync",
+            "Multi-Grid Sync",
+        ] {
             assert!(s.contains(topic));
         }
     }

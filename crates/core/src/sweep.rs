@@ -1,0 +1,164 @@
+//! A shared parallel sweep engine for the experiment harness.
+//!
+//! Every table and figure of the reproduction is a sweep over independent
+//! simulation points — each cell a pure function of `(GpuArch,
+//! NodeTopology, config)` with no shared mutable state. [`map`] fans the
+//! points across a pool of scoped worker threads and collects results into
+//! slots indexed by input position, so the output order (and therefore every
+//! rendered table) is byte-identical to a serial run regardless of the
+//! worker count or completion order.
+//!
+//! The worker count is a process-wide setting ([`set_jobs`], driven by
+//! `repro --jobs N`); it scales wall-clock only, never results. Sweeps may
+//! nest (the `repro` binary sweeps the experiment registry while individual
+//! experiments sweep their cells); each level spawns its own scoped workers
+//! and the OS timeshares them, which is harmless because workers are
+//! compute-bound simulation and never block on each other.
+
+use sim_core::SimResult;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide worker-count override; 0 means "use [`default_jobs`]".
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// The worker count used when none has been set: the host's available
+/// parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Override the worker count for all subsequent sweeps (0 restores the
+/// default). Wired to `repro --jobs N`.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The worker count sweeps currently use.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => default_jobs(),
+        n => n,
+    }
+}
+
+/// Apply `f` to every item on [`jobs`] workers; results come back in input
+/// order.
+pub fn map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    map_jobs(items, jobs(), f)
+}
+
+/// [`map`] with an explicit worker count (1 runs fully serial on the calling
+/// thread — the baseline half of the serial-vs-parallel bench and the
+/// determinism tests).
+pub fn map_jobs<I, T, F>(items: Vec<I>, jobs: usize, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Work-claiming by atomic index: each slot is taken by exactly one
+    // worker and its result lands back in the same slot, which is what makes
+    // the collected order independent of scheduling.
+    let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let out: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().unwrap().take().expect("slot claimed once");
+                let r = f(item);
+                *out[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+/// [`map`] over fallible points. All points run; the error reported is the
+/// first in *input* order, so failures are as deterministic as successes.
+pub fn try_map<I, T, F>(items: Vec<I>, f: F) -> SimResult<Vec<T>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> SimResult<T> + Sync,
+{
+    map(items, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimError;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = map_jobs(items.clone(), 8, |i| {
+            // Make late items finish first to stress slot ordering.
+            if i % 3 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+            i * i
+        });
+        let expect: Vec<u64> = items.iter().map(|i| i * i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let items: Vec<u32> = (0..100).collect();
+        let serial = map_jobs(items.clone(), 1, |i| format!("{}", (i as f64).sqrt()));
+        let parallel = map_jobs(items, 13, |i| format!("{}", (i as f64).sqrt()));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn try_map_reports_first_error_in_input_order() {
+        let items: Vec<u32> = (0..64).collect();
+        let r = try_map(items, |i| {
+            if i % 10 == 7 {
+                Err(SimError::ProgramError(format!("bad {i}")))
+            } else {
+                Ok(i)
+            }
+        });
+        match r {
+            Err(SimError::ProgramError(m)) => assert_eq!(m, "bad 7"),
+            other => panic!("expected first input-order error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_sweeps_work() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map(empty, |i| i).is_empty());
+        assert_eq!(map_jobs(vec![41u32], 8, |i| i + 1), vec![42]);
+    }
+
+    #[test]
+    fn jobs_override_round_trips() {
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+        assert_eq!(jobs(), default_jobs());
+    }
+}

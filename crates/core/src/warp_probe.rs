@@ -64,7 +64,10 @@ pub fn render_figure18(results: &[WarpProbeResult]) -> String {
         ));
         out.push_str("lane  start(cyc)  end(cyc)\n");
         for l in 0..32 {
-            out.push_str(&format!("{:>4}  {:>10}  {:>8}\n", l, r.starts[l], r.ends[l]));
+            out.push_str(&format!(
+                "{:>4}  {:>10}  {:>8}\n",
+                l, r.starts[l], r.ends[l]
+            ));
         }
     }
     out

@@ -27,23 +27,32 @@ pub struct WarpSyncRow {
 const LAT_REPS: usize = 128;
 const THR_REPS: usize = 48;
 
-/// Sweep (threads/block, blocks/SM) pairs — "iterating every possibility
-/// pair of up to 1024 threads and up to 64 blocks per SM and recording only
-/// the highest result" (§V-A), restricted to power-of-two steps.
-fn best_throughput(
-    arch: &GpuArch,
-    measure: impl Fn(u32, u32) -> SimResult<f64>,
-) -> SimResult<f64> {
-    let mut best = 0.0f64;
+/// The (threads/block, blocks/SM) pairs of the §V-A throughput scan —
+/// "iterating every possibility pair of up to 1024 threads and up to 64
+/// blocks per SM", restricted to power-of-two steps.
+fn throughput_configs(arch: &GpuArch) -> Vec<(u32, u32)> {
+    let mut configs = Vec::new();
     for &tpb in &[32u32, 64, 128, 256, 512, 1024] {
         for &bpsm in &[1u32, 2, 4, 8, 16, 32, 64] {
             if tpb as u64 * bpsm as u64 > 2 * arch.max_threads_per_sm as u64 {
                 continue; // beyond any useful oversubscription
             }
-            best = best.max(measure(tpb, bpsm)?);
+            configs.push((tpb, bpsm));
         }
     }
-    Ok(best)
+    configs
+}
+
+/// Run the throughput scan as one sweep and record only the highest result
+/// (§V-A). `max` is insensitive to completion order, so this is identical
+/// to the serial scan at any worker count.
+fn best_throughput(
+    arch: &GpuArch,
+    measure: impl Fn(u32, u32) -> SimResult<f64> + Sync,
+) -> SimResult<f64> {
+    let results =
+        crate::sweep::try_map(throughput_configs(arch), |(tpb, bpsm)| measure(tpb, bpsm))?;
+    Ok(results.into_iter().fold(0.0f64, f64::max))
 }
 
 /// Measure all Table II rows for one architecture.
@@ -60,15 +69,20 @@ pub fn table2(arch: &GpuArch) -> SimResult<Vec<WarpSyncRow>> {
     };
 
     // Coalesced(1-31): latency of a 16-lane group; max over partial sizes
-    // for throughput.
+    // for throughput. The group sizes multiply the scan, so the whole
+    // (k × tpb × bpsm) space is one flat sweep.
     let coa_partial_lat = coalesced_partial_cycles(&a1, 16, LAT_REPS)?;
-    let mut coa_partial_thr = 0.0f64;
+    let mut coa_configs = Vec::new();
     for k in [1u32, 8, 16, 31] {
-        let t = best_throughput(&a1, |tpb, bpsm| {
-            coalesced_partial_throughput_per_sm(&a1, k, THR_REPS, bpsm, tpb)
-        })?;
-        coa_partial_thr = coa_partial_thr.max(t);
+        for (tpb, bpsm) in throughput_configs(&a1) {
+            coa_configs.push((k, tpb, bpsm));
+        }
     }
+    let coa_partial_thr = crate::sweep::try_map(coa_configs, |(k, tpb, bpsm)| {
+        coalesced_partial_throughput_per_sm(&a1, k, THR_REPS, bpsm, tpb)
+    })?
+    .into_iter()
+    .fold(0.0f64, f64::max);
 
     let shuffle_ref = 32.0; // programming guide: 32 thread-ops/cycle
     let block_ref = if arch.compute_capability.0 >= 7 {

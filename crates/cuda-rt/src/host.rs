@@ -19,11 +19,8 @@
 //! exact.
 
 use gpu_arch::LaunchPath;
-use gpu_sim::{BufId, ExecReport, GridLaunch, GpuSystem, LaunchKind};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rand_distr::{Distribution, Normal};
-use sim_core::{Ps, SimError, SimResult};
+use gpu_sim::{BufId, ExecReport, GpuSystem, GridLaunch, LaunchKind};
+use sim_core::{Ps, SimError, SimResult, SmallRng};
 
 /// Per-device stream state (the default stream; the paper's benchmarks use
 /// one stream per device).
@@ -79,8 +76,9 @@ pub struct HostSim {
     rx_busy: Vec<Ps>,
     /// Virtual clock per host thread.
     threads: Vec<Ps>,
-    rng: StdRng,
-    jitter: Option<Normal<f64>>,
+    rng: SmallRng,
+    /// Host-timer jitter sigma (ns); `None` disables jitter.
+    jitter: Option<f64>,
 }
 
 impl HostSim {
@@ -100,12 +98,8 @@ impl HostSim {
             tx_busy: vec![Ps::ZERO; n],
             rx_busy: vec![Ps::ZERO; n],
             threads: vec![Ps::ZERO; nthreads],
-            rng: StdRng::seed_from_u64(0x5CA1AB1E),
-            jitter: if jit > 0.0 {
-                Some(Normal::new(0.0, jit).expect("valid sigma"))
-            } else {
-                None
-            },
+            rng: SmallRng::seed_from_u64(0x5CA1AB1E),
+            jitter: (jit > 0.0).then_some(jit),
         }
     }
 
@@ -117,7 +111,7 @@ impl HostSim {
 
     /// Re-seed the jitter source.
     pub fn reseed(&mut self, seed: u64) {
-        self.rng = StdRng::seed_from_u64(seed);
+        self.rng = SmallRng::seed_from_u64(seed);
     }
 
     pub fn num_threads(&self) -> usize {
@@ -134,7 +128,7 @@ impl HostSim {
     pub fn timestamp(&mut self, thread: usize) -> f64 {
         let base = self.threads[thread].as_ns();
         match self.jitter {
-            Some(n) => base + n.sample(&mut self.rng),
+            Some(sigma) => base + self.rng.normal(0.0, sigma),
             None => base,
         }
     }
@@ -171,12 +165,16 @@ impl HostSim {
     /// kernels pay only the `overhead_ns` gap (which is why the paper's
     /// kernel-fusion method must use long-enough kernels, §IX-B).
     fn dispatch_cost(&self, path: LaunchPath) -> Ps {
-        let body = path.floor_ns.saturating_sub(self.sys.arch.host.device_sync_ns);
+        let body = path
+            .floor_ns
+            .saturating_sub(self.sys.arch.host.device_sync_ns);
         Ps::from_ns(body * 3 / 5)
     }
 
     fn completion_cost(&self, path: LaunchPath) -> Ps {
-        let body = path.floor_ns.saturating_sub(self.sys.arch.host.device_sync_ns);
+        let body = path
+            .floor_ns
+            .saturating_sub(self.sys.arch.host.device_sync_ns);
         Ps::from_ns(body - body * 3 / 5)
     }
 
@@ -201,8 +199,7 @@ impl HostSim {
                     .max()
                     .unwrap_or(Ps::ZERO);
                 let gate = Ps::from_ns(
-                    self.sys.arch.host.multi_gate_per_gpu_ns
-                        * (launch.devices.len() as u64 - 1),
+                    self.sys.arch.host.multi_gate_per_gpu_ns * (launch.devices.len() as u64 - 1),
                 );
                 let saturated = launch
                     .devices
@@ -221,8 +218,8 @@ impl HostSim {
                     // Back-to-back in a saturated stream: the launch gap,
                     // but never faster than the per-kernel pipeline interval
                     // the driver needs (§IX-B: short kernels over-report).
-                    let pipeline = s.last_begin
-                        + Ps::from_ns(self.sys.arch.host.stream_pipeline_interval_ns);
+                    let pipeline =
+                        s.last_begin + Ps::from_ns(self.sys.arch.host.stream_pipeline_interval_ns);
                     (s.busy_until + Ps::from_ns(path.overhead_ns)).max(pipeline)
                 } else {
                     now.max(s.busy_until) + self.dispatch_cost(path)
@@ -273,9 +270,8 @@ impl HostSim {
         };
         let max = ids.iter().map(|&t| self.threads[t]).max().unwrap();
         let h = &self.sys.arch.host;
-        let cost = Ps::from_ns(
-            h.omp_barrier_ns + h.omp_barrier_per_thread_ns * (ids.len() as u64 - 1),
-        );
+        let cost =
+            Ps::from_ns(h.omp_barrier_ns + h.omp_barrier_per_thread_ns * (ids.len() as u64 - 1));
         for t in ids {
             self.threads[t] = max + cost;
         }
@@ -302,7 +298,9 @@ impl HostSim {
             d.device
         };
         for (i, v) in vals.iter().enumerate() {
-            self.sys.buffer_mut(dst).store(dst_off + i as u64, v.to_bits())?;
+            self.sys
+                .buffer_mut(dst)
+                .store(dst_off + i as u64, v.to_bits())?;
         }
         self.charge_pcie(thread, dev, vals.len() as u64 * 8);
         Ok(())

@@ -78,7 +78,10 @@ fn events_bracket_kernels_on_different_devices() {
     let e1 = ev.record(&h, 1);
     let ms0 = ev.elapsed_ms(s0, e0).unwrap();
     let ms1 = ev.elapsed_ms(s1, e1).unwrap();
-    assert!(ms1 > 2.0 * ms0, "per-device events mixed up: {ms0} vs {ms1}");
+    assert!(
+        ms1 > 2.0 * ms0,
+        "per-device events mixed up: {ms0} vs {ms1}"
+    );
 }
 
 #[test]

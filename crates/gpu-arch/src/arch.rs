@@ -258,36 +258,166 @@ impl GpuArch {
             self.independent_thread_scheduling,
         );
         let mut row = |param: &str, value: String, anchor: &str| {
-            s.push_str(&format!("{param:<34} {value:<14} anchor: {anchor}
-"));
+            s.push_str(&format!(
+                "{param:<34} {value:<14} anchor: {anchor}
+"
+            ));
         };
-        row("alu_latency (cyc)", t.alu_latency.to_string(), "§IX-D float-add cross-check");
-        row("fadd32_latency (cyc)", t.fadd32_latency.to_string(), "§IX-D: 4 (V100) / 6 (P100)");
-        row("tile_sync (cyc, op/cyc)", format!("{}, {}", t.tile_sync.latency_cycles, t.tile_sync.throughput_per_sm), "Table II row 1");
-        row("coalesced_sync_full", format!("{}, {}", t.coalesced_sync_full.latency_cycles, t.coalesced_sync_full.throughput_per_sm), "Table II row 4");
-        row("coalesced_sync_partial", format!("{}, {}", t.coalesced_sync_partial.latency_cycles, t.coalesced_sync_partial.throughput_per_sm), "Table II row 3");
-        row("shfl_tile", format!("{}, {}", t.shfl_tile.latency_cycles, t.shfl_tile.throughput_per_sm), "Table II row 2");
-        row("shfl_coalesced (+cold)", format!("{}, {} (+{})", t.shfl_coalesced.latency_cycles, t.shfl_coalesced.throughput_per_sm, t.shfl_coalesced_cold_cycles), "Table II row 5 + Table V");
-        row("block_sync_latency (cyc)", t.block_sync_latency.to_string(), "Table II row 6");
-        row("block_sync_arrival (cyc/warp)", format!("{}", t.block_sync_arrival_cycles), "Fig. 4 plateau = 1/c");
-        row("global_atomic_latency (cyc)", t.global_atomic_latency.to_string(), "Fig. 5 base cell (1 blk/SM)");
-        row("l2_atomic_interval (cyc)", format!("{}", t.l2_atomic_interval), "Fig. 5 blocks/SM slope");
-        row("poll_contention_per_block", format!("{}", t.poll_contention_per_block), "Fig. 5 16->32 blk/SM bend");
-        row("grid_release_per_warp (cyc)", format!("{}", t.grid_release_per_warp), "Fig. 5 threads/block column");
-        row("mgrid_release_per_warp (cyc)", format!("{}", t.mgrid_release_per_warp), "Fig. 8 threads/block column");
-        row("warp_barrier_switch (cyc)", t.warp_barrier_switch_cycles.to_string(), "Fig. 18 staircase step");
-        row("divergence_switch (cyc)", t.divergence_switch_cycles.to_string(), "Fig. 18 (Pascal) / Table V guards");
-        row("smem_scan_iter (cyc)", format!("{}", t.smem_scan_iter_cycles), "Table V serial column");
-        row("smem_flop_extra (cyc)", format!("{}", t.smem_flop_extra_cycles), "Table III latency (scan + 2 flops)");
-        row("smem_bytes_per_cycle_sm", format!("{}", t.smem_bytes_per_cycle_sm), "Table III 1024-thread bandwidth");
-        row("dram_peak (GB/s)", format!("{}", m.dram_peak_gbs), "Table VI theory column");
-        row("dram_stream_efficiency", format!("{}", m.dram_stream_efficiency), "Table VI implicit column");
-        row("launch traditional (ns)", format!("{} + {}", h.traditional.overhead_ns, h.traditional.floor_ns), "Table I row 1");
-        row("launch cooperative (ns)", format!("{} + {}", h.cooperative.overhead_ns, h.cooperative.floor_ns), "Table I row 2");
-        row("launch coop-multi (ns)", format!("{} + {}", h.cooperative_multi.overhead_ns, h.cooperative_multi.floor_ns), "Table I row 3");
-        row("multi_gate_per_gpu (ns)", h.multi_gate_per_gpu_ns.to_string(), "Fig. 9 implicit-launch slope");
-        row("omp_barrier (ns, +/thread)", format!("{} + {}", h.omp_barrier_ns, h.omp_barrier_per_thread_ns), "Fig. 9 CPU-side line");
-        row("stream_pipeline_interval (ns)", h.stream_pipeline_interval_ns.to_string(), "§IX-B null-kernel over-report");
+        row(
+            "alu_latency (cyc)",
+            t.alu_latency.to_string(),
+            "§IX-D float-add cross-check",
+        );
+        row(
+            "fadd32_latency (cyc)",
+            t.fadd32_latency.to_string(),
+            "§IX-D: 4 (V100) / 6 (P100)",
+        );
+        row(
+            "tile_sync (cyc, op/cyc)",
+            format!(
+                "{}, {}",
+                t.tile_sync.latency_cycles, t.tile_sync.throughput_per_sm
+            ),
+            "Table II row 1",
+        );
+        row(
+            "coalesced_sync_full",
+            format!(
+                "{}, {}",
+                t.coalesced_sync_full.latency_cycles, t.coalesced_sync_full.throughput_per_sm
+            ),
+            "Table II row 4",
+        );
+        row(
+            "coalesced_sync_partial",
+            format!(
+                "{}, {}",
+                t.coalesced_sync_partial.latency_cycles, t.coalesced_sync_partial.throughput_per_sm
+            ),
+            "Table II row 3",
+        );
+        row(
+            "shfl_tile",
+            format!(
+                "{}, {}",
+                t.shfl_tile.latency_cycles, t.shfl_tile.throughput_per_sm
+            ),
+            "Table II row 2",
+        );
+        row(
+            "shfl_coalesced (+cold)",
+            format!(
+                "{}, {} (+{})",
+                t.shfl_coalesced.latency_cycles,
+                t.shfl_coalesced.throughput_per_sm,
+                t.shfl_coalesced_cold_cycles
+            ),
+            "Table II row 5 + Table V",
+        );
+        row(
+            "block_sync_latency (cyc)",
+            t.block_sync_latency.to_string(),
+            "Table II row 6",
+        );
+        row(
+            "block_sync_arrival (cyc/warp)",
+            format!("{}", t.block_sync_arrival_cycles),
+            "Fig. 4 plateau = 1/c",
+        );
+        row(
+            "global_atomic_latency (cyc)",
+            t.global_atomic_latency.to_string(),
+            "Fig. 5 base cell (1 blk/SM)",
+        );
+        row(
+            "l2_atomic_interval (cyc)",
+            format!("{}", t.l2_atomic_interval),
+            "Fig. 5 blocks/SM slope",
+        );
+        row(
+            "poll_contention_per_block",
+            format!("{}", t.poll_contention_per_block),
+            "Fig. 5 16->32 blk/SM bend",
+        );
+        row(
+            "grid_release_per_warp (cyc)",
+            format!("{}", t.grid_release_per_warp),
+            "Fig. 5 threads/block column",
+        );
+        row(
+            "mgrid_release_per_warp (cyc)",
+            format!("{}", t.mgrid_release_per_warp),
+            "Fig. 8 threads/block column",
+        );
+        row(
+            "warp_barrier_switch (cyc)",
+            t.warp_barrier_switch_cycles.to_string(),
+            "Fig. 18 staircase step",
+        );
+        row(
+            "divergence_switch (cyc)",
+            t.divergence_switch_cycles.to_string(),
+            "Fig. 18 (Pascal) / Table V guards",
+        );
+        row(
+            "smem_scan_iter (cyc)",
+            format!("{}", t.smem_scan_iter_cycles),
+            "Table V serial column",
+        );
+        row(
+            "smem_flop_extra (cyc)",
+            format!("{}", t.smem_flop_extra_cycles),
+            "Table III latency (scan + 2 flops)",
+        );
+        row(
+            "smem_bytes_per_cycle_sm",
+            format!("{}", t.smem_bytes_per_cycle_sm),
+            "Table III 1024-thread bandwidth",
+        );
+        row(
+            "dram_peak (GB/s)",
+            format!("{}", m.dram_peak_gbs),
+            "Table VI theory column",
+        );
+        row(
+            "dram_stream_efficiency",
+            format!("{}", m.dram_stream_efficiency),
+            "Table VI implicit column",
+        );
+        row(
+            "launch traditional (ns)",
+            format!("{} + {}", h.traditional.overhead_ns, h.traditional.floor_ns),
+            "Table I row 1",
+        );
+        row(
+            "launch cooperative (ns)",
+            format!("{} + {}", h.cooperative.overhead_ns, h.cooperative.floor_ns),
+            "Table I row 2",
+        );
+        row(
+            "launch coop-multi (ns)",
+            format!(
+                "{} + {}",
+                h.cooperative_multi.overhead_ns, h.cooperative_multi.floor_ns
+            ),
+            "Table I row 3",
+        );
+        row(
+            "multi_gate_per_gpu (ns)",
+            h.multi_gate_per_gpu_ns.to_string(),
+            "Fig. 9 implicit-launch slope",
+        );
+        row(
+            "omp_barrier (ns, +/thread)",
+            format!("{} + {}", h.omp_barrier_ns, h.omp_barrier_per_thread_ns),
+            "Fig. 9 CPU-side line",
+        );
+        row(
+            "stream_pipeline_interval (ns)",
+            h.stream_pipeline_interval_ns.to_string(),
+            "§IX-B null-kernel over-report",
+        );
         s
     }
 }
@@ -352,7 +482,9 @@ impl GpuArch {
 
     /// Maximum total blocks a cooperative (grid-synchronizing) launch may use.
     pub fn max_cooperative_blocks(&self, threads_per_block: u32, smem_per_block: u32) -> u32 {
-        self.occupancy(threads_per_block, smem_per_block).blocks_per_sm * self.num_sms
+        self.occupancy(threads_per_block, smem_per_block)
+            .blocks_per_sm
+            * self.num_sms
     }
 }
 
@@ -450,9 +582,19 @@ mod tests {
     #[test]
     fn describe_names_every_anchor() {
         let sheet = GpuArch::v100().describe();
-        for anchor in ["Table II", "Fig. 4", "Fig. 5", "Table III", "Table VI", "Table I"] {
-            assert!(sheet.contains(anchor), "missing {anchor}:
-{sheet}");
+        for anchor in [
+            "Table II",
+            "Fig. 4",
+            "Fig. 5",
+            "Table III",
+            "Table VI",
+            "Table I",
+        ] {
+            assert!(
+                sheet.contains(anchor),
+                "missing {anchor}:
+{sheet}"
+            );
         }
         assert!(sheet.contains("1312"));
     }

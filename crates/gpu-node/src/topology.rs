@@ -127,9 +127,7 @@ impl NodeTopology {
     /// a flat fabric: it disappears).
     pub fn dgx2_like() -> NodeTopology {
         let n = 16;
-        let adjacent = (0..n)
-            .map(|i| (0..n).map(|j| i != j).collect())
-            .collect();
+        let adjacent = (0..n).map(|i| (0..n).map(|j| i != j).collect()).collect();
         NodeTopology {
             name: "DGX-2-like (16 GPUs, NVSwitch all-to-all)".into(),
             num_gpus: n,
@@ -146,7 +144,10 @@ impl NodeTopology {
 
     /// Classify the path between two GPUs.
     pub fn link(&self, a: usize, b: usize) -> LinkClass {
-        assert!(a < self.num_gpus && b < self.num_gpus, "GPU id out of range");
+        assert!(
+            a < self.num_gpus && b < self.num_gpus,
+            "GPU id out of range"
+        );
         if a == b {
             LinkClass::Local
         } else if self.adjacent[a][b] {
@@ -170,7 +171,10 @@ impl NodeTopology {
     /// quantity that jumps when a barrier first crosses the DGX-1's quad
     /// boundary.
     pub fn max_hops(&self, master: usize, gpus: &[usize]) -> u32 {
-        gpus.iter().map(|&g| self.hops(master, g)).max().unwrap_or(0)
+        gpus.iter()
+            .map(|&g| self.hops(master, g))
+            .max()
+            .unwrap_or(0)
     }
 
     /// One-way flag (small write/read) latency between two GPUs.
@@ -209,10 +213,7 @@ impl NodeTopology {
             .map(|&g| self.flag_latency(master, g))
             .max()
             .unwrap_or(Ps::ZERO);
-        let serial: Ps = gpus
-            .iter()
-            .map(|&g| self.arrival_serial(master, g))
-            .sum();
+        let serial: Ps = gpus.iter().map(|&g| self.arrival_serial(master, g)).sum();
         max_flag * 2 + serial
     }
 }

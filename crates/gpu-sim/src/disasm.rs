@@ -56,7 +56,11 @@ pub fn instr_to_string(i: &Instr) -> String {
         BraIf(c, t) => format!("bra.nz {}, @{t}", op(c)),
         BraIfZ(c, t) => format!("bra.z  {}, @{t}", op(c)),
         Exit => "exit".to_string(),
-        LdShared { dst, addr, volatile } => format!(
+        LdShared {
+            dst,
+            addr,
+            volatile,
+        } => format!(
             "ld.shared{} r{dst}, [{}]",
             if *volatile { ".volatile" } else { "" },
             op(addr)

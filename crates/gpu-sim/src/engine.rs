@@ -13,10 +13,11 @@
 
 use crate::isa::{Instr, Operand, ShflKind, ShflMode, Special, NUM_REGS};
 use crate::mem::SharedMem;
-use crate::system::{ExecReport, GridLaunch, GpuSystem};
+use crate::system::{ExecReport, GpuSystem, GridLaunch};
 use gpu_arch::GpuArch;
 use sim_core::{Channel, EventQueue, Pipeline, Ps, SimError, SimResult};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const WARP: u32 = 32;
 const FULL: u32 = u32::MAX;
@@ -163,7 +164,7 @@ pub struct TraceEvent {
 pub(crate) struct Engine<'a> {
     sys: &'a mut GpuSystem,
     launch: &'a GridLaunch,
-    arch: GpuArch,
+    arch: Arc<GpuArch>,
     ps_per_cycle: f64,
     now: Ps,
     q: EventQueue<Ev>,
@@ -267,10 +268,7 @@ impl<'a> Engine<'a> {
             self.devs.push(DevExec {
                 device_id,
                 l2: Pipeline::new(),
-                dram: Channel::new(
-                    mem.dram_effective_gbs(),
-                    self.cyc(mem.dram_latency as f64),
-                ),
+                dram: Channel::new(mem.dram_effective_gbs(), self.cyc(mem.dram_latency as f64)),
                 sms,
                 pending: Vec::new(),
                 resident: vec![0; self.arch.num_sms as usize],
@@ -371,9 +369,7 @@ impl<'a> Engine<'a> {
         match op {
             Operand::Reg(r) => warp.threads[lane as usize].regs[r as usize],
             Operand::Imm(v) => v,
-            Operand::Param(p) => {
-                self.launch.params[warp.rank as usize][p as usize]
-            }
+            Operand::Param(p) => self.launch.params[warp.rank as usize][p as usize],
             Operand::Sp(s) => {
                 let block = &self.blocks[warp.block as usize];
                 let tid = warp.warp_in_block * WARP + lane;
@@ -389,9 +385,7 @@ impl<'a> Engine<'a> {
                     Special::GlobalTid => {
                         (block.block_on_device * self.launch.block_dim + tid) as u64
                     }
-                    Special::GridThreads => {
-                        (self.launch.grid_dim * self.launch.block_dim) as u64
-                    }
+                    Special::GridThreads => (self.launch.grid_dim * self.launch.block_dim) as u64,
                 }
             }
         }
@@ -517,10 +511,7 @@ impl<'a> Engine<'a> {
         // ...or turn the remaining lanes into a full block-barrier arrival.
         {
             let warp = &self.warps[w as usize];
-            if !all_exited
-                && warp.blk_wait != 0
-                && warp.blk_wait == warp.present() & !warp.exited
-            {
+            if !all_exited && warp.blk_wait != 0 && warp.blk_wait == warp.present() & !warp.exited {
                 let kind = warp.blk_kind;
                 self.warp_arrives_at_block_barrier(w, kind);
             }
@@ -584,7 +575,13 @@ impl<'a> Engine<'a> {
     fn exec(&mut self, w: u32, group: u32, pc: u32, instr: Instr) -> SimResult<Step> {
         use Instr::*;
         let t = self.arch.timing.clone();
-        if !matches!(instr, Shfl { kind: ShflKind::Coalesced, .. }) {
+        if !matches!(
+            instr,
+            Shfl {
+                kind: ShflKind::Coalesced,
+                ..
+            }
+        ) {
             self.warps[w as usize].coa_shfl_hot = false;
         }
         match instr {
@@ -599,21 +596,15 @@ impl<'a> Engine<'a> {
                 for lane in iter_lanes(group) {
                     let v = match instr {
                         IAdd(d, a, b) => {
-                            let r = self
-                                .eval(w, lane, a)
-                                .wrapping_add(self.eval(w, lane, b));
+                            let r = self.eval(w, lane, a).wrapping_add(self.eval(w, lane, b));
                             (d, r)
                         }
                         ISub(d, a, b) => {
-                            let r = self
-                                .eval(w, lane, a)
-                                .wrapping_sub(self.eval(w, lane, b));
+                            let r = self.eval(w, lane, a).wrapping_sub(self.eval(w, lane, b));
                             (d, r)
                         }
                         IMul(d, a, b) => {
-                            let r = self
-                                .eval(w, lane, a)
-                                .wrapping_mul(self.eval(w, lane, b));
+                            let r = self.eval(w, lane, a).wrapping_mul(self.eval(w, lane, b));
                             (d, r)
                         }
                         IMin(d, a, b) => {
@@ -675,13 +666,19 @@ impl<'a> Engine<'a> {
                 Ok(Step::Ready(self.now + self.cyc(1.0)))
             }
 
-            LdShared { dst, addr, volatile } => {
+            LdShared {
+                dst,
+                addr,
+                volatile,
+            } => {
                 let start = self.charge_sched(w);
                 let warp = &self.warps[w as usize];
                 let (rank, sm, block) = (warp.rank as usize, warp.sm as usize, warp.block);
                 let bytes = 8.0 * group.count_ones() as f64;
                 let port_int = self.cyc(bytes / t.smem_bytes_per_cycle_sm);
-                let port = self.devs[rank].sms[sm].smem_port.issue(start, port_int, Ps::ZERO);
+                let port = self.devs[rank].sms[sm]
+                    .smem_port
+                    .issue(start, port_int, Ps::ZERO);
                 let lat = t.smem_latency + if volatile { t.volatile_extra } else { 0 };
                 for lane in iter_lanes(group) {
                     let a = self.eval(w, lane, addr);
@@ -703,7 +700,9 @@ impl<'a> Engine<'a> {
                 let (rank, sm, block) = (warp.rank as usize, warp.sm as usize, warp.block);
                 let bytes = 8.0 * group.count_ones() as f64;
                 let port_int = self.cyc(bytes / t.smem_bytes_per_cycle_sm);
-                let port = self.devs[rank].sms[sm].smem_port.issue(start, port_int, Ps::ZERO);
+                let port = self.devs[rank].sms[sm]
+                    .smem_port
+                    .issue(start, port_int, Ps::ZERO);
                 for lane in iter_lanes(group) {
                     if let Some(p) = pred {
                         if self.eval(w, lane, p) == 0 {
@@ -713,7 +712,9 @@ impl<'a> Engine<'a> {
                     let a = self.eval(w, lane, addr);
                     let v = self.eval(w, lane, val);
                     let tid = self.warps[w as usize].warp_in_block * WARP + lane;
-                    self.blocks[block as usize].smem.store(tid, a, v, volatile)?;
+                    self.blocks[block as usize]
+                        .smem
+                        .store(tid, a, v, volatile)?;
                 }
                 self.advance_pcs(w, group, pc);
                 let lat = if volatile { t.volatile_extra } else { 0 } + 1;
@@ -820,7 +821,9 @@ impl<'a> Engine<'a> {
                 let warp = &self.warps[w as usize];
                 let (rank, sm) = (warp.rank as usize, warp.sm as usize);
                 let int_ps = self.cyc(1.0 / si.throughput_per_sm);
-                let unit = self.devs[rank].sms[sm].sync_unit.issue(start, int_ps, Ps::ZERO);
+                let unit = self.devs[rank].sms[sm]
+                    .sync_unit
+                    .issue(start, int_ps, Ps::ZERO);
                 // Gather source values first (exchange happens "at once").
                 let mut new: Vec<(u32, u64)> = Vec::new();
                 for lane in iter_lanes(group) {
@@ -828,8 +831,7 @@ impl<'a> Engine<'a> {
                         ShflMode::Down(delta) => {
                             let l = lane + delta;
                             let tile_end = (lane / width + 1) * width;
-                            if l < tile_end && (l as usize) < self.warps[w as usize].threads.len()
-                            {
+                            if l < tile_end && (l as usize) < self.warps[w as usize].threads.len() {
                                 l
                             } else {
                                 lane
@@ -989,7 +991,11 @@ impl<'a> Engine<'a> {
     /// bus per destination device.
     fn peer_channel(&mut self, remote: usize, local: usize) -> &mut Channel {
         let far = self.sys.topology.link(remote, local) == gpu_node::LinkClass::Far;
-        let key = if far { (usize::MAX, local) } else { (remote, local) };
+        let key = if far {
+            (usize::MAX, local)
+        } else {
+            (remote, local)
+        };
         let lat = self.sys.topology.flag_latency(remote, local);
         let bw = self.sys.topology.peer_bandwidth_gbs(remote, local);
         self.peer
@@ -1041,7 +1047,9 @@ impl<'a> Engine<'a> {
             let start = self.charge_sched(w);
             let warp = &self.warps[w as usize];
             let (rank, sm) = (warp.rank as usize, warp.sm as usize);
-            let unit = self.devs[rank].sms[sm].sync_unit.issue(start, interval, Ps::ZERO);
+            let unit = self.devs[rank].sms[sm]
+                .sync_unit
+                .issue(start, interval, Ps::ZERO);
             let block = self.warps[w as usize].block;
             for lane in iter_lanes(group) {
                 let tid = self.warps[w as usize].warp_in_block * WARP + lane;
@@ -1064,7 +1072,9 @@ impl<'a> Engine<'a> {
             let start = self.charge_sched(w);
             let warp = &self.warps[w as usize];
             let (rank, sm) = (warp.rank as usize, warp.sm as usize);
-            let unit = self.devs[rank].sms[sm].sync_unit.issue(start, interval, Ps::ZERO);
+            let unit = self.devs[rank].sms[sm]
+                .sync_unit
+                .issue(start, interval, Ps::ZERO);
             Ok(Step::Ready(unit.start + latency))
         } else {
             Ok(Step::Parked { warp_barrier: true })
@@ -1134,12 +1144,16 @@ impl<'a> Engine<'a> {
             let need = warp.present() & !warp.exited;
             if warp.blk_wait != need {
                 // Divergent: other lanes must reach the barrier first.
-                return Ok(Step::Parked { warp_barrier: false });
+                return Ok(Step::Parked {
+                    warp_barrier: false,
+                });
             }
         }
         let _ = pc;
         self.warp_arrives_at_block_barrier(w, kind);
-        Ok(Step::Parked { warp_barrier: false })
+        Ok(Step::Parked {
+            warp_barrier: false,
+        })
     }
 
     /// A whole warp (all non-exited lanes) reached a block-level barrier:
@@ -1210,8 +1224,7 @@ impl<'a> Engine<'a> {
         // Intra-block convergence first (same cost as a block barrier).
         let local = bar_last + self.cyc(t.block_sync_latency as f64);
         let spinning = self.devs[rank].grid_bar.waiting.len() as f64;
-        let interval =
-            t.l2_atomic_interval * (1.0 + t.poll_contention_per_block * spinning);
+        let interval = t.l2_atomic_interval * (1.0 + t.poll_contention_per_block * spinning);
         let int_ps = self.cyc(interval);
         let lat_ps = self.cyc(t.global_atomic_latency as f64);
         let iss = self.devs[rank].l2.issue(local, int_ps, lat_ps);
@@ -1365,12 +1378,15 @@ impl<'a> Engine<'a> {
         let local_dev_id = self.devs[warp_rank].device_id;
         let ch_done = match remote_dev {
             None => self.devs[warp_rank].dram.transfer(start, bytes).done,
-            Some(rd) => self.peer_channel(rd, local_dev_id).transfer(start, bytes).done,
+            Some(rd) => {
+                self.peer_channel(rd, local_dev_id)
+                    .transfer(start, bytes)
+                    .done
+            }
         };
         // Little's-law per-warp floor: limited memory-level parallelism.
         let warp_bytes: u64 = bytes.min(max_iters * 8 * group.count_ones() as u64);
-        let floor_cycles =
-            warp_bytes as f64 * dram_latency as f64 / warp_mlp_bytes as f64;
+        let floor_cycles = warp_bytes as f64 * dram_latency as f64 / warp_mlp_bytes as f64;
         let tail = self.cyc((flops as u64 * self.arch.timing.fadd64_latency) as f64);
         let done = ch_done.max(start + self.cyc(floor_cycles)) + tail;
         Ok(Step::Ready(done))
@@ -1422,7 +1438,9 @@ impl<'a> Engine<'a> {
         let loop_cycles = max_iters as f64 * iter_cycles;
         let bytes = total_elems as f64 * 8.0;
         let port_int = self.cyc(bytes / t.smem_bytes_per_cycle_sm);
-        let port = self.devs[rank].sms[sm].smem_port.issue(start, port_int, Ps::ZERO);
+        let port = self.devs[rank].sms[sm]
+            .smem_port
+            .issue(start, port_int, Ps::ZERO);
         let done = (port.start + port_int).max(start + self.cyc(loop_cycles));
         Ok(Step::Ready(done))
     }

@@ -298,10 +298,7 @@ mod tests {
     fn builders_produce_programs() {
         assert_eq!(null_kernel().program.len(), 1);
         assert!(sleep_kernel(1000).program.len() >= 2);
-        assert_eq!(
-            sync_chain(SyncOp::Tile(32), 10).name,
-            "sync-chain-Tile(32)"
-        );
+        assert_eq!(sync_chain(SyncOp::Tile(32), 10).name, "sync-chain-Tile(32)");
         assert!(fadd32_chain(256).program.len() > 256);
         assert!(warp_probe().program.len() > 64);
     }

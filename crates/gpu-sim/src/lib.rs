@@ -23,7 +23,9 @@ pub mod timeline;
 
 pub use disasm::{disassemble, instr_to_string};
 pub use engine::TraceEvent;
-pub use timeline::render_timeline;
-pub use isa::{fimm, Instr, Kernel, KernelBuilder, Operand, Program, Reg, ShflKind, ShflMode, Special};
+pub use isa::{
+    fimm, Instr, Kernel, KernelBuilder, Operand, Program, Reg, ShflKind, ShflMode, Special,
+};
 pub use mem::{BufData, BufId, Buffer, SharedMem};
-pub use system::{ExecReport, GridLaunch, GpuSystem, LaunchKind};
+pub use system::{ExecReport, GpuSystem, GridLaunch, LaunchKind};
+pub use timeline::render_timeline;

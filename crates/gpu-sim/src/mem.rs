@@ -23,7 +23,11 @@ impl BufId {
 pub enum BufData {
     Dense(Vec<u64>),
     /// f64 value at index i is `a + b * i`; length `len` words.
-    Linear { a: f64, b: f64, len: u64 },
+    Linear {
+        a: f64,
+        b: f64,
+        len: u64,
+    },
 }
 
 /// A device memory allocation.

@@ -7,6 +7,7 @@ use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
 use serde::{Deserialize, Serialize};
 use sim_core::{Ps, SimError, SimResult};
+use std::sync::Arc;
 
 /// Which launch API a kernel was started with (paper §IV). Grid sync is only
 /// legal in cooperative launches; multi-grid sync only in multi-device
@@ -116,8 +117,10 @@ impl ExecReport {
 /// ```
 #[derive(Debug, Clone)]
 pub struct GpuSystem {
-    pub arch: GpuArch,
-    pub topology: NodeTopology,
+    /// Shared, immutable once constructed — sweep cells running on worker
+    /// threads alias the same `GpuArch` instead of deep-cloning per cell.
+    pub arch: Arc<GpuArch>,
+    pub topology: Arc<NodeTopology>,
     pub(crate) bufs: Vec<Buffer>,
     /// Instruction budget per kernel before the engine declares the kernel
     /// non-terminating (spin loops that never observe their condition).
@@ -125,11 +128,13 @@ pub struct GpuSystem {
 }
 
 impl GpuSystem {
-    /// A node of `topology.num_gpus` identical GPUs.
-    pub fn new(arch: GpuArch, topology: NodeTopology) -> GpuSystem {
+    /// A node of `topology.num_gpus` identical GPUs. Accepts owned values or
+    /// pre-shared `Arc`s, so sweep drivers can share one description across
+    /// every cell.
+    pub fn new(arch: impl Into<Arc<GpuArch>>, topology: impl Into<Arc<NodeTopology>>) -> GpuSystem {
         GpuSystem {
-            arch,
-            topology,
+            arch: arch.into(),
+            topology: topology.into(),
             bufs: Vec::new(),
             instr_limit: 200_000_000,
         }
@@ -143,7 +148,7 @@ impl GpuSystem {
     }
 
     /// Convenience: a single-GPU system.
-    pub fn single(arch: GpuArch) -> GpuSystem {
+    pub fn single(arch: impl Into<Arc<GpuArch>>) -> GpuSystem {
         GpuSystem::new(arch, NodeTopology::single())
     }
 
@@ -288,9 +293,9 @@ impl GpuSystem {
         // Cooperative grids must be fully co-resident or grid.sync deadlocks;
         // CUDA rejects the launch instead.
         if launch.kind != LaunchKind::Traditional {
-            let max =
-                self.arch
-                    .max_cooperative_blocks(launch.block_dim, launch.kernel.shared_words * 8);
+            let max = self
+                .arch
+                .max_cooperative_blocks(launch.block_dim, launch.kernel.shared_words * 8);
             if launch.grid_dim > max {
                 return Err(SimError::InvalidLaunch(format!(
                     "cooperative launch of {} blocks exceeds co-resident capacity {}",

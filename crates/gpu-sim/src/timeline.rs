@@ -11,8 +11,8 @@ use std::fmt::Write as _;
 fn glyph(i: &Instr) -> char {
     use Instr::*;
     match i {
-        IAdd(..) | ISub(..) | IMul(..) | IMin(..) | IAnd(..) | CmpLt(..) | CmpEq(..)
-        | Mov(..) | I2F(..) | FAdd(..) | FMul(..) | FAdd32(..) => 'a',
+        IAdd(..) | ISub(..) | IMul(..) | IMin(..) | IAnd(..) | CmpLt(..) | CmpEq(..) | Mov(..)
+        | I2F(..) | FAdd(..) | FMul(..) | FAdd32(..) => 'a',
         Bra(..) | BraIf(..) | BraIfZ(..) | Exit => 'b',
         LdShared { .. } | StShared { .. } | SmemStream { .. } => 's',
         LdGlobal { .. } | StGlobal { .. } | MemStream { .. } | MemCombine { .. } => 'g',
@@ -81,10 +81,7 @@ mod tests {
         let out = sys.alloc(0, 4 * 64);
         let k = kernels::sync_chain(crate::kernels::SyncOp::Block, 8);
         let (_, trace) = sys
-            .run_traced(
-                &GridLaunch::single(k, 4, 64, vec![out.0 as u64]),
-                10_000,
-            )
+            .run_traced(&GridLaunch::single(k, 4, 64, vec![out.0 as u64]), 10_000)
             .unwrap();
         let tl = render_timeline(&trace, 60);
         assert!(tl.contains('B'), "no block-sync glyph:\n{tl}");

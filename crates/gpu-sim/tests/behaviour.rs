@@ -1,11 +1,11 @@
 //! End-to-end behaviour of the SIMT engine: semantics, timing shapes, and
 //! the paper's qualitative observations.
 
+use gpu_arch::GpuArch;
+use gpu_node::NodeTopology;
 use gpu_sim::isa::{Instr, KernelBuilder, Operand::*, ShflKind, ShflMode, Special};
 use gpu_sim::kernels::{self, SyncOp};
 use gpu_sim::{fimm, GpuSystem, GridLaunch};
-use gpu_arch::GpuArch;
-use gpu_node::NodeTopology;
 use sim_core::SimError;
 
 fn v100_small(sms: u32) -> GpuArch {
@@ -108,11 +108,11 @@ fn shuffle_down_moves_values() {
         .unwrap();
     let vals = sys.read_u64(out);
     // lane L gets lane L+4's value; top 4 lanes keep their own.
-    for l in 0..28 {
-        assert_eq!(vals[l], l as u64 + 4);
+    for (l, &v) in vals.iter().enumerate().take(28) {
+        assert_eq!(v, l as u64 + 4);
     }
-    for l in 28..32 {
-        assert_eq!(vals[l], l as u64);
+    for (l, &v) in vals.iter().enumerate().skip(28).take(4) {
+        assert_eq!(v, l as u64);
     }
 }
 
@@ -128,7 +128,10 @@ fn memstream_sums_match_on_both_backings() {
     let l = GridLaunch::single(k, 2, 64, vec![data.0 as u64, n, out.0 as u64]);
     sys.run(&l).unwrap();
     let total: f64 = sys.read_f64(out).iter().sum();
-    assert!((total - expect).abs() < 1e-6 * expect.max(1.0), "{total} vs {expect}");
+    assert!(
+        (total - expect).abs() < 1e-6 * expect.max(1.0),
+        "{total} vs {expect}"
+    );
 }
 
 // ---------- timing: intra-SM methods ------------------------------------------
@@ -197,7 +200,10 @@ fn partial_coalesced_sync_is_slow_on_volta_only() {
     sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
         .unwrap();
     let per = sys.read_u64(out)[0] as f64 / 64.0;
-    assert!((per - 108.0).abs() < 10.0, "V100 partial coalesced {per:.1}");
+    assert!(
+        (per - 108.0).abs() < 10.0,
+        "V100 partial coalesced {per:.1}"
+    );
 
     let mut sys = GpuSystem::single(p100_small(1));
     let out = sys.alloc(0, 32);
@@ -241,7 +247,10 @@ fn block_sync_scales_with_warp_count() {
     }
     assert!(lat[0] < lat[1] && lat[1] < lat[2], "{lat:?}");
     // 32 warps: ~ 20 + 2.1*32 = 87 cycles.
-    assert!((lat[2] - 87.0).abs() < 15.0, "1024-thread block sync {lat:?}");
+    assert!(
+        (lat[2] - 87.0).abs() < 15.0,
+        "1024-thread block sync {lat:?}"
+    );
 }
 
 // ---------- grid & multi-grid barriers -----------------------------------------
@@ -303,7 +312,10 @@ fn grid_sync_latency_grows_with_blocks_per_sm() {
         sys.run(&l).unwrap();
         by_blocks.push(sys.read_u64(out)[0] as f64 / 4.0);
     }
-    assert!(by_blocks[0] < by_blocks[1] && by_blocks[1] < by_blocks[2], "{by_blocks:?}");
+    assert!(
+        by_blocks[0] < by_blocks[1] && by_blocks[1] < by_blocks[2],
+        "{by_blocks:?}"
+    );
 }
 
 #[test]
@@ -344,7 +356,10 @@ fn partial_grid_sync_deadlocks() {
     let l = GridLaunch::single(k, 4, 32, vec![]).cooperative();
     match sys.run(&l) {
         Err(SimError::Deadlock { blocked, .. }) => {
-            assert!(blocked.iter().any(|s| s.contains("grid barrier")), "{blocked:?}");
+            assert!(
+                blocked.iter().any(|s| s.contains("grid barrier")),
+                "{blocked:?}"
+            );
         }
         other => panic!("expected deadlock, got {other:?}"),
     }
@@ -417,9 +432,16 @@ fn warp_probe_v100_blocks_until_last_arrival() {
     let max_start = *starts.iter().max().unwrap();
     let min_start = *starts.iter().min().unwrap();
     // Start staircase spans thousands of cycles (paper: ~12k).
-    assert!(max_start - min_start > 3_000, "staircase span {}", max_start - min_start);
+    assert!(
+        max_start - min_start > 3_000,
+        "staircase span {}",
+        max_start - min_start
+    );
     // Barrier blocks: every end is after the last start.
-    assert!(ends.iter().all(|&e| e >= max_start), "V100 ends must trail last arrival");
+    assert!(
+        ends.iter().all(|&e| e >= max_start),
+        "V100 ends must trail last arrival"
+    );
     // Ends cluster after the barrier: their spread is small relative to the
     // start staircase (post-barrier clock reads still serialize per lane).
     let spread = ends.iter().max().unwrap() - ends.iter().min().unwrap();
@@ -451,7 +473,10 @@ fn warp_probe_p100_does_not_block() {
     assert!(*early_end < max_start, "P100 barrier must not block");
     // Ends follow the staircase: each lane's end shortly after its start.
     for l in 0..32 {
-        assert!(ends[l] >= starts[l] && ends[l] - starts[l] < 300, "lane {l}");
+        assert!(
+            ends[l] >= starts[l] && ends[l] - starts[l] < 300,
+            "lane {l}"
+        );
     }
 }
 

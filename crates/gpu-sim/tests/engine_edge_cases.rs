@@ -101,8 +101,8 @@ fn predicated_store_skips_false_lanes() {
     sys.run(&GridLaunch::single(b.build(32), 1, 32, vec![out.0 as u64]))
         .unwrap();
     let got = sys.read_u64(out);
-    for t in 0..32 {
-        assert_eq!(got[t], if t < 10 { 5 } else { 0 }, "tid {t}");
+    for (t, &g) in got.iter().enumerate().take(32) {
+        assert_eq!(g, if t < 10 { 5 } else { 0 }, "tid {t}");
     }
 }
 
@@ -156,8 +156,8 @@ fn i2f_converts_integers() {
     sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
         .unwrap();
     let v = sys.read_f64(out);
-    for t in 0..32 {
-        assert_eq!(v[t], t as f64 + 0.5);
+    for (t, &x) in v.iter().enumerate().take(32) {
+        assert_eq!(x, t as f64 + 0.5);
     }
 }
 
@@ -263,7 +263,9 @@ fn nanosleep_takes_the_lanes_maximum() {
     b.imul(ns, Sp(Special::LaneId), Imm(100));
     b.push(Instr::Nanosleep(Reg(ns)));
     b.exit();
-    let r = sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![])).unwrap();
+    let r = sys
+        .run(&GridLaunch::single(b.build(0), 1, 32, vec![]))
+        .unwrap();
     assert!(
         (r.duration.as_ns() - 3100.0).abs() < 50.0,
         "duration {}",
@@ -291,8 +293,8 @@ fn exit_in_divergent_branch_retires_lanes() {
     sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
         .unwrap();
     let v = sys.read_u64(out);
-    for lane in 0..32 {
-        assert_eq!(v[lane], u64::from(lane < 16), "lane {lane}");
+    for (lane, &x) in v.iter().enumerate().take(32) {
+        assert_eq!(x, u64::from(lane < 16), "lane {lane}");
     }
 }
 
@@ -436,7 +438,10 @@ fn trace_records_executed_instructions_in_time_order() {
     });
     b.exit();
     let (rep, trace) = sys
-        .run_traced(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]), 100)
+        .run_traced(
+            &GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]),
+            100,
+        )
         .unwrap();
     assert_eq!(rep.instrs_executed as usize, trace.len());
     assert_eq!(trace.len(), 4);
@@ -444,7 +449,11 @@ fn trace_records_executed_instructions_in_time_order() {
         assert!(w[1].at >= w[0].at, "trace out of order");
     }
     assert_eq!(trace[0].pc, 0);
-    assert_eq!(trace[0].lanes, u32::MAX, "converged warp executes all lanes");
+    assert_eq!(
+        trace[0].lanes,
+        u32::MAX,
+        "converged warp executes all lanes"
+    );
     // The trace disassembles.
     let listing: Vec<String> = trace
         .iter()
@@ -482,6 +491,12 @@ fn trace_shows_divergent_lane_masks() {
         .run_traced(&GridLaunch::single(b.build(0), 1, 32, vec![]), 100)
         .unwrap();
     let masks: Vec<u32> = trace.iter().map(|e| e.lanes).collect();
-    assert!(masks.contains(&0x0000FFFF), "lower-half group missing: {masks:?}");
-    assert!(masks.contains(&0xFFFF0000), "upper-half group missing: {masks:?}");
+    assert!(
+        masks.contains(&0x0000FFFF),
+        "lower-half group missing: {masks:?}"
+    );
+    assert!(
+        masks.contains(&0xFFFF0000),
+        "upper-half group missing: {masks:?}"
+    );
 }

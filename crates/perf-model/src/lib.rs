@@ -9,4 +9,6 @@ pub mod littles_law;
 pub mod switch_point;
 
 pub use littles_law::{concurrency_bytes, ConfigModel};
-pub use switch_point::{basic_wins, choose, switch_points, table4, Choice, Regime, ScenarioPrediction, SwitchPoints};
+pub use switch_point::{
+    basic_wins, choose, switch_points, table4, Choice, Regime, ScenarioPrediction, SwitchPoints,
+};

@@ -55,10 +55,16 @@ pub fn switch_points(basic: &ConfigModel, more: &ConfigModel, t_sync_cycles: f64
 
 /// Eq. 2 directly: is the basic configuration at least as fast as the
 /// synchronized "more" configuration for `n_bytes` of input?
-pub fn basic_wins(basic: &ConfigModel, more: &ConfigModel, t_sync_cycles: f64, n_bytes: f64) -> bool {
+pub fn basic_wins(
+    basic: &ConfigModel,
+    more: &ConfigModel,
+    t_sync_cycles: f64,
+    n_bytes: f64,
+) -> bool {
     let t_basic = basic.time_cycles(n_bytes);
     // Eq. 3: T_more = T_basic-latency + T_sync.
-    let t_more = more.latency_cycles + t_sync_cycles
+    let t_more = more.latency_cycles
+        + t_sync_cycles
         + (n_bytes - more.concurrency_bytes()).max(0.0) / more.bytes_per_cycle;
     t_basic <= t_more
 }
@@ -169,8 +175,16 @@ mod tests {
         let t32 = ConfigModel::new(32, 13.8, 18.5);
         let b1024 = ConfigModel::new(1024, 141.0, 18.5);
         let p = switch_points(&t32, &b1024, 2135.0);
-        assert!((p.nl_bytes - 32681.0).abs() / 32681.0 < 0.04, "Nl {}", p.nl_bytes);
-        assert!((p.nm_bytes - 29737.0).abs() / 29737.0 < 0.04, "Nm {}", p.nm_bytes);
+        assert!(
+            (p.nl_bytes - 32681.0).abs() / 32681.0 < 0.04,
+            "Nl {}",
+            p.nl_bytes
+        );
+        assert!(
+            (p.nm_bytes - 29737.0).abs() / 29737.0 < 0.04,
+            "Nm {}",
+            p.nm_bytes
+        );
         // P100 warp scenario: Nl=70, Nm=75.
         let t1 = ConfigModel::new(1, 0.43, 18.5);
         let w1 = ConfigModel::new(32, 13.8, 18.5);

@@ -119,7 +119,12 @@ pub fn measure_allreduce(
                     combine_kernel(),
                     grid,
                     block,
-                    vec![vecs[0].0 as u64, vecs[0].0 as u64, staging[t].0 as u64, elems],
+                    vec![
+                        vecs[0].0 as u64,
+                        vecs[0].0 as u64,
+                        staging[t].0 as u64,
+                        elems,
+                    ],
                 );
                 h.launch(0, &l)?;
             }
@@ -163,12 +168,7 @@ pub fn measure_allreduce(
                             combine_with_offset_kernel(),
                             grid,
                             block,
-                            vec![
-                                vecs[t].0 as u64,
-                                staging[t].0 as u64,
-                                off,
-                                len,
-                            ],
+                            vec![vecs[t].0 as u64, staging[t].0 as u64, off, len],
                         )
                         .on_device(t);
                         h.launch(t, &l)?;
@@ -398,8 +398,7 @@ mod tests {
         let topo = NodeTopology::dgx1_v100();
         let n = 8;
         let elems = 2_000_000; // 16 MB vectors
-        let gb = measure_allreduce(&arch, &topo, AllReduceAlgo::GatherBroadcast, n, elems)
-            .unwrap();
+        let gb = measure_allreduce(&arch, &topo, AllReduceAlgo::GatherBroadcast, n, elems).unwrap();
         let ring = measure_allreduce(&arch, &topo, AllReduceAlgo::Ring, n, elems).unwrap();
         assert!(gb.correct && ring.correct);
         assert!(
@@ -439,14 +438,8 @@ mod tests {
     #[test]
     fn single_gpu_collapses_to_a_copy() {
         let topo = NodeTopology::dgx1_v100();
-        let s = measure_allreduce(
-            &small(),
-            &topo,
-            AllReduceAlgo::MultiGridKernel,
-            1,
-            10_000,
-        )
-        .unwrap();
+        let s =
+            measure_allreduce(&small(), &topo, AllReduceAlgo::MultiGridKernel, 1, 10_000).unwrap();
         assert!(s.correct);
     }
 }

@@ -291,12 +291,7 @@ pub fn measure_device_reduce(
                 block_dim: block,
                 kind: LaunchKind::Cooperative,
                 devices: vec![0],
-                params: vec![vec![
-                    input.0 as u64,
-                    n,
-                    partials.0 as u64,
-                    result.0 as u64,
-                ]],
+                params: vec![vec![input.0 as u64, n, partials.0 as u64, result.0 as u64]],
             };
             h.launch(0, &launch)?;
             h.device_synchronize(0, 0);
@@ -426,10 +421,14 @@ mod tests {
     #[test]
     fn latency_converges_to_bandwidth_line() {
         let arch = GpuArch::v100();
-        let s = measure_device_reduce(&arch, DeviceReduceMethod::Implicit, (1e9 / 8.0) as u64)
-            .unwrap();
+        let s =
+            measure_device_reduce(&arch, DeviceReduceMethod::Implicit, (1e9 / 8.0) as u64).unwrap();
         // 1 GB at ~865 GB/s ≈ 1156 us.
-        assert!((s.latency_us - 1156.0).abs() / 1156.0 < 0.06, "{}", s.latency_us);
+        assert!(
+            (s.latency_us - 1156.0).abs() / 1156.0 < 0.06,
+            "{}",
+            s.latency_us
+        );
     }
 
     #[test]
@@ -456,6 +455,10 @@ mod tests {
         let arch = GpuArch::v100();
         let s = measure_device_reduce(&arch, DeviceReduceMethod::Implicit, 1024).unwrap();
         // Two kernels + sync: tens of microseconds, not milliseconds.
-        assert!(s.latency_us > 5.0 && s.latency_us < 40.0, "{}", s.latency_us);
+        assert!(
+            s.latency_us > 5.0 && s.latency_us < 40.0,
+            "{}",
+            s.latency_us
+        );
     }
 }

@@ -255,8 +255,7 @@ pub fn measure_multi_gpu_reduce(
         }
         MultiGpuReduceMethod::CpuSideBarrier => {
             let gather = h.sys.alloc(0, n as u64);
-            let block_partials: Vec<BufId> =
-                (0..n).map(|d| h.sys.alloc(d, grid as u64)).collect();
+            let block_partials: Vec<BufId> = (0..n).map(|d| h.sys.alloc(d, grid as u64)).collect();
             let scalars: Vec<BufId> = (0..n).map(|d| h.sys.alloc(d, 1)).collect();
             let threads: Vec<usize> = (0..n).collect();
             let t0 = h.now(0);

@@ -168,7 +168,8 @@ pub fn warp_reduce_kernel(variant: WarpReduceVariant) -> Kernel {
     // Publish the result: shared-memory variants read sm[0] (lane 0 sees its
     // own pending store; for nosync this is exactly the stale value chain).
     match variant {
-        WarpReduceVariant::TileShuffle | WarpReduceVariant::CoalescedShuffle
+        WarpReduceVariant::TileShuffle
+        | WarpReduceVariant::CoalescedShuffle
         | WarpReduceVariant::Serial => {}
         _ => {
             b.push(Instr::LdShared {
@@ -326,7 +327,10 @@ mod tests {
         for arch in [GpuArch::v100(), GpuArch::p100()] {
             let rows = table5(&arch).unwrap();
             let shfl = by_name(&rows, "tile shuffle").latency_cycles;
-            for r in rows.iter().filter(|r| r.correct && r.variant != "tile shuffle") {
+            for r in rows
+                .iter()
+                .filter(|r| r.correct && r.variant != "tile shuffle")
+            {
                 assert!(
                     shfl <= r.latency_cycles,
                     "{}: {} ({}) beat tile shuffle ({shfl})",

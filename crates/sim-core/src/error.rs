@@ -76,7 +76,9 @@ mod tests {
         assert!(SimError::InvalidLaunch("too big".into())
             .to_string()
             .contains("too big"));
-        assert!(SimError::MemoryFault("oob".into()).to_string().contains("oob"));
+        assert!(SimError::MemoryFault("oob".into())
+            .to_string()
+            .contains("oob"));
         assert!(SimError::ProgramError("label".into())
             .to_string()
             .contains("label"));

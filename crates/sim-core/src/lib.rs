@@ -10,11 +10,13 @@
 pub mod error;
 pub mod event;
 pub mod resource;
+pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use error::{SimError, SimResult};
 pub use event::EventQueue;
 pub use resource::{interval_from_ops_per_cycle, Channel, Issue, Pipeline};
+pub use rng::SmallRng;
 pub use stats::{linear_slope, propagate_difference_quotient, OnlineStats, Summary};
 pub use time::{Clock, Ps};

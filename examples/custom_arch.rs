@@ -9,15 +9,14 @@
 //! cargo run --release --example custom_arch
 //! ```
 
-use syncmark::prelude::*;
 use gpu_arch::GpuArch;
+use syncmark::prelude::*;
 
 fn main() -> SimResult<()> {
     // Start from the calibrated V100 and serialize it: this is the exact
     // schema a JSON file would use.
     let v100 = GpuArch::v100();
-    let mut json: serde_json::Value =
-        serde_json::to_value(&v100).expect("arch serializes");
+    let mut json: serde_json::Value = serde_json::to_value(&v100).expect("arch serializes");
 
     // Edit the description as data, as an external config file would.
     json["name"] = "V100.5 (hypothetical)".into();
@@ -33,20 +32,13 @@ fn main() -> SimResult<()> {
     for arch in [&v100, &custom] {
         let a1 = sync_micro::measure::one_sm(arch);
         let p = Placement::single();
-        let block =
-            sync_micro::measure::sync_chain_cycles(&a1, &p, SyncOp::Block, 64, 1, 32)?
-                .cycles_per_op;
+        let block = sync_micro::measure::sync_chain_cycles(&a1, &p, SyncOp::Block, 64, 1, 32)?
+            .cycles_per_op;
         let block_full =
             sync_micro::measure::sync_chain_cycles(&a1, &p, SyncOp::Block, 32, 1, 1024)?
                 .cycles_per_op;
-        let grid = sync_micro::measure::sync_chain_cycles(
-            arch,
-            &p,
-            SyncOp::Grid,
-            4,
-            arch.num_sms,
-            32,
-        )?;
+        let grid =
+            sync_micro::measure::sync_chain_cycles(arch, &p, SyncOp::Grid, 4, arch.num_sms, 32)?;
         println!("{}:", arch.name);
         println!("  block sync, 1 warp:    {block:7.1} cycles");
         println!("  block sync, 32 warps:  {block_full:7.1} cycles");

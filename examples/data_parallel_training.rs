@@ -10,13 +10,15 @@
 //! cargo run --release --example data_parallel_training
 //! ```
 
-use syncmark::prelude::*;
 use reduction::AllReduceAlgo;
+use syncmark::prelude::*;
 
 /// Synthetic per-iteration device work: forward + backward modeled as two
 /// streaming passes over the activations (batch elements per GPU).
 fn compute_us(h: &mut cuda_rt::HostSim, dev: usize, acts: gpu_sim::BufId, n: u64) -> SimResult<()> {
-    let out = h.sys.alloc(dev, (2 * h.sys.arch.num_sms.min(40) * 256) as u64);
+    let out = h
+        .sys
+        .alloc(dev, (2 * h.sys.arch.num_sms.min(40) * 256) as u64);
     for _pass in 0..2 {
         let k = gpu_sim::kernels::stream_kernel(2);
         let l = GridLaunch::single(
@@ -62,8 +64,8 @@ fn main() -> SimResult<()> {
                 .map(|d| h.sys.alloc_linear(d, 0.1, 1e-9, batch_elems))
                 .collect();
             let t0 = h.now(0);
-            for d in 0..n_gpus {
-                compute_us(&mut h, d, acts[d], batch_elems)?;
+            for (d, &act) in acts.iter().enumerate() {
+                compute_us(&mut h, d, act, batch_elems)?;
             }
             h.omp_barrier(&[]);
             let compute = (h.now(0) - t0).as_us();

@@ -7,8 +7,8 @@
 //! cargo run --release --example deadlock_probe
 //! ```
 
-use syncmark::prelude::*;
 use gpu_sim::isa::{Instr, Operand::*, Special};
+use syncmark::prelude::*;
 
 fn outcome(label: &str, r: SimResult<gpu_sim::ExecReport>) {
     match r {

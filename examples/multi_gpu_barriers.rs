@@ -7,15 +7,18 @@
 //! cargo run --release --example multi_gpu_barriers
 //! ```
 
-use syncmark::prelude::*;
 use sync_micro::measure::{cycles_to_us, sync_chain_cycles};
+use syncmark::prelude::*;
 
 fn main() -> SimResult<()> {
     let arch = GpuArch::v100();
     let topo = NodeTopology::dgx1_v100();
 
     println!("node: {}", topo.name);
-    println!("{:>5}  {:>22} {:>18} {:>22}", "GPUs", "multi-device launch", "CPU-side barrier", "multi-grid (1x32/SM)");
+    println!(
+        "{:>5}  {:>22} {:>18} {:>22}",
+        "GPUs", "multi-device launch", "CPU-side barrier", "multi-grid (1x32/SM)"
+    );
     let pts = sync_micro::multi_gpu::figure9(&arch, &topo, &[1, 2, 4, 5, 6, 8])?;
     for p in &pts {
         println!(

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use syncmark::prelude::*;
 use gpu_sim::isa::{Instr, Operand::*, Special};
+use syncmark::prelude::*;
 
 fn main() -> SimResult<()> {
     // A single simulated V100.

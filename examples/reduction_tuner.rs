@@ -8,8 +8,8 @@
 //! ```
 
 use perf_model::{basic_wins, switch_points, ConfigModel};
-use syncmark::prelude::*;
 use sync_micro::measure::{one_sm, sync_chain_cycles};
+use syncmark::prelude::*;
 
 fn main() -> SimResult<()> {
     for arch in [GpuArch::v100(), GpuArch::p100()] {
@@ -19,8 +19,11 @@ fn main() -> SimResult<()> {
         let rows = sync_micro::shared_mem::table3_measurements(&arch)?;
         let one_thread =
             ConfigModel::new(1, rows[0].bandwidth_bytes_per_cycle, rows[0].latency_cycles);
-        let one_warp =
-            ConfigModel::new(32, rows[1].bandwidth_bytes_per_cycle, rows[1].latency_cycles);
+        let one_warp = ConfigModel::new(
+            32,
+            rows[1].bandwidth_bytes_per_cycle,
+            rows[1].latency_cycles,
+        );
         let full_block = ConfigModel::new(
             1024,
             rows[2].bandwidth_bytes_per_cycle,
@@ -75,7 +78,11 @@ fn main() -> SimResult<()> {
             for m in reduction::DeviceReduceMethod::ALL {
                 let s = reduction::measure_device_reduce(&arch, m, n)?;
                 assert!(s.correct);
-                if best.as_ref().map(|(_, l)| s.latency_us < *l).unwrap_or(true) {
+                if best
+                    .as_ref()
+                    .map(|(_, l)| s.latency_us < *l)
+                    .unwrap_or(true)
+                {
                     best = Some((s.method.clone(), s.latency_us));
                 }
                 print!("    {:>7.1} MB {:<16} {:>9.1}", mb, s.method, s.latency_us);

@@ -13,8 +13,8 @@
 //! cargo run --release --example stencil_persistent
 //! ```
 
-use syncmark::prelude::*;
 use gpu_sim::isa::{Instr, Operand::*, Special};
+use syncmark::prelude::*;
 
 const POINTS: u32 = 80 * 256; // interior points; buffers add 2 halo cells
 const STEPS: u32 = 50;
@@ -30,13 +30,29 @@ fn emit_step(b: &mut KernelBuilder, src: gpu_sim::Reg, dst: gpu_sim::Reg) {
     b.iadd(i, Sp(Special::GlobalTid), Imm(1));
     b.isub(l, Reg(i), Imm(1));
     b.iadd(r, Reg(i), Imm(1));
-    b.push(Instr::LdGlobal { dst: l, buf: Reg(src), idx: Reg(l) });
-    b.push(Instr::LdGlobal { dst: c, buf: Reg(src), idx: Reg(i) });
-    b.push(Instr::LdGlobal { dst: r, buf: Reg(src), idx: Reg(r) });
+    b.push(Instr::LdGlobal {
+        dst: l,
+        buf: Reg(src),
+        idx: Reg(l),
+    });
+    b.push(Instr::LdGlobal {
+        dst: c,
+        buf: Reg(src),
+        idx: Reg(i),
+    });
+    b.push(Instr::LdGlobal {
+        dst: r,
+        buf: Reg(src),
+        idx: Reg(r),
+    });
     b.fadd(l, Reg(l), Reg(c));
     b.fadd(l, Reg(l), Reg(r));
     b.push(Instr::FMul(l, Reg(l), gpu_sim::fimm(1.0 / 3.0)));
-    b.push(Instr::StGlobal { buf: Reg(dst), idx: Reg(i), val: Reg(l) });
+    b.push(Instr::StGlobal {
+        buf: Reg(dst),
+        idx: Reg(i),
+        val: Reg(l),
+    });
 }
 
 /// Persistent kernel: the time loop lives on the device; buffers swap in
@@ -142,7 +158,10 @@ fn main() -> SimResult<()> {
     let final_buf = if STEPS % 2 == 1 { bbuf } else { a };
     check(&h.sys.read_f64(final_buf), &reference);
 
-    println!("1-D Jacobi stencil, {POINTS} points, {STEPS} timesteps, simulated {}", arch.name);
+    println!(
+        "1-D Jacobi stencil, {POINTS} points, {STEPS} timesteps, simulated {}",
+        arch.name
+    );
     println!(
         "  relaunch every step (implicit barrier): {relaunch_us:8.1} us  ({:.2} us/step)",
         relaunch_us / STEPS as f64

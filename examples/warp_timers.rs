@@ -6,8 +6,8 @@
 //! cargo run --release --example warp_timers
 //! ```
 
-use syncmark::prelude::*;
 use sync_micro::warp_probe::figure18;
+use syncmark::prelude::*;
 
 fn plot(starts: &[u64], ends: &[u64]) {
     let max = *ends.iter().max().unwrap() as f64;

@@ -3,8 +3,8 @@
 //! produce internally consistent results. This is the "apply the suite to
 //! the next GPU" use case a downstream adopter has.
 
-use syncmark::prelude::*;
 use gpu_arch::GpuArch;
+use syncmark::prelude::*;
 
 fn extrapolated() -> [GpuArch; 2] {
     [GpuArch::t4_like(), GpuArch::a100_like()]

@@ -23,17 +23,21 @@ fn implicit_vs_explicit_barrier_tradeoff() {
     let arch = GpuArch::v100();
     // Small problem: implicit clearly ahead.
     let small = 50_000u64;
-    let imp = reduction::measure_device_reduce(&arch, reduction::DeviceReduceMethod::Implicit, small)
-        .unwrap();
-    let gs = reduction::measure_device_reduce(&arch, reduction::DeviceReduceMethod::GridSync, small)
-        .unwrap();
+    let imp =
+        reduction::measure_device_reduce(&arch, reduction::DeviceReduceMethod::Implicit, small)
+            .unwrap();
+    let gs =
+        reduction::measure_device_reduce(&arch, reduction::DeviceReduceMethod::GridSync, small)
+            .unwrap();
     assert!(imp.latency_us < gs.latency_us);
     // Large problem: within a few percent.
     let large = (2e9 / 8.0) as u64;
-    let imp = reduction::measure_device_reduce(&arch, reduction::DeviceReduceMethod::Implicit, large)
-        .unwrap();
-    let gs = reduction::measure_device_reduce(&arch, reduction::DeviceReduceMethod::GridSync, large)
-        .unwrap();
+    let imp =
+        reduction::measure_device_reduce(&arch, reduction::DeviceReduceMethod::Implicit, large)
+            .unwrap();
+    let gs =
+        reduction::measure_device_reduce(&arch, reduction::DeviceReduceMethod::GridSync, large)
+            .unwrap();
     assert!((gs.latency_us - imp.latency_us) / imp.latency_us < 0.03);
 }
 
@@ -54,12 +58,8 @@ fn grid_sync_acceptable_below_two_blocks_per_sm() {
 #[test]
 fn multi_grid_recommended_envelope() {
     let arch = GpuArch::v100();
-    let fig = sync_micro::multi_grid::multi_grid_figure(
-        &arch,
-        &NodeTopology::dgx1_v100(),
-        &[8],
-    )
-    .unwrap();
+    let fig =
+        sync_micro::multi_grid::multi_grid_figure(&arch, &NodeTopology::dgx1_v100(), &[8]).unwrap();
     let hm = &fig.maps[0].1;
     let fastest = hm.cell(1, 32).unwrap();
     for &bpsm in &[1u32, 2, 4, 8] {
@@ -81,12 +81,8 @@ fn multi_grid_recommended_envelope() {
 /// most ~3x the CPU-side barrier, and the difference is around 16 us.
 #[test]
 fn multi_grid_vs_cpu_barrier_at_eight_gpus() {
-    let pts = sync_micro::multi_gpu::figure9(
-        &GpuArch::v100(),
-        &NodeTopology::dgx1_v100(),
-        &[8],
-    )
-    .unwrap();
+    let pts =
+        sync_micro::multi_gpu::figure9(&GpuArch::v100(), &NodeTopology::dgx1_v100(), &[8]).unwrap();
     let p = &pts[0];
     assert!(p.mgrid_general_us <= 3.0 * p.cpu_side_us);
     let diff = p.mgrid_general_us - p.cpu_side_us;
@@ -102,8 +98,8 @@ fn multi_device_launch_gates_on_all_streams() {
     let sys = GpuSystem::new(arch, NodeTopology::dgx1_v100());
     let mut h = HostSim::new(sys).without_jitter();
     // Keep device 3 busy for 100 us.
-    let busy = GridLaunch::single(gpu_sim::kernels::sleep_kernel(100_000), 1, 32, vec![])
-        .on_device(3);
+    let busy =
+        GridLaunch::single(gpu_sim::kernels::sleep_kernel(100_000), 1, 32, vec![]).on_device(3);
     h.launch(0, &busy).unwrap();
     // A multi-device launch over devices {0..4} must start after it.
     let multi = GridLaunch {

@@ -1,9 +1,14 @@
-//! Property-based tests over the simulator's core invariants.
+//! Randomized tests over the simulator's core invariants.
+//!
+//! Formerly proptest-based; rewritten on the seeded in-repo
+//! [`sim_core::SmallRng`] so the suite builds offline. Every case set is
+//! deterministic (fixed seed, fixed case count) and covers the same
+//! invariants with comparable breadth.
 
-use proptest::prelude::*;
-use syncmark::prelude::*;
 use gpu_sim::isa::{Instr, Operand, Special};
 use gpu_sim::BufData;
+use sim_core::SmallRng;
+use syncmark::prelude::*;
 
 fn small_arch() -> GpuArch {
     let mut a = GpuArch::v100();
@@ -31,22 +36,26 @@ fn apply(ops: &[AluOp], start: u64) -> u64 {
     })
 }
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        any::<u64>().prop_map(AluOp::Add),
-        any::<u64>().prop_map(AluOp::Sub),
-        any::<u64>().prop_map(AluOp::Mul),
-        any::<u64>().prop_map(AluOp::Min),
-        any::<u64>().prop_map(AluOp::And),
-    ]
+fn random_alu_op(rng: &mut SmallRng) -> AluOp {
+    let v = rng.next_u64();
+    match rng.below(5) {
+        0 => AluOp::Add(v),
+        1 => AluOp::Sub(v),
+        2 => AluOp::Mul(v),
+        3 => AluOp::Min(v),
+        _ => AluOp::And(v),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The interpreter agrees with a Rust reference on random ALU chains.
-    #[test]
-    fn alu_chains_match_reference(start in any::<u64>(), ops in prop::collection::vec(alu_op(), 1..40)) {
+/// The interpreter agrees with a Rust reference on random ALU chains.
+#[test]
+fn alu_chains_match_reference() {
+    let mut rng = SmallRng::seed_from_u64(0xA1B2C3D4);
+    for _ in 0..48 {
+        let start = rng.next_u64();
+        let ops: Vec<AluOp> = (0..rng.range_u64(1, 40))
+            .map(|_| random_alu_op(&mut rng))
+            .collect();
         let mut sys = GpuSystem::single(small_arch());
         let out = sys.alloc(0, 32);
         let mut b = KernelBuilder::new("prop-alu");
@@ -54,23 +63,43 @@ proptest! {
         b.mov(r, Operand::Imm(start));
         for op in &ops {
             match op {
-                AluOp::Add(v) => { b.iadd(r, Operand::Reg(r), Operand::Imm(*v)); }
-                AluOp::Sub(v) => { b.isub(r, Operand::Reg(r), Operand::Imm(*v)); }
-                AluOp::Mul(v) => { b.imul(r, Operand::Reg(r), Operand::Imm(*v)); }
-                AluOp::Min(v) => { b.push(Instr::IMin(r, Operand::Reg(r), Operand::Imm(*v))); }
-                AluOp::And(v) => { b.push(Instr::IAnd(r, Operand::Reg(r), Operand::Imm(*v))); }
+                AluOp::Add(v) => {
+                    b.iadd(r, Operand::Reg(r), Operand::Imm(*v));
+                }
+                AluOp::Sub(v) => {
+                    b.isub(r, Operand::Reg(r), Operand::Imm(*v));
+                }
+                AluOp::Mul(v) => {
+                    b.imul(r, Operand::Reg(r), Operand::Imm(*v));
+                }
+                AluOp::Min(v) => {
+                    b.push(Instr::IMin(r, Operand::Reg(r), Operand::Imm(*v)));
+                }
+                AluOp::And(v) => {
+                    b.push(Instr::IAnd(r, Operand::Reg(r), Operand::Imm(*v)));
+                }
             }
         }
-        b.push(Instr::StGlobal { buf: Operand::Param(0), idx: Operand::Sp(Special::Tid), val: Operand::Reg(r) });
+        b.push(Instr::StGlobal {
+            buf: Operand::Param(0),
+            idx: Operand::Sp(Special::Tid),
+            val: Operand::Reg(r),
+        });
         b.exit();
-        sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64])).unwrap();
-        prop_assert_eq!(sys.read_u64(out)[0], apply(&ops, start));
+        sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
+            .unwrap();
+        assert_eq!(sys.read_u64(out)[0], apply(&ops, start));
     }
+}
 
-    /// Barrier invariant: every thread's post-barrier clock is at least the
-    /// last thread's pre-barrier clock, for any block size, on Volta.
-    #[test]
-    fn block_barrier_orders_clocks(warps in 1u32..8, busy in 0u32..24) {
+/// Barrier invariant: every thread's post-barrier clock is at least the
+/// last thread's pre-barrier clock, for any block size, on Volta.
+#[test]
+fn block_barrier_orders_clocks() {
+    let mut rng = SmallRng::seed_from_u64(0xBA44);
+    for _ in 0..48 {
+        let warps = rng.range_u64(1, 8) as u32;
+        let busy = rng.below(24) as u32;
         let mut sys = GpuSystem::single(small_arch());
         let block = warps * 32;
         let pre = sys.alloc(0, block as u64);
@@ -85,88 +114,139 @@ proptest! {
             b.fadd(acc, Operand::Reg(acc), gpu_sim::fimm(1.0));
         }
         b.read_clock(t0);
-        b.push(Instr::StGlobal { buf: Operand::Param(0), idx: Operand::Sp(Special::Tid), val: Operand::Reg(t0) });
+        b.push(Instr::StGlobal {
+            buf: Operand::Param(0),
+            idx: Operand::Sp(Special::Tid),
+            val: Operand::Reg(t0),
+        });
         b.bar_sync();
         b.read_clock(t1);
-        b.push(Instr::StGlobal { buf: Operand::Param(1), idx: Operand::Sp(Special::Tid), val: Operand::Reg(t1) });
+        b.push(Instr::StGlobal {
+            buf: Operand::Param(1),
+            idx: Operand::Sp(Special::Tid),
+            val: Operand::Reg(t1),
+        });
         b.exit();
-        sys.run(&GridLaunch::single(b.build(0), 1, block, vec![pre.0 as u64, post.0 as u64])).unwrap();
+        sys.run(&GridLaunch::single(
+            b.build(0),
+            1,
+            block,
+            vec![pre.0 as u64, post.0 as u64],
+        ))
+        .unwrap();
         let pre_v = sys.read_u64(pre);
         let post_v = sys.read_u64(post);
         let last_arrival = *pre_v.iter().max().unwrap();
         for (i, &p) in post_v.iter().enumerate() {
-            prop_assert!(p >= last_arrival, "thread {i}: post {p} < last arrival {last_arrival}");
+            assert!(
+                p >= last_arrival,
+                "thread {i}: post {p} < last arrival {last_arrival} \
+                 (warps {warps}, busy {busy})"
+            );
         }
     }
+}
 
-    /// Dense and synthetic buffers agree on strided sums.
-    #[test]
-    fn strided_sums_agree(a in -10.0f64..10.0, step in -1.0f64..1.0, len in 1u64..2000,
-                          start in 0u64..2000, stride in 1u64..64) {
+/// Dense and synthetic buffers agree on strided sums.
+#[test]
+fn strided_sums_agree() {
+    let mut rng = SmallRng::seed_from_u64(0x57A1DE);
+    for _ in 0..48 {
+        let a = rng.range_f64(-10.0, 10.0);
+        let step = rng.range_f64(-1.0, 1.0);
+        let len = rng.range_u64(1, 2000);
+        let start = rng.below(2000) % len;
+        let stride = rng.range_u64(1, 64);
         let mut sys = GpuSystem::single(small_arch());
         let lin = sys.alloc_linear(0, a, step, len);
         let vals: Vec<f64> = (0..len).map(|i| a + step * i as f64).collect();
         let dense = sys.alloc_f64(0, &vals);
-        let start = start % len;
         let (s1, n1) = sys.buffer(lin).strided_sum(start, stride, len).unwrap();
         let (s2, n2) = sys.buffer(dense).strided_sum(start, stride, len).unwrap();
-        prop_assert_eq!(n1, n2);
-        prop_assert!((s1 - s2).abs() <= 1e-7 * s2.abs().max(1.0), "{} vs {}", s1, s2);
+        assert_eq!(n1, n2);
+        assert!(
+            (s1 - s2).abs() <= 1e-7 * s2.abs().max(1.0),
+            "{s1} vs {s2} (a {a}, step {step}, len {len}, start {start}, stride {stride})"
+        );
     }
+}
 
-    /// Occupancy never exceeds any hardware limit.
-    #[test]
-    fn occupancy_respects_limits(threads in 1u32..=1024, smem in 0u32..100_000) {
+/// Occupancy never exceeds any hardware limit.
+#[test]
+fn occupancy_respects_limits() {
+    let mut rng = SmallRng::seed_from_u64(0x0CC);
+    for _ in 0..256 {
+        let threads = rng.range_u64(1, 1025) as u32;
+        let smem = rng.below(100_000) as u32;
         let arch = GpuArch::v100();
         let smem = smem.min(arch.shared_mem_per_sm_bytes);
         let occ = arch.occupancy(threads, smem);
         let warps = arch.warps_per_block(threads);
-        prop_assert!(occ.blocks_per_sm <= arch.max_blocks_per_sm);
-        prop_assert!(occ.blocks_per_sm * warps <= arch.max_warps_per_sm);
-        prop_assert!(occ.blocks_per_sm * warps * 32 <= arch.max_threads_per_sm + 31);
+        assert!(occ.blocks_per_sm <= arch.max_blocks_per_sm);
+        assert!(occ.blocks_per_sm * warps <= arch.max_warps_per_sm);
+        assert!(occ.blocks_per_sm * warps * 32 <= arch.max_threads_per_sm + 31);
         if smem > 0 {
-            prop_assert!(occ.blocks_per_sm.saturating_mul(smem) <= arch.shared_mem_per_sm_bytes);
+            assert!(occ.blocks_per_sm.saturating_mul(smem) <= arch.shared_mem_per_sm_bytes);
         }
     }
+}
 
-    /// Device-wide reduction is correct for arbitrary sizes and methods.
-    #[test]
-    fn device_reduce_always_correct(n in 1u64..300_000, method in 0usize..4) {
+/// Device-wide reduction is correct for arbitrary sizes and methods.
+#[test]
+fn device_reduce_always_correct() {
+    let mut rng = SmallRng::seed_from_u64(0x2ED0CE);
+    for case in 0..24 {
+        let n = rng.range_u64(1, 300_000);
+        // Cycle through the methods so each sees several sizes.
+        let m = reduction::DeviceReduceMethod::ALL[case % 4];
         let arch = small_arch();
-        let m = reduction::DeviceReduceMethod::ALL[method];
         let s = reduction::measure_device_reduce(&arch, m, n).unwrap();
-        prop_assert!(s.correct, "{} wrong for n={n}", s.method);
+        assert!(s.correct, "{} wrong for n={n}", s.method);
     }
+}
 
-    /// Warp reductions with any synchronizing variant are correct on any
-    /// inputs; the unsynchronized one must NOT be trusted.
-    #[test]
-    fn warp_reduce_correctness(vals in prop::collection::vec(-100.0f64..100.0, 32)) {
+/// Warp reductions with any synchronizing variant are correct on any
+/// inputs; the unsynchronized one must NOT be trusted.
+#[test]
+fn warp_reduce_correctness() {
+    let mut rng = SmallRng::seed_from_u64(0x3A9);
+    for _ in 0..16 {
         let mut inputs = [0.0f64; 32];
-        inputs.copy_from_slice(&vals);
+        for v in &mut inputs {
+            *v = rng.range_f64(-100.0, 100.0);
+        }
         for variant in reduction::WarpReduceVariant::ALL {
             let r = reduction::run_warp_reduce(&GpuArch::v100(), variant, &inputs).unwrap();
             if variant != reduction::WarpReduceVariant::NoSync {
-                prop_assert!(r.correct, "{} wrong: {} vs {}", r.variant, r.result, r.expected);
+                assert!(
+                    r.correct,
+                    "{} wrong: {} vs {}",
+                    r.variant, r.result, r.expected
+                );
             }
         }
     }
+}
 
-    /// Synthetic buffers densify correctly on first store.
-    #[test]
-    fn synthetic_densify_preserves_values(len in 1u64..512, at in 0u64..512, val in any::<u64>()) {
+/// Synthetic buffers densify correctly on first store.
+#[test]
+fn synthetic_densify_preserves_values() {
+    let mut rng = SmallRng::seed_from_u64(0xDE45);
+    for _ in 0..48 {
+        let len = rng.range_u64(1, 512);
+        let at = rng.below(512) % len;
+        let val = rng.next_u64();
         let mut sys = GpuSystem::single(small_arch());
-        let at = at % len;
         let b = sys.alloc_linear(0, 1.5, 0.25, len);
         let before: Vec<u64> = sys.read_u64(b);
         sys.buffer_mut(b).store(at, val).unwrap();
-        prop_assert!(matches!(sys.buffer(b).data, BufData::Dense(_)));
+        assert!(matches!(sys.buffer(b).data, BufData::Dense(_)));
         let after = sys.read_u64(b);
         for i in 0..len as usize {
             if i as u64 == at {
-                prop_assert_eq!(after[i], val);
+                assert_eq!(after[i], val);
             } else {
-                prop_assert_eq!(after[i], before[i]);
+                assert_eq!(after[i], before[i]);
             }
         }
     }

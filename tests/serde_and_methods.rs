@@ -1,8 +1,8 @@
 //! Serialization round trips for every config type, and cross-method
 //! agreement checks for the measurement machinery.
 
-use syncmark::prelude::*;
 use gpu_sim::kernels::SyncOp as Op;
+use syncmark::prelude::*;
 
 #[test]
 fn arch_round_trips_through_json() {

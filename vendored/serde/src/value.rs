@@ -1,0 +1,156 @@
+//! The JSON-shaped value tree shared by `serde` and `serde_json`.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A parsed / to-be-printed JSON document. Object keys keep insertion
+/// order so serialized output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Type name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Look up an object field, or `None`.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Look up a required object field.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(_) => self
+                .get(name)
+                .ok_or_else(|| Error::new(format!("missing field {name:?}"))),
+            other => Err(Error::expected("object", other)),
+        }
+    }
+
+    /// Look up a required array element.
+    pub fn item(&self, idx: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Array(items) => items
+                .get(idx)
+                .ok_or_else(|| Error::new(format!("missing array element {idx}"))),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+/// `value["key"]` on objects (panics like serde_json when absent or not an
+/// object — reads are for known-good documents).
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key)
+            .unwrap_or_else(|| panic!("no field {key:?} in {}", self.kind()))
+    }
+}
+
+/// `value["key"] = x` on objects, inserting the key when absent.
+impl IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        let Value::Object(fields) = self else {
+            panic!("cannot index {} with a string key", self.kind());
+        };
+        if let Some(pos) = fields.iter().position(|(k, _)| k == key) {
+            return &mut fields[pos].1;
+        }
+        fields.push((key.to_string(), Value::Null));
+        &mut fields.last_mut().unwrap().1
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => &items[idx],
+            other => panic!("cannot index {} with a number", other.kind()),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::F64(f)
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty => $variant:ident as $as:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Value {
+                Value::$variant(n as $as)
+            }
+        }
+    )*};
+}
+from_int!(i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+          u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+          usize => U64 as u64);
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+
+    pub fn expected(what: &str, got: &Value) -> Error {
+        Error::new(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

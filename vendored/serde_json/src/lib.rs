@@ -1,0 +1,92 @@
+//! Offline drop-in subset of `serde_json`: print and parse the vendored
+//! [`serde::Value`] tree. Covers the API surface this workspace uses —
+//! `to_string`, `to_string_pretty`, `from_str`, `to_value`, `from_value` —
+//! with deterministic field order and round-trip-exact floats.
+
+pub use serde::{Error, Value};
+
+mod parse;
+mod print;
+
+/// Serialize into a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    print::write_value(&mut out, &value.serialize(), None, 0)?;
+    Ok(out)
+}
+
+/// Serialize into an indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    print::write_value(&mut out, &value.serialize(), Some(2), 0)?;
+    Ok(out)
+}
+
+/// Serialize into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.serialize())
+}
+
+/// Deserialize from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::deserialize(&value)
+}
+
+/// Parse a JSON string and deserialize it.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse::parse(s)?;
+    T::deserialize(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for json in [
+            "null",
+            "true",
+            "-42",
+            "1311",
+            "\"hi \\\" there\\n\"",
+            "[1,2,3]",
+        ] {
+            let v: Value = from_str(json).unwrap();
+            let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+            assert_eq!(v, back);
+        }
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for f in [0.1, 1.0 / 3.0, 1e-12, 6.02214076e23, -0.0, 2.5] {
+            let v = Value::F64(f);
+            let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+            assert_eq!(v, back, "{f} lost precision");
+        }
+    }
+
+    #[test]
+    fn object_preserves_order() {
+        let v = Value::Object(vec![
+            ("z".into(), Value::U64(1)),
+            ("a".into(), Value::U64(2)),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), "{\"z\":1,\"a\":2}");
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: Value = from_str("\"\\u00e9\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, Value::Str("é😀".to_string()));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
