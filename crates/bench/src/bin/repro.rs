@@ -6,6 +6,8 @@
 //! repro table2 fig5 ...       # run specific artifacts
 //! repro --jobs 8 all          # run the registry (and inner sweeps) on 8 workers
 //! repro --out results all     # additionally write one .txt per artifact
+//! repro --check               # synchronization-hazard audit; exits nonzero
+//!                             # on any unsuppressed violation (the CI gate)
 //! ```
 //!
 //! Experiment names are validated up front: a typo anywhere in the argument
@@ -19,7 +21,7 @@ use std::time::Instant;
 use syncmark_bench::experiments::{Experiment, EXPERIMENTS};
 
 fn usage_and_list() {
-    println!("usage: repro [--jobs N] [--out DIR] [all | list | <experiment>...]\n");
+    println!("usage: repro [--jobs N] [--out DIR] [--check] [all | list | <experiment>...]\n");
     println!("available experiments:");
     for (name, desc, _) in EXPERIMENTS {
         println!("  {name:<10} {desc}");
@@ -51,6 +53,21 @@ fn main() {
         }
         out_dir = Some(args.remove(pos + 1).into());
         args.remove(pos);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--check") {
+        args.remove(pos);
+        // The audit is deliberately serial and jobs-independent: its report
+        // must be byte-identical whatever `--jobs` was set to.
+        let report = synccheck::audit();
+        print!("{}", report.render());
+        let bad = report.unsuppressed();
+        if bad > 0 {
+            eprintln!("[repro] synccheck: {bad} unsuppressed violation(s)");
+            std::process::exit(1);
+        }
+        if args.is_empty() {
+            return;
+        }
     }
     if args.is_empty() || args[0] == "list" || args[0] == "--help" {
         usage_and_list();

@@ -455,6 +455,7 @@ pub fn deadlocks() -> String {
             kind: LaunchKind::CooperativeMultiDevice,
             devices: vec![0, 1],
             params: vec![vec![], vec![]],
+            checked: false,
         };
         let r = GpuSystem::new(arch, NodeTopology::dgx1_v100()).run(&launch);
         t.row(vec![
@@ -591,6 +592,13 @@ pub fn calibration() -> String {
     s
 }
 
+/// The synchronization-hazard audit: every registry kernel statically
+/// linted and run under the dynamic racecheck. Always serial, so the output
+/// is byte-identical whatever `--jobs` is set to.
+pub fn synccheck_report() -> String {
+    synccheck::audit().render()
+}
+
 /// One registry entry: (name, description, runner).
 pub type Experiment = (&'static str, &'static str, fn() -> String);
 
@@ -642,6 +650,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         "ablation",
         "design-choice ablations + extrapolations",
         crate::ablations::all,
+    ),
+    (
+        "synccheck",
+        "synchronization-hazard audit of the kernel registry",
+        synccheck_report,
     ),
 ];
 

@@ -91,6 +91,7 @@ pub fn measure_inter_sm(
         kind: kind_for(op),
         devices: devices.to_vec(),
         params: vec![vec![]; devices.len()],
+        checked: false,
     };
     let l1 = mk(r1);
     let l2 = mk(r2);

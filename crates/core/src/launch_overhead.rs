@@ -35,6 +35,7 @@ fn make_launch(kind: LaunchKind, kernel: gpu_sim::Kernel, devices: Vec<usize>) -
         kind,
         devices,
         params: vec![vec![]; n],
+        checked: false,
     }
 }
 

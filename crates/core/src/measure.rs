@@ -68,6 +68,7 @@ fn launch_for(
         kind,
         devices: devices.to_vec(),
         params,
+        checked: false,
     }
 }
 

@@ -239,6 +239,19 @@ impl HostSim {
         Ok(LaunchRecord { exec, begin, end })
     }
 
+    /// [`Self::launch`] with the synchronization checker armed: the launch
+    /// is statically linted ([`gpu_sim::verify`]) and the kernel executes
+    /// under the shared-memory racecheck, so any divergence or data-race
+    /// hazard surfaces as a `SimError` instead of a silent bad measurement.
+    /// Stream timing is identical to an unchecked launch.
+    pub fn launch_checked(
+        &mut self,
+        thread: usize,
+        launch: &GridLaunch,
+    ) -> SimResult<LaunchRecord> {
+        self.launch(thread, &launch.clone().checked())
+    }
+
     /// `cudaDeviceSynchronize`: block `thread` until `device`'s stream is
     /// drained, then pay completion detection.
     pub fn device_synchronize(&mut self, thread: usize, device: usize) {
@@ -520,6 +533,30 @@ mod tests {
         for v in &a {
             assert!((v - 1_000_000.0).abs() < 300.0, "jitter too large: {v}");
         }
+    }
+
+    #[test]
+    fn launch_checked_rejects_divergent_barrier_and_passes_clean_kernels() {
+        use gpu_sim::isa::{Operand::*, Special};
+        use gpu_sim::KernelBuilder;
+
+        let mut h = host();
+        let clean = GridLaunch::single(kernels::null_kernel(), 1, 32, vec![]);
+        h.launch_checked(0, &clean).unwrap();
+        h.device_synchronize(0, 0);
+
+        let mut b = KernelBuilder::new("divergent");
+        let c = b.reg();
+        b.cmp_lt(c, Sp(Special::Tid), Imm(16));
+        b.bra_ifz(Reg(c), "out");
+        b.bar_sync();
+        b.label("out");
+        b.exit();
+        let bad = GridLaunch::single(b.build(0), 1, 32, vec![]);
+        let err = h.launch_checked(0, &bad).unwrap_err();
+        assert!(err.to_string().contains("barrier-divergence"), "{err}");
+        // The unchecked path still accepts it (Volta converges).
+        h.launch(0, &bad).unwrap();
     }
 
     #[test]

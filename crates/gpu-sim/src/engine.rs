@@ -11,10 +11,11 @@
 //! barrier unit, warp-sync unit, shared-memory port, L2 atomic unit, DRAM
 //! channel) plus per-instruction latencies from [`gpu_arch::TimingParams`].
 
-use crate::isa::{Instr, Operand, ShflKind, ShflMode, Special, NUM_REGS};
-use crate::mem::SharedMem;
+use crate::isa::{Instr, Operand, Program, ShflKind, ShflMode, Special, NUM_REGS};
+use crate::mem::{Hazard, SharedMem};
 use crate::system::{ExecReport, GpuSystem, GridLaunch};
 use gpu_arch::GpuArch;
+use serde::{Deserialize, Serialize};
 use sim_core::{Channel, EventQueue, Pipeline, Ps, SimError, SimResult};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -145,6 +146,61 @@ struct DevExec {
     grid_bar: GridBar,
 }
 
+/// One shared-memory hazard detected by the dynamic racecheck, located
+/// within the launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HazardRecord {
+    /// Device rank within the launch.
+    pub rank: u32,
+    /// Block index on its device.
+    pub block: u32,
+    pub hazard: Hazard,
+}
+
+/// All hazards a `checked()` run detected, in deterministic (block-major)
+/// order. Empty for racecheck-clean kernels.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HazardReport {
+    pub records: Vec<HazardRecord>,
+    /// Hazards beyond the per-block recording cap, counted but not stored.
+    pub dropped: u32,
+}
+
+impl HazardReport {
+    pub fn is_clean(&self) -> bool {
+        self.records.is_empty() && self.dropped == 0
+    }
+
+    /// Render with disassembly context (byte-deterministic).
+    pub fn render(&self, program: &Program) -> String {
+        let mut s = format!("racecheck: {} hazard(s)\n", self.records.len());
+        for r in &self.records {
+            let h = &r.hazard;
+            s.push_str(&format!(
+                "  {} at shared word {} (rank {}, block {}, epoch {}): \
+                 thread {} then thread {}\n",
+                h.kind.slug(),
+                h.addr,
+                r.rank,
+                r.block,
+                h.epoch,
+                h.first_thread,
+                h.second_thread
+            ));
+            if let Some(pc) = h.pc {
+                s.push_str(&crate::verify::context_lines(program, pc));
+            }
+        }
+        if self.dropped > 0 {
+            s.push_str(&format!(
+                "  ... and {} more (per-block cap)\n",
+                self.dropped
+            ));
+        }
+        s
+    }
+}
+
 /// One recorded execution step (see [`GpuSystem::run_traced`]).
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
@@ -224,7 +280,7 @@ impl<'a> Engine<'a> {
         Ok(self.run_full()?.0)
     }
 
-    pub(crate) fn run_full(mut self) -> SimResult<(ExecReport, Vec<TraceEvent>)> {
+    pub(crate) fn run_full(mut self) -> SimResult<(ExecReport, Vec<TraceEvent>, HazardReport)> {
         self.setup();
         while let Some((t, ev)) = self.q.pop() {
             debug_assert!(t >= self.now, "time went backwards");
@@ -292,7 +348,11 @@ impl<'a> Engine<'a> {
                     bar_last: Ps::ZERO,
                     started: false,
                     done: false,
-                    smem: SharedMem::new(self.launch.kernel.shared_words),
+                    smem: if self.launch.checked {
+                        SharedMem::with_racecheck(self.launch.kernel.shared_words)
+                    } else {
+                        SharedMem::new(self.launch.kernel.shared_words)
+                    },
                 });
             }
         }
@@ -680,6 +740,7 @@ impl<'a> Engine<'a> {
                     .smem_port
                     .issue(start, port_int, Ps::ZERO);
                 let lat = t.smem_latency + if volatile { t.volatile_extra } else { 0 };
+                self.blocks[block as usize].smem.racecheck_at(pc);
                 for lane in iter_lanes(group) {
                     let a = self.eval(w, lane, addr);
                     let tid = self.warps[w as usize].warp_in_block * WARP + lane;
@@ -703,6 +764,7 @@ impl<'a> Engine<'a> {
                 let port = self.devs[rank].sms[sm]
                     .smem_port
                     .issue(start, port_int, Ps::ZERO);
+                self.blocks[block as usize].smem.racecheck_at(pc);
                 for lane in iter_lanes(group) {
                     if let Some(p) = pred {
                         if self.eval(w, lane, p) == 0 {
@@ -1410,6 +1472,7 @@ impl<'a> Engine<'a> {
         let warp_in_block = warp.warp_in_block;
         let mut total_elems = 0u64;
         let mut max_iters = 0u64;
+        self.blocks[block].smem.racecheck_at(pc);
         for lane in iter_lanes(group) {
             let s = self.eval(w, lane, st);
             let k = self.eval(w, lane, stride).max(1);
@@ -1447,7 +1510,7 @@ impl<'a> Engine<'a> {
 
     // ----- wrap-up ----------------------------------------------------------------
 
-    fn finish(self) -> SimResult<(ExecReport, Vec<TraceEvent>)> {
+    fn finish(mut self) -> SimResult<(ExecReport, Vec<TraceEvent>, HazardReport)> {
         let mut blocked = Vec::new();
         for (i, b) in self.blocks.iter().enumerate() {
             if b.done {
@@ -1500,6 +1563,20 @@ impl<'a> Engine<'a> {
                 blocked,
             });
         }
+        // Blocks are created rank-major, so the hazard report is ordered
+        // (rank, block) — deterministic across runs and --jobs values.
+        let mut hazards = HazardReport::default();
+        for b in &mut self.blocks {
+            let (hz, dropped) = b.smem.take_hazards();
+            hazards.dropped += dropped;
+            for hazard in hz {
+                hazards.records.push(HazardRecord {
+                    rank: b.rank,
+                    block: b.block_on_device,
+                    hazard,
+                });
+            }
+        }
         let device_durations: Vec<Ps> = self.devs.iter().map(|d| d.end_time).collect();
         Ok((
             ExecReport {
@@ -1510,6 +1587,7 @@ impl<'a> Engine<'a> {
                 instrs_executed: self.instrs_executed,
             },
             self.trace.map(|(_, ev)| ev).unwrap_or_default(),
+            hazards,
         ))
     }
 }

@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Register index. Each thread owns [`NUM_REGS`] 64-bit registers.
 pub type Reg = u8;
@@ -361,28 +362,88 @@ impl KernelBuilder {
         self
     }
 
+    /// Resolve labels and produce the kernel, panicking on malformed input.
+    /// Registry kernels use this; fallible callers want [`Self::try_build`].
+    pub fn build(self, shared_words: u32) -> Kernel {
+        self.try_build(shared_words)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Resolve labels and produce the kernel.
-    pub fn build(mut self, shared_words: u32) -> Kernel {
+    ///
+    /// Rejects undefined labels, patches that landed on non-branch
+    /// instructions (impossible via the emitters, but reachable through
+    /// direct field manipulation in this module), and branch targets beyond
+    /// the program end. A target *equal* to the program length is legal: the
+    /// engine treats a pc one past the end as an implicit exit, and a label
+    /// defined after the last instruction resolves there.
+    pub fn try_build(mut self, shared_words: u32) -> Result<Kernel, BuildError> {
         for (at, label) in &self.patches {
             let target = *self
                 .labels
                 .get(label)
-                .unwrap_or_else(|| panic!("undefined label {label:?}"));
+                .ok_or_else(|| BuildError::UndefinedLabel(label.clone()))?;
             match &mut self.instrs[*at] {
                 Instr::Bra(t) | Instr::BraIf(_, t) | Instr::BraIfZ(_, t) => *t = target,
-                other => unreachable!("patch at non-branch {other:?}"),
+                other => {
+                    return Err(BuildError::PatchNotBranch {
+                        at: *at as u32,
+                        instr: format!("{other:?}"),
+                    })
+                }
             }
         }
-        Kernel {
+        let len = self.instrs.len() as u32;
+        for (pc, i) in self.instrs.iter().enumerate() {
+            if let Instr::Bra(t) | Instr::BraIf(_, t) | Instr::BraIfZ(_, t) = i {
+                if *t > len {
+                    return Err(BuildError::TargetOutOfBounds {
+                        at: pc as u32,
+                        target: *t,
+                        len,
+                    });
+                }
+            }
+        }
+        Ok(Kernel {
             name: self.name,
             program: Program {
                 instrs: self.instrs,
             },
             shared_words,
             regs_per_thread: self.next_reg as u32,
+        })
+    }
+}
+
+/// Reasons [`KernelBuilder::try_build`] rejects a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// A branch patch landed on a non-branch instruction.
+    PatchNotBranch { at: u32, instr: String },
+    /// A branch target lies beyond the program end (targets equal to the
+    /// length are the implicit exit and are allowed).
+    TargetOutOfBounds { at: u32, target: u32, len: u32 },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UndefinedLabel(l) => write!(f, "undefined label {l:?}"),
+            BuildError::PatchNotBranch { at, instr } => {
+                write!(f, "branch patch at pc {at} hit non-branch {instr}")
+            }
+            BuildError::TargetOutOfBounds { at, target, len } => write!(
+                f,
+                "branch at pc {at} targets {target}, beyond program of {len} instruction(s)"
+            ),
         }
     }
 }
+
+impl std::error::Error for BuildError {}
 
 /// Float immediate helper.
 pub fn fimm(v: f64) -> Operand {
@@ -431,6 +492,55 @@ mod tests {
         let mut b = KernelBuilder::new("t");
         b.bra("nowhere");
         let _ = b.build(0);
+    }
+
+    #[test]
+    fn try_build_reports_undefined_label() {
+        let mut b = KernelBuilder::new("t");
+        b.bra("nowhere");
+        match b.try_build(0) {
+            Err(BuildError::UndefinedLabel(l)) => assert_eq!(l, "nowhere"),
+            other => panic!("expected UndefinedLabel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_build_rejects_target_beyond_program() {
+        let mut b = KernelBuilder::new("t");
+        b.push(Instr::Bra(5));
+        b.exit();
+        match b.try_build(0) {
+            Err(BuildError::TargetOutOfBounds { at, target, len }) => {
+                assert_eq!((at, target, len), (0, 5, 2));
+            }
+            other => panic!("expected TargetOutOfBounds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_build_allows_target_at_program_end() {
+        // A label defined after the last instruction resolves to the program
+        // length: the engine's implicit exit.
+        let mut b = KernelBuilder::new("t");
+        b.bra("end");
+        b.mov(0, Imm(1));
+        b.label("end");
+        let k = b.try_build(0).expect("end-of-program target is legal");
+        assert_eq!(k.program.instrs[0], Instr::Bra(2));
+    }
+
+    #[test]
+    fn build_error_displays() {
+        assert!(BuildError::UndefinedLabel("x".into())
+            .to_string()
+            .contains("\"x\""));
+        assert!(BuildError::TargetOutOfBounds {
+            at: 3,
+            target: 9,
+            len: 4
+        }
+        .to_string()
+        .contains("pc 3"));
     }
 
     #[test]

@@ -20,12 +20,15 @@ pub mod kernels;
 pub mod mem;
 pub mod system;
 pub mod timeline;
+pub mod verify;
 
 pub use disasm::{disassemble, instr_to_string};
-pub use engine::TraceEvent;
+pub use engine::{HazardRecord, HazardReport, TraceEvent};
 pub use isa::{
-    fimm, Instr, Kernel, KernelBuilder, Operand, Program, Reg, ShflKind, ShflMode, Special,
+    fimm, BuildError, Instr, Kernel, KernelBuilder, Operand, Program, Reg, ShflKind, ShflMode,
+    Special,
 };
-pub use mem::{BufData, BufId, Buffer, SharedMem};
+pub use mem::{BufData, BufId, Buffer, Hazard, HazardKind, SharedMem};
 pub use system::{ExecReport, GpuSystem, GridLaunch, LaunchKind};
 pub use timeline::render_timeline;
+pub use verify::{check_kernel, check_launch, render_report, Diagnostic, HazardClass, Severity};

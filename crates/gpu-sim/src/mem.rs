@@ -141,16 +141,208 @@ struct SmemWord {
     pending: Option<(u32, u64)>,
 }
 
+/// The data-race taxonomy of the racecheck shadow state, named for the
+/// second access (the one that completes the hazard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HazardKind {
+    /// Read-after-write: a thread read a word another thread wrote in the
+    /// same barrier epoch.
+    Raw,
+    /// Write-after-write: two threads wrote the same word in one epoch.
+    Waw,
+    /// Write-after-read: a thread overwrote a word another thread read in
+    /// the same epoch.
+    War,
+}
+
+impl HazardKind {
+    pub fn slug(&self) -> &'static str {
+        match self {
+            HazardKind::Raw => "read-after-write",
+            HazardKind::Waw => "write-after-write",
+            HazardKind::War => "write-after-read",
+        }
+    }
+}
+
+/// One detected cross-thread shared-memory hazard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hazard {
+    pub kind: HazardKind,
+    /// Shared-memory word address.
+    pub addr: u64,
+    /// Thread (id within the block) that made the earlier access.
+    pub first_thread: u32,
+    /// Thread whose access completed the hazard.
+    pub second_thread: u32,
+    /// Barrier epoch (number of block barriers executed before the hazard).
+    pub epoch: u32,
+    /// Program counter of the second access, when the engine provided it.
+    pub pc: Option<u32>,
+}
+
+/// Shadow state per word: the most recent write and the last two distinct
+/// readers of the current epoch. Tracking two readers (not all) is the same
+/// approximation hardware racecheck tools make — it catches every
+/// two-thread race and only under-reports *which* of three-plus concurrent
+/// readers conflicted.
+#[derive(Debug, Clone, Copy, Default)]
+struct Shadow {
+    /// (thread, epoch) of the most recent write.
+    write: Option<(u32, u32)>,
+    /// (thread, epoch) of the most recent read.
+    read: Option<(u32, u32)>,
+    /// A same-epoch reader distinct from `read`'s thread, if any.
+    other_reader: Option<u32>,
+}
+
+/// Racecheck bookkeeping, allocated only in `checked()` launches.
+#[derive(Debug, Clone)]
+struct RaceCheck {
+    shadow: Vec<Shadow>,
+    /// Barrier epoch: bumped by [`SharedMem::fence_all`] (the block
+    /// barrier), the only synchronization that orders *all* threads of the
+    /// block. Warp-level syncs do not advance it, so warp-synchronized
+    /// exchanges are reported — the same conservative stance as
+    /// `cuda-memcheck --tool racecheck`.
+    epoch: u32,
+    /// Pc of the access being executed, provided by the engine.
+    pc: Option<u32>,
+    hazards: Vec<Hazard>,
+    /// Hazards beyond [`MAX_RECORDED_HAZARDS`] are counted, not stored.
+    dropped: u32,
+}
+
+/// Per-block cap on stored hazard records (a racing loop would otherwise
+/// allocate without bound; the overflow is still counted).
+pub const MAX_RECORDED_HAZARDS: usize = 64;
+
+impl RaceCheck {
+    fn record(&mut self, h: Hazard) {
+        if self.hazards.len() < MAX_RECORDED_HAZARDS {
+            self.hazards.push(h);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn on_load(&mut self, thread: u32, addr: u64) {
+        let s = &mut self.shadow[addr as usize];
+        if let Some((w, e)) = s.write {
+            if e == self.epoch && w != thread {
+                let h = Hazard {
+                    kind: HazardKind::Raw,
+                    addr,
+                    first_thread: w,
+                    second_thread: thread,
+                    epoch: self.epoch,
+                    pc: self.pc,
+                };
+                self.record(h);
+            }
+        }
+        let s = &mut self.shadow[addr as usize];
+        match s.read {
+            Some((r, e)) if e == self.epoch => {
+                if r != thread {
+                    s.other_reader = Some(r);
+                }
+            }
+            _ => s.other_reader = None,
+        }
+        s.read = Some((thread, self.epoch));
+    }
+
+    fn on_store(&mut self, thread: u32, addr: u64) {
+        let s = self.shadow[addr as usize];
+        if let Some((w, e)) = s.write {
+            if e == self.epoch && w != thread {
+                let h = Hazard {
+                    kind: HazardKind::Waw,
+                    addr,
+                    first_thread: w,
+                    second_thread: thread,
+                    epoch: self.epoch,
+                    pc: self.pc,
+                };
+                self.record(h);
+            }
+        }
+        if let Some((r, e)) = s.read {
+            if e == self.epoch {
+                let reader = if r != thread {
+                    Some(r)
+                } else {
+                    s.other_reader.filter(|&o| o != thread)
+                };
+                if let Some(first) = reader {
+                    let h = Hazard {
+                        kind: HazardKind::War,
+                        addr,
+                        first_thread: first,
+                        second_thread: thread,
+                        epoch: self.epoch,
+                        pc: self.pc,
+                    };
+                    self.record(h);
+                }
+            }
+        }
+        self.shadow[addr as usize].write = Some((thread, self.epoch));
+    }
+}
+
 /// Per-block shared memory.
 #[derive(Debug, Clone)]
 pub struct SharedMem {
     words: Vec<SmemWord>,
+    race: Option<RaceCheck>,
 }
 
 impl SharedMem {
     pub fn new(words: u32) -> SharedMem {
         SharedMem {
             words: vec![SmemWord::default(); words as usize],
+            race: None,
+        }
+    }
+
+    /// Shared memory with the racecheck shadow state enabled.
+    pub fn with_racecheck(words: u32) -> SharedMem {
+        SharedMem {
+            words: vec![SmemWord::default(); words as usize],
+            race: Some(RaceCheck {
+                shadow: vec![Shadow::default(); words as usize],
+                epoch: 0,
+                pc: None,
+                hazards: Vec::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    pub fn racecheck_enabled(&self) -> bool {
+        self.race.is_some()
+    }
+
+    /// Tell the racecheck shadow which instruction the next access belongs
+    /// to (diagnostic context only; a no-op without racecheck).
+    pub fn racecheck_at(&mut self, pc: u32) {
+        if let Some(rc) = &mut self.race {
+            rc.pc = Some(pc);
+        }
+    }
+
+    /// Drain recorded hazards, returning them with the count of hazards
+    /// dropped beyond [`MAX_RECORDED_HAZARDS`].
+    pub fn take_hazards(&mut self) -> (Vec<Hazard>, u32) {
+        match &mut self.race {
+            Some(rc) => {
+                let dropped = rc.dropped;
+                rc.dropped = 0;
+                (std::mem::take(&mut rc.hazards), dropped)
+            }
+            None => (Vec::new(), 0),
         }
     }
 
@@ -162,20 +354,24 @@ impl SharedMem {
         self.words.is_empty()
     }
 
-    fn check(&self, addr: u64) -> SimResult<usize> {
+    fn check(&self, thread: u32, addr: u64) -> SimResult<usize> {
         if (addr as usize) < self.words.len() {
             Ok(addr as usize)
         } else {
             Err(SimError::MemoryFault(format!(
-                "shared access at {addr} beyond {} words",
+                "thread {thread}: shared access at word {addr} beyond the block's \
+                 {} shared word(s)",
                 self.words.len()
             )))
         }
     }
 
     /// Load as seen by `thread`.
-    pub fn load(&self, thread: u32, addr: u64, volatile: bool) -> SimResult<u64> {
-        let i = self.check(addr)?;
+    pub fn load(&mut self, thread: u32, addr: u64, volatile: bool) -> SimResult<u64> {
+        let i = self.check(thread, addr)?;
+        if let Some(rc) = &mut self.race {
+            rc.on_load(thread, addr);
+        }
         let w = &self.words[i];
         Ok(match w.pending {
             // A thread always sees its own pending store; a volatile load
@@ -190,7 +386,10 @@ impl SharedMem {
 
     /// Store by `thread`. Volatile stores commit immediately.
     pub fn store(&mut self, thread: u32, addr: u64, val: u64, volatile: bool) -> SimResult<()> {
-        let i = self.check(addr)?;
+        let i = self.check(thread, addr)?;
+        if let Some(rc) = &mut self.race {
+            rc.on_store(thread, addr);
+        }
         if volatile {
             self.words[i].committed = val;
             self.words[i].pending = None;
@@ -213,13 +412,18 @@ impl SharedMem {
         }
     }
 
-    /// Commit everything (block barrier: every participant fences).
+    /// Commit everything (block barrier: every participant fences). With
+    /// racecheck on, this also advances the barrier epoch: accesses on
+    /// opposite sides of a block barrier are ordered and never conflict.
     pub fn fence_all(&mut self) {
         for w in &mut self.words {
             if let Some((_, v)) = w.pending {
                 w.committed = v;
                 w.pending = None;
             }
+        }
+        if let Some(rc) = &mut self.race {
+            rc.epoch += 1;
         }
     }
 }
@@ -342,8 +546,107 @@ mod tests {
     }
 
     #[test]
-    fn smem_bounds_fault() {
-        let s = SharedMem::new(2);
-        assert!(s.load(0, 2, false).is_err());
+    fn smem_bounds_fault_names_thread_and_capacity() {
+        let mut s = SharedMem::new(2);
+        let err = s.load(7, 2, false).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("thread 7"), "{msg}");
+        assert!(msg.contains("word 2"), "{msg}");
+        assert!(msg.contains("2 shared word(s)"), "{msg}");
+        let err = s.store(3, 9, 0, false).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("thread 3"), "{msg}");
+        assert!(msg.contains("word 9"), "{msg}");
+    }
+
+    #[test]
+    fn racecheck_flags_cross_thread_raw() {
+        let mut s = SharedMem::with_racecheck(4);
+        s.racecheck_at(5);
+        s.store(0, 1, 42, false).unwrap();
+        s.load(1, 1, false).unwrap();
+        let (hz, dropped) = s.take_hazards();
+        assert_eq!(dropped, 0);
+        assert_eq!(hz.len(), 1, "{hz:?}");
+        assert_eq!(hz[0].kind, HazardKind::Raw);
+        assert_eq!((hz[0].first_thread, hz[0].second_thread), (0, 1));
+        assert_eq!(hz[0].addr, 1);
+        assert_eq!(hz[0].pc, Some(5));
+    }
+
+    #[test]
+    fn racecheck_flags_waw_and_war() {
+        let mut s = SharedMem::with_racecheck(4);
+        s.store(0, 2, 1, false).unwrap();
+        s.store(1, 2, 2, false).unwrap(); // WAW 0→1
+        let (hz, _) = s.take_hazards();
+        assert_eq!(hz.len(), 1, "{hz:?}");
+        assert_eq!(hz[0].kind, HazardKind::Waw);
+
+        let mut s = SharedMem::with_racecheck(4);
+        s.load(0, 3, false).unwrap();
+        s.store(1, 3, 9, false).unwrap(); // WAR 0→1
+        let (hz, _) = s.take_hazards();
+        assert!(hz
+            .iter()
+            .any(|h| h.kind == HazardKind::War && h.first_thread == 0 && h.second_thread == 1));
+    }
+
+    #[test]
+    fn racecheck_same_thread_and_cross_epoch_are_clean() {
+        let mut s = SharedMem::with_racecheck(4);
+        // Same thread: write then read, no hazard.
+        s.store(0, 0, 1, false).unwrap();
+        s.load(0, 0, false).unwrap();
+        // Cross-thread but separated by a block barrier: ordered.
+        s.store(1, 1, 2, false).unwrap();
+        s.fence_all();
+        s.load(2, 1, false).unwrap();
+        s.store(3, 1, 7, false).unwrap();
+        // (thread 2 read and thread 3 wrote in the *same* post-barrier
+        // epoch — that WAR is real and must still be flagged.)
+        let (hz, _) = s.take_hazards();
+        assert_eq!(hz.len(), 1, "{hz:?}");
+        assert_eq!(hz[0].kind, HazardKind::War);
+        assert_eq!(hz[0].epoch, 1);
+    }
+
+    #[test]
+    fn racecheck_war_survives_own_read_in_between() {
+        // Thread 1 reads, thread 2 reads, then thread 2 writes: the write
+        // still races with thread 1's read even though thread 2's own read
+        // was the most recent.
+        let mut s = SharedMem::with_racecheck(2);
+        s.load(1, 0, false).unwrap();
+        s.load(2, 0, false).unwrap();
+        s.store(2, 0, 5, false).unwrap();
+        let (hz, _) = s.take_hazards();
+        assert!(
+            hz.iter()
+                .any(|h| h.kind == HazardKind::War && h.first_thread == 1),
+            "{hz:?}"
+        );
+    }
+
+    #[test]
+    fn racecheck_caps_recorded_hazards() {
+        let mut s = SharedMem::with_racecheck(1);
+        for t in 0..(MAX_RECORDED_HAZARDS as u32 + 10) {
+            s.store(t, 0, t as u64, false).unwrap();
+        }
+        let (hz, dropped) = s.take_hazards();
+        assert_eq!(hz.len(), MAX_RECORDED_HAZARDS);
+        assert!(dropped > 0);
+    }
+
+    #[test]
+    fn unchecked_smem_records_nothing() {
+        let mut s = SharedMem::new(2);
+        assert!(!s.racecheck_enabled());
+        s.store(0, 0, 1, false).unwrap();
+        s.store(1, 0, 2, false).unwrap();
+        let (hz, dropped) = s.take_hazards();
+        assert!(hz.is_empty());
+        assert_eq!(dropped, 0);
     }
 }

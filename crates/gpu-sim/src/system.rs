@@ -36,6 +36,11 @@ pub struct GridLaunch {
     pub devices: Vec<usize>,
     /// Kernel parameters, one vector per participating device (same order).
     pub params: Vec<Vec<u64>>,
+    /// Opt-in synchronization checking: validation runs the static
+    /// [`crate::verify`] lint (error-severity findings reject the launch)
+    /// and the engine enables the shared-memory racecheck shadow state.
+    /// Checking never perturbs simulated timing.
+    pub checked: bool,
 }
 
 impl GridLaunch {
@@ -48,6 +53,7 @@ impl GridLaunch {
             kind: LaunchKind::Traditional,
             devices: vec![0],
             params: vec![params],
+            checked: false,
         }
     }
 
@@ -58,6 +64,13 @@ impl GridLaunch {
 
     pub fn on_device(mut self, device: usize) -> GridLaunch {
         self.devices = vec![device];
+        self
+    }
+
+    /// Enable synchronization checking for this launch (static lint at
+    /// validation + dynamic racecheck during execution).
+    pub fn checked(mut self) -> GridLaunch {
+        self.checked = true;
         self
     }
 
@@ -77,6 +90,7 @@ impl GridLaunch {
             kind: LaunchKind::CooperativeMultiDevice,
             devices,
             params,
+            checked: false,
         }
     }
 }
@@ -221,9 +235,43 @@ impl GpuSystem {
     /// Validate and execute a grid launch to completion, returning its
     /// device-side timing. Host-side launch overheads are *not* included —
     /// they belong to the `cuda-rt` stream model.
+    ///
+    /// For a [`GridLaunch::checked`] launch, any detected shared-memory
+    /// hazard fails the run with [`SimError::ProgramError`]; callers that
+    /// want the hazards themselves use [`Self::run_checked`].
     pub fn run(&mut self, launch: &GridLaunch) -> SimResult<ExecReport> {
         self.validate(launch)?;
-        Engine::new(self, launch).run()
+        if launch.checked {
+            let (report, _, hazards) = Engine::new(self, launch).run_full()?;
+            if !hazards.is_clean() {
+                return Err(SimError::ProgramError(format!(
+                    "kernel {:?}: {}",
+                    launch.kernel.name,
+                    hazards.render(&launch.kernel.program)
+                )));
+            }
+            Ok(report)
+        } else {
+            Engine::new(self, launch).run()
+        }
+    }
+
+    /// Run with synchronization checking forced on, returning the hazard
+    /// report instead of failing: the static lint still rejects
+    /// error-severity findings at validation, but dynamic hazards come back
+    /// as data for the caller to render or assert on.
+    pub fn run_checked(
+        &mut self,
+        launch: &GridLaunch,
+    ) -> SimResult<(ExecReport, crate::engine::HazardReport)> {
+        let launch = if launch.checked {
+            launch.clone()
+        } else {
+            launch.clone().checked()
+        };
+        self.validate(&launch)?;
+        let (report, _, hazards) = Engine::new(self, &launch).run_full()?;
+        Ok((report, hazards))
     }
 
     /// [`Self::run`] with an execution trace: records up to `max_events`
@@ -235,7 +283,10 @@ impl GpuSystem {
         max_events: usize,
     ) -> SimResult<(ExecReport, Vec<crate::engine::TraceEvent>)> {
         self.validate(launch)?;
-        Engine::new(self, launch).with_trace(max_events).run_full()
+        let (report, trace, _) = Engine::new(self, launch)
+            .with_trace(max_events)
+            .run_full()?;
+        Ok((report, trace))
     }
 
     fn validate(&self, launch: &GridLaunch) -> SimResult<()> {
@@ -324,6 +375,25 @@ impl GpuSystem {
             return Err(SimError::InvalidLaunch(
                 "multi_grid.sync() requires cudaLaunchCooperativeKernelMultiDevice".into(),
             ));
+        }
+        // Opt-in static synchronization lint: error-severity findings (a
+        // divergent barrier, an out-of-bounds constant shared address, an
+        // unbound parameter slot, a wild branch) reject the launch the way
+        // CUDA's runtime rejects an illegal cooperative launch.
+        if launch.checked {
+            let bound = launch.params.iter().map(|p| p.len()).min().unwrap_or(0);
+            let diags = crate::verify::check_launch(&launch.kernel, bound);
+            if crate::verify::has_errors(&diags) {
+                let rendered: String = diags
+                    .iter()
+                    .filter(|d| d.severity == crate::verify::Severity::Error)
+                    .map(|d| d.render(&launch.kernel.program))
+                    .collect();
+                return Err(SimError::InvalidLaunch(format!(
+                    "synccheck rejected kernel {:?}:\n{rendered}",
+                    launch.kernel.name
+                )));
+            }
         }
         Ok(())
     }
@@ -430,6 +500,114 @@ mod tests {
         assert!(sys.run(&l).is_err());
         let l = GridLaunch::multi(k, 8, 32, vec![0, 1], vec![vec![], vec![]]);
         assert!(sys.run(&l).is_ok());
+    }
+
+    #[test]
+    fn checked_launch_rejects_divergent_barrier_statically() {
+        use crate::isa::{Operand::*, Special};
+        let mut sys = GpuSystem::single(GpuArch::v100());
+        let mut b = KernelBuilder::new("divbar");
+        let c = b.reg();
+        b.cmp_lt(c, Sp(Special::Tid), Imm(16));
+        b.bra_ifz(Reg(c), "out");
+        b.bar_sync();
+        b.label("out");
+        b.exit();
+        let k = b.build(0);
+        // Unchecked: the engine itself tolerates this (lanes converge on the
+        // barrier's warp arrival rules), so only `checked()` rejects it.
+        let l = GridLaunch::single(k, 1, 32, vec![]).checked();
+        match sys.run(&l) {
+            Err(SimError::InvalidLaunch(msg)) => {
+                assert!(msg.contains("barrier-divergence"), "{msg}");
+                assert!(msg.contains("bar.sync"), "{msg}");
+            }
+            other => panic!("expected InvalidLaunch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_run_surfaces_smem_race() {
+        use crate::isa::{Instr, Operand::*, Special};
+        let mut sys = GpuSystem::single(GpuArch::v100());
+        let mut b = KernelBuilder::new("smemrace");
+        // Every thread stores its tid to word 0 with no barrier: WAW races.
+        b.push(Instr::StShared {
+            addr: Imm(0),
+            val: Sp(Special::Tid),
+            volatile: false,
+            pred: None,
+        });
+        b.exit();
+        let k = b.build(1);
+        let l = GridLaunch::single(k, 1, 32, vec![]);
+        let (_, hazards) = sys.run_checked(&l).unwrap();
+        assert!(!hazards.is_clean());
+        assert!(hazards
+            .records
+            .iter()
+            .all(|r| r.hazard.kind == crate::mem::HazardKind::Waw));
+        assert_eq!(hazards.records[0].hazard.pc, Some(0));
+        // `run` on the checked launch turns the same hazards into an error.
+        match sys.run(&l.clone().checked()) {
+            Err(SimError::ProgramError(msg)) => {
+                assert!(msg.contains("write-after-write"), "{msg}")
+            }
+            other => panic!("expected ProgramError, got {other:?}"),
+        }
+        // Unchecked, the race is silent.
+        assert!(sys.run(&l).is_ok());
+    }
+
+    #[test]
+    fn racecheck_does_not_perturb_timing() {
+        use crate::isa::{Instr, Operand::*, Special};
+        let mut sys = GpuSystem::single(GpuArch::v100());
+        // Racecheck-clean: private slots, a block barrier, then a
+        // cross-thread read on the far side of the barrier.
+        let mut b = KernelBuilder::new("cleansmem");
+        let r = b.reg();
+        b.push(Instr::StShared {
+            addr: Sp(Special::Tid),
+            val: Sp(Special::Tid),
+            volatile: false,
+            pred: None,
+        });
+        b.bar_sync();
+        b.push(Instr::LdShared {
+            dst: r,
+            addr: Sp(Special::LaneId),
+            volatile: false,
+        });
+        b.exit();
+        let k = b.build(64);
+        let l = GridLaunch::single(k, 4, 64, vec![]);
+        let plain = sys.run(&l).unwrap();
+        let (checked, hazards) = sys.run_checked(&l).unwrap();
+        assert!(hazards.is_clean(), "{hazards:?}");
+        assert_eq!(plain, checked, "checking must not change timing");
+    }
+
+    #[test]
+    fn checked_launch_rejects_unbound_param() {
+        use crate::isa::{Instr, Operand::*};
+        let mut sys = GpuSystem::single(GpuArch::v100());
+        let mut b = KernelBuilder::new("needsparam");
+        let r = b.reg();
+        b.push(Instr::LdGlobal {
+            dst: r,
+            buf: Param(0),
+            idx: Imm(0),
+        });
+        b.exit();
+        let k = b.build(0);
+        let l = GridLaunch::single(k, 1, 32, vec![]).checked();
+        match sys.run(&l) {
+            Err(SimError::InvalidLaunch(msg)) => {
+                assert!(msg.contains("unbound-param"), "{msg}")
+            }
+            other => panic!("expected InvalidLaunch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -217,6 +217,7 @@ pub fn measure_allreduce(
                 kind: LaunchKind::CooperativeMultiDevice,
                 devices: (0..n).collect(),
                 params,
+                checked: false,
             };
             h.launch(0, &launch)?;
             for d in 0..n {

@@ -292,6 +292,7 @@ pub fn measure_device_reduce(
                 kind: LaunchKind::Cooperative,
                 devices: vec![0],
                 params: vec![vec![input.0 as u64, n, partials.0 as u64, result.0 as u64]],
+                checked: false,
             };
             h.launch(0, &launch)?;
             h.device_synchronize(0, 0);

@@ -245,6 +245,7 @@ pub fn measure_multi_gpu_reduce(
                 kind: LaunchKind::CooperativeMultiDevice,
                 devices: (0..n).collect(),
                 params,
+                checked: false,
             };
             let t0 = h.now(0);
             h.launch(0, &launch)?;

@@ -1,0 +1,86 @@
+//! Seeded known-bad kernels: each one reproduces a hazard class from the
+//! CUDA-bug taxonomy so the test suite can prove the checker fires. They
+//! are fixtures, not registry kernels — never launched by experiments.
+
+use gpu_sim::isa::{Instr, Operand::*, Special};
+use gpu_sim::{GpuSystem, GridLaunch, Kernel, KernelBuilder};
+
+/// §VIII-B's deadlock class: half the block skips a `bar.sync`. Flags
+/// [`gpu_sim::verify::HazardClass::BarrierDivergence`] at error severity.
+pub fn divergent_barrier_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("fixture-divergent-barrier");
+    let c = b.reg();
+    b.cmp_lt(c, Sp(Special::Tid), Imm(16));
+    b.bra_ifz(Reg(c), "out");
+    b.bar_sync();
+    b.label("out");
+    b.exit();
+    b.build(0)
+}
+
+/// A register read on a path that never assigned it — the engine zero-fills
+/// it, silently corrupting whatever measurement uses the value. Flags
+/// [`gpu_sim::verify::HazardClass::UninitRead`].
+pub fn uninit_read_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("fixture-uninit-read");
+    let c = b.reg();
+    let t = b.reg();
+    b.cmp_lt(c, Sp(Special::Tid), Imm(1));
+    b.bra_ifz(Reg(c), "join");
+    b.read_clock(t);
+    b.label("join");
+    // t is unassigned in threads that took the branch.
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::Tid),
+        val: Reg(t),
+    });
+    b.exit();
+    b.build(0)
+}
+
+/// A constant shared-memory address beyond `shared_words`. Flags
+/// [`gpu_sim::verify::HazardClass::SharedOutOfBounds`] at error severity.
+pub fn oob_shared_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("fixture-oob-shared");
+    let r = b.reg();
+    b.push(Instr::LdShared {
+        dst: r,
+        addr: Imm(64),
+        volatile: false,
+    });
+    b.exit();
+    b.build(32)
+}
+
+/// The unsynchronized warp reduction of Table V's footnote, reduced to its
+/// essence: every thread writes word 0 and immediately reads it back with
+/// no barrier in between. Statically legal — only the dynamic racecheck
+/// sees the cross-thread WAW/RAW hazards.
+pub fn smem_race_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("fixture-smem-race");
+    let r = b.reg();
+    b.push(Instr::StShared {
+        addr: Imm(0),
+        val: Sp(Special::Tid),
+        volatile: false,
+        pred: None,
+    });
+    b.push(Instr::LdShared {
+        dst: r,
+        addr: Imm(0),
+        volatile: false,
+    });
+    b.exit();
+    b.build(1)
+}
+
+/// A small system + launch that makes [`smem_race_kernel`] race: one warp,
+/// all 32 threads hammering the same word.
+pub fn smem_race_launch() -> (GpuSystem, GridLaunch) {
+    let mut arch = gpu_arch::GpuArch::v100();
+    arch.num_sms = 1;
+    let sys = GpuSystem::single(arch);
+    let launch = GridLaunch::single(smem_race_kernel(), 1, 32, vec![]);
+    (sys, launch)
+}

@@ -89,6 +89,7 @@ fn main() {
             kind: LaunchKind::CooperativeMultiDevice,
             devices: vec![0, 1],
             params: vec![vec![], vec![]],
+            checked: false,
         };
         let r = GpuSystem::new(arch.clone(), NodeTopology::dgx1_v100()).run(&launch);
         outcome("multi-grid: 1 of 2 GPUs multi_grid.sync", r);

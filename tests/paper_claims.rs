@@ -109,6 +109,7 @@ fn multi_device_launch_gates_on_all_streams() {
         kind: LaunchKind::CooperativeMultiDevice,
         devices: vec![0, 1, 2, 3],
         params: vec![vec![]; 4],
+        checked: false,
     };
     let rec = h.launch(0, &multi).unwrap();
     assert!(
