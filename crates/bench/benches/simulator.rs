@@ -4,7 +4,7 @@
 
 use gpu_arch::GpuArch;
 use gpu_sim::kernels::{self, SyncOp};
-use gpu_sim::{GpuSystem, GridLaunch};
+use gpu_sim::{GpuSystem, GridLaunch, RunOptions};
 use syncmark_bench::harness::Runner;
 
 fn arch_with_sms(n: u32) -> GpuArch {
@@ -21,17 +21,22 @@ fn main() {
         let mut sys = GpuSystem::single(arch_with_sms(1));
         let out = sys.alloc(0, 32);
         let k = kernels::fadd32_chain(4096);
-        sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
-            .unwrap()
-            .instrs_executed
+        sys.execute(
+            &GridLaunch::single(k, 1, 32, vec![out.0 as u64]),
+            &RunOptions::new(),
+        )
+        .unwrap()
+        .report
+        .instrs_executed
     });
 
     // Block barriers with a full SM of warps.
     r.case("block_barrier_warp_arrivals", || {
         let mut sys = GpuSystem::single(arch_with_sms(1));
         let k = kernels::sync_throughput(SyncOp::Block, 64);
-        sys.run(&GridLaunch::single(k, 2, 1024, vec![]))
+        sys.execute(&GridLaunch::single(k, 2, 1024, vec![]), &RunOptions::new())
             .unwrap()
+            .report
             .warps_run
     });
 
@@ -40,16 +45,20 @@ fn main() {
         let mut sys = GpuSystem::single(GpuArch::v100());
         let k = kernels::sync_throughput(SyncOp::Grid, 4);
         let l = GridLaunch::single(k, 8 * 80, 32, vec![]).cooperative();
-        sys.run(&l).unwrap().duration
+        sys.execute(&l, &RunOptions::new()).unwrap().report.duration
     });
 
     // Oversubscribed traditional launch: block wave scheduling.
     r.case("wave_scheduling_10k_blocks", || {
         let mut sys = GpuSystem::single(arch_with_sms(8));
         let k = kernels::null_kernel();
-        sys.run(&GridLaunch::single(k, 10_000, 64, vec![]))
-            .unwrap()
-            .blocks_run
+        sys.execute(
+            &GridLaunch::single(k, 10_000, 64, vec![]),
+            &RunOptions::new(),
+        )
+        .unwrap()
+        .report
+        .blocks_run
     });
 
     // Multi-GB streaming reduction (vectorized MemStream path).

@@ -8,6 +8,9 @@
 //! repro --out results all     # additionally write one .txt per artifact
 //! repro --check               # synchronization-hazard audit; exits nonzero
 //!                             # on any unsuppressed violation (the CI gate)
+//! repro --profile grid_sync   # re-run an experiment with syncprof armed:
+//!                             # summary to stdout, <name>.profile.json and
+//!                             # <name>.trace.json (Perfetto) next to --out
 //! ```
 //!
 //! Experiment names are validated up front: a typo anywhere in the argument
@@ -19,12 +22,55 @@
 
 use std::time::Instant;
 use syncmark_bench::experiments::{Experiment, EXPERIMENTS};
+use syncmark_bench::profiling;
 
 fn usage_and_list() {
-    println!("usage: repro [--jobs N] [--out DIR] [--check] [all | list | <experiment>...]\n");
+    println!(
+        "usage: repro [--jobs N] [--out DIR] [--check] [--profile NAME]... \
+         [all | list | <experiment>...]\n"
+    );
     println!("available experiments:");
     for (name, desc, _) in EXPERIMENTS {
         println!("  {name:<10} {desc}");
+    }
+    println!("\nsyncprof profiles (--profile):");
+    for (name, desc, _) in profiling::PROFILES {
+        println!("  {name:<10} {desc}");
+    }
+}
+
+/// Run one syncprof profile: summary to stdout; when `--out` was given,
+/// `<name>.profile.json` and `<name>.trace.json` land next to it.
+fn run_profile(name: &str, out_dir: Option<&std::path::Path>) {
+    let Some((_, _, f)) = profiling::find(name) else {
+        eprintln!("unknown profile {name:?} — try `repro list`");
+        std::process::exit(2);
+    };
+    let t = Instant::now();
+    let run = match f() {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("[repro] profile {name} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "[repro] profile {name:<12} {:8.2}s",
+        t.elapsed().as_secs_f64()
+    );
+    println!("{}", run.summary);
+    if let Some(dir) = out_dir {
+        for (suffix, bytes) in [
+            ("profile.json", run.report.to_json()),
+            ("trace.json", run.trace_json),
+        ] {
+            let path = dir.join(format!("{name}.{suffix}"));
+            if let Err(e) = std::fs::write(&path, &bytes) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("[repro] wrote {}", path.display());
+        }
     }
 }
 
@@ -53,6 +99,41 @@ fn main() {
         }
         out_dir = Some(args.remove(pos + 1).into());
         args.remove(pos);
+    }
+    let mut profiles: Vec<String> = Vec::new();
+    while let Some(pos) = args.iter().position(|a| a == "--profile") {
+        if pos + 1 >= args.len() {
+            eprintln!("--profile requires a profile name — try `repro list`");
+            std::process::exit(2);
+        }
+        profiles.push(args.remove(pos + 1));
+        args.remove(pos);
+    }
+    // Validate profile names up front, like experiment names below: a typo
+    // aborts before anything runs or the --out directory is created.
+    let bad_profiles: Vec<&String> = profiles
+        .iter()
+        .filter(|n| profiling::find(n).is_none())
+        .collect();
+    if !bad_profiles.is_empty() {
+        for name in bad_profiles {
+            eprintln!("unknown profile {name:?} — try `repro list`");
+        }
+        std::process::exit(2);
+    }
+    if !profiles.is_empty() {
+        if let Some(dir) = &out_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+        for name in &profiles {
+            run_profile(name, out_dir.as_deref());
+        }
+        if args.is_empty() {
+            return;
+        }
     }
     if let Some(pos) = args.iter().position(|a| a == "--check") {
         args.remove(pos);

@@ -7,7 +7,7 @@
 use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
 use gpu_sim::kernels::SyncOp;
-use gpu_sim::{GpuSystem, GridLaunch, KernelBuilder, LaunchKind};
+use gpu_sim::{GpuSystem, GridLaunch, KernelBuilder, LaunchKind, RunOptions};
 use perf_model::ConfigModel;
 use sim_core::SimError;
 use sync_micro::report::{fmt, TextTable};
@@ -389,7 +389,10 @@ pub fn deadlocks() -> String {
         b.push(gpu_sim::Instr::SyncTile { width: 32 });
         b.label("out");
         b.exit();
-        let r = GpuSystem::single(arch.clone()).run(&GridLaunch::single(b.build(0), 1, 32, vec![]));
+        let r = GpuSystem::single(arch.clone()).execute(
+            &GridLaunch::single(b.build(0), 1, 32, vec![]),
+            &RunOptions::new(),
+        );
         t.row(vec![
             "warp (tile sync)".into(),
             "16 of 32 lanes".into(),
@@ -406,8 +409,10 @@ pub fn deadlocks() -> String {
         b.bar_sync();
         b.label("out");
         b.exit();
-        let r =
-            GpuSystem::single(arch.clone()).run(&GridLaunch::single(b.build(0), 1, 128, vec![]));
+        let r = GpuSystem::single(arch.clone()).execute(
+            &GridLaunch::single(b.build(0), 1, 128, vec![]),
+            &RunOptions::new(),
+        );
         t.row(vec![
             "block (__syncthreads)".into(),
             "64 of 128 threads".into(),
@@ -430,8 +435,10 @@ pub fn deadlocks() -> String {
         b.grid_sync();
         b.label("out");
         b.exit();
-        let r = GpuSystem::single(arch.clone())
-            .run(&GridLaunch::single(b.build(0), 4, 32, vec![]).cooperative());
+        let r = GpuSystem::single(arch.clone()).execute(
+            &GridLaunch::single(b.build(0), 4, 32, vec![]).cooperative(),
+            &RunOptions::new(),
+        );
         t.row(vec![
             "grid (grid.sync)".into(),
             "2 of 4 blocks".into(),
@@ -457,7 +464,8 @@ pub fn deadlocks() -> String {
             params: vec![vec![], vec![]],
             checked: false,
         };
-        let r = GpuSystem::new(arch, NodeTopology::dgx1_v100()).run(&launch);
+        let r =
+            GpuSystem::new(arch, NodeTopology::dgx1_v100()).execute(&launch, &RunOptions::new());
         t.row(vec![
             "multi-grid (multi_grid.sync)".into(),
             "1 of 2 GPUs".into(),

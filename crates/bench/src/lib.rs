@@ -2,8 +2,11 @@
 //!
 //! The reproduction harness: every table and figure of the paper's
 //! evaluation can be regenerated through [`experiments::EXPERIMENTS`], either
-//! via the `repro` binary or the benches.
+//! via the `repro` binary or the benches. [`profiling::PROFILES`] re-runs
+//! selected experiments with the syncprof instrument armed
+//! (`repro --profile <name>`).
 
 pub mod ablations;
 pub mod experiments;
 pub mod harness;
+pub mod profiling;

@@ -8,10 +8,18 @@
 
 use gpu_arch::GpuArch;
 use sync_micro::{grid_sync, multi_grid};
+use syncmark_bench::profiling;
 
 fn small(mut a: GpuArch) -> GpuArch {
     a.num_sms = 8;
     a
+}
+
+/// One full `--profile grid_sync` run: (ProfileReport JSON, Chrome trace).
+fn profile_artifacts() -> (String, String) {
+    let (_, _, f) = profiling::find("grid_sync").unwrap();
+    let run = f().unwrap();
+    (run.report.to_json(), run.trace_json)
 }
 
 fn render_fig5(arch: &GpuArch) -> String {
@@ -35,16 +43,30 @@ fn rendered_tables_are_byte_identical_across_worker_counts() {
     sync_micro::sweep::set_jobs(1);
     let fig5_serial = render_fig5(&v100);
     let fig7_serial = render_fig7(&p100);
+    let (profile_serial, trace_serial) = profile_artifacts();
 
     sync_micro::sweep::set_jobs(8);
     let fig5_parallel = render_fig5(&v100);
     let fig7_parallel = render_fig7(&p100);
+    let (profile_parallel, trace_parallel) = profile_artifacts();
 
     sync_micro::sweep::set_jobs(0);
 
     assert_eq!(fig5_serial, fig5_parallel, "figure5 differs across jobs");
     assert_eq!(fig7_serial, fig7_parallel, "figure7 differs across jobs");
+    // syncprof artifacts are part of the same guarantee: sweep-cell profiles
+    // merge in plan order, so report and trace bytes cannot depend on --jobs.
+    assert_eq!(
+        profile_serial, profile_parallel,
+        "ProfileReport JSON differs across jobs"
+    );
+    assert_eq!(
+        trace_serial, trace_parallel,
+        "Chrome trace differs across jobs"
+    );
     // Sanity: the tables actually contain data, not just headers.
     assert!(fig5_serial.lines().count() > 5);
     assert!(fig7_serial.lines().count() > 10);
+    assert!(profile_serial.contains("grid_wait_ps"), "{profile_serial}");
+    assert!(trace_serial.contains("sync.grid"));
 }

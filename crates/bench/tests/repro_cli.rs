@@ -51,6 +51,91 @@ fn bad_jobs_value_is_rejected() {
 }
 
 #[test]
+fn profile_writes_artifacts_and_is_jobs_independent() {
+    let out1 = std::env::temp_dir().join("syncmark-repro-cli-profile-j1");
+    let out8 = std::env::temp_dir().join("syncmark-repro-cli-profile-j8");
+    for (jobs, out) in [("1", &out1), ("8", &out8)] {
+        let _ = std::fs::remove_dir_all(out);
+        let r = repro()
+            .args([
+                "--jobs",
+                jobs,
+                "--out",
+                out.to_str().unwrap(),
+                "--profile",
+                "grid_sync",
+            ])
+            .output()
+            .unwrap();
+        assert!(r.status.success(), "profile run failed at --jobs {jobs}");
+        let stdout = String::from_utf8_lossy(&r.stdout);
+        assert!(
+            stdout.contains("syncprof:"),
+            "summary missing syncprof block: {stdout}"
+        );
+    }
+    for suffix in ["profile.json", "trace.json"] {
+        let a = std::fs::read(out1.join(format!("grid_sync.{suffix}"))).unwrap();
+        let b = std::fs::read(out8.join(format!("grid_sync.{suffix}"))).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "grid_sync.{suffix} differs between --jobs 1 and 8");
+    }
+    // The report attributes real grid-scope barrier wait (Fig. 5's subject).
+    let report = std::fs::read_to_string(out1.join("grid_sync.profile.json")).unwrap();
+    let nonzero_grid_wait = report
+        .lines()
+        .any(|l| l.contains("\"grid_wait_ps\"") && !l.contains("\"grid_wait_ps\": 0"));
+    assert!(nonzero_grid_wait, "no nonzero grid_wait_ps in {report}");
+    let trace = std::fs::read_to_string(out1.join("grid_sync.trace.json")).unwrap();
+    assert!(trace.contains("\"traceEvents\""));
+    assert!(trace.contains("sync.grid"));
+    let _ = std::fs::remove_dir_all(&out1);
+    let _ = std::fs::remove_dir_all(&out8);
+}
+
+#[test]
+fn unknown_profile_fails_fast_without_creating_out_dir() {
+    let out = std::env::temp_dir().join("syncmark-repro-cli-unknown-profile-out");
+    let _ = std::fs::remove_dir_all(&out);
+    let r = repro()
+        .args([
+            "--out",
+            out.to_str().unwrap(),
+            "--profile",
+            "no-such-profile",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        r.status.code(),
+        Some(2),
+        "expected exit 2 on unknown profile"
+    );
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    assert!(
+        stderr.contains("no-such-profile"),
+        "stderr names the bad profile: {stderr}"
+    );
+    assert!(
+        !Path::new(&out).exists(),
+        "--out dir must not be created when profile validation fails"
+    );
+}
+
+#[test]
+fn list_names_every_profile() {
+    let r = repro().arg("list").output().unwrap();
+    assert!(r.status.success());
+    let stdout = String::from_utf8_lossy(&r.stdout);
+    for name in ["grid_sync", "figure9", "table1"] {
+        assert!(
+            stdout.contains(name),
+            "list is missing profile {name}: {stdout}"
+        );
+    }
+}
+
+#[test]
 fn parallel_run_prints_outputs_in_request_order() {
     // Two cheap experiments; with --jobs 2 they run concurrently but stdout
     // must still follow the requested order, byte-identical to serial.

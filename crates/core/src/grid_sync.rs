@@ -1,10 +1,11 @@
 //! Figs. 5, 7, 8: grid / multi-grid synchronization latency heat maps over
 //! (blocks per SM × threads per block).
 
-use crate::measure::{cycles_to_us, sync_chain_cycles, Placement};
+use crate::measure::{cycles_to_us, sync_chain_cycles, sync_chain_with, Placement};
 use crate::report::{fmt, TextTable};
 use gpu_arch::GpuArch;
 use gpu_sim::kernels::SyncOp;
+use gpu_sim::{ProfileReport, RunOptions};
 use serde::Serialize;
 use sim_core::SimResult;
 
@@ -117,9 +118,55 @@ pub fn sync_heatmap(
     Ok(assemble_heatmap(title, &plan, values))
 }
 
+/// [`sync_heatmap`] with syncprof armed on every cell. The per-cell
+/// profiles are merged in plan order — slot-indexed like the cell values —
+/// so the merged report's bytes are identical at any `--jobs` count.
+pub fn sync_heatmap_profiled(
+    arch: &GpuArch,
+    placement: &Placement,
+    op: SyncOp,
+    title: &str,
+) -> SimResult<(HeatMap, ProfileReport)> {
+    assert!(matches!(op, SyncOp::Grid | SyncOp::MultiGrid));
+    let plan = plan_cells(arch);
+    let cells = crate::sweep::try_map(plan.clone(), |c| {
+        let (m, profile) = sync_chain_with(
+            arch,
+            placement,
+            op,
+            REPS,
+            c.bpsm * arch.num_sms,
+            c.tpb,
+            &RunOptions::new().profile(),
+        )?;
+        Ok((
+            cycles_to_us(arch, m.cycles_per_op),
+            profile.expect("profiling was armed"),
+        ))
+    })?;
+    let mut profile = ProfileReport::empty(arch.clock().ps_per_cycle());
+    let mut values = Vec::with_capacity(cells.len());
+    for (v, p) in cells {
+        values.push(v);
+        profile.merge(&p);
+    }
+    Ok((assemble_heatmap(title, &plan, values), profile))
+}
+
 /// Fig. 5: single-GPU grid synchronization latency.
 pub fn figure5(arch: &GpuArch) -> SimResult<HeatMap> {
     sync_heatmap(
+        arch,
+        &Placement::single(),
+        SyncOp::Grid,
+        &format!("Fig. 5: grid sync latency (us), {}", arch.name),
+    )
+}
+
+/// [`figure5`] with syncprof armed: the heat map plus the merged per-scope
+/// stall attribution across every feasible cell.
+pub fn figure5_profiled(arch: &GpuArch) -> SimResult<(HeatMap, ProfileReport)> {
+    sync_heatmap_profiled(
         arch,
         &Placement::single(),
         SyncOp::Grid,

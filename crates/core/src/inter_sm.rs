@@ -11,7 +11,7 @@ use cuda_rt::HostSim;
 use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
 use gpu_sim::kernels::{self, SyncOp};
-use gpu_sim::{GpuSystem, GridLaunch, Kernel, LaunchKind};
+use gpu_sim::{GpuSystem, GridLaunch, Kernel, LaunchKind, RunOptions};
 use serde::Serialize;
 use sim_core::{propagate_difference_quotient, OnlineStats, SimResult};
 
@@ -49,13 +49,13 @@ fn kernel_total_latency(
 ) -> SimResult<OnlineStats> {
     let mut stats = OnlineStats::new();
     // Warm-up, unreported.
-    h.launch(0, launch)?;
+    h.launch(0, launch, &RunOptions::new())?;
     for &d in &launch.devices {
         h.device_synchronize(0, d);
     }
     for _ in 0..trials {
         let t0 = h.timestamp(0);
-        h.launch(0, launch)?;
+        h.launch(0, launch, &RunOptions::new())?;
         for &d in &launch.devices {
             h.device_synchronize(0, d);
         }
@@ -143,12 +143,10 @@ pub fn validate_against_fadd(arch: &GpuArch) -> SimResult<(InterSmMeasurement, f
     let mut sys = GpuSystem::single(arch1);
     let out = sys.alloc(0, 32);
     let reps = 512;
-    sys.run(&GridLaunch::single(
-        kernels::fadd32_chain(reps),
-        1,
-        32,
-        vec![out.0 as u64],
-    ))?;
+    sys.execute(
+        &GridLaunch::single(kernels::fadd32_chain(reps), 1, 32, vec![out.0 as u64]),
+        &RunOptions::new(),
+    )?;
     let wong = sys.buffer(out).load(0).unwrap() as f64 / reps as f64;
     Ok((inter, wong))
 }

@@ -12,7 +12,7 @@ use cuda_rt::HostSim;
 use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
 use gpu_sim::kernels;
-use gpu_sim::{GpuSystem, GridLaunch, LaunchKind};
+use gpu_sim::{GpuSystem, GridLaunch, LaunchKind, ProfileReport, RunOptions};
 use serde::Serialize;
 use sim_core::SimResult;
 
@@ -47,11 +47,33 @@ pub fn measure_launch_path(
     devices: &[usize],
     topology: impl Into<std::sync::Arc<NodeTopology>>,
 ) -> SimResult<LaunchOverheadRow> {
+    Ok(measure_launch_path_with(arch, kind, sleep_ns, devices, topology, &RunOptions::new())?.0)
+}
+
+/// [`measure_launch_path`] with arbitrary run options; when profiling is
+/// armed, the returned report merges every launch of the protocol.
+pub fn measure_launch_path_with(
+    arch: &GpuArch,
+    kind: LaunchKind,
+    sleep_ns: u64,
+    devices: &[usize],
+    topology: impl Into<std::sync::Arc<NodeTopology>>,
+    opts: &RunOptions,
+) -> SimResult<(LaunchOverheadRow, Option<ProfileReport>)> {
     let mut arch = arch.clone();
     arch.num_sms = arch.num_sms.min(4); // null grids: SM count is irrelevant
     let sys = GpuSystem::new(arch, topology);
     let mut h = HostSim::new(sys).without_jitter();
     let reps = 5u32;
+    let mut profile: Option<ProfileReport> = None;
+    let mut merge = |p: Option<ProfileReport>| {
+        if let Some(p) = p {
+            match &mut profile {
+                Some(acc) => acc.merge(&p),
+                None => profile = Some(p),
+            }
+        }
+    };
 
     let short = make_launch(kind, kernels::sleep_kernel(sleep_ns), devices.to_vec());
     let long = make_launch(
@@ -66,45 +88,48 @@ pub fn measure_launch_path(
     };
 
     // Warm-up (its results are not reported — Fig. 3).
-    h.launch(0, &short)?;
+    merge(h.launch(0, &short, opts)?.profile);
     sync(&mut h);
 
     // i launches of j-wait-unit kernels...
     let t0 = h.now(0);
     for _ in 0..reps {
-        h.launch(0, &short)?;
+        merge(h.launch(0, &short, opts)?.profile);
     }
     sync(&mut h);
     let many = (h.now(0) - t0).as_ns();
 
     // ...versus one fused kernel (Eq. 6 denominator: i - j).
     let t1 = h.now(0);
-    h.launch(0, &long)?;
+    merge(h.launch(0, &long, opts)?.profile);
     sync(&mut h);
     let one = (h.now(0) - t1).as_ns();
     let overhead_ns = (many - one) / (reps as f64 - 1.0);
 
     // Null-kernel total latency for comparison (Table I column 2).
     let null = make_launch(kind, kernels::null_kernel(), devices.to_vec());
-    h.launch(0, &null)?;
+    merge(h.launch(0, &null, opts)?.profile);
     sync(&mut h);
     let t2 = h.now(0);
     let n = 8;
     for _ in 0..n {
-        h.launch(0, &null)?;
+        merge(h.launch(0, &null, opts)?.profile);
         sync(&mut h);
     }
     let null_total_ns = (h.now(0) - t2).as_ns() / n as f64;
 
-    Ok(LaunchOverheadRow {
-        launch_type: match kind {
-            LaunchKind::Traditional => "Traditional".to_string(),
-            LaunchKind::Cooperative => "Cooperative".to_string(),
-            LaunchKind::CooperativeMultiDevice => "Cooperative Multi-Device".to_string(),
+    Ok((
+        LaunchOverheadRow {
+            launch_type: match kind {
+                LaunchKind::Traditional => "Traditional".to_string(),
+                LaunchKind::Cooperative => "Cooperative".to_string(),
+                LaunchKind::CooperativeMultiDevice => "Cooperative Multi-Device".to_string(),
+            },
+            overhead_ns,
+            null_total_ns,
         },
-        overhead_ns,
-        null_total_ns,
-    })
+        profile,
+    ))
 }
 
 /// Reproduce Table I on the given architecture (V100 in the paper — the
@@ -124,6 +149,37 @@ pub fn table1(arch: &GpuArch) -> SimResult<Vec<LaunchOverheadRow>> {
     crate::sweep::try_map(paths, |(kind, topology)| {
         measure_launch_path(arch, kind, sleep, &[0], topology)
     })
+}
+
+/// [`table1`] with syncprof armed: rows plus one merged profile per launch
+/// path, merged in row order so the bytes don't depend on `--jobs`.
+pub fn table1_profiled(arch: &GpuArch) -> SimResult<(Vec<LaunchOverheadRow>, ProfileReport)> {
+    let sleep = 10_000;
+    let paths = vec![
+        (LaunchKind::Traditional, NodeTopology::single()),
+        (LaunchKind::Cooperative, NodeTopology::single()),
+        (
+            LaunchKind::CooperativeMultiDevice,
+            NodeTopology::dgx1_v100(),
+        ),
+    ];
+    let cells = crate::sweep::try_map(paths, |(kind, topology)| {
+        measure_launch_path_with(
+            arch,
+            kind,
+            sleep,
+            &[0],
+            topology,
+            &RunOptions::new().profile(),
+        )
+    })?;
+    let mut rows = Vec::with_capacity(cells.len());
+    let mut profile = ProfileReport::empty(arch.clock().ps_per_cycle());
+    for (row, p) in cells {
+        rows.push(row);
+        profile.merge(&p.expect("profiling was armed"));
+    }
+    Ok((rows, profile))
 }
 
 /// §IX-B's warning demonstrated: running the fusion protocol with kernels

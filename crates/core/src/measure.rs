@@ -3,7 +3,7 @@
 use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
 use gpu_sim::kernels::{self, SyncOp};
-use gpu_sim::{ExecReport, GpuSystem, GridLaunch, LaunchKind};
+use gpu_sim::{ExecReport, GpuSystem, GridLaunch, LaunchKind, ProfileReport, RunOptions};
 use sim_core::{Ps, SimResult};
 use std::sync::Arc;
 
@@ -85,6 +85,29 @@ pub fn sync_chain_cycles(
     grid_dim: u32,
     block_dim: u32,
 ) -> SimResult<ChainMeasurement> {
+    let (m, _) = sync_chain_with(
+        arch,
+        placement,
+        op,
+        reps,
+        grid_dim,
+        block_dim,
+        &RunOptions::new(),
+    )?;
+    Ok(m)
+}
+
+/// [`sync_chain_cycles`] with arbitrary run options: the measurement plus
+/// whatever optional artifacts (currently the syncprof profile) they armed.
+pub fn sync_chain_with(
+    arch: &GpuArch,
+    placement: &Placement,
+    op: SyncOp,
+    reps: usize,
+    grid_dim: u32,
+    block_dim: u32,
+    opts: &RunOptions,
+) -> SimResult<(ChainMeasurement, Option<ProfileReport>)> {
     let mut sys = GpuSystem::new(arch.clone(), placement.topology.clone());
     let kernel = kernels::sync_chain(op, reps);
     let launch = launch_for(
@@ -96,15 +119,41 @@ pub fn sync_chain_cycles(
         &placement.devices,
     );
     let out = launch.params[0][0];
-    let report = sys.run(&launch)?;
+    let arts = sys.execute(&launch, opts)?;
     let cycles = sys
         .buffer(gpu_sim::BufId(out as u32))
         .load(0)
         .expect("lane 0 timer");
-    Ok(ChainMeasurement {
-        cycles_per_op: cycles as f64 / reps as f64,
-        report,
-    })
+    Ok((
+        ChainMeasurement {
+            cycles_per_op: cycles as f64 / reps as f64,
+            report: arts.report,
+        },
+        arts.profile,
+    ))
+}
+
+/// [`sync_chain_cycles`] with syncprof armed: the same measurement plus the
+/// per-scope stall attribution behind it. Profiling never perturbs timing,
+/// so the `ChainMeasurement` is identical to the unprofiled run's.
+pub fn sync_chain_profiled(
+    arch: &GpuArch,
+    placement: &Placement,
+    op: SyncOp,
+    reps: usize,
+    grid_dim: u32,
+    block_dim: u32,
+) -> SimResult<(ChainMeasurement, ProfileReport)> {
+    let (m, profile) = sync_chain_with(
+        arch,
+        placement,
+        op,
+        reps,
+        grid_dim,
+        block_dim,
+        &RunOptions::new().profile(),
+    )?;
+    Ok((m, profile.expect("profiling was armed")))
 }
 
 /// Run an unclocked chain and report per-SM throughput (syncs/cycle/SM).
@@ -118,7 +167,7 @@ pub fn sync_throughput_per_sm(
     let mut sys = GpuSystem::single(arch.clone());
     let kernel = kernels::sync_throughput(op, reps);
     let launch = launch_for(&mut sys, op, kernel, grid_dim, block_dim, &[0]);
-    let report = sys.run(&launch)?;
+    let report = sys.execute(&launch, &RunOptions::new())?.report;
     let cycles = arch.clock().to_cycles(report.duration);
     let warps = arch.warps_per_block(block_dim) as f64 * grid_dim as f64;
     Ok(warps * reps as f64 / cycles / arch.num_sms as f64)
@@ -130,7 +179,7 @@ pub fn coalesced_partial_cycles(arch: &GpuArch, k: u32, reps: usize) -> SimResul
     let out = sys.alloc(0, 32);
     let kernel = kernels::coalesced_partial_chain(k, reps);
     let launch = GridLaunch::single(kernel, 1, 32, vec![out.0 as u64]);
-    sys.run(&launch)?;
+    sys.execute(&launch, &RunOptions::new())?;
     Ok(sys.buffer(out).load(0).expect("lane 0 timer") as f64 / reps as f64)
 }
 
@@ -145,7 +194,7 @@ pub fn coalesced_partial_throughput_per_sm(
     let mut sys = GpuSystem::single(arch.clone());
     let kernel = kernels::coalesced_partial_throughput(k, reps);
     let launch = GridLaunch::single(kernel, grid_dim, block_dim, vec![]);
-    let report = sys.run(&launch)?;
+    let report = sys.execute(&launch, &RunOptions::new())?.report;
     let cycles = arch.clock().to_cycles(report.duration);
     let warps = arch.warps_per_block(block_dim) as f64 * grid_dim as f64;
     Ok(warps * reps as f64 / cycles / arch.num_sms as f64)

@@ -1,14 +1,14 @@
 //! Fig. 9: the three multi-GPU synchronization methods compared across
 //! 1–8 GPUs of a DGX-1.
 
-use crate::launch_overhead::measure_launch_path;
-use crate::measure::{cycles_to_us, sync_chain_cycles, Placement};
+use crate::launch_overhead::measure_launch_path_with;
+use crate::measure::{cycles_to_us, sync_chain_with, Placement};
 use crate::report::{fmt, TextTable};
 use cuda_rt::HostSim;
 use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
 use gpu_sim::kernels::{self, SyncOp};
-use gpu_sim::{GpuSystem, GridLaunch, LaunchKind};
+use gpu_sim::{GpuSystem, GridLaunch, LaunchKind, ProfileReport, RunOptions};
 use serde::Serialize;
 use sim_core::SimResult;
 use std::sync::Arc;
@@ -35,7 +35,12 @@ pub struct MultiGpuPoint {
 /// ~250 µs necessary for 8 GPUs (§IX-B).
 const SLEEP_NS: u64 = 250_000;
 
-fn cpu_side_overhead_us(arch: &GpuArch, topology: &Arc<NodeTopology>, n: usize) -> SimResult<f64> {
+fn cpu_side_overhead_us(
+    arch: &GpuArch,
+    topology: &Arc<NodeTopology>,
+    n: usize,
+    opts: &RunOptions,
+) -> SimResult<(f64, Option<ProfileReport>)> {
     let mut arch_small = arch.clone();
     arch_small.num_sms = arch_small.num_sms.min(4);
     let sys = GpuSystem::new(arch_small, topology.clone());
@@ -43,10 +48,19 @@ fn cpu_side_overhead_us(arch: &GpuArch, topology: &Arc<NodeTopology>, n: usize) 
     let threads: Vec<usize> = (0..n).collect();
     let kernel = kernels::sleep_kernel(SLEEP_NS);
     let steps = 6;
+    let mut profile: Option<ProfileReport> = None;
+    let merge = |acc: &mut Option<ProfileReport>, p: Option<ProfileReport>| {
+        if let Some(p) = p {
+            match acc {
+                Some(acc) => acc.merge(&p),
+                None => *acc = Some(p),
+            }
+        }
+    };
     // Warm-up step.
     for &t in &threads {
         let l = GridLaunch::single(kernel.clone(), 1, 32, vec![]).on_device(t);
-        h.launch(t, &l)?;
+        merge(&mut profile, h.launch(t, &l, opts)?.profile);
         h.device_synchronize(t, t);
     }
     h.omp_barrier(&threads);
@@ -54,13 +68,13 @@ fn cpu_side_overhead_us(arch: &GpuArch, topology: &Arc<NodeTopology>, n: usize) 
     for _ in 0..steps {
         for &t in &threads {
             let l = GridLaunch::single(kernel.clone(), 1, 32, vec![]).on_device(t);
-            h.launch(t, &l)?;
+            merge(&mut profile, h.launch(t, &l, opts)?.profile);
             h.device_synchronize(t, t);
         }
         h.omp_barrier(&threads);
     }
     let per_step = (h.now(0) - t0).as_us() / steps as f64;
-    Ok(per_step - SLEEP_NS as f64 / 1e3)
+    Ok((per_step - SLEEP_NS as f64 / 1e3, profile))
 }
 
 fn mgrid_us(
@@ -69,17 +83,19 @@ fn mgrid_us(
     n: usize,
     bpsm: u32,
     tpb: u32,
-) -> SimResult<f64> {
+    opts: &RunOptions,
+) -> SimResult<(f64, Option<ProfileReport>)> {
     let placement = Placement::multi(topology.clone(), n);
-    let m = sync_chain_cycles(
+    let (m, profile) = sync_chain_with(
         arch,
         &placement,
         SyncOp::MultiGrid,
         4,
         bpsm * arch.num_sms,
         tpb,
+        opts,
     )?;
-    Ok(cycles_to_us(arch, m.cycles_per_op))
+    Ok((cycles_to_us(arch, m.cycles_per_op), profile))
 }
 
 /// One of the five measurements behind a [`MultiGpuPoint`] — the sweep
@@ -109,6 +125,26 @@ pub fn figure9(
     topology: &NodeTopology,
     gpu_counts: &[usize],
 ) -> SimResult<Vec<MultiGpuPoint>> {
+    Ok(figure9_with(arch, topology, gpu_counts, &RunOptions::new())?.0)
+}
+
+/// [`figure9`] with syncprof armed on every cell; per-cell profiles are
+/// merged in plan order, so the report's bytes don't depend on `--jobs`.
+pub fn figure9_profiled(
+    arch: &GpuArch,
+    topology: &NodeTopology,
+    gpu_counts: &[usize],
+) -> SimResult<(Vec<MultiGpuPoint>, ProfileReport)> {
+    let (points, profile) = figure9_with(arch, topology, gpu_counts, &RunOptions::new().profile())?;
+    Ok((points, profile.expect("profiling was armed")))
+}
+
+fn figure9_with(
+    arch: &GpuArch,
+    topology: &NodeTopology,
+    gpu_counts: &[usize],
+    opts: &RunOptions,
+) -> SimResult<(Vec<MultiGpuPoint>, Option<ProfileReport>)> {
     let topology = Arc::new(topology.clone());
     let mut points = Vec::new();
     for &n in gpu_counts {
@@ -116,22 +152,36 @@ pub fn figure9(
             points.push((n, m));
         }
     }
-    let values = crate::sweep::try_map(points, |(n, metric)| match metric {
+    let cells = crate::sweep::try_map(points, |(n, metric)| match metric {
         Fig9Metric::Launch => {
             let devices: Vec<usize> = (0..n).collect();
-            let row = measure_launch_path(
+            let (row, profile) = measure_launch_path_with(
                 arch,
                 LaunchKind::CooperativeMultiDevice,
                 SLEEP_NS,
                 &devices,
                 topology.clone(),
+                opts,
             )?;
-            Ok(row.overhead_ns / 1e3)
+            Ok((row.overhead_ns / 1e3, profile))
         }
-        Fig9Metric::CpuSide => cpu_side_overhead_us(arch, &topology, n),
-        Fig9Metric::Mgrid { bpsm, tpb } => mgrid_us(arch, &topology, n, bpsm, tpb),
+        Fig9Metric::CpuSide => cpu_side_overhead_us(arch, &topology, n, opts),
+        Fig9Metric::Mgrid { bpsm, tpb } => mgrid_us(arch, &topology, n, bpsm, tpb, opts),
     })?;
-    Ok(gpu_counts
+    let mut profile: Option<ProfileReport> = None;
+    let values: Vec<f64> = cells
+        .into_iter()
+        .map(|(v, p)| {
+            if let Some(p) = p {
+                match &mut profile {
+                    Some(acc) => acc.merge(&p),
+                    None => profile = Some(p),
+                }
+            }
+            v
+        })
+        .collect();
+    let points = gpu_counts
         .iter()
         .zip(values.chunks(FIG9_METRICS.len()))
         .map(|(&n, v)| MultiGpuPoint {
@@ -142,7 +192,8 @@ pub fn figure9(
             mgrid_general_us: v[3],
             mgrid_slow_us: v[4],
         })
-        .collect())
+        .collect();
+    Ok((points, profile))
 }
 
 pub fn render_figure9(points: &[MultiGpuPoint]) -> TextTable {

@@ -4,7 +4,7 @@
 use crate::report::{fmt, TextTable};
 use gpu_arch::GpuArch;
 use gpu_sim::kernels;
-use gpu_sim::{GpuSystem, GridLaunch};
+use gpu_sim::{GpuSystem, GridLaunch, RunOptions};
 use serde::Serialize;
 use sim_core::SimResult;
 
@@ -32,12 +32,12 @@ pub fn measure_smem(arch: &GpuArch, threads: u32) -> SimResult<SmemBandwidthRow>
     let block_dim = threads.clamp(32, 1024);
     let out = sys.alloc(0, block_dim as u64);
     let kernel = kernels::smem_stream_kernel(WORDS, threads);
-    let report = sys.run(&GridLaunch::single(
-        kernel,
-        1,
-        block_dim,
-        vec![out.0 as u64],
-    ))?;
+    let report = sys
+        .execute(
+            &GridLaunch::single(kernel, 1, block_dim, vec![out.0 as u64]),
+            &RunOptions::new(),
+        )?
+        .report;
     let cycles = a.clock().to_cycles(report.duration);
     let bytes = WORDS as f64 * 8.0;
     // Per-element latency observed by one thread's dependent loop.

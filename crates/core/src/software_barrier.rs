@@ -14,7 +14,7 @@ use crate::report::{fmt, TextTable};
 use gpu_arch::GpuArch;
 use gpu_sim::isa::{Instr, Kernel, KernelBuilder, Operand, Special};
 use gpu_sim::kernels::SyncOp;
-use gpu_sim::{GpuSystem, GridLaunch};
+use gpu_sim::{GpuSystem, GridLaunch, RunOptions};
 use serde::Serialize;
 use sim_core::SimResult;
 use Operand::{Imm, Param, Reg as R, Sp};
@@ -200,7 +200,7 @@ pub fn measure_sw_barrier(
             )
         }
     };
-    sys.run(&launch)?;
+    sys.execute(&launch, &RunOptions::new())?;
     let cycles = sys.buffer(timer).load(0)? as f64 / rounds as f64;
     Ok(cycles)
 }
@@ -305,7 +305,7 @@ mod tests {
             32,
             vec![counter.0 as u64, timer.0 as u64],
         );
-        match sys.run(&launch) {
+        match sys.execute(&launch, &RunOptions::new()) {
             Err(sim_core::SimError::Deadlock { .. }) => {}
             Err(sim_core::SimError::ProgramError(_)) => {} // spin-forever guard
             other => panic!("expected deadlock, got {other:?}"),

@@ -3,7 +3,7 @@
 
 use gpu_arch::GpuArch;
 use gpu_sim::kernels;
-use gpu_sim::{GpuSystem, GridLaunch};
+use gpu_sim::{GpuSystem, GridLaunch, RunOptions};
 use serde::Serialize;
 use sim_core::SimResult;
 
@@ -36,12 +36,15 @@ pub fn figure18(arch: &GpuArch) -> SimResult<WarpProbeResult> {
     let mut sys = GpuSystem::single(a);
     let starts = sys.alloc(0, 32);
     let ends = sys.alloc(0, 32);
-    sys.run(&GridLaunch::single(
-        kernels::warp_probe(),
-        1,
-        32,
-        vec![starts.0 as u64, ends.0 as u64],
-    ))?;
+    sys.execute(
+        &GridLaunch::single(
+            kernels::warp_probe(),
+            1,
+            32,
+            vec![starts.0 as u64, ends.0 as u64],
+        ),
+        &RunOptions::new(),
+    )?;
     Ok(WarpProbeResult {
         arch: arch.name.clone(),
         starts: sys.read_u64(starts),

@@ -74,7 +74,7 @@ impl Events {
 mod tests {
     use super::*;
     use gpu_arch::GpuArch;
-    use gpu_sim::{kernels, GpuSystem, GridLaunch};
+    use gpu_sim::{kernels, GpuSystem, GridLaunch, RunOptions};
 
     fn host() -> HostSim {
         let mut a = GpuArch::v100();
@@ -88,7 +88,7 @@ mod tests {
         let mut ev = Events::new();
         let start = ev.record(&h, 0);
         let l = GridLaunch::single(kernels::sleep_kernel(250_000), 1, 32, vec![]);
-        h.launch(0, &l).unwrap();
+        h.launch(0, &l, &RunOptions::new()).unwrap();
         let end = ev.record(&h, 0);
         let ms = ev.elapsed_ms(start, end).unwrap();
         // 250 us sleep + dispatch; events exclude host launch overhead noise.
@@ -100,7 +100,7 @@ mod tests {
         let mut h = host();
         let mut ev = Events::new();
         let l = GridLaunch::single(kernels::sleep_kernel(50_000), 1, 32, vec![]);
-        h.launch(0, &l).unwrap();
+        h.launch(0, &l, &RunOptions::new()).unwrap();
         let done = ev.record(&h, 0);
         ev.synchronize(&mut h, 0, done).unwrap();
         assert!(h.now(0).as_us() >= 50.0);
@@ -112,7 +112,7 @@ mod tests {
         let mut ev = Events::new();
         let e0 = ev.record(&h, 0);
         let l = GridLaunch::single(kernels::sleep_kernel(10_000), 1, 32, vec![]);
-        h.launch(0, &l).unwrap();
+        h.launch(0, &l, &RunOptions::new()).unwrap();
         let e1 = ev.record(&h, 0);
         assert!(ev.elapsed_ms(e1, e0).is_err());
         assert!(ev.elapsed_ms(e0, EventId(99)).is_err());

@@ -19,7 +19,10 @@
 //! exact.
 
 use gpu_arch::LaunchPath;
-use gpu_sim::{BufId, ExecReport, GpuSystem, GridLaunch, LaunchKind};
+use gpu_sim::{
+    BufId, ExecReport, GpuSystem, GridLaunch, HazardReport, LaunchKind, ProfileReport, RunOptions,
+    TraceEvent,
+};
 use sim_core::{Ps, SimError, SimResult, SmallRng};
 
 /// Per-device stream state (the default stream; the paper's benchmarks use
@@ -48,19 +51,42 @@ pub struct LaunchRecord {
     pub end: Ps,
 }
 
+/// Everything a host-side launch produced: the stream timing plus whatever
+/// optional evidence the [`RunOptions`] armed — the host mirror of
+/// [`gpu_sim::RunArtifacts`].
+#[derive(Debug, Clone)]
+pub struct LaunchArtifacts {
+    /// Host-visible stream timing of the launch.
+    pub record: LaunchRecord,
+    /// Shared-memory hazard evidence (`Some` iff checking was requested).
+    pub hazards: Option<HazardReport>,
+    /// Recorded execution steps (`Some` iff tracing was requested).
+    pub trace: Option<Vec<TraceEvent>>,
+    /// Syncprof counters (`Some` iff profiling was requested).
+    pub profile: Option<ProfileReport>,
+}
+
+impl LaunchArtifacts {
+    /// Whether no hazard evidence was collected: checking either wasn't
+    /// armed, or was armed and found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.hazards.as_ref().is_none_or(|h| h.is_clean())
+    }
+}
+
 /// The simulated host: one process, any number of host threads, one default
 /// stream per device.
 ///
 /// ```
 /// use cuda_rt::HostSim;
 /// use gpu_arch::GpuArch;
-/// use gpu_sim::{kernels, GpuSystem, GridLaunch};
+/// use gpu_sim::{kernels, GpuSystem, GridLaunch, RunOptions};
 ///
 /// let mut arch = GpuArch::v100();
 /// arch.num_sms = 2;
 /// let mut h = HostSim::new(GpuSystem::single(arch)).without_jitter();
 /// let l = GridLaunch::single(kernels::sleep_kernel(10_000), 1, 32, vec![]);
-/// h.launch(0, &l).unwrap();
+/// h.launch(0, &l, &RunOptions::new()).unwrap();
 /// h.device_synchronize(0, 0);
 /// // 10 us of execution plus the launch path's overhead and floor.
 /// assert!(h.now(0).as_us() > 10.0 && h.now(0).as_us() < 25.0);
@@ -181,9 +207,21 @@ impl HostSim {
     /// Asynchronously launch a kernel from `thread`. The device-side
     /// simulation runs eagerly (memory effects apply immediately), but the
     /// stream timing models when it would really execute.
-    pub fn launch(&mut self, thread: usize, launch: &GridLaunch) -> SimResult<LaunchRecord> {
+    ///
+    /// `opts` arms the same instruments as [`GpuSystem::execute`] — hazard
+    /// checking, tracing, profiling — without changing the stream timing.
+    /// Detected hazards come back as *data* in [`LaunchArtifacts::hazards`];
+    /// `launch` only errors on invalid launches, faults, deadlock, or
+    /// static-lint rejections.
+    pub fn launch(
+        &mut self,
+        thread: usize,
+        launch: &GridLaunch,
+        opts: &RunOptions,
+    ) -> SimResult<LaunchArtifacts> {
         let path = self.path(launch.kind);
-        let exec = self.sys.run(launch)?;
+        let arts = self.sys.execute(launch, opts)?;
+        let exec = arts.report;
         // CPU-side cost of the launch call.
         self.threads[thread] += Ps::from_ns(path.overhead_ns);
         let now = self.threads[thread];
@@ -236,7 +274,12 @@ impl HostSim {
             self.streams[d].last_begin = begin;
             end = end.max(e);
         }
-        Ok(LaunchRecord { exec, begin, end })
+        Ok(LaunchArtifacts {
+            record: LaunchRecord { exec, begin, end },
+            hazards: arts.hazards,
+            trace: arts.trace,
+            profile: arts.profile,
+        })
     }
 
     /// [`Self::launch`] with the synchronization checker armed: the launch
@@ -244,12 +287,23 @@ impl HostSim {
     /// under the shared-memory racecheck, so any divergence or data-race
     /// hazard surfaces as a `SimError` instead of a silent bad measurement.
     /// Stream timing is identical to an unchecked launch.
+    #[deprecated(note = "use `HostSim::launch` with `RunOptions::new().check()`")]
     pub fn launch_checked(
         &mut self,
         thread: usize,
         launch: &GridLaunch,
     ) -> SimResult<LaunchRecord> {
-        self.launch(thread, &launch.clone().checked())
+        let arts = self.launch(thread, launch, &RunOptions::new().check())?;
+        if let Some(hazards) = &arts.hazards {
+            if !hazards.is_clean() {
+                return Err(SimError::ProgramError(format!(
+                    "kernel {:?}: {}",
+                    launch.kernel.name,
+                    hazards.render(&launch.kernel.program)
+                )));
+            }
+        }
+        Ok(arts.record)
     }
 
     /// `cudaDeviceSynchronize`: block `thread` until `device`'s stream is
@@ -431,12 +485,12 @@ mod tests {
         let k = kernels::null_kernel();
         let l = GridLaunch::single(k, 1, 32, vec![]);
         // Warm-up.
-        h.launch(0, &l).unwrap();
+        h.launch(0, &l, &RunOptions::new()).unwrap();
         h.device_synchronize(0, 0);
         let t0 = h.now(0);
         let n = 5;
         for _ in 0..n {
-            h.launch(0, &l).unwrap();
+            h.launch(0, &l, &RunOptions::new()).unwrap();
             h.device_synchronize(0, 0);
         }
         let per = (h.now(0) - t0).as_ns() / n as f64;
@@ -451,16 +505,16 @@ mod tests {
         let mut h = host();
         let short = GridLaunch::single(kernels::sleep_kernel(10_000), 1, 32, vec![]);
         let long = GridLaunch::single(kernels::sleep_kernel(50_000), 1, 32, vec![]);
-        h.launch(0, &short).unwrap();
+        h.launch(0, &short, &RunOptions::new()).unwrap();
         h.device_synchronize(0, 0);
         let t0 = h.now(0);
         for _ in 0..5 {
-            h.launch(0, &short).unwrap();
+            h.launch(0, &short, &RunOptions::new()).unwrap();
         }
         h.device_synchronize(0, 0);
         let five = (h.now(0) - t0).as_ns();
         let t1 = h.now(0);
-        h.launch(0, &long).unwrap();
+        h.launch(0, &long, &RunOptions::new()).unwrap();
         h.device_synchronize(0, 0);
         let one = (h.now(0) - t1).as_ns();
         let overhead = (five - one) / 4.0;
@@ -482,7 +536,7 @@ mod tests {
             let params = vec![vec![]; n];
             let l = GridLaunch::multi(kernels::null_kernel(), 1, 32, devices, params);
             let t0 = h.now(0);
-            h.launch(0, &l).unwrap();
+            h.launch(0, &l, &RunOptions::new()).unwrap();
             for d in 0..n {
                 h.device_synchronize(0, d);
             }
@@ -535,16 +589,9 @@ mod tests {
         }
     }
 
-    #[test]
-    fn launch_checked_rejects_divergent_barrier_and_passes_clean_kernels() {
+    fn divergent_barrier_launch() -> GridLaunch {
         use gpu_sim::isa::{Operand::*, Special};
         use gpu_sim::KernelBuilder;
-
-        let mut h = host();
-        let clean = GridLaunch::single(kernels::null_kernel(), 1, 32, vec![]);
-        h.launch_checked(0, &clean).unwrap();
-        h.device_synchronize(0, 0);
-
         let mut b = KernelBuilder::new("divergent");
         let c = b.reg();
         b.cmp_lt(c, Sp(Special::Tid), Imm(16));
@@ -552,11 +599,58 @@ mod tests {
         b.bar_sync();
         b.label("out");
         b.exit();
-        let bad = GridLaunch::single(b.build(0), 1, 32, vec![]);
-        let err = h.launch_checked(0, &bad).unwrap_err();
+        GridLaunch::single(b.build(0), 1, 32, vec![])
+    }
+
+    #[test]
+    fn checked_launch_rejects_divergent_barrier_and_passes_clean_kernels() {
+        let mut h = host();
+        let check = RunOptions::new().check();
+        let clean = GridLaunch::single(kernels::null_kernel(), 1, 32, vec![]);
+        let arts = h.launch(0, &clean, &check).unwrap();
+        assert!(arts.is_clean());
+        assert!(arts.hazards.is_some(), "checking was armed");
+        h.device_synchronize(0, 0);
+
+        let bad = divergent_barrier_launch();
+        let err = h.launch(0, &bad, &check).unwrap_err();
         assert!(err.to_string().contains("barrier-divergence"), "{err}");
         // The unchecked path still accepts it (Volta converges).
-        h.launch(0, &bad).unwrap();
+        h.launch(0, &bad, &RunOptions::new()).unwrap();
+    }
+
+    #[test]
+    fn launch_can_arm_trace_and_profile_together() {
+        let mut h = host();
+        let out = h.sys.alloc(0, 2 * 64);
+        let l = GridLaunch::single(
+            kernels::sync_chain(kernels::SyncOp::Block, 4),
+            2,
+            64,
+            vec![out.0 as u64],
+        );
+        let arts = h
+            .launch(0, &l, &RunOptions::new().trace(10_000).profile())
+            .unwrap();
+        assert!(!arts.trace.as_ref().unwrap().is_empty());
+        let profile = arts.profile.unwrap();
+        assert!(profile.barrier_wait_ps(gpu_sim::SyncScope::Block) > 0);
+        // Instruments must not move the stream clock.
+        let plain = h.launch(0, &l, &RunOptions::new()).unwrap();
+        assert_eq!(plain.record.exec, arts.record.exec);
+    }
+
+    /// The deprecated wrapper keeps the historical error-on-hazard contract.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_launch_checked_matches_new_api() {
+        let mut h = host();
+        let clean = GridLaunch::single(kernels::null_kernel(), 1, 32, vec![]);
+        h.launch_checked(0, &clean).unwrap();
+        let err = h
+            .launch_checked(0, &divergent_barrier_launch())
+            .unwrap_err();
+        assert!(err.to_string().contains("barrier-divergence"), "{err}");
     }
 
     #[test]

@@ -10,4 +10,4 @@ pub mod events;
 pub mod host;
 
 pub use events::{Event, EventId, Events};
-pub use host::{HostSim, LaunchRecord};
+pub use host::{HostSim, LaunchArtifacts, LaunchRecord};

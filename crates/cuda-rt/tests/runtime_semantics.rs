@@ -3,7 +3,7 @@
 use cuda_rt::{Events, HostSim};
 use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
-use gpu_sim::{kernels, GpuSystem, GridLaunch};
+use gpu_sim::{kernels, GpuSystem, GridLaunch, RunOptions};
 
 fn host() -> HostSim {
     let mut a = GpuArch::v100();
@@ -50,7 +50,7 @@ fn memcpy_synchronizes_with_the_stream() {
     let mut h = host();
     let buf = h.sys.alloc(0, 1);
     let l = GridLaunch::single(kernels::sleep_kernel(100_000), 1, 32, vec![]);
-    h.launch(0, &l).unwrap();
+    h.launch(0, &l, &RunOptions::new()).unwrap();
     h.memcpy_h2d(0, buf, 0, &[1.0]).unwrap();
     assert!(h.now(0).as_us() >= 100.0);
 }
@@ -67,11 +67,13 @@ fn events_bracket_kernels_on_different_devices() {
     h.launch(
         0,
         &GridLaunch::single(kernels::sleep_kernel(30_000), 1, 32, vec![]).on_device(0),
+        &RunOptions::new(),
     )
     .unwrap();
     h.launch(
         0,
         &GridLaunch::single(kernels::sleep_kernel(90_000), 1, 32, vec![]).on_device(1),
+        &RunOptions::new(),
     )
     .unwrap();
     let e0 = ev.record(&h, 0);
@@ -100,7 +102,7 @@ fn stream_serializes_kernels_in_order() {
     let mut h = host();
     let l1 = GridLaunch::single(kernels::sleep_kernel(40_000), 1, 32, vec![]);
     let l2 = GridLaunch::single(kernels::sleep_kernel(10_000), 1, 32, vec![]);
-    let r1 = h.launch(0, &l1).unwrap();
-    let r2 = h.launch(0, &l2).unwrap();
+    let r1 = h.launch(0, &l1, &RunOptions::new()).unwrap().record;
+    let r2 = h.launch(0, &l2, &RunOptions::new()).unwrap().record;
     assert!(r2.begin >= r1.end, "second kernel overlapped the first");
 }

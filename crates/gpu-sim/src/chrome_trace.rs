@@ -1,0 +1,224 @@
+//! Chrome-trace / Perfetto JSON export of a simulated execution.
+//!
+//! Converts the engine's [`TraceEvent`] stream (plus, optionally, a
+//! syncprof [`ProfileReport`]) into the Trace Event Format that
+//! `chrome://tracing` and <https://ui.perfetto.dev> load directly:
+//!
+//! * one *process* per device rank,
+//! * one track per SM — warps appear as named rows grouped under their SM
+//!   (tid-ordered), so barrier convergence reads as vertically aligned
+//!   slice edges,
+//! * one complete ("X") slice per executed instruction, named by its
+//!   disassembly and categorized by its attribution phase,
+//! * instant ("i") events for barrier-release epochs from the profile.
+//!
+//! The writer emits JSON by hand: timestamps are fixed-point microseconds
+//! derived from integral picoseconds, so the bytes are identical for a given
+//! input no matter the platform or `--jobs` value.
+
+use crate::disasm::instr_to_string;
+use crate::engine::TraceEvent;
+use crate::isa::Instr;
+use crate::profile::ProfileReport;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Duration assigned to a warp's final recorded slice (nothing after it to
+/// measure against): 1 ns.
+const LAST_SLICE_PS: u64 = 1_000;
+
+/// Attribution category of an instruction (mirrors the profile buckets).
+fn category(i: &Instr) -> &'static str {
+    use Instr::*;
+    match i {
+        LdShared { .. } | StShared { .. } | SmemStream { .. } => "mem.shared",
+        LdGlobal { .. } | StGlobal { .. } | MemStream { .. } | MemCombine { .. } => "mem.global",
+        MemFence => "mem.fence",
+        AtomicFAdd { .. } => "atomic",
+        Shfl { .. } => "shfl",
+        SyncTile { .. } | SyncCoalesced => "sync.tile",
+        BarSync => "sync.block",
+        GridSync => "sync.grid",
+        MultiGridSync => "sync.multigrid",
+        Nanosleep(..) => "sleep",
+        Bra(..) | BraIf(..) | BraIfZ(..) | Exit => "branch",
+        _ => "alu",
+    }
+}
+
+/// Fixed-point picoseconds → microseconds, exact and deterministic.
+fn ps_to_us(ps: u64) -> String {
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `events` (and the profile's barrier epochs, when given) as a
+/// Chrome-trace JSON document. Byte-deterministic for a given input.
+pub fn export_chrome_trace(events: &[TraceEvent], profile: Option<&ProfileReport>) -> String {
+    // Stable per-warp rows, grouped under their SM: tid = sm * SM_STRIDE +
+    // ordinal of (block, warp) within the SM, in ascending discovery order.
+    const SM_STRIDE: u32 = 4096;
+    let mut warp_rows: BTreeMap<(u32, u32, u32, u32), u32> = BTreeMap::new();
+    for e in events {
+        warp_rows
+            .entry((e.rank, e.sm, e.block, e.warp_in_block))
+            .or_insert(0);
+    }
+    {
+        let mut per_sm: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+        for ((rank, sm, _, _), row) in warp_rows.iter_mut() {
+            let next = per_sm.entry((*rank, *sm)).or_insert(0);
+            *row = *next;
+            *next += 1;
+        }
+    }
+
+    let mut ev = Vec::new();
+
+    // Metadata: name processes (ranks) and threads (SM-grouped warp rows).
+    let mut ranks: Vec<u32> = warp_rows.keys().map(|&(r, ..)| r).collect();
+    if let Some(p) = profile {
+        ranks.extend(p.epochs.iter().map(|e| e.rank));
+    }
+    ranks.sort_unstable();
+    ranks.dedup();
+    for r in &ranks {
+        ev.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{r},\"tid\":0,\
+             \"args\":{{\"name\":\"GPU rank {r}\"}}}}"
+        ));
+    }
+    for (&(rank, sm, block, wib), &row) in &warp_rows {
+        let tid = sm * SM_STRIDE + row;
+        ev.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{rank},\"tid\":{tid},\
+             \"args\":{{\"name\":\"SM {sm} · b{block}/w{wib}\"}}}}"
+        ));
+    }
+
+    // Slices: duration runs to the warp's next recorded event.
+    let mut next_at: BTreeMap<(u32, u32, u32, u32), u64> = BTreeMap::new();
+    for e in events.iter().rev() {
+        let key = (e.rank, e.sm, e.block, e.warp_in_block);
+        let end = next_at.get(&key).copied().unwrap_or(e.at.0 + LAST_SLICE_PS);
+        let dur = end.saturating_sub(e.at.0).max(1);
+        let tid = e.sm * SM_STRIDE + warp_rows[&key];
+        ev.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":{},\"tid\":{},\"args\":{{\"pc\":{},\"lanes\":\"{:#010x}\"}}}}",
+            escape(&instr_to_string(&e.instr)),
+            category(&e.instr),
+            ps_to_us(e.at.0),
+            ps_to_us(dur),
+            e.rank,
+            tid,
+            e.pc,
+            e.lanes,
+        ));
+        next_at.insert(key, e.at.0);
+    }
+    // Restore chronological order for the slice block (metadata stays first).
+    let meta_len = ranks.len() + warp_rows.len();
+    ev[meta_len..].reverse();
+
+    // Instant events: barrier-release epochs from the profile.
+    if let Some(p) = profile {
+        for e in &p.epochs {
+            ev.push(format!(
+                "{{\"name\":\"{} release\",\"cat\":\"sync.epoch\",\"ph\":\"i\",\"s\":\"p\",\
+                 \"ts\":{},\"pid\":{},\"tid\":0}}",
+                e.scope.label(),
+                ps_to_us(e.at_ps),
+                e.rank,
+            ));
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    for (i, e) in ev.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < ev.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+    use crate::{GpuSystem, GridLaunch, RunOptions};
+    use gpu_arch::GpuArch;
+
+    fn traced_profiled() -> (Vec<TraceEvent>, ProfileReport) {
+        let mut arch = GpuArch::v100();
+        arch.num_sms = 2;
+        let mut sys = GpuSystem::single(arch);
+        let out = sys.alloc(0, 4 * 64);
+        let k = kernels::sync_chain(kernels::SyncOp::Grid, 4);
+        let l = GridLaunch::single(k, 4, 64, vec![out.0 as u64]).cooperative();
+        let arts = sys
+            .execute(&l, &RunOptions::new().trace(50_000).profile())
+            .unwrap();
+        (arts.trace.unwrap(), arts.profile.unwrap())
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_shapes() {
+        let (trace, profile) = traced_profiled();
+        let json = export_chrome_trace(&trace, Some(&profile));
+        // Structure parses as JSON (vendored parser).
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let evs = match v.get("traceEvents") {
+            Some(serde_json::Value::Array(a)) => a,
+            other => panic!("traceEvents missing or not an array: {other:?}"),
+        };
+        assert!(!evs.is_empty());
+        assert!(json.contains("\"ph\":\"X\""), "no slices");
+        assert!(json.contains("\"ph\":\"M\""), "no metadata");
+        assert!(json.contains("\"ph\":\"i\""), "no instant epochs");
+        assert!(json.contains("sync.grid"), "no grid-sync category");
+        assert!(json.contains("GPU rank 0"));
+        assert!(json.contains("SM 0"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let (trace, profile) = traced_profiled();
+        let a = export_chrome_trace(&trace, Some(&profile));
+        let b = export_chrome_trace(&trace, Some(&profile));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_trace_exports_empty_event_list() {
+        let json = export_chrome_trace(&[], None);
+        assert!(json.contains("\"traceEvents\":[\n]"), "{json}");
+    }
+
+    #[test]
+    fn fixed_point_us_formatting() {
+        assert_eq!(ps_to_us(0), "0.000000");
+        assert_eq!(ps_to_us(1), "0.000001");
+        assert_eq!(ps_to_us(1_234_567), "1.234567");
+        assert_eq!(ps_to_us(2_000_000), "2.000000");
+    }
+}

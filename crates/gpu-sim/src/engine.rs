@@ -13,6 +13,7 @@
 
 use crate::isa::{Instr, Operand, Program, ShflKind, ShflMode, Special, NUM_REGS};
 use crate::mem::{Hazard, SharedMem};
+use crate::profile::{BarrierEpoch, ProfileReport, SmProfile, SyncScope, EPOCH_CAP};
 use crate::system::{ExecReport, GpuSystem, GridLaunch};
 use gpu_arch::GpuArch;
 use serde::{Deserialize, Serialize};
@@ -61,6 +62,10 @@ struct Warp {
     /// Lanes parked at a block/grid/multi-grid barrier.
     blk_wait: u32,
     blk_kind: BlockWaitKind,
+    /// When profiling: time the first group parked at the current warp
+    /// barrier / block-level barrier (stall-attribution anchors).
+    wb_parked_at: Ps,
+    blk_parked_at: Ps,
     /// Mask of the group that executed last step (divergence accounting).
     last_mask: u32,
     /// Last step ended with a group blocking at a warp barrier (Volta
@@ -201,7 +206,7 @@ impl HazardReport {
     }
 }
 
-/// One recorded execution step (see [`GpuSystem::run_traced`]).
+/// One recorded execution step (see [`crate::system::RunOptions::trace`]).
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
     pub at: Ps,
@@ -233,6 +238,22 @@ pub(crate) struct Engine<'a> {
     warps_run: u64,
     /// When tracing: (remaining capacity, recorded events).
     trace: Option<(usize, Vec<TraceEvent>)>,
+    /// Whether the shared-memory racecheck shadow state is armed (the
+    /// launch's own `checked` flag OR-ed with the run options).
+    check: bool,
+    /// When profiling: per-(rank, SM) counters and barrier epochs.
+    prof: Option<ProfState>,
+    /// Scheduler-issue time of the instruction currently executing (profile
+    /// attribution anchor; equals `now` for unscheduled steps).
+    last_issue_start: Ps,
+}
+
+/// Accumulating profile state (see [`crate::profile`]).
+struct ProfState {
+    /// Indexed `[rank][sm]`.
+    sms: Vec<Vec<SmProfile>>,
+    epochs: Vec<BarrierEpoch>,
+    epochs_dropped: u64,
 }
 
 /// What executing one instruction for a group did.
@@ -263,6 +284,9 @@ impl<'a> Engine<'a> {
             instrs_executed: 0,
             warps_run: 0,
             trace: None,
+            check: launch.checked,
+            prof: None,
+            last_issue_start: Ps::ZERO,
         }
     }
 
@@ -272,15 +296,36 @@ impl<'a> Engine<'a> {
         self
     }
 
+    /// Arm the dynamic racecheck (in addition to the launch's own flag).
+    pub(crate) fn with_check(mut self, check: bool) -> Self {
+        self.check |= check;
+        self
+    }
+
+    /// Enable syncprof stall attribution and per-SM counters.
+    pub(crate) fn with_profile(mut self, profile: bool) -> Self {
+        if profile {
+            self.prof = Some(ProfState {
+                sms: Vec::new(),
+                epochs: Vec::new(),
+                epochs_dropped: 0,
+            });
+        }
+        self
+    }
+
     fn cyc(&self, c: f64) -> Ps {
         Ps((c * self.ps_per_cycle).round().max(0.0) as u64)
     }
 
-    pub(crate) fn run(self) -> SimResult<ExecReport> {
-        Ok(self.run_full()?.0)
-    }
-
-    pub(crate) fn run_full(mut self) -> SimResult<(ExecReport, Vec<TraceEvent>, HazardReport)> {
+    pub(crate) fn run_full(
+        mut self,
+    ) -> SimResult<(
+        ExecReport,
+        Vec<TraceEvent>,
+        HazardReport,
+        Option<ProfileReport>,
+    )> {
         self.setup();
         while let Some((t, ev)) = self.q.pop() {
             debug_assert!(t >= self.now, "time went backwards");
@@ -309,6 +354,15 @@ impl<'a> Engine<'a> {
             .arch
             .occupancy(self.launch.block_dim, self.launch.kernel.shared_words * 8);
         let nranks = self.launch.devices.len();
+        if let Some(p) = &mut self.prof {
+            p.sms = (0..nranks)
+                .map(|rank| {
+                    (0..self.arch.num_sms)
+                        .map(|sm| SmProfile::empty(rank as u32, sm))
+                        .collect()
+                })
+                .collect();
+        }
         for (rank, &device_id) in self.launch.devices.iter().enumerate() {
             let sms = (0..self.arch.num_sms)
                 .map(|_| SmExec {
@@ -348,7 +402,7 @@ impl<'a> Engine<'a> {
                     bar_last: Ps::ZERO,
                     started: false,
                     done: false,
-                    smem: if self.launch.checked {
+                    smem: if self.check {
                         SharedMem::with_racecheck(self.launch.kernel.shared_words)
                     } else {
                         SharedMem::new(self.launch.kernel.shared_words)
@@ -365,6 +419,7 @@ impl<'a> Engine<'a> {
                 let sm = self.blocks[gb as usize].sm as usize;
                 if self.devs[rank].resident[sm] < self.devs[rank].max_resident_per_sm {
                     self.devs[rank].resident[sm] += 1;
+                    self.prof_note_resident(rank, sm);
                     self.q.push(Ps::ZERO, Ev::StartBlock(gb));
                 } else {
                     self.devs[rank].pending.push(gb);
@@ -383,6 +438,11 @@ impl<'a> Engine<'a> {
         b.warp_start = self.warps.len() as u32;
         b.live_warps = b.nwarps;
         let (rank, sm, wstart, nwarps) = (b.rank, b.sm, b.warp_start, b.nwarps);
+        if let Some(p) = &mut self.prof {
+            let c = &mut p.sms[rank as usize][sm as usize];
+            c.blocks_started += 1;
+            c.warps_started += nwarps as u64;
+        }
         for wi in 0..nwarps {
             let lanes_here = (block_dim - wi * WARP).min(WARP);
             let threads = (0..lanes_here)
@@ -404,6 +464,8 @@ impl<'a> Engine<'a> {
                 wb_width: 0,
                 blk_wait: 0,
                 blk_kind: BlockWaitKind::None,
+                wb_parked_at: Ps::ZERO,
+                blk_parked_at: Ps::ZERO,
                 last_mask: 0,
                 prev_blocked_at_warp_barrier: false,
                 coa_shfl_hot: false,
@@ -458,9 +520,17 @@ impl<'a> Engine<'a> {
         let warp = &self.warps[w as usize];
         let (rank, sm, sched) = (warp.rank as usize, warp.sm as usize, warp.sched as usize);
         let interval = self.cyc(self.arch.timing.issue_interval);
-        self.devs[rank].sms[sm].scheds[sched]
+        let start = self.devs[rank].sms[sm].scheds[sched]
             .issue(self.now, interval, Ps::ZERO)
-            .start
+            .start;
+        if let Some(p) = &mut self.prof {
+            let c = &mut p.sms[rank][sm];
+            c.stalls.issue_stall_ps += start.saturating_sub(self.now).0;
+            c.issue_busy_ps += interval.0;
+            c.instrs_issued += 1;
+        }
+        self.last_issue_start = start;
+        start
     }
 
     // ----- main step ----------------------------------------------------------
@@ -500,6 +570,12 @@ impl<'a> Engine<'a> {
             warp.prev_blocked_at_warp_barrier = false;
         }
         if !pre.is_zero() {
+            // Switch costs count as issue stall: the warp holds no unit.
+            let warp = &self.warps[w as usize];
+            let (rank, sm) = (warp.rank as usize, warp.sm as usize);
+            if let Some(p) = &mut self.prof {
+                p.sms[rank][sm].stalls.issue_stall_ps += pre.0;
+            }
             let at = self.now + pre;
             self.schedule_warp(w, at);
             return Ok(());
@@ -528,8 +604,12 @@ impl<'a> Engine<'a> {
                 });
             }
         }
+        self.last_issue_start = self.now;
         match self.exec(w, group, min_pc, instr)? {
             Step::Ready(done) => {
+                if self.prof.is_some() {
+                    self.prof_attribute_ready(w, &instr, done);
+                }
                 let warp = &self.warps[w as usize];
                 if warp.runnable() != 0 {
                     self.schedule_warp(w, done);
@@ -624,9 +704,75 @@ impl<'a> Engine<'a> {
         dev.resident[sm] -= 1;
         // Wave scheduling: start a pending block in the freed slot.
         if let Some(next) = dev.pending.pop() {
-            dev.resident[self.blocks[next as usize].sm as usize] += 1;
+            let next_sm = self.blocks[next as usize].sm as usize;
+            dev.resident[next_sm] += 1;
+            self.prof_note_resident(rank, next_sm);
             let dispatch = self.cyc(20.0);
             self.q.push(self.now + dispatch, Ev::StartBlock(next));
+        }
+    }
+
+    // ----- profile hooks -------------------------------------------------------
+
+    /// Record the current residency of `sm` as a potential high-water mark.
+    fn prof_note_resident(&mut self, rank: usize, sm: usize) {
+        if let Some(p) = &mut self.prof {
+            let resident = self.devs[rank].resident[sm];
+            let c = &mut p.sms[rank][sm];
+            c.peak_resident_blocks = c.peak_resident_blocks.max(resident);
+        }
+    }
+
+    /// Record a barrier-release instant (Perfetto instant event feed).
+    fn prof_epoch(&mut self, rank: u32, scope: SyncScope, at: Ps) {
+        if let Some(p) = &mut self.prof {
+            if p.epochs.len() < EPOCH_CAP {
+                p.epochs.push(BarrierEpoch {
+                    at_ps: at.0,
+                    rank,
+                    scope,
+                });
+            } else {
+                p.epochs_dropped += 1;
+            }
+        }
+    }
+
+    /// Attribute `ps` to a barrier-wait bucket of the warp's SM.
+    fn prof_barrier_wait(&mut self, w: u32, scope: SyncScope, ps: u64) {
+        let warp = &self.warps[w as usize];
+        let (rank, sm) = (warp.rank as usize, warp.sm as usize);
+        if let Some(p) = &mut self.prof {
+            *p.sms[rank][sm].stalls.barrier_wait_mut(scope) += ps;
+        }
+    }
+
+    /// After an instruction completed at `done`: attribute its post-issue
+    /// latency (`done - issue start`) to the bucket its class belongs to.
+    fn prof_attribute_ready(&mut self, w: u32, instr: &Instr, done: Ps) {
+        use Instr::*;
+        let warp = &self.warps[w as usize];
+        let (rank, sm) = (warp.rank as usize, warp.sm as usize);
+        let lat = done.saturating_sub(self.last_issue_start.max(self.now)).0;
+        if let Some(p) = &mut self.prof {
+            let c = &mut p.sms[rank][sm].stalls;
+            match instr {
+                LdShared { .. }
+                | StShared { .. }
+                | LdGlobal { .. }
+                | StGlobal { .. }
+                | MemStream { .. }
+                | MemCombine { .. }
+                | SmemStream { .. }
+                | MemFence => c.mem_ps += lat,
+                AtomicFAdd { .. } => c.atomic_ps += lat,
+                Nanosleep(..) => c.sleep_ps += lat,
+                // A warp barrier that completed synchronously (converged
+                // warp, or Pascal's fence semantics): its latency is barrier
+                // cost, not wait.
+                SyncTile { .. } | SyncCoalesced => c.tile_wait_ps += lat,
+                _ => c.exec_ps += lat,
+            }
         }
     }
 
@@ -1125,6 +1271,9 @@ impl<'a> Engine<'a> {
         // non-exited lanes are waiting.
         {
             let warp = &mut self.warps[w as usize];
+            if warp.wb_wait == 0 {
+                warp.wb_parked_at = self.now;
+            }
             warp.wb_wait |= group;
             warp.wb_width = width;
         }
@@ -1169,6 +1318,14 @@ impl<'a> Engine<'a> {
             tile_base += width;
         }
         if released != 0 {
+            // Wait attribution: from the warp's first parked group to the
+            // release (warp-granular; the release latency itself is counted
+            // by the synchronous-completion path).
+            if self.prof.is_some() {
+                let parked_at = self.warps[w as usize].wb_parked_at;
+                let waited = self.now.saturating_sub(parked_at).0;
+                self.prof_barrier_wait(w, SyncScope::Tile, waited);
+            }
             let latency = self.cyc(self.arch.timing.tile_sync.latency_cycles as f64);
             // Commit stores of all released lanes; each advances past its own
             // barrier site (divergent code can sync at different PCs).
@@ -1201,6 +1358,9 @@ impl<'a> Engine<'a> {
         // The whole warp (its non-exited lanes) must converge on the barrier.
         {
             let warp = &mut self.warps[w as usize];
+            if warp.blk_wait == 0 {
+                warp.blk_parked_at = self.now;
+            }
             warp.blk_wait |= group;
             warp.blk_kind = kind;
             let need = warp.present() & !warp.exited;
@@ -1254,6 +1414,10 @@ impl<'a> Engine<'a> {
         let waiting = std::mem::take(&mut self.blocks[gb as usize].bar_waiting);
         self.blocks[gb as usize].bar_arrived = 0;
         self.blocks[gb as usize].bar_last = Ps::ZERO;
+        if self.prof.is_some() {
+            let rank = self.blocks[gb as usize].rank;
+            self.prof_epoch(rank, SyncScope::Block, release);
+        }
         for w in waiting {
             self.release_warp_from_block_barrier(w, release);
         }
@@ -1262,10 +1426,21 @@ impl<'a> Engine<'a> {
     fn release_warp_from_block_barrier(&mut self, w: u32, at: Ps) {
         let warp = &mut self.warps[w as usize];
         let mask = std::mem::take(&mut warp.blk_wait);
+        let kind = warp.blk_kind;
+        let parked_at = warp.blk_parked_at;
         warp.blk_kind = BlockWaitKind::None;
         if mask == 0 {
             return;
         }
+        if self.prof.is_some() {
+            let scope = match kind {
+                BlockWaitKind::Grid => SyncScope::Grid,
+                BlockWaitKind::MultiGrid => SyncScope::MultiGrid,
+                _ => SyncScope::Block,
+            };
+            self.prof_barrier_wait(w, scope, at.saturating_sub(parked_at).0);
+        }
+        let warp = &mut self.warps[w as usize];
         let lane = mask.trailing_zeros();
         let pc = warp.threads[lane as usize].pc;
         for l in iter_lanes(mask) {
@@ -1331,6 +1506,12 @@ impl<'a> Engine<'a> {
         let l2_lat = self.cyc(self.arch.memory.l2_latency as f64);
         let waiting = std::mem::take(&mut self.devs[rank].grid_bar.waiting);
         self.devs[rank].grid_bar.arrived = 0;
+        let scope = if mgrid {
+            SyncScope::MultiGrid
+        } else {
+            SyncScope::Grid
+        };
+        self.prof_epoch(rank as u32, scope, release_flag);
         for (order, (gb, atomic_done)) in waiting.into_iter().enumerate() {
             // The leader polls every `poll` cycles from its own arrival.
             let wake_base = if release_flag <= atomic_done {
@@ -1510,7 +1691,14 @@ impl<'a> Engine<'a> {
 
     // ----- wrap-up ----------------------------------------------------------------
 
-    fn finish(mut self) -> SimResult<(ExecReport, Vec<TraceEvent>, HazardReport)> {
+    fn finish(
+        mut self,
+    ) -> SimResult<(
+        ExecReport,
+        Vec<TraceEvent>,
+        HazardReport,
+        Option<ProfileReport>,
+    )> {
         let mut blocked = Vec::new();
         for (i, b) in self.blocks.iter().enumerate() {
             if b.done {
@@ -1578,6 +1766,15 @@ impl<'a> Engine<'a> {
             }
         }
         let device_durations: Vec<Ps> = self.devs.iter().map(|d| d.end_time).collect();
+        let profile = self.prof.take().map(|p| {
+            ProfileReport::from_parts(
+                self.ps_per_cycle,
+                self.launch.kernel.name.clone(),
+                p.sms.into_iter().flatten().collect(),
+                p.epochs,
+                p.epochs_dropped,
+            )
+        });
         Ok((
             ExecReport {
                 duration: device_durations.iter().copied().max().unwrap_or(Ps::ZERO),
@@ -1588,6 +1785,7 @@ impl<'a> Engine<'a> {
             },
             self.trace.map(|(_, ev)| ev).unwrap_or_default(),
             hazards,
+            profile,
         ))
     }
 }

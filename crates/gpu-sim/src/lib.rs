@@ -13,15 +13,18 @@
 //! * DRAM/L2/shared-memory port/barrier-unit contention models, and
 //! * deadlock detection for partial-group synchronization (paper §VIII-B).
 
+pub mod chrome_trace;
 pub mod disasm;
 pub mod engine;
 pub mod isa;
 pub mod kernels;
 pub mod mem;
+pub mod profile;
 pub mod system;
 pub mod timeline;
 pub mod verify;
 
+pub use chrome_trace::export_chrome_trace;
 pub use disasm::{disassemble, instr_to_string};
 pub use engine::{HazardRecord, HazardReport, TraceEvent};
 pub use isa::{
@@ -29,6 +32,9 @@ pub use isa::{
     Special,
 };
 pub use mem::{BufData, BufId, Buffer, Hazard, HazardKind, SharedMem};
-pub use system::{ExecReport, GpuSystem, GridLaunch, LaunchKind};
+pub use profile::{
+    BarrierEpoch, KernelProfile, ProfileReport, SmProfile, StallBreakdown, SyncScope,
+};
+pub use system::{ExecReport, GpuSystem, GridLaunch, LaunchKind, RunArtifacts, RunOptions};
 pub use timeline::render_timeline;
 pub use verify::{check_kernel, check_launch, render_report, Diagnostic, HazardClass, Severity};

@@ -1,8 +1,9 @@
 //! The simulated GPU system: devices, memory, and kernel launches.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, HazardReport, TraceEvent};
 use crate::isa::Kernel;
 use crate::mem::{BufData, BufId, Buffer};
+use crate::profile::ProfileReport;
 use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
 use serde::{Deserialize, Serialize};
@@ -114,18 +115,105 @@ impl ExecReport {
     }
 }
 
+/// What to instrument during a run — the one knob set of the unified
+/// [`GpuSystem::execute`] API. Compose with the builder methods:
+///
+/// ```
+/// use gpu_sim::RunOptions;
+/// let opts = RunOptions::new().check().trace(10_000).profile();
+/// assert!(opts.wants_check() && opts.wants_profile());
+/// assert_eq!(opts.trace_cap(), Some(10_000));
+/// ```
+///
+/// None of the instruments perturb simulated timing: a checked, traced, and
+/// profiled run reports the same `ExecReport` as a bare one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    check: bool,
+    trace: Option<usize>,
+    profile: bool,
+}
+
+impl RunOptions {
+    /// No instrumentation: just validate, execute, and time the launch.
+    pub const fn new() -> RunOptions {
+        RunOptions {
+            check: false,
+            trace: None,
+            profile: false,
+        }
+    }
+
+    /// Arm synchronization checking: the static [`crate::verify`] lint runs
+    /// at validation (error-severity findings reject the launch) and the
+    /// dynamic shared-memory racecheck records hazards into
+    /// [`RunArtifacts::hazards`].
+    pub const fn check(mut self) -> RunOptions {
+        self.check = true;
+        self
+    }
+
+    /// Record up to `max_events` executed instructions into
+    /// [`RunArtifacts::trace`].
+    pub const fn trace(mut self, max_events: usize) -> RunOptions {
+        self.trace = Some(max_events);
+        self
+    }
+
+    /// Collect syncprof stall attribution and per-SM counters into
+    /// [`RunArtifacts::profile`].
+    pub const fn profile(mut self) -> RunOptions {
+        self.profile = true;
+        self
+    }
+
+    pub const fn wants_check(&self) -> bool {
+        self.check
+    }
+
+    pub const fn trace_cap(&self) -> Option<usize> {
+        self.trace
+    }
+
+    pub const fn wants_profile(&self) -> bool {
+        self.profile
+    }
+}
+
+/// Everything a run produced. `report` is always present; the optional
+/// instruments are `Some` exactly when the corresponding [`RunOptions`]
+/// switch (or the launch's own `checked` flag) was set.
+#[derive(Debug, Clone)]
+pub struct RunArtifacts {
+    pub report: ExecReport,
+    /// Dynamic racecheck findings (`Some` iff checking was armed; empty
+    /// records mean the run was racecheck-clean).
+    pub hazards: Option<HazardReport>,
+    /// Recorded execution steps (`Some` iff tracing was requested).
+    pub trace: Option<Vec<TraceEvent>>,
+    /// Syncprof counters (`Some` iff profiling was requested).
+    pub profile: Option<ProfileReport>,
+}
+
+impl RunArtifacts {
+    /// Whether no hazard evidence was collected: checking either wasn't
+    /// armed, or was armed and found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.hazards.as_ref().is_none_or(|h| h.is_clean())
+    }
+}
+
 /// A node of simulated GPUs with its interconnect and all device memory.
 ///
 /// ```
-/// use gpu_sim::{GpuSystem, GridLaunch, kernels};
+/// use gpu_sim::{GpuSystem, GridLaunch, RunOptions, kernels};
 /// use gpu_arch::GpuArch;
 ///
 /// let mut arch = GpuArch::v100();
 /// arch.num_sms = 2;
 /// let mut sys = GpuSystem::single(arch);
-/// let report = sys
-///     .run(&GridLaunch::single(kernels::null_kernel(), 4, 64, vec![]))
-///     .unwrap();
+/// let launch = GridLaunch::single(kernels::null_kernel(), 4, 64, vec![]);
+/// let report = sys.execute(&launch, &RunOptions::new()).unwrap().report;
 /// assert_eq!(report.blocks_run, 4);
 /// assert_eq!(report.warps_run, 8);
 /// ```
@@ -232,64 +320,81 @@ impl GpuSystem {
         (0..b.len()).map(|i| b.load(i).unwrap()).collect()
     }
 
-    /// Validate and execute a grid launch to completion, returning its
-    /// device-side timing. Host-side launch overheads are *not* included —
-    /// they belong to the `cuda-rt` stream model.
+    /// Validate and execute a grid launch to completion — the single
+    /// execution entry point. Host-side launch overheads are *not* included
+    /// — they belong to the `cuda-rt` stream model.
+    ///
+    /// Instrumentation (checking, tracing, profiling) is selected by `opts`;
+    /// see [`RunOptions`]. A launch built with [`GridLaunch::checked`] arms
+    /// checking regardless of `opts`. Detected hazards always come back as
+    /// *data* in [`RunArtifacts::hazards`] — `execute` only errors on
+    /// invalid launches, faults, deadlock, or static-lint rejections.
+    pub fn execute(&mut self, launch: &GridLaunch, opts: &RunOptions) -> SimResult<RunArtifacts> {
+        let check = opts.wants_check() || launch.checked;
+        self.validate_with(launch, check)?;
+        let mut engine = Engine::new(self, launch)
+            .with_check(check)
+            .with_profile(opts.wants_profile());
+        if let Some(cap) = opts.trace_cap() {
+            engine = engine.with_trace(cap);
+        }
+        let (report, trace, hazards, profile) = engine.run_full()?;
+        Ok(RunArtifacts {
+            report,
+            hazards: if check { Some(hazards) } else { None },
+            trace: if opts.trace_cap().is_some() {
+                Some(trace)
+            } else {
+                None
+            },
+            profile,
+        })
+    }
+
+    /// Validate and execute a grid launch, returning its device-side timing.
     ///
     /// For a [`GridLaunch::checked`] launch, any detected shared-memory
-    /// hazard fails the run with [`SimError::ProgramError`]; callers that
-    /// want the hazards themselves use [`Self::run_checked`].
+    /// hazard fails the run with [`SimError::ProgramError`].
+    #[deprecated(note = "use `GpuSystem::execute` with `RunOptions::new()`")]
     pub fn run(&mut self, launch: &GridLaunch) -> SimResult<ExecReport> {
-        self.validate(launch)?;
+        let arts = self.execute(launch, &RunOptions::new())?;
         if launch.checked {
-            let (report, _, hazards) = Engine::new(self, launch).run_full()?;
-            if !hazards.is_clean() {
-                return Err(SimError::ProgramError(format!(
-                    "kernel {:?}: {}",
-                    launch.kernel.name,
-                    hazards.render(&launch.kernel.program)
-                )));
+            if let Some(hazards) = &arts.hazards {
+                if !hazards.is_clean() {
+                    return Err(SimError::ProgramError(format!(
+                        "kernel {:?}: {}",
+                        launch.kernel.name,
+                        hazards.render(&launch.kernel.program)
+                    )));
+                }
             }
-            Ok(report)
-        } else {
-            Engine::new(self, launch).run()
         }
+        Ok(arts.report)
     }
 
     /// Run with synchronization checking forced on, returning the hazard
-    /// report instead of failing: the static lint still rejects
-    /// error-severity findings at validation, but dynamic hazards come back
-    /// as data for the caller to render or assert on.
+    /// report as data.
+    #[deprecated(note = "use `GpuSystem::execute` with `RunOptions::new().check()`")]
     pub fn run_checked(
         &mut self,
         launch: &GridLaunch,
     ) -> SimResult<(ExecReport, crate::engine::HazardReport)> {
-        let launch = if launch.checked {
-            launch.clone()
-        } else {
-            launch.clone().checked()
-        };
-        self.validate(&launch)?;
-        let (report, _, hazards) = Engine::new(self, &launch).run_full()?;
-        Ok((report, hazards))
+        let arts = self.execute(launch, &RunOptions::new().check())?;
+        Ok((arts.report, arts.hazards.expect("checking was armed")))
     }
 
-    /// [`Self::run`] with an execution trace: records up to `max_events`
-    /// executed instructions (time, warp, lane mask, pc, instruction) for
-    /// debugging kernel builders. Pair with [`crate::disasm`] for rendering.
+    /// Run with an execution trace of up to `max_events` instructions.
+    #[deprecated(note = "use `GpuSystem::execute` with `RunOptions::new().trace(max_events)`")]
     pub fn run_traced(
         &mut self,
         launch: &GridLaunch,
         max_events: usize,
     ) -> SimResult<(ExecReport, Vec<crate::engine::TraceEvent>)> {
-        self.validate(launch)?;
-        let (report, trace, _) = Engine::new(self, launch)
-            .with_trace(max_events)
-            .run_full()?;
-        Ok((report, trace))
+        let arts = self.execute(launch, &RunOptions::new().trace(max_events))?;
+        Ok((arts.report, arts.trace.expect("tracing was armed")))
     }
 
-    fn validate(&self, launch: &GridLaunch) -> SimResult<()> {
+    fn validate_with(&self, launch: &GridLaunch, check: bool) -> SimResult<()> {
         if launch.devices.is_empty() {
             return Err(SimError::InvalidLaunch("no devices".into()));
         }
@@ -380,7 +485,7 @@ impl GpuSystem {
         // divergent barrier, an out-of-bounds constant shared address, an
         // unbound parameter slot, a wild branch) reject the launch the way
         // CUDA's runtime rejects an illegal cooperative launch.
-        if launch.checked {
+        if check {
             let bound = launch.params.iter().map(|p| p.len()).min().unwrap_or(0);
             let diags = crate::verify::check_launch(&launch.kernel, bound);
             if crate::verify::has_errors(&diags) {
@@ -448,28 +553,38 @@ mod tests {
         assert_eq!(f64::from_bits(sys.buffer(b).load(4).unwrap()), 4.0);
     }
 
+    fn exec(sys: &mut GpuSystem, l: &GridLaunch) -> SimResult<RunArtifacts> {
+        sys.execute(l, &RunOptions::new())
+    }
+
     #[test]
     fn validate_rejects_bad_configs() {
         let mut sys = GpuSystem::single(GpuArch::v100());
         let k = null_kernel();
         // zero grid
         let l = GridLaunch::single(k.clone(), 0, 32, vec![]);
-        assert!(matches!(sys.run(&l), Err(SimError::InvalidLaunch(_))));
+        assert!(matches!(
+            exec(&mut sys, &l),
+            Err(SimError::InvalidLaunch(_))
+        ));
         // oversized block
         let l = GridLaunch::single(k.clone(), 1, 2048, vec![]);
-        assert!(sys.run(&l).is_err());
+        assert!(exec(&mut sys, &l).is_err());
         // bad device
         let l = GridLaunch::single(k, 1, 32, vec![]).on_device(3);
-        assert!(sys.run(&l).is_err());
+        assert!(exec(&mut sys, &l).is_err());
     }
 
     #[test]
     fn grid_sync_requires_cooperative_launch() {
         let mut sys = GpuSystem::single(GpuArch::v100());
         let l = GridLaunch::single(grid_sync_kernel(), 8, 32, vec![]);
-        assert!(matches!(sys.run(&l), Err(SimError::InvalidLaunch(_))));
+        assert!(matches!(
+            exec(&mut sys, &l),
+            Err(SimError::InvalidLaunch(_))
+        ));
         let l = GridLaunch::single(grid_sync_kernel(), 8, 32, vec![]).cooperative();
-        assert!(sys.run(&l).is_ok());
+        assert!(exec(&mut sys, &l).is_ok());
     }
 
     #[test]
@@ -477,17 +592,25 @@ mod tests {
         let mut sys = GpuSystem::single(GpuArch::v100());
         // 1024-thread blocks: 2 per SM * 80 SMs = 160 max.
         let l = GridLaunch::single(grid_sync_kernel(), 161, 1024, vec![]).cooperative();
-        assert!(matches!(sys.run(&l), Err(SimError::InvalidLaunch(_))));
+        assert!(matches!(
+            exec(&mut sys, &l),
+            Err(SimError::InvalidLaunch(_))
+        ));
         let l = GridLaunch::single(grid_sync_kernel(), 160, 1024, vec![]).cooperative();
-        assert!(sys.run(&l).is_ok());
+        assert!(exec(&mut sys, &l).is_ok());
     }
 
     #[test]
     fn traditional_launch_may_oversubscribe() {
         let mut sys = GpuSystem::single(GpuArch::v100());
         let l = GridLaunch::single(null_kernel(), 10_000, 256, vec![]);
-        let r = sys.run(&l).unwrap();
-        assert_eq!(r.blocks_run, 10_000);
+        let arts = exec(&mut sys, &l).unwrap();
+        assert_eq!(arts.report.blocks_run, 10_000);
+        // Nothing was asked for beyond the report.
+        assert!(arts.hazards.is_none());
+        assert!(arts.trace.is_none());
+        assert!(arts.profile.is_none());
+        assert!(arts.is_clean());
     }
 
     #[test]
@@ -497,9 +620,9 @@ mod tests {
         b.multi_grid_sync();
         let k = b.build(0);
         let l = GridLaunch::single(k.clone(), 8, 32, vec![]).cooperative();
-        assert!(sys.run(&l).is_err());
+        assert!(exec(&mut sys, &l).is_err());
         let l = GridLaunch::multi(k, 8, 32, vec![0, 1], vec![vec![], vec![]]);
-        assert!(sys.run(&l).is_ok());
+        assert!(exec(&mut sys, &l).is_ok());
     }
 
     #[test]
@@ -515,19 +638,25 @@ mod tests {
         b.exit();
         let k = b.build(0);
         // Unchecked: the engine itself tolerates this (lanes converge on the
-        // barrier's warp arrival rules), so only `checked()` rejects it.
-        let l = GridLaunch::single(k, 1, 32, vec![]).checked();
-        match sys.run(&l) {
-            Err(SimError::InvalidLaunch(msg)) => {
-                assert!(msg.contains("barrier-divergence"), "{msg}");
-                assert!(msg.contains("bar.sync"), "{msg}");
+        // barrier's warp arrival rules), so only checking rejects it. Arm
+        // checking both ways: via options and via the legacy launch flag.
+        let l = GridLaunch::single(k, 1, 32, vec![]);
+        for (launch, opts) in [
+            (l.clone(), RunOptions::new().check()),
+            (l.checked(), RunOptions::new()),
+        ] {
+            match sys.execute(&launch, &opts) {
+                Err(SimError::InvalidLaunch(msg)) => {
+                    assert!(msg.contains("barrier-divergence"), "{msg}");
+                    assert!(msg.contains("bar.sync"), "{msg}");
+                }
+                other => panic!("expected InvalidLaunch, got {other:?}"),
             }
-            other => panic!("expected InvalidLaunch, got {other:?}"),
         }
     }
 
     #[test]
-    fn checked_run_surfaces_smem_race() {
+    fn checked_execute_surfaces_smem_race() {
         use crate::isa::{Instr, Operand::*, Special};
         let mut sys = GpuSystem::single(GpuArch::v100());
         let mut b = KernelBuilder::new("smemrace");
@@ -541,26 +670,23 @@ mod tests {
         b.exit();
         let k = b.build(1);
         let l = GridLaunch::single(k, 1, 32, vec![]);
-        let (_, hazards) = sys.run_checked(&l).unwrap();
+        let arts = sys.execute(&l, &RunOptions::new().check()).unwrap();
+        assert!(!arts.is_clean());
+        let hazards = arts.hazards.expect("checking was armed");
         assert!(!hazards.is_clean());
         assert!(hazards
             .records
             .iter()
             .all(|r| r.hazard.kind == crate::mem::HazardKind::Waw));
         assert_eq!(hazards.records[0].hazard.pc, Some(0));
-        // `run` on the checked launch turns the same hazards into an error.
-        match sys.run(&l.clone().checked()) {
-            Err(SimError::ProgramError(msg)) => {
-                assert!(msg.contains("write-after-write"), "{msg}")
-            }
-            other => panic!("expected ProgramError, got {other:?}"),
-        }
-        // Unchecked, the race is silent.
-        assert!(sys.run(&l).is_ok());
+        // Unchecked, no hazard evidence is collected at all.
+        let arts = sys.execute(&l, &RunOptions::new()).unwrap();
+        assert!(arts.hazards.is_none());
+        assert!(arts.is_clean());
     }
 
     #[test]
-    fn racecheck_does_not_perturb_timing() {
+    fn racecheck_and_profiling_do_not_perturb_timing() {
         use crate::isa::{Instr, Operand::*, Special};
         let mut sys = GpuSystem::single(GpuArch::v100());
         // Racecheck-clean: private slots, a block barrier, then a
@@ -582,10 +708,13 @@ mod tests {
         b.exit();
         let k = b.build(64);
         let l = GridLaunch::single(k, 4, 64, vec![]);
-        let plain = sys.run(&l).unwrap();
-        let (checked, hazards) = sys.run_checked(&l).unwrap();
-        assert!(hazards.is_clean(), "{hazards:?}");
-        assert_eq!(plain, checked, "checking must not change timing");
+        let plain = sys.execute(&l, &RunOptions::new()).unwrap().report;
+        let checked = sys.execute(&l, &RunOptions::new().check()).unwrap();
+        assert!(checked.hazards.as_ref().unwrap().is_clean());
+        assert_eq!(plain, checked.report, "checking must not change timing");
+        let profiled = sys.execute(&l, &RunOptions::new().profile()).unwrap();
+        assert!(profiled.profile.is_some());
+        assert_eq!(plain, profiled.report, "profiling must not change timing");
     }
 
     #[test]
@@ -601,13 +730,50 @@ mod tests {
         });
         b.exit();
         let k = b.build(0);
-        let l = GridLaunch::single(k, 1, 32, vec![]).checked();
-        match sys.run(&l) {
+        let l = GridLaunch::single(k, 1, 32, vec![]);
+        match sys.execute(&l, &RunOptions::new().check()) {
             Err(SimError::InvalidLaunch(msg)) => {
                 assert!(msg.contains("unbound-param"), "{msg}")
             }
             other => panic!("expected InvalidLaunch, got {other:?}"),
         }
+    }
+
+    /// The deprecated `run`/`run_checked`/`run_traced` trio must keep its
+    /// historical behaviour while delegating to [`GpuSystem::execute`].
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_execute() {
+        use crate::isa::{Instr, Operand::*, Special};
+        let mut sys = GpuSystem::single(GpuArch::v100());
+        let l = GridLaunch::single(null_kernel(), 4, 64, vec![]);
+        let via_execute = sys.execute(&l, &RunOptions::new()).unwrap().report;
+        assert_eq!(sys.run(&l).unwrap(), via_execute);
+        let traced = sys.run_traced(&l, 1_000).unwrap();
+        assert_eq!(traced.0, via_execute);
+        assert!(!traced.1.is_empty());
+
+        // A racy kernel: run_checked hands back the evidence, while `run` on
+        // a `.checked()` launch keeps the legacy error-on-hazard contract.
+        let mut b = KernelBuilder::new("smemrace");
+        b.push(Instr::StShared {
+            addr: Imm(0),
+            val: Sp(Special::Tid),
+            volatile: false,
+            pred: None,
+        });
+        b.exit();
+        let racy = GridLaunch::single(b.build(1), 1, 32, vec![]);
+        let (_, hazards) = sys.run_checked(&racy).unwrap();
+        assert!(!hazards.is_clean());
+        match sys.run(&racy.clone().checked()) {
+            Err(SimError::ProgramError(msg)) => {
+                assert!(msg.contains("write-after-write"), "{msg}")
+            }
+            other => panic!("expected ProgramError, got {other:?}"),
+        }
+        // Unchecked, the race is silent.
+        assert!(sys.run(&racy).is_ok());
     }
 
     #[test]

@@ -28,9 +28,25 @@ fn glyph(i: &Instr) -> char {
     }
 }
 
+/// Rank of a glyph when several instructions land in the same cell:
+/// synchronization beats memory beats plain ALU/control — a column that saw
+/// a barrier must *show* the barrier.
+fn priority(g: char) -> u8 {
+    match g {
+        // sync: block/grid/mgrid barriers, warp sync, shuffles, fences.
+        'B' | 'G' | 'M' | 'w' | 'h' | 'f' => 3,
+        // memory: shared, global, atomics.
+        's' | 'g' | 'A' => 2,
+        '.' => 0,
+        // alu / branch / sleep / clock.
+        _ => 1,
+    }
+}
+
 /// Render `events` into a timeline of `width` character-columns. One row per
-/// (rank, block, warp); each cell shows the *last* instruction class that
-/// warp issued in that time slice, `.` where it issued nothing.
+/// (rank, block, warp); when several instructions land in the same time
+/// slice the cell keeps the highest-priority class (sync > memory > alu;
+/// ties keep the latest), `.` where the warp issued nothing.
 pub fn render_timeline(events: &[TraceEvent], width: usize) -> String {
     assert!(width >= 10, "timeline too narrow");
     if events.is_empty() {
@@ -45,13 +61,17 @@ pub fn render_timeline(events: &[TraceEvent], width: usize) -> String {
             .entry((e.rank, e.block, e.warp_in_block))
             .or_insert_with(|| vec!['.'; width]);
         let col = (((e.at - t0).0 as u128 * (width - 1) as u128) / span as u128) as usize;
-        row[col] = glyph(&e.instr);
+        let g = glyph(&e.instr);
+        if priority(g) >= priority(row[col]) {
+            row[col] = g;
+        }
     }
     let mut out = String::new();
     let _ = writeln!(
         out,
         "timeline: {} .. {} ({} events; a=alu b=branch s=smem g=gmem A=atomic \
-         h=shfl w=warp-sync B=block-sync G=grid-sync M=mgrid-sync f=fence z=sleep c=clock)",
+         h=shfl w=warp-sync B=block-sync G=grid-sync M=mgrid-sync f=fence z=sleep c=clock; \
+         cells merge sync > memory > alu)",
         t0,
         t1,
         events.len()
@@ -69,8 +89,9 @@ pub fn render_timeline(events: &[TraceEvent], width: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::isa::Operand;
     use crate::kernels;
-    use crate::{GpuSystem, GridLaunch};
+    use crate::{GpuSystem, GridLaunch, RunOptions};
     use gpu_arch::GpuArch;
 
     #[test]
@@ -80,8 +101,13 @@ mod tests {
         let mut sys = GpuSystem::single(arch);
         let out = sys.alloc(0, 4 * 64);
         let k = kernels::sync_chain(crate::kernels::SyncOp::Block, 8);
-        let (_, trace) = sys
-            .run_traced(&GridLaunch::single(k, 4, 64, vec![out.0 as u64]), 10_000)
+        let trace = sys
+            .execute(
+                &GridLaunch::single(k, 4, 64, vec![out.0 as u64]),
+                &RunOptions::new().trace(10_000),
+            )
+            .unwrap()
+            .trace
             .unwrap();
         let tl = render_timeline(&trace, 60);
         assert!(tl.contains('B'), "no block-sync glyph:\n{tl}");
@@ -101,10 +127,52 @@ mod tests {
         arch.num_sms = 1;
         let mut sys = GpuSystem::single(arch);
         let k = kernels::sleep_kernel(10_000);
-        let (_, trace) = sys
-            .run_traced(&GridLaunch::single(k, 1, 32, vec![]), 100)
+        let trace = sys
+            .execute(
+                &GridLaunch::single(k, 1, 32, vec![]),
+                &RunOptions::new().trace(100),
+            )
+            .unwrap()
+            .trace
             .unwrap();
         let tl = render_timeline(&trace, 40);
         assert!(tl.contains('z'), "{tl}");
+    }
+
+    #[test]
+    fn cells_merge_by_priority_not_arrival_order() {
+        use sim_core::Ps;
+        // Three events from one warp land in the same cell: a barrier, then
+        // a load, then an add. Last-write-wins would show 'a'; priority
+        // merging must keep 'B'.
+        let mk = |at: u64, instr: Instr| TraceEvent {
+            at: Ps(at),
+            rank: 0,
+            sm: 0,
+            block: 0,
+            warp_in_block: 0,
+            lanes: u32::MAX,
+            pc: 0,
+            instr,
+        };
+        // A far-away tail event stretches the span so the first three share
+        // column 0.
+        let events = vec![
+            mk(0, Instr::BarSync),
+            mk(
+                1,
+                Instr::LdShared {
+                    dst: 0,
+                    addr: Operand::Imm(0),
+                    volatile: false,
+                },
+            ),
+            mk(2, Instr::IAdd(0, Operand::Imm(1), Operand::Imm(2))),
+            mk(1_000_000, Instr::Exit),
+        ];
+        let tl = render_timeline(&events, 40);
+        let row = tl.lines().nth(1).unwrap();
+        let first_cell = row.split('|').nth(1).unwrap().chars().next().unwrap();
+        assert_eq!(first_cell, 'B', "{tl}");
     }
 }

@@ -5,8 +5,19 @@ use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
 use gpu_sim::isa::{Instr, KernelBuilder, Operand::*, ShflKind, ShflMode, Special};
 use gpu_sim::kernels::{self, SyncOp};
-use gpu_sim::{fimm, GpuSystem, GridLaunch};
+use gpu_sim::{fimm, GpuSystem, GridLaunch, RunOptions};
 use sim_core::SimError;
+
+/// Test-local shim keeping the old `run(&launch)` result shape on top of the
+/// unified [`GpuSystem::execute`] API.
+trait RunShim {
+    fn run_plain(&mut self, l: &GridLaunch) -> sim_core::SimResult<gpu_sim::ExecReport>;
+}
+impl RunShim for GpuSystem {
+    fn run_plain(&mut self, l: &GridLaunch) -> sim_core::SimResult<gpu_sim::ExecReport> {
+        self.execute(l, &RunOptions::new()).map(|a| a.report)
+    }
+}
 
 fn v100_small(sms: u32) -> GpuArch {
     let mut a = GpuArch::v100();
@@ -35,7 +46,7 @@ fn threads_write_their_global_ids() {
     b.exit();
     let k = b.build(0);
     let l = GridLaunch::single(k, 4, 64, vec![out.0 as u64]);
-    sys.run(&l).unwrap();
+    sys.run_plain(&l).unwrap();
     let vals = sys.read_u64(out);
     assert_eq!(vals, (0u64..256).collect::<Vec<_>>());
 }
@@ -59,7 +70,7 @@ fn loop_counts_to_ten() {
     });
     b.exit();
     let k = b.build(0);
-    sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
+    sys.run_plain(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
         .unwrap();
     assert!(sys.read_u64(out).iter().all(|&v| v == 10));
 }
@@ -79,7 +90,7 @@ fn float_math_works() {
         val: Reg(r),
     });
     b.exit();
-    sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
+    sys.run_plain(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
         .unwrap();
     assert_eq!(sys.read_f64(out)[0], 7.5);
 }
@@ -104,7 +115,7 @@ fn shuffle_down_moves_values() {
         val: Reg(r),
     });
     b.exit();
-    sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
+    sys.run_plain(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
         .unwrap();
     let vals = sys.read_u64(out);
     // lane L gets lane L+4's value; top 4 lanes keep their own.
@@ -126,7 +137,7 @@ fn memstream_sums_match_on_both_backings() {
     let out = sys.alloc(0, 2 * 64);
     let k = kernels::stream_kernel(1);
     let l = GridLaunch::single(k, 2, 64, vec![data.0 as u64, n, out.0 as u64]);
-    sys.run(&l).unwrap();
+    sys.run_plain(&l).unwrap();
     let total: f64 = sys.read_f64(out).iter().sum();
     assert!(
         (total - expect).abs() < 1e-6 * expect.max(1.0),
@@ -145,7 +156,7 @@ fn wong_chain_recovers_fadd32_latency() {
         let out = sys.alloc(0, 32);
         let reps = 512;
         let k = kernels::fadd32_chain(reps);
-        sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
+        sys.run_plain(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
             .unwrap();
         let cycles = sys.read_u64(out)[0] as f64;
         let per = cycles / reps as f64;
@@ -164,7 +175,7 @@ fn tile_sync_latency_near_table2() {
         let out = sys.alloc(0, 32);
         let reps = 128;
         let k = kernels::sync_chain(SyncOp::Tile(32), reps);
-        sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
+        sys.run_plain(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
             .unwrap();
         let per = sys.read_u64(out)[0] as f64 / reps as f64;
         assert!(
@@ -182,7 +193,7 @@ fn tile_sync_latency_insensitive_to_group_size() {
         let mut sys = GpuSystem::single(v100_small(1));
         let out = sys.alloc(0, 32);
         let k = kernels::sync_chain(SyncOp::Tile(width), 64);
-        sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
+        sys.run_plain(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
             .unwrap();
         per_width.push(sys.read_u64(out)[0] as f64 / 64.0);
     }
@@ -197,7 +208,7 @@ fn partial_coalesced_sync_is_slow_on_volta_only() {
     let mut sys = GpuSystem::single(v100_small(1));
     let out = sys.alloc(0, 32);
     let k = kernels::coalesced_partial_chain(16, 64);
-    sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
+    sys.run_plain(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
         .unwrap();
     let per = sys.read_u64(out)[0] as f64 / 64.0;
     assert!(
@@ -208,7 +219,7 @@ fn partial_coalesced_sync_is_slow_on_volta_only() {
     let mut sys = GpuSystem::single(p100_small(1));
     let out = sys.alloc(0, 32);
     let k = kernels::coalesced_partial_chain(16, 64);
-    sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
+    sys.run_plain(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
         .unwrap();
     let per = sys.read_u64(out)[0] as f64 / 64.0;
     assert!(per < 5.0, "P100 partial coalesced {per:.1}");
@@ -222,7 +233,7 @@ fn block_sync_latency_near_table2() {
         let out = sys.alloc(0, 32);
         let reps = 64;
         let k = kernels::sync_chain(SyncOp::Block, reps);
-        sys.run(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
+        sys.run_plain(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]))
             .unwrap();
         let per = sys.read_u64(out)[0] as f64 / reps as f64;
         assert!(
@@ -240,7 +251,7 @@ fn block_sync_scales_with_warp_count() {
         let mut sys = GpuSystem::single(v100_small(1));
         let out = sys.alloc(0, threads as u64);
         let k = kernels::sync_chain(SyncOp::Block, 32);
-        sys.run(&GridLaunch::single(k, 1, threads, vec![out.0 as u64]))
+        sys.run_plain(&GridLaunch::single(k, 1, threads, vec![out.0 as u64]))
             .unwrap();
         let per = sys.read_u64(out)[0] as f64 / 32.0;
         lat.push(per);
@@ -295,7 +306,7 @@ fn grid_sync_completes_and_orders_memory() {
     b.exit();
     let k = b.build(0);
     let l = GridLaunch::single(k, 4, 32, vec![buf.0 as u64, out.0 as u64]).cooperative();
-    sys.run(&l).unwrap();
+    sys.run_plain(&l).unwrap();
     assert_eq!(sys.read_u64(out), vec![43, 44, 45, 45]);
 }
 
@@ -309,7 +320,7 @@ fn grid_sync_latency_grows_with_blocks_per_sm() {
         let out = sys.alloc(0, (80 * bpsm * 32) as u64);
         let k = kernels::sync_chain(SyncOp::Grid, 4);
         let l = GridLaunch::single(k, 80 * bpsm, 32, vec![out.0 as u64]).cooperative();
-        sys.run(&l).unwrap();
+        sys.run_plain(&l).unwrap();
         by_blocks.push(sys.read_u64(out)[0] as f64 / 4.0);
     }
     assert!(
@@ -331,7 +342,7 @@ fn multi_grid_sync_runs_on_two_gpus() {
         vec![0, 1],
         vec![vec![out0.0 as u64], vec![out1.0 as u64]],
     );
-    let r = sys.run(&l).unwrap();
+    let r = sys.run_plain(&l).unwrap();
     // Multi-grid across NVLink costs several microseconds per round.
     assert!(r.duration.as_us() > 5.0, "duration {}", r.duration);
     assert_eq!(r.device_durations.len(), 2);
@@ -354,7 +365,7 @@ fn partial_grid_sync_deadlocks() {
     b.exit();
     let k = b.build(0);
     let l = GridLaunch::single(k, 4, 32, vec![]).cooperative();
-    match sys.run(&l) {
+    match sys.run_plain(&l) {
         Err(SimError::Deadlock { blocked, .. }) => {
             assert!(
                 blocked.iter().any(|s| s.contains("grid barrier")),
@@ -378,7 +389,7 @@ fn partial_multi_grid_sync_deadlocks() {
     b.exit();
     let k = b.build(0);
     let l = GridLaunch::multi(k, 2, 32, vec![0, 1], vec![vec![], vec![]]);
-    assert!(matches!(sys.run(&l), Err(SimError::Deadlock { .. })));
+    assert!(matches!(sys.run_plain(&l), Err(SimError::Deadlock { .. })));
 }
 
 #[test]
@@ -395,7 +406,7 @@ fn block_sync_with_exited_threads_does_not_deadlock() {
     b.exit();
     let k = b.build(0);
     let l = GridLaunch::single(k, 1, 64, vec![]);
-    sys.run(&l).unwrap();
+    sys.run_plain(&l).unwrap();
 }
 
 #[test]
@@ -409,7 +420,8 @@ fn warp_barrier_with_exited_lanes_completes() {
     b.label("out");
     b.exit();
     let k = b.build(0);
-    sys.run(&GridLaunch::single(k, 1, 32, vec![])).unwrap();
+    sys.run_plain(&GridLaunch::single(k, 1, 32, vec![]))
+        .unwrap();
 }
 
 // ---------- §VIII-A / Fig. 18: does a warp barrier actually block? ---------------
@@ -420,7 +432,7 @@ fn warp_probe_v100_blocks_until_last_arrival() {
     let starts_buf = sys.alloc(0, 32);
     let ends_buf = sys.alloc(0, 32);
     let k = kernels::warp_probe();
-    sys.run(&GridLaunch::single(
+    sys.run_plain(&GridLaunch::single(
         k,
         1,
         32,
@@ -458,7 +470,7 @@ fn warp_probe_p100_does_not_block() {
     let starts_buf = sys.alloc(0, 32);
     let ends_buf = sys.alloc(0, 32);
     let k = kernels::warp_probe();
-    sys.run(&GridLaunch::single(
+    sys.run_plain(&GridLaunch::single(
         k,
         1,
         32,
@@ -486,7 +498,9 @@ fn warp_probe_p100_does_not_block() {
 fn nanosleep_controls_kernel_duration() {
     let mut sys = GpuSystem::single(v100_small(1));
     let k = kernels::sleep_kernel(10_000); // 10 us
-    let r = sys.run(&GridLaunch::single(k, 1, 32, vec![])).unwrap();
+    let r = sys
+        .run_plain(&GridLaunch::single(k, 1, 32, vec![]))
+        .unwrap();
     assert!((r.duration.as_us() - 10.0).abs() < 0.5, "{}", r.duration);
 }
 
@@ -494,7 +508,9 @@ fn nanosleep_controls_kernel_duration() {
 fn report_counts_blocks_and_warps() {
     let mut sys = GpuSystem::single(v100_small(2));
     let k = kernels::null_kernel();
-    let r = sys.run(&GridLaunch::single(k, 6, 128, vec![])).unwrap();
+    let r = sys
+        .run_plain(&GridLaunch::single(k, 6, 128, vec![]))
+        .unwrap();
     assert_eq!(r.blocks_run, 6);
     assert_eq!(r.warps_run, 6 * 4);
 }

@@ -5,8 +5,19 @@ use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
 use gpu_sim::isa::{Instr, KernelBuilder, Operand::*, ShflKind, ShflMode, Special};
 use gpu_sim::kernels::{self, SyncOp};
-use gpu_sim::{fimm, GpuSystem, GridLaunch};
+use gpu_sim::{fimm, GpuSystem, GridLaunch, RunOptions};
 use sim_core::SimError;
+
+/// Test-local shim keeping the old `run(&launch)` result shape on top of the
+/// unified [`GpuSystem::execute`] API.
+trait RunShim {
+    fn run_plain(&mut self, l: &GridLaunch) -> sim_core::SimResult<gpu_sim::ExecReport>;
+}
+impl RunShim for GpuSystem {
+    fn run_plain(&mut self, l: &GridLaunch) -> sim_core::SimResult<gpu_sim::ExecReport> {
+        self.execute(l, &RunOptions::new()).map(|a| a.report)
+    }
+}
 
 fn v100(sms: u32) -> GpuArch {
     let mut a = GpuArch::v100();
@@ -36,7 +47,7 @@ fn shuffle_idx_broadcasts_a_lane() {
         val: Reg(r),
     });
     b.exit();
-    sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
+    sys.run_plain(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
         .unwrap();
     assert!(sys.read_u64(out).iter().all(|&v| v == 7));
 }
@@ -62,7 +73,7 @@ fn shuffle_idx_respects_tile_width() {
         val: Reg(r),
     });
     b.exit();
-    sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
+    sys.run_plain(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
         .unwrap();
     let v = sys.read_u64(out);
     for lane in 0..32u64 {
@@ -98,7 +109,7 @@ fn predicated_store_skips_false_lanes() {
         val: Reg(v),
     });
     b.exit();
-    sys.run(&GridLaunch::single(b.build(32), 1, 32, vec![out.0 as u64]))
+    sys.run_plain(&GridLaunch::single(b.build(32), 1, 32, vec![out.0 as u64]))
         .unwrap();
     let got = sys.read_u64(out);
     for (t, &g) in got.iter().enumerate().take(32) {
@@ -125,7 +136,7 @@ fn atomic_fadd_returns_old_values_in_order() {
         val: Reg(o),
     });
     b.exit();
-    sys.run(&GridLaunch::single(
+    sys.run_plain(&GridLaunch::single(
         b.build(0),
         1,
         32,
@@ -153,7 +164,7 @@ fn i2f_converts_integers() {
         val: Reg(r),
     });
     b.exit();
-    sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
+    sys.run_plain(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
         .unwrap();
     let v = sys.read_f64(out);
     for (t, &x) in v.iter().enumerate().take(32) {
@@ -191,7 +202,7 @@ fn volatile_loads_see_volatile_stores_across_threads() {
         val: Reg(v),
     });
     b.exit();
-    sys.run(&GridLaunch::single(b.build(4), 1, 32, vec![out.0 as u64]))
+    sys.run_plain(&GridLaunch::single(b.build(4), 1, 32, vec![out.0 as u64]))
         .unwrap();
     // Lane 0 executes the store arm first (lowest PC group ordering), so by
     // the time the other lanes load, the value is committed.
@@ -214,7 +225,7 @@ fn partial_last_warp_runs_correctly() {
     b.bar_sync();
     b.exit();
     let r = sys
-        .run(&GridLaunch::single(b.build(0), 1, 70, vec![out.0 as u64]))
+        .run_plain(&GridLaunch::single(b.build(0), 1, 70, vec![out.0 as u64]))
         .unwrap();
     assert_eq!(r.warps_run, 3);
     assert_eq!(sys.read_u64(out), (0u64..70).collect::<Vec<_>>());
@@ -228,7 +239,7 @@ fn grid_sync_loops_for_many_rounds() {
     let out = sys.alloc(0, 8 * 32);
     let k = kernels::sync_chain(SyncOp::Grid, 20);
     let l = GridLaunch::single(k, 8, 32, vec![out.0 as u64]).cooperative();
-    let rep = sys.run(&l).unwrap();
+    let rep = sys.run_plain(&l).unwrap();
     let per = sys.read_u64(out)[0] as f64 / 20.0;
     assert!(per > 500.0, "grid sync per round {per}");
     assert_eq!(rep.blocks_run, 8);
@@ -249,7 +260,7 @@ fn oversubscribed_waves_preserve_semantics() {
     });
     b.exit();
     let l = GridLaunch::single(b.build(0), 1000, 32, vec![out.0 as u64]);
-    let rep = sys.run(&l).unwrap();
+    let rep = sys.run_plain(&l).unwrap();
     assert_eq!(rep.blocks_run, 1000);
     assert!(sys.read_f64(out).iter().all(|&v| v == 32.0));
 }
@@ -264,7 +275,7 @@ fn nanosleep_takes_the_lanes_maximum() {
     b.push(Instr::Nanosleep(Reg(ns)));
     b.exit();
     let r = sys
-        .run(&GridLaunch::single(b.build(0), 1, 32, vec![]))
+        .run_plain(&GridLaunch::single(b.build(0), 1, 32, vec![]))
         .unwrap();
     assert!(
         (r.duration.as_ns() - 3100.0).abs() < 50.0,
@@ -290,7 +301,7 @@ fn exit_in_divergent_branch_retires_lanes() {
         val: Imm(1),
     });
     b.exit();
-    sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
+    sys.run_plain(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
         .unwrap();
     let v = sys.read_u64(out);
     for (lane, &x) in v.iter().enumerate().take(32) {
@@ -311,7 +322,7 @@ fn bad_buffer_id_faults() {
         idx: Imm(0),
     });
     b.exit();
-    let e = sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![]));
+    let e = sys.run_plain(&GridLaunch::single(b.build(0), 1, 32, vec![]));
     assert!(matches!(e, Err(SimError::MemoryFault(_))), "{e:?}");
 }
 
@@ -327,7 +338,7 @@ fn out_of_bounds_global_store_faults() {
     });
     b.exit();
     assert!(sys
-        .run(&GridLaunch::single(b.build(0), 1, 32, vec![buf.0 as u64]))
+        .run_plain(&GridLaunch::single(b.build(0), 1, 32, vec![buf.0 as u64]))
         .is_err());
 }
 
@@ -343,7 +354,7 @@ fn shared_memory_overflow_faults() {
     b.exit();
     // 4 words of shared memory, access at 100.
     assert!(sys
-        .run(&GridLaunch::single(b.build(4), 1, 32, vec![]))
+        .run_plain(&GridLaunch::single(b.build(4), 1, 32, vec![]))
         .is_err());
 }
 
@@ -353,7 +364,7 @@ fn infinite_loop_hits_the_instruction_limit() {
     let mut b = KernelBuilder::new("forever");
     b.label("x");
     b.bra("x");
-    let e = sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![]));
+    let e = sys.run_plain(&GridLaunch::single(b.build(0), 1, 32, vec![]));
     assert!(matches!(e, Err(SimError::ProgramError(_))), "{e:?}");
 }
 
@@ -376,7 +387,7 @@ fn remote_memstream_pays_the_link() {
         let k = kernels::stream_kernel(0);
         // Kernel runs on device 0 either way.
         let l = GridLaunch::single(k, 64, 256, vec![data.0 as u64, n, out.0 as u64]);
-        sys.run(&l).unwrap().duration
+        sys.run_plain(&l).unwrap().duration
     };
     let local = run_with(0);
     let remote = run_with(1);
@@ -400,7 +411,7 @@ fn multi_grid_rounds_alternate_cleanly() {
         vec![0, 1, 2],
         bufs.iter().map(|&b| vec![b]).collect(),
     );
-    sys.run(&l).unwrap();
+    sys.run_plain(&l).unwrap();
     let per6 = sys.buffer(gpu_sim::BufId(bufs[0] as u32)).load(0).unwrap() as f64 / 6.0;
 
     let mut sys = GpuSystem::new(v100(4), NodeTopology::dgx1_v100());
@@ -413,7 +424,7 @@ fn multi_grid_rounds_alternate_cleanly() {
         vec![0, 1, 2],
         bufs.iter().map(|&b| vec![b]).collect(),
     );
-    sys.run(&l).unwrap();
+    sys.run_plain(&l).unwrap();
     let per2 = sys.buffer(gpu_sim::BufId(bufs[0] as u32)).load(0).unwrap() as f64 / 2.0;
     assert!(
         (per6 - per2).abs() / per2 < 0.25,
@@ -437,12 +448,13 @@ fn trace_records_executed_instructions_in_time_order() {
         val: Reg(r),
     });
     b.exit();
-    let (rep, trace) = sys
-        .run_traced(
+    let arts = sys
+        .execute(
             &GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]),
-            100,
+            &RunOptions::new().trace(100),
         )
         .unwrap();
+    let (rep, trace) = (arts.report, arts.trace.unwrap());
     assert_eq!(rep.instrs_executed as usize, trace.len());
     assert_eq!(trace.len(), 4);
     for w in trace.windows(2) {
@@ -468,9 +480,13 @@ fn trace_capacity_is_respected() {
     let mut sys = GpuSystem::single(v100(1));
     let k = kernels::fadd32_chain(256);
     let out = sys.alloc(0, 32);
-    let (rep, trace) = sys
-        .run_traced(&GridLaunch::single(k, 1, 32, vec![out.0 as u64]), 16)
+    let arts = sys
+        .execute(
+            &GridLaunch::single(k, 1, 32, vec![out.0 as u64]),
+            &RunOptions::new().trace(16),
+        )
         .unwrap();
+    let (rep, trace) = (arts.report, arts.trace.unwrap());
     assert_eq!(trace.len(), 16);
     assert!(rep.instrs_executed > 16);
 }
@@ -487,8 +503,13 @@ fn trace_shows_divergent_lane_masks() {
     b.label("other");
     b.isub(c, Reg(c), Imm(0)); // fall-through arm
     b.exit();
-    let (_, trace) = sys
-        .run_traced(&GridLaunch::single(b.build(0), 1, 32, vec![]), 100)
+    let trace = sys
+        .execute(
+            &GridLaunch::single(b.build(0), 1, 32, vec![]),
+            &RunOptions::new().trace(100),
+        )
+        .unwrap()
+        .trace
         .unwrap();
     let masks: Vec<u32> = trace.iter().map(|e| e.lanes).collect();
     assert!(

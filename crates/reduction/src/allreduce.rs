@@ -16,7 +16,7 @@ use cuda_rt::HostSim;
 use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
 use gpu_sim::isa::{Instr, Kernel, KernelBuilder, Operand, Special};
-use gpu_sim::{BufId, GpuSystem, GridLaunch, LaunchKind};
+use gpu_sim::{BufId, GpuSystem, GridLaunch, LaunchKind, RunOptions};
 use serde::Serialize;
 use sim_core::SimResult;
 use Operand::{Imm, Param, Reg as R, Sp};
@@ -126,7 +126,7 @@ pub fn measure_allreduce(
                         elems,
                     ],
                 );
-                h.launch(0, &l)?;
+                h.launch(0, &l, &RunOptions::new())?;
             }
             h.device_synchronize(0, 0);
             h.omp_barrier(&threads);
@@ -171,7 +171,7 @@ pub fn measure_allreduce(
                             vec![vecs[t].0 as u64, staging[t].0 as u64, off, len],
                         )
                         .on_device(t);
-                        h.launch(t, &l)?;
+                        h.launch(t, &l, &RunOptions::new())?;
                         h.device_synchronize(t, t);
                     }
                 }
@@ -219,7 +219,7 @@ pub fn measure_allreduce(
                 params,
                 checked: false,
             };
-            h.launch(0, &launch)?;
+            h.launch(0, &launch, &RunOptions::new())?;
             for d in 0..n {
                 h.device_synchronize(0, d);
             }

@@ -77,7 +77,7 @@ mod tests {
     use super::*;
     use gpu_arch::GpuArch;
     use gpu_sim::isa::Operand::Param;
-    use gpu_sim::{GpuSystem, GridLaunch};
+    use gpu_sim::{GpuSystem, GridLaunch, RunOptions};
 
     /// A kernel that block-reduces its per-thread tid values: block b's sum
     /// must be sum(0..block_dim) and be written to out[b].
@@ -111,8 +111,11 @@ mod tests {
         arch.num_sms = 2;
         let mut sys = GpuSystem::single(arch);
         let out = sys.alloc(0, 4);
-        sys.run(&GridLaunch::single(k, 4, 256, vec![out.0 as u64]))
-            .unwrap();
+        sys.execute(
+            &GridLaunch::single(k, 4, 256, vec![out.0 as u64]),
+            &RunOptions::new(),
+        )
+        .unwrap();
         for v in sys.read_f64(out) {
             assert_eq!(v, 256.0);
         }

@@ -5,7 +5,7 @@ use crate::block::{emit_block_reduce_tail, emit_summing, BLOCK_SMEM_WORDS};
 use cuda_rt::HostSim;
 use gpu_arch::GpuArch;
 use gpu_sim::isa::{Instr, Kernel, KernelBuilder, Operand, Special};
-use gpu_sim::{GpuSystem, GridLaunch, LaunchKind};
+use gpu_sim::{GpuSystem, GridLaunch, LaunchKind, RunOptions};
 use serde::Serialize;
 use sim_core::SimResult;
 use Operand::{Imm, Param, Reg as R, Sp};
@@ -269,6 +269,7 @@ pub fn measure_device_reduce(
             h.launch(
                 0,
                 &GridLaunch::single(k1, grid, block, vec![input.0 as u64, n, partials.0 as u64]),
+                &RunOptions::new(),
             )?;
             h.launch(
                 0,
@@ -278,6 +279,7 @@ pub fn measure_device_reduce(
                     1024,
                     vec![partials.0 as u64, threads, result.0 as u64],
                 ),
+                &RunOptions::new(),
             )?;
             h.device_synchronize(0, 0);
         }
@@ -294,7 +296,7 @@ pub fn measure_device_reduce(
                 params: vec![vec![input.0 as u64, n, partials.0 as u64, result.0 as u64]],
                 checked: false,
             };
-            h.launch(0, &launch)?;
+            h.launch(0, &launch, &RunOptions::new())?;
             h.device_synchronize(0, 0);
         }
         DeviceReduceMethod::AtomicFinish => {
@@ -302,6 +304,7 @@ pub fn measure_device_reduce(
             h.launch(
                 0,
                 &GridLaunch::single(k, grid, block, vec![input.0 as u64, n, result.0 as u64]),
+                &RunOptions::new(),
             )?;
             h.device_synchronize(0, 0);
         }
@@ -311,6 +314,7 @@ pub fn measure_device_reduce(
             h.launch(
                 0,
                 &GridLaunch::single(k1, grid, block, vec![input.0 as u64, n, partials.0 as u64]),
+                &RunOptions::new(),
             )?;
             h.launch(
                 0,
@@ -320,6 +324,7 @@ pub fn measure_device_reduce(
                     256,
                     vec![partials.0 as u64, grid as u64, result.0 as u64],
                 ),
+                &RunOptions::new(),
             )?;
             h.device_synchronize(0, 0);
         }

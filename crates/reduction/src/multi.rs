@@ -6,7 +6,7 @@ use cuda_rt::HostSim;
 use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
 use gpu_sim::isa::{Instr, Kernel, KernelBuilder, Operand, Special};
-use gpu_sim::{BufId, GpuSystem, GridLaunch, LaunchKind};
+use gpu_sim::{BufId, GpuSystem, GridLaunch, LaunchKind, RunOptions};
 use serde::Serialize;
 use sim_core::SimResult;
 use Operand::{Imm, Param, Reg as R, Sp};
@@ -248,7 +248,7 @@ pub fn measure_multi_gpu_reduce(
                 checked: false,
             };
             let t0 = h.now(0);
-            h.launch(0, &launch)?;
+            h.launch(0, &launch, &RunOptions::new())?;
             for d in 0..n {
                 h.device_synchronize(0, d);
             }
@@ -269,7 +269,7 @@ pub fn measure_multi_gpu_reduce(
                         vec![slices[t].0 as u64, slice, block_partials[t].0 as u64],
                     )
                     .on_device(t);
-                    h.launch(t, &l1)?;
+                    h.launch(t, &l1, &RunOptions::new())?;
                     let l2 = GridLaunch::single(
                         local_finish_kernel(),
                         1,
@@ -277,7 +277,7 @@ pub fn measure_multi_gpu_reduce(
                         vec![block_partials[t].0 as u64, grid as u64, scalars[t].0 as u64],
                     )
                     .on_device(t);
-                    h.launch(t, &l2)?;
+                    h.launch(t, &l2, &RunOptions::new())?;
                     h.device_synchronize(t, t);
                 }
                 h.omp_barrier(&threads);
@@ -293,7 +293,7 @@ pub fn measure_multi_gpu_reduce(
                 32,
                 vec![gather.0 as u64, n as u64, result.0 as u64],
             );
-            h.launch(0, &lf)?;
+            h.launch(0, &lf, &RunOptions::new())?;
             h.device_synchronize(0, 0);
             (h.now(0) - t0).as_us() / ROUNDS as f64
         }

@@ -8,7 +8,7 @@
 
 use gpu_arch::GpuArch;
 use gpu_sim::isa::{Instr, Kernel, KernelBuilder, Operand, ShflKind, ShflMode, Special};
-use gpu_sim::{GpuSystem, GridLaunch};
+use gpu_sim::{GpuSystem, GridLaunch, RunOptions};
 use serde::Serialize;
 use sim_core::SimResult;
 use Operand::{Imm, Param, Reg, Sp};
@@ -211,12 +211,15 @@ pub fn run_warp_reduce(
     let times = sys.alloc(0, 32);
     let results = sys.alloc(0, 32);
     let kernel = warp_reduce_kernel(variant);
-    sys.run(&GridLaunch::single(
-        kernel,
-        1,
-        32,
-        vec![data.0 as u64, times.0 as u64, results.0 as u64],
-    ))?;
+    sys.execute(
+        &GridLaunch::single(
+            kernel,
+            1,
+            32,
+            vec![data.0 as u64, times.0 as u64, results.0 as u64],
+        ),
+        &RunOptions::new(),
+    )?;
     let latency_cycles = sys.read_u64(times)[0] as f64;
     let result = sys.read_f64(results)[0];
     let expected: f64 = inputs.iter().sum();

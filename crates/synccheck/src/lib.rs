@@ -15,7 +15,7 @@
 use gpu_sim::engine::HazardReport;
 use gpu_sim::kernels::{self, SyncOp};
 use gpu_sim::verify::{check_launch, Diagnostic, HazardClass};
-use gpu_sim::{GpuSystem, GridLaunch, Kernel};
+use gpu_sim::{GpuSystem, GridLaunch, Kernel, RunOptions};
 use serde::{Deserialize, Serialize};
 use sim_core::SimResult;
 
@@ -344,7 +344,8 @@ fn run_racecheck(sys: &mut GpuSystem, launch: &GridLaunch) -> SimResult<HazardRe
     // The audit's static pass already reported lint findings (suppressed or
     // not); here we only want the dynamic shadow state, so bypass the
     // static gate by keeping the launch unchecked and asking for the report.
-    sys.run_checked(launch).map(|(_, hz)| hz)
+    sys.execute(launch, &RunOptions::new().check())
+        .map(|arts| arts.hazards.expect("checking was armed"))
 }
 
 /// Run the audit over the whole registry, serially (the report must be
@@ -448,7 +449,11 @@ mod tests {
     #[test]
     fn smem_race_fixture_trips_dynamic_racecheck() {
         let (mut sys, launch) = fixtures::smem_race_launch();
-        let (_, hazards) = sys.run_checked(&launch).unwrap();
+        let hazards = sys
+            .execute(&launch, &RunOptions::new().check())
+            .unwrap()
+            .hazards
+            .unwrap();
         assert!(!hazards.is_clean());
         assert!(hazards
             .records

@@ -28,7 +28,7 @@ fn compute_us(h: &mut cuda_rt::HostSim, dev: usize, acts: gpu_sim::BufId, n: u64
             vec![acts.0 as u64, n, out.0 as u64],
         )
         .on_device(dev);
-        h.launch(dev, &l)?;
+        h.launch(dev, &l, &RunOptions::new())?;
     }
     h.device_synchronize(dev, dev);
     Ok(())

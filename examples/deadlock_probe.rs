@@ -10,9 +10,9 @@
 use gpu_sim::isa::{Instr, Operand::*, Special};
 use syncmark::prelude::*;
 
-fn outcome(label: &str, r: SimResult<gpu_sim::ExecReport>) {
+fn outcome(label: &str, r: SimResult<gpu_sim::RunArtifacts>) {
     match r {
-        Ok(rep) => println!("{label:<42} completes in {}", rep.duration),
+        Ok(arts) => println!("{label:<42} completes in {}", arts.report.duration),
         Err(SimError::Deadlock { at, blocked }) => {
             println!("{label:<42} DEADLOCK at t={at}");
             for b in blocked.iter().take(3) {
@@ -39,7 +39,10 @@ fn main() {
         b.push(Instr::SyncTile { width: 32 });
         b.label("out");
         b.exit();
-        let r = GpuSystem::single(arch.clone()).run(&GridLaunch::single(b.build(0), 1, 32, vec![]));
+        let r = GpuSystem::single(arch.clone()).execute(
+            &GridLaunch::single(b.build(0), 1, 32, vec![]),
+            &RunOptions::new(),
+        );
         outcome("warp: 16 of 32 lanes tile-sync", r);
     }
 
@@ -52,8 +55,10 @@ fn main() {
         b.bar_sync();
         b.label("out");
         b.exit();
-        let r =
-            GpuSystem::single(arch.clone()).run(&GridLaunch::single(b.build(0), 1, 128, vec![]));
+        let r = GpuSystem::single(arch.clone()).execute(
+            &GridLaunch::single(b.build(0), 1, 128, vec![]),
+            &RunOptions::new(),
+        );
         outcome("block: 64 of 128 threads __syncthreads", r);
     }
 
@@ -68,8 +73,10 @@ fn main() {
         b.grid_sync();
         b.label("out");
         b.exit();
-        let r = GpuSystem::single(arch.clone())
-            .run(&GridLaunch::single(b.build(0), 8, 32, vec![]).cooperative());
+        let r = GpuSystem::single(arch.clone()).execute(
+            &GridLaunch::single(b.build(0), 8, 32, vec![]).cooperative(),
+            &RunOptions::new(),
+        );
         outcome("grid: 4 of 8 blocks grid.sync", r);
     }
 
@@ -91,7 +98,8 @@ fn main() {
             params: vec![vec![], vec![]],
             checked: false,
         };
-        let r = GpuSystem::new(arch.clone(), NodeTopology::dgx1_v100()).run(&launch);
+        let r = GpuSystem::new(arch.clone(), NodeTopology::dgx1_v100())
+            .execute(&launch, &RunOptions::new());
         outcome("multi-grid: 1 of 2 GPUs multi_grid.sync", r);
     }
 
@@ -101,7 +109,10 @@ fn main() {
         let mut b = KernelBuilder::new("uncooperative");
         b.grid_sync();
         b.exit();
-        let r = GpuSystem::single(arch).run(&GridLaunch::single(b.build(0), 8, 32, vec![]));
+        let r = GpuSystem::single(arch).execute(
+            &GridLaunch::single(b.build(0), 8, 32, vec![]),
+            &RunOptions::new(),
+        );
         outcome("grid.sync under a traditional launch", r);
     }
 

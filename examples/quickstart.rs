@@ -21,7 +21,12 @@ fn main() -> SimResult<()> {
         val: Sp(Special::GlobalTid),
     });
     b.exit();
-    let report = sys.run(&GridLaunch::single(b.build(0), 4, 64, vec![out.0 as u64]))?;
+    let report = sys
+        .execute(
+            &GridLaunch::single(b.build(0), 4, 64, vec![out.0 as u64]),
+            &RunOptions::new(),
+        )?
+        .report;
     println!(
         "hello-ids: {} blocks, {} warps, {} instructions, {} simulated time",
         report.blocks_run, report.warps_run, report.instrs_executed, report.duration
@@ -45,7 +50,10 @@ fn main() -> SimResult<()> {
         val: Reg(t1),
     });
     b.exit();
-    sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![timer.0 as u64]))?;
+    sys.execute(
+        &GridLaunch::single(b.build(0), 1, 32, vec![timer.0 as u64]),
+        &RunOptions::new(),
+    )?;
     let per_sync = sys.read_u64(timer)[0] as f64 / 64.0;
     println!("block barrier latency: {per_sync:.1} cycles (paper Table II: 22)");
 

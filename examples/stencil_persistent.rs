@@ -133,7 +133,7 @@ fn main() -> SimResult<()> {
     let (mut src, mut dst) = (a, bbuf);
     for _ in 0..STEPS {
         let l = GridLaunch::single(step_kernel(), grid, BLOCK, vec![src.0 as u64, dst.0 as u64]);
-        h.launch(0, &l)?;
+        h.launch(0, &l, &RunOptions::new())?;
         std::mem::swap(&mut src, &mut dst);
     }
     h.device_synchronize(0, 0);
@@ -152,7 +152,7 @@ fn main() -> SimResult<()> {
         vec![a.0 as u64, bbuf.0 as u64],
     )
     .cooperative();
-    h.launch(0, &l)?;
+    h.launch(0, &l, &RunOptions::new())?;
     h.device_synchronize(0, 0);
     let persistent_us = (h.now(0) - t0).as_us();
     let final_buf = if STEPS % 2 == 1 { bbuf } else { a };

@@ -53,7 +53,10 @@ pub mod prelude {
     pub use gpu_arch::GpuArch;
     pub use gpu_node::NodeTopology;
     pub use gpu_sim::kernels::SyncOp;
-    pub use gpu_sim::{GpuSystem, GridLaunch, Kernel, KernelBuilder, LaunchKind};
+    pub use gpu_sim::{
+        GpuSystem, GridLaunch, Kernel, KernelBuilder, LaunchKind, ProfileReport, RunArtifacts,
+        RunOptions,
+    };
     pub use sim_core::{Ps, SimError, SimResult};
     pub use sync_micro::Placement;
 }

@@ -100,7 +100,7 @@ fn multi_device_launch_gates_on_all_streams() {
     // Keep device 3 busy for 100 us.
     let busy =
         GridLaunch::single(gpu_sim::kernels::sleep_kernel(100_000), 1, 32, vec![]).on_device(3);
-    h.launch(0, &busy).unwrap();
+    h.launch(0, &busy, &RunOptions::new()).unwrap();
     // A multi-device launch over devices {0..4} must start after it.
     let multi = GridLaunch {
         kernel: gpu_sim::kernels::null_kernel(),
@@ -111,7 +111,7 @@ fn multi_device_launch_gates_on_all_streams() {
         params: vec![vec![]; 4],
         checked: false,
     };
-    let rec = h.launch(0, &multi).unwrap();
+    let rec = h.launch(0, &multi, &RunOptions::new()).unwrap().record;
     assert!(
         rec.begin.as_us() >= 100.0,
         "gate ignored the busy stream: began at {}",

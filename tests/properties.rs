@@ -10,6 +10,17 @@ use gpu_sim::BufData;
 use sim_core::SmallRng;
 use syncmark::prelude::*;
 
+/// Test-local shim keeping the old `run(&launch)` result shape on top of the
+/// unified [`gpu_sim::GpuSystem::execute`] API.
+trait RunShim {
+    fn run_plain(&mut self, l: &GridLaunch) -> sim_core::SimResult<gpu_sim::ExecReport>;
+}
+impl RunShim for GpuSystem {
+    fn run_plain(&mut self, l: &GridLaunch) -> sim_core::SimResult<gpu_sim::ExecReport> {
+        self.execute(l, &RunOptions::new()).map(|a| a.report)
+    }
+}
+
 fn small_arch() -> GpuArch {
     let mut a = GpuArch::v100();
     a.num_sms = 2;
@@ -86,7 +97,7 @@ fn alu_chains_match_reference() {
             val: Operand::Reg(r),
         });
         b.exit();
-        sys.run(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
+        sys.run_plain(&GridLaunch::single(b.build(0), 1, 32, vec![out.0 as u64]))
             .unwrap();
         assert_eq!(sys.read_u64(out)[0], apply(&ops, start));
     }
@@ -127,7 +138,7 @@ fn block_barrier_orders_clocks() {
             val: Operand::Reg(t1),
         });
         b.exit();
-        sys.run(&GridLaunch::single(
+        sys.run_plain(&GridLaunch::single(
             b.build(0),
             1,
             block,

@@ -48,14 +48,12 @@ fn a_deserialized_arch_actually_runs() {
     arch.num_sms = 2;
     let mut sys = GpuSystem::single(arch);
     let r = sys
-        .run(&GridLaunch::single(
-            gpu_sim::kernels::null_kernel(),
-            4,
-            64,
-            vec![],
-        ))
+        .execute(
+            &GridLaunch::single(gpu_sim::kernels::null_kernel(), 4, 64, vec![]),
+            &RunOptions::new(),
+        )
         .unwrap();
-    assert_eq!(r.blocks_run, 4);
+    assert_eq!(r.report.blocks_run, 4);
 }
 
 /// §IX-D generalized: the inter-SM (host-clock differential) method and the
