@@ -11,6 +11,9 @@
 //! repro --profile grid_sync   # re-run an experiment with syncprof armed:
 //!                             # summary to stdout, <name>.profile.json and
 //!                             # <name>.trace.json (Perfetto) next to --out
+//! repro --bench               # run the fixed perf suite and write the
+//!                             # tracked baseline (BENCH_4.json) to the
+//!                             # current directory
 //! ```
 //!
 //! Experiment names are validated up front: a typo anywhere in the argument
@@ -26,7 +29,7 @@ use syncmark_bench::profiling;
 
 fn usage_and_list() {
     println!(
-        "usage: repro [--jobs N] [--out DIR] [--check] [--profile NAME]... \
+        "usage: repro [--jobs N] [--out DIR] [--check] [--bench] [--profile NAME]... \
          [all | list | <experiment>...]\n"
     );
     println!("available experiments:");
@@ -131,6 +134,25 @@ fn main() {
         for name in &profiles {
             run_profile(name, out_dir.as_deref());
         }
+        if args.is_empty() {
+            return;
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--bench") {
+        args.remove(pos);
+        use syncmark_bench::perf;
+        let records = perf::run_suite();
+        let json = perf::to_json(&records);
+        if let Err(e) = std::fs::write(perf::BENCH_FILE, &json) {
+            eprintln!("cannot write {}: {e}", perf::BENCH_FILE);
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[repro] wrote {} ({} experiments, {} worker(s))",
+            perf::BENCH_FILE,
+            records.len(),
+            sync_micro::sweep::jobs()
+        );
         if args.is_empty() {
             return;
         }

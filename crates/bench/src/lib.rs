@@ -9,4 +9,5 @@
 pub mod ablations;
 pub mod experiments;
 pub mod harness;
+pub mod perf;
 pub mod profiling;

@@ -1,11 +1,11 @@
 //! Figs. 5, 7, 8: grid / multi-grid synchronization latency heat maps over
 //! (blocks per SM × threads per block).
 
-use crate::measure::{cycles_to_us, sync_chain_cycles, sync_chain_with, Placement};
+use crate::measure::{cycles_to_us, sync_chain_cycles_in, sync_chain_with_in, Placement};
 use crate::report::{fmt, TextTable};
 use gpu_arch::GpuArch;
 use gpu_sim::kernels::SyncOp;
-use gpu_sim::{ProfileReport, RunOptions};
+use gpu_sim::{GpuSystem, ProfileReport, RunOptions};
 use serde::Serialize;
 use sim_core::SimResult;
 
@@ -102,7 +102,9 @@ pub(crate) fn assemble_heatmap(title: &str, plan: &[CellPlan], values: Vec<f64>)
 /// Measure one heat map for `op` ∈ {Grid, MultiGrid} on `ngpus` devices.
 /// The feasible cells run on the shared sweep pool (see [`crate::sweep`]);
 /// results are assembled in plan order, so the map is identical to a serial
-/// run at any worker count.
+/// run at any worker count. Each worker builds one [`GpuSystem`] and reuses
+/// it (reset between launches) across every cell it claims, so per-cell cost
+/// is the simulation itself, not system construction.
 pub fn sync_heatmap(
     arch: &GpuArch,
     placement: &Placement,
@@ -111,10 +113,21 @@ pub fn sync_heatmap(
 ) -> SimResult<HeatMap> {
     assert!(matches!(op, SyncOp::Grid | SyncOp::MultiGrid));
     let plan = plan_cells(arch);
-    let values = crate::sweep::try_map(plan.clone(), |c| {
-        let m = sync_chain_cycles(arch, placement, op, REPS, c.bpsm * arch.num_sms, c.tpb)?;
-        Ok(cycles_to_us(arch, m.cycles_per_op))
-    })?;
+    let values = crate::sweep::try_map_init(
+        plan.clone(),
+        || GpuSystem::new(arch.clone(), placement.topology.clone()),
+        |sys, c| {
+            let m = sync_chain_cycles_in(
+                sys,
+                &placement.devices,
+                op,
+                REPS,
+                c.bpsm * arch.num_sms,
+                c.tpb,
+            )?;
+            Ok(cycles_to_us(arch, m.cycles_per_op))
+        },
+    )?;
     Ok(assemble_heatmap(title, &plan, values))
 }
 
@@ -129,21 +142,25 @@ pub fn sync_heatmap_profiled(
 ) -> SimResult<(HeatMap, ProfileReport)> {
     assert!(matches!(op, SyncOp::Grid | SyncOp::MultiGrid));
     let plan = plan_cells(arch);
-    let cells = crate::sweep::try_map(plan.clone(), |c| {
-        let (m, profile) = sync_chain_with(
-            arch,
-            placement,
-            op,
-            REPS,
-            c.bpsm * arch.num_sms,
-            c.tpb,
-            &RunOptions::new().profile(),
-        )?;
-        Ok((
-            cycles_to_us(arch, m.cycles_per_op),
-            profile.expect("profiling was armed"),
-        ))
-    })?;
+    let cells = crate::sweep::try_map_init(
+        plan.clone(),
+        || GpuSystem::new(arch.clone(), placement.topology.clone()),
+        |sys, c| {
+            let (m, profile) = sync_chain_with_in(
+                sys,
+                &placement.devices,
+                op,
+                REPS,
+                c.bpsm * arch.num_sms,
+                c.tpb,
+                &RunOptions::new().profile(),
+            )?;
+            Ok((
+                cycles_to_us(arch, m.cycles_per_op),
+                profile.expect("profiling was armed"),
+            ))
+        },
+    )?;
     let mut profile = ProfileReport::empty(arch.clock().ps_per_cycle());
     let mut values = Vec::with_capacity(cells.len());
     for (v, p) in cells {

@@ -109,15 +109,36 @@ pub fn sync_chain_with(
     opts: &RunOptions,
 ) -> SimResult<(ChainMeasurement, Option<ProfileReport>)> {
     let mut sys = GpuSystem::new(arch.clone(), placement.topology.clone());
-    let kernel = kernels::sync_chain(op, reps);
-    let launch = launch_for(
+    sync_chain_with_in(
         &mut sys,
+        &placement.devices,
         op,
-        kernel,
+        reps,
         grid_dim,
         block_dim,
-        &placement.devices,
-    );
+        opts,
+    )
+}
+
+/// [`sync_chain_with`] against a caller-owned [`GpuSystem`].
+///
+/// The system is [`GpuSystem::reset`] before the launch, so a sweep worker
+/// can thread one system through every cell it claims (see
+/// [`crate::sweep::map_init`]) and still measure exactly what a fresh
+/// system would: allocation ids, launch parameters, and therefore timing
+/// are identical to the unamortized path.
+pub fn sync_chain_with_in(
+    sys: &mut GpuSystem,
+    devices: &[usize],
+    op: SyncOp,
+    reps: usize,
+    grid_dim: u32,
+    block_dim: u32,
+    opts: &RunOptions,
+) -> SimResult<(ChainMeasurement, Option<ProfileReport>)> {
+    sys.reset();
+    let kernel = kernels::sync_chain(op, reps);
+    let launch = launch_for(sys, op, kernel, grid_dim, block_dim, devices);
     let out = launch.params[0][0];
     let arts = sys.execute(&launch, opts)?;
     let cycles = sys
@@ -131,6 +152,27 @@ pub fn sync_chain_with(
         },
         arts.profile,
     ))
+}
+
+/// [`sync_chain_cycles`] against a caller-owned (reset) [`GpuSystem`].
+pub fn sync_chain_cycles_in(
+    sys: &mut GpuSystem,
+    devices: &[usize],
+    op: SyncOp,
+    reps: usize,
+    grid_dim: u32,
+    block_dim: u32,
+) -> SimResult<ChainMeasurement> {
+    let (m, _) = sync_chain_with_in(
+        sys,
+        devices,
+        op,
+        reps,
+        grid_dim,
+        block_dim,
+        &RunOptions::new(),
+    )?;
+    Ok(m)
 }
 
 /// [`sync_chain_cycles`] with syncprof armed: the same measurement plus the
@@ -235,6 +277,22 @@ mod tests {
         // 32 warps of chained tile syncs: unit-limited at ~0.812/cycle.
         let t = sync_throughput_per_sm(&arch, SyncOp::Tile(32), 64, 1, 1024).unwrap();
         assert!((t - 0.812).abs() < 0.08, "throughput {t}");
+    }
+
+    /// The amortized path must be invisible: a worker's reused (reset)
+    /// system measures exactly what a fresh per-cell system does.
+    #[test]
+    fn reused_system_matches_fresh_system_per_cell() {
+        let arch = one_sm(&GpuArch::v100());
+        let p = Placement::single();
+        let mut sys = GpuSystem::new(arch.clone(), p.topology.clone());
+        for reps in [4usize, 8, 4] {
+            let fresh = sync_chain_cycles(&arch, &p, SyncOp::Tile(32), reps, 1, 32).unwrap();
+            let reused =
+                sync_chain_cycles_in(&mut sys, &p.devices, SyncOp::Tile(32), reps, 1, 32).unwrap();
+            assert_eq!(fresh.report, reused.report);
+            assert_eq!(fresh.cycles_per_op, reused.cycles_per_op);
+        }
     }
 
     #[test]

@@ -104,6 +104,76 @@ where
     map(items, f).into_iter().collect()
 }
 
+/// [`map`] with per-worker scratch state: each worker builds one `S` with
+/// `init` and threads it through every cell it claims.
+///
+/// This is the amortization hook for sweeps whose cells share an expensive
+/// setup — e.g. one reusable `GpuSystem` (reset between launches) instead of
+/// reconstructing device memory and peer channels per cell. The contract
+/// that keeps sweeps deterministic: `f`'s *result* must not depend on how
+/// cells were batched onto workers, i.e. a reused state must behave exactly
+/// like a fresh `init()` for every cell. Slot-indexed collection then makes
+/// the output order identical to a serial run at any worker count.
+pub fn map_init<I, T, S, G, F>(items: Vec<I>, init: G, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, I) -> T + Sync,
+{
+    map_jobs_init(items, jobs(), init, f)
+}
+
+/// [`map_init`] with an explicit worker count (1 runs fully serial on the
+/// calling thread with a single state).
+pub fn map_jobs_init<I, T, S, G, F>(items: Vec<I>, jobs: usize, init: G, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, I) -> T + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|i| f(&mut state, i)).collect();
+    }
+    let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let out: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i].lock().unwrap().take().expect("slot claimed once");
+                    let r = f(&mut state, item);
+                    *out[i].lock().unwrap() = Some(r);
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+/// [`map_init`] over fallible points; first error in input order wins.
+pub fn try_map_init<I, T, S, G, F>(items: Vec<I>, init: G, f: F) -> SimResult<Vec<T>>
+where
+    I: Send,
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, I) -> SimResult<T> + Sync,
+{
+    map_init(items, init, f).into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +222,43 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(map(empty, |i| i).is_empty());
         assert_eq!(map_jobs(vec![41u32], 8, |i| i + 1), vec![42]);
+    }
+
+    #[test]
+    fn map_init_reuses_state_within_a_worker() {
+        // Each worker counts the cells it processed; totals must cover every
+        // input exactly once and results stay in input order.
+        let items: Vec<u32> = (0..97).collect();
+        let out = map_jobs_init(
+            items.clone(),
+            7,
+            || 0u32,
+            |seen, i| {
+                *seen += 1;
+                (i, *seen)
+            },
+        );
+        let got: Vec<u32> = out.iter().map(|(i, _)| *i).collect();
+        assert_eq!(got, items);
+        // Serial path: one state threads through all items.
+        let serial = map_jobs_init(
+            vec![1u32, 2, 3],
+            1,
+            || 0u32,
+            |s, i| {
+                *s += i;
+                *s
+            },
+        );
+        assert_eq!(serial, vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn try_map_init_matches_try_map() {
+        let items: Vec<u32> = (0..40).collect();
+        let plain = try_map(items.clone(), |i| Ok(i * 2)).unwrap();
+        let with_state = try_map_init(items, || (), |_, i| Ok(i * 2)).unwrap();
+        assert_eq!(plain, with_state);
     }
 
     #[test]

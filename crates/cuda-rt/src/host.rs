@@ -282,30 +282,6 @@ impl HostSim {
         })
     }
 
-    /// [`Self::launch`] with the synchronization checker armed: the launch
-    /// is statically linted ([`gpu_sim::verify`]) and the kernel executes
-    /// under the shared-memory racecheck, so any divergence or data-race
-    /// hazard surfaces as a `SimError` instead of a silent bad measurement.
-    /// Stream timing is identical to an unchecked launch.
-    #[deprecated(note = "use `HostSim::launch` with `RunOptions::new().check()`")]
-    pub fn launch_checked(
-        &mut self,
-        thread: usize,
-        launch: &GridLaunch,
-    ) -> SimResult<LaunchRecord> {
-        let arts = self.launch(thread, launch, &RunOptions::new().check())?;
-        if let Some(hazards) = &arts.hazards {
-            if !hazards.is_clean() {
-                return Err(SimError::ProgramError(format!(
-                    "kernel {:?}: {}",
-                    launch.kernel.name,
-                    hazards.render(&launch.kernel.program)
-                )));
-            }
-        }
-        Ok(arts.record)
-    }
-
     /// `cudaDeviceSynchronize`: block `thread` until `device`'s stream is
     /// drained, then pay completion detection.
     pub fn device_synchronize(&mut self, thread: usize, device: usize) {
@@ -638,19 +614,6 @@ mod tests {
         // Instruments must not move the stream clock.
         let plain = h.launch(0, &l, &RunOptions::new()).unwrap();
         assert_eq!(plain.record.exec, arts.record.exec);
-    }
-
-    /// The deprecated wrapper keeps the historical error-on-hazard contract.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_launch_checked_matches_new_api() {
-        let mut h = host();
-        let clean = GridLaunch::single(kernels::null_kernel(), 1, 32, vec![]);
-        h.launch_checked(0, &clean).unwrap();
-        let err = h
-            .launch_checked(0, &divergent_barrier_launch())
-            .unwrap_err();
-        assert!(err.to_string().contains("barrier-divergence"), "{err}");
     }
 
     #[test]

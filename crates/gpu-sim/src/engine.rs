@@ -11,7 +11,7 @@
 //! barrier unit, warp-sync unit, shared-memory port, L2 atomic unit, DRAM
 //! channel) plus per-instruction latencies from [`gpu_arch::TimingParams`].
 
-use crate::isa::{Instr, Operand, Program, ShflKind, ShflMode, Special, NUM_REGS};
+use crate::isa::{Instr, Operand, Program, Reg, ShflKind, ShflMode, Special, NUM_REGS};
 use crate::mem::{Hazard, SharedMem};
 use crate::profile::{BarrierEpoch, ProfileReport, SmProfile, SyncScope, EPOCH_CAP};
 use crate::system::{ExecReport, GpuSystem, GridLaunch};
@@ -39,12 +39,6 @@ enum BlockWaitKind {
     MultiGrid,
 }
 
-#[derive(Debug, Clone)]
-struct Thread {
-    pc: u32,
-    regs: [u64; NUM_REGS],
-}
-
 #[derive(Debug)]
 struct Warp {
     rank: u32,
@@ -53,7 +47,16 @@ struct Warp {
     block: u32,
     warp_in_block: u32,
     gen: u32,
-    threads: Vec<Thread>,
+    /// Lanes present in this warp (a tail warp of a non-multiple-of-32
+    /// block has fewer than 32).
+    nlanes: u32,
+    /// Per-lane program counters, `nlanes` long.
+    pcs: [u32; 32],
+    /// Contiguous per-warp register file, register-major with a fixed
+    /// lane stride of 32: register `r` of `lane` is `regs[r * 32 + lane]`.
+    /// Register-major keeps one architectural register's 32 lanes in four
+    /// cache lines, which is what the per-instruction lane loops walk.
+    regs: Vec<u64>,
     /// Lanes that have exited the kernel.
     exited: u32,
     /// Lanes parked at a warp-level (tile) barrier.
@@ -79,20 +82,25 @@ struct Warp {
 
 impl Warp {
     fn runnable(&self) -> u32 {
-        !(self.exited | self.wb_wait | self.blk_wait)
-            & if self.threads.len() == 32 {
-                FULL
-            } else {
-                (1u32 << self.threads.len()) - 1
-            }
+        !(self.exited | self.wb_wait | self.blk_wait) & self.present()
     }
 
     fn present(&self) -> u32 {
-        if self.threads.len() == 32 {
+        if self.nlanes == 32 {
             FULL
         } else {
-            (1u32 << self.threads.len()) - 1
+            (1u32 << self.nlanes) - 1
         }
+    }
+
+    #[inline]
+    fn reg(&self, lane: u32, r: Reg) -> u64 {
+        self.regs[r as usize * 32 + lane as usize]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, lane: u32, r: Reg, v: u64) {
+        self.regs[r as usize * 32 + lane as usize] = v;
     }
 }
 
@@ -227,6 +235,15 @@ pub(crate) struct Engine<'a> {
     launch: &'a GridLaunch,
     arch: Arc<GpuArch>,
     ps_per_cycle: f64,
+    lat: LatTab,
+    /// Architectural registers the launched program actually references
+    /// (max index + 1); warps allocate `nregs * 32` register words instead
+    /// of the full `NUM_REGS` file.
+    nregs: usize,
+    /// Retired warps' register files / PC vectors, recycled by
+    /// `start_block` — block-wave workloads would otherwise churn one
+    /// allocation pair per started warp.
+    free_regs: Vec<Vec<u64>>,
     now: Ps,
     q: EventQueue<Ev>,
     warps: Vec<Warp>,
@@ -256,6 +273,120 @@ struct ProfState {
     epochs_dropped: u64,
 }
 
+/// Every fixed per-arch latency from [`gpu_arch::TimingParams`], converted
+/// to integer `Ps` once at engine construction with exactly the rounding of
+/// [`Engine::cyc`] — the hot loop never touches `f64` for these. Costs that
+/// genuinely vary per event (contended atomic intervals, per-warp release
+/// ramps, stream-bandwidth floors) still go through `cyc` live.
+#[derive(Debug, Clone, Copy)]
+struct LatTab {
+    issue_interval: Ps,
+    alu: Ps,
+    fadd32: Ps,
+    fadd64: Ps,
+    /// Shared-memory load latency, plain and `volatile` (the sum is
+    /// converted as one value — `cyc(a + b)` ≠ `cyc(a) + cyc(b)`).
+    smem_ld: Ps,
+    smem_ld_vol: Ps,
+    smem_st: Ps,
+    smem_st_vol: Ps,
+    /// Shared-memory port occupancy per executing-lane count (index =
+    /// `group.count_ones()`, 8 bytes per lane).
+    smem_port_int: [Ps; 33],
+    dram: Ps,
+    l2: Ps,
+    l2_atomic_int: Ps,
+    global_atomic: Ps,
+    shfl_tile_int: Ps,
+    shfl_tile_lat: Ps,
+    shfl_coa_int: Ps,
+    shfl_coa_lat: Ps,
+    shfl_coa_cold_lat: Ps,
+    tile_sync_int: Ps,
+    tile_sync_lat: Ps,
+    coa_full_int: Ps,
+    coa_full_lat: Ps,
+    coa_part_int: Ps,
+    coa_part_lat: Ps,
+    block_arr_int: Ps,
+    block_sync: Ps,
+    poll: Ps,
+    clock_read: Ps,
+    div_switch: Ps,
+    wb_switch: Ps,
+    /// cyc(1.0): Exit issue cost.
+    c1: Ps,
+    /// cyc(4.0): store issue / fence cost.
+    c4: Ps,
+    /// cyc(20.0): wave-scheduling block dispatch.
+    c20: Ps,
+}
+
+/// The `Engine::cyc` conversion as a free function, usable before `self`
+/// exists (release-mode clamp; the debug negative check lives in `cyc`).
+fn cyc_of(ps_per_cycle: f64, c: f64) -> Ps {
+    Ps((c * ps_per_cycle).round().max(0.0) as u64)
+}
+
+impl LatTab {
+    fn new(arch: &GpuArch, ppc: f64) -> LatTab {
+        let t = &arch.timing;
+        let cyc = |c: f64| cyc_of(ppc, c);
+        let mut smem_port_int = [Ps::ZERO; 33];
+        for (n, slot) in smem_port_int.iter_mut().enumerate() {
+            *slot = cyc(8.0 * n as f64 / t.smem_bytes_per_cycle_sm);
+        }
+        LatTab {
+            issue_interval: cyc(t.issue_interval),
+            alu: cyc(t.alu_latency as f64),
+            fadd32: cyc(t.fadd32_latency as f64),
+            fadd64: cyc(t.fadd64_latency as f64),
+            smem_ld: cyc(t.smem_latency as f64),
+            smem_ld_vol: cyc((t.smem_latency + t.volatile_extra) as f64),
+            smem_st: cyc(1.0),
+            smem_st_vol: cyc((t.volatile_extra + 1) as f64),
+            smem_port_int,
+            dram: cyc(arch.memory.dram_latency as f64),
+            l2: cyc(arch.memory.l2_latency as f64),
+            l2_atomic_int: cyc(t.l2_atomic_interval),
+            global_atomic: cyc(t.global_atomic_latency as f64),
+            shfl_tile_int: cyc(1.0 / t.shfl_tile.throughput_per_sm),
+            shfl_tile_lat: cyc(t.shfl_tile.latency_cycles as f64),
+            shfl_coa_int: cyc(1.0 / t.shfl_coalesced.throughput_per_sm),
+            shfl_coa_lat: cyc(t.shfl_coalesced.latency_cycles as f64),
+            shfl_coa_cold_lat: cyc(t.shfl_coalesced_cold_cycles as f64),
+            tile_sync_int: cyc(1.0 / t.tile_sync.throughput_per_sm),
+            tile_sync_lat: cyc(t.tile_sync.latency_cycles as f64),
+            coa_full_int: cyc(1.0 / t.coalesced_sync_full.throughput_per_sm),
+            coa_full_lat: cyc(t.coalesced_sync_full.latency_cycles as f64),
+            coa_part_int: cyc(1.0 / t.coalesced_sync_partial.throughput_per_sm),
+            coa_part_lat: cyc(t.coalesced_sync_partial.latency_cycles as f64),
+            block_arr_int: cyc(t.block_sync_arrival_cycles),
+            block_sync: cyc(t.block_sync_latency as f64),
+            poll: cyc(t.poll_interval as f64),
+            clock_read: cyc(t.clock_read_latency as f64),
+            div_switch: cyc(t.divergence_switch_cycles as f64),
+            wb_switch: cyc(t.warp_barrier_switch_cycles as f64),
+            c1: cyc(1.0),
+            c4: cyc(4.0),
+            c20: cyc(20.0),
+        }
+    }
+}
+
+/// A pre-resolved ALU operand (see [`Engine::alu_src`]).
+#[derive(Clone, Copy)]
+enum AluSrc {
+    /// Column offset of a register in the flattened file (`r * 32`).
+    Col(usize),
+    /// A lane-invariant value (immediate, kernel param, uniform special).
+    Const(u64),
+    /// A lane-affine special: value is `base.wrapping_add(lane)` in u32
+    /// (matching `eval`'s u32 arithmetic), widened to u64. Covers `Tid`,
+    /// `LaneId`, and `GlobalTid` — every other special is warp-uniform.
+    Lin(u32),
+}
+
 /// What executing one instruction for a group did.
 enum Step {
     /// Group advanced; next step at `done`.
@@ -269,11 +400,16 @@ impl<'a> Engine<'a> {
     pub(crate) fn new(sys: &'a mut GpuSystem, launch: &'a GridLaunch) -> Engine<'a> {
         let arch = sys.arch.clone();
         let ps_per_cycle = arch.clock().ps_per_cycle();
+        let lat = LatTab::new(&arch, ps_per_cycle);
+        let nregs = reg_rows(&launch.kernel.program);
         Engine {
             sys,
             launch,
             arch,
             ps_per_cycle,
+            lat,
+            nregs,
+            free_regs: Vec::new(),
             now: Ps::ZERO,
             q: EventQueue::new(),
             warps: Vec::new(),
@@ -314,8 +450,12 @@ impl<'a> Engine<'a> {
         self
     }
 
+    /// Convert a cycle count to integer picoseconds. A negative count is a
+    /// timing-table bug, not a value to round to zero — assert in debug;
+    /// the release build keeps only the clamp.
     fn cyc(&self, c: f64) -> Ps {
-        Ps((c * self.ps_per_cycle).round().max(0.0) as u64)
+        debug_assert!(c >= 0.0, "negative cycle count {c} reached Engine::cyc");
+        cyc_of(self.ps_per_cycle, c)
     }
 
     pub(crate) fn run_full(
@@ -333,20 +473,55 @@ impl<'a> Engine<'a> {
             match ev {
                 Ev::WarpStep(w, gen) => {
                     if self.warps[w as usize].gen == gen && !self.warps[w as usize].done {
-                        self.step_warp(w)?;
+                        self.run_warp(w)?;
                     }
                 }
                 Ev::StartBlock(b) => self.start_block(b),
             }
             if self.instrs_executed > self.sys.instr_limit {
-                let limit = self.sys.instr_limit;
-                return Err(SimError::ProgramError(format!(
-                    "kernel {:?} exceeded {limit} instructions — non-terminating?",
-                    self.launch.kernel.name
-                )));
+                return Err(self.instr_limit_error());
             }
         }
         self.finish()
+    }
+
+    fn instr_limit_error(&self) -> SimError {
+        let limit = self.sys.instr_limit;
+        SimError::ProgramError(format!(
+            "kernel {:?} exceeded {limit} instructions — non-terminating?",
+            self.launch.kernel.name
+        ))
+    }
+
+    /// Step `w`, then *run ahead*: as long as the warp's next step lands
+    /// strictly before every pending event, keep stepping it inline instead
+    /// of a heap push/pop round-trip per instruction. Strict `<` means no
+    /// equal-time event can be overtaken, so FIFO tie-breaking — and hence
+    /// byte-identical replay — is preserved. Before each inline step the
+    /// warp's generation is bumped exactly as `schedule_warp` would, so any
+    /// event pushed for this warp in the meantime (e.g. a synchronous
+    /// barrier-release wake) goes stale just as it would on the slow path.
+    fn run_warp(&mut self, w: u32) -> SimResult<()> {
+        let mut next = self.step_warp(w)?;
+        while let Some(at) = next {
+            let ahead = match self.q.peek_time() {
+                None => true,
+                Some(t) => at < t,
+            };
+            if !ahead {
+                self.schedule_warp(w, at);
+                return Ok(());
+            }
+            if self.instrs_executed > self.sys.instr_limit {
+                return Err(self.instr_limit_error());
+            }
+            let warp = &mut self.warps[w as usize];
+            warp.gen = warp.gen.wrapping_add(1);
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            next = self.step_warp(w)?;
+        }
+        Ok(())
     }
 
     fn setup(&mut self) {
@@ -411,6 +586,11 @@ impl<'a> Engine<'a> {
             }
         }
         self.mgrid.rank_done = vec![None; nranks];
+        // Every block's warps are pushed exactly once; reserving up front
+        // avoids doubling-growth copies of the (large) `Warp` structs.
+        let warps_per_block = self.arch.warps_per_block(self.launch.block_dim) as usize;
+        self.warps
+            .reserve(self.launch.grid_dim as usize * warps_per_block * nranks);
         // Initial wave: fill residency round-robin; queue the rest.
         for rank in 0..nranks {
             let base = rank as u32 * self.launch.grid_dim;
@@ -445,12 +625,9 @@ impl<'a> Engine<'a> {
         }
         for wi in 0..nwarps {
             let lanes_here = (block_dim - wi * WARP).min(WARP);
-            let threads = (0..lanes_here)
-                .map(|_| Thread {
-                    pc: 0,
-                    regs: [0; NUM_REGS],
-                })
-                .collect();
+            let mut regs = self.free_regs.pop().unwrap_or_default();
+            regs.clear();
+            regs.resize(self.nregs * 32, 0);
             let w = Warp {
                 rank,
                 sm,
@@ -458,7 +635,9 @@ impl<'a> Engine<'a> {
                 block: gb,
                 warp_in_block: wi,
                 gen: 0,
-                threads,
+                nlanes: lanes_here,
+                pcs: [0; 32],
+                regs,
                 exited: 0,
                 wb_wait: 0,
                 wb_width: 0,
@@ -489,7 +668,7 @@ impl<'a> Engine<'a> {
     fn eval(&self, w: u32, lane: u32, op: Operand) -> u64 {
         let warp = &self.warps[w as usize];
         match op {
-            Operand::Reg(r) => warp.threads[lane as usize].regs[r as usize],
+            Operand::Reg(r) => warp.reg(lane, r),
             Operand::Imm(v) => v,
             Operand::Param(p) => self.launch.params[warp.rank as usize][p as usize],
             Operand::Sp(s) => {
@@ -519,7 +698,7 @@ impl<'a> Engine<'a> {
     fn charge_sched(&mut self, w: u32) -> Ps {
         let warp = &self.warps[w as usize];
         let (rank, sm, sched) = (warp.rank as usize, warp.sm as usize, warp.sched as usize);
-        let interval = self.cyc(self.arch.timing.issue_interval);
+        let interval = self.lat.issue_interval;
         let start = self.devs[rank].sms[sm].scheds[sched]
             .issue(self.now, interval, Ps::ZERO)
             .start;
@@ -535,22 +714,26 @@ impl<'a> Engine<'a> {
 
     // ----- main step ----------------------------------------------------------
 
-    fn step_warp(&mut self, w: u32) -> SimResult<()> {
+    /// Execute one step of warp `w`. Returns the time the warp should next
+    /// be stepped, or `None` when it is parked, retired, or a wake event
+    /// already carries its schedule — the caller (`run_warp`) either pushes
+    /// the event or runs the warp ahead inline.
+    fn step_warp(&mut self, w: u32) -> SimResult<Option<Ps>> {
         let warp = &self.warps[w as usize];
         let runnable = warp.runnable();
         if runnable == 0 {
-            return Ok(()); // Parked or done; a wake will reschedule.
+            return Ok(None); // Parked or done; a wake will reschedule.
         }
-        // Min-PC group selection.
+        // Min-PC group selection, one pass (`& 31` proves the index in
+        // bounds so the fixed-array access needs no check).
         let mut min_pc = u32::MAX;
-        for lane in 0..warp.threads.len() as u32 {
-            if runnable & (1 << lane) != 0 {
-                min_pc = min_pc.min(warp.threads[lane as usize].pc);
-            }
-        }
         let mut group = 0u32;
-        for lane in 0..warp.threads.len() as u32 {
-            if runnable & (1 << lane) != 0 && warp.threads[lane as usize].pc == min_pc {
+        for lane in iter_lanes(runnable) {
+            let pc = warp.pcs[(lane & 31) as usize];
+            if pc < min_pc {
+                min_pc = pc;
+                group = 1 << lane;
+            } else if pc == min_pc {
                 group |= 1 << lane;
             }
         }
@@ -559,9 +742,9 @@ impl<'a> Engine<'a> {
         // re-enter (so simulated time never runs backwards for other events).
         let mut pre = Ps::ZERO;
         if warp.last_mask != 0 && warp.last_mask != group {
-            pre += self.cyc(self.arch.timing.divergence_switch_cycles as f64);
+            pre += self.lat.div_switch;
             if warp.prev_blocked_at_warp_barrier {
-                pre += self.cyc(self.arch.timing.warp_barrier_switch_cycles as f64);
+                pre += self.lat.wb_switch;
             }
         }
         {
@@ -576,15 +759,13 @@ impl<'a> Engine<'a> {
             if let Some(p) = &mut self.prof {
                 p.sms[rank][sm].stalls.issue_stall_ps += pre.0;
             }
-            let at = self.now + pre;
-            self.schedule_warp(w, at);
-            return Ok(());
+            return Ok(Some(self.now + pre));
         }
 
         // Implicit exit at program end.
         if min_pc as usize >= self.launch.kernel.program.len() {
             self.retire_lanes(w, group);
-            return Ok(());
+            return Ok(None);
         }
 
         let instr = self.launch.kernel.program.instrs[min_pc as usize];
@@ -612,8 +793,9 @@ impl<'a> Engine<'a> {
                 }
                 let warp = &self.warps[w as usize];
                 if warp.runnable() != 0 {
-                    self.schedule_warp(w, done);
+                    return Ok(Some(done));
                 }
+                Ok(None)
             }
             Step::Parked { warp_barrier } => {
                 let warp = &mut self.warps[w as usize];
@@ -623,20 +805,22 @@ impl<'a> Engine<'a> {
                     // Other divergent groups keep executing. (If the barrier
                     // released synchronously, the release already scheduled
                     // the wake — rescheduling would erase its latency.)
-                    let at = self.now;
-                    self.schedule_warp(w, at);
+                    return Ok(Some(self.now));
                 }
+                Ok(None)
             }
         }
-        Ok(())
     }
 
     fn advance_pcs(&mut self, w: u32, mask: u32, from_pc: u32) {
         let warp = &mut self.warps[w as usize];
-        for lane in 0..warp.threads.len() as u32 {
-            if mask & (1 << lane) != 0 {
-                debug_assert_eq!(warp.threads[lane as usize].pc, from_pc);
-                warp.threads[lane as usize].pc = from_pc + 1;
+        if mask == FULL {
+            debug_assert!(warp.pcs.iter().all(|&pc| pc == from_pc));
+            warp.pcs = [from_pc + 1; 32];
+        } else {
+            for lane in iter_lanes(mask) {
+                debug_assert_eq!(warp.pcs[(lane & 31) as usize], from_pc);
+                warp.pcs[(lane & 31) as usize] = from_pc + 1;
             }
         }
     }
@@ -660,8 +844,10 @@ impl<'a> Engine<'a> {
             let warp = &mut self.warps[w as usize];
             if !warp.done {
                 warp.done = true;
-                warp.threads = Vec::new(); // free registers
+                // Recycle per-lane state for the next started warp.
+                let regs = std::mem::take(&mut warp.regs);
                 let block = warp.block;
+                self.free_regs.push(regs);
                 self.warp_finished(block, w);
             }
         }
@@ -707,8 +893,7 @@ impl<'a> Engine<'a> {
             let next_sm = self.blocks[next as usize].sm as usize;
             dev.resident[next_sm] += 1;
             self.prof_note_resident(rank, next_sm);
-            let dispatch = self.cyc(20.0);
-            self.q.push(self.now + dispatch, Ev::StartBlock(next));
+            self.q.push(self.now + self.lat.c20, Ev::StartBlock(next));
         }
     }
 
@@ -778,9 +963,175 @@ impl<'a> Engine<'a> {
 
     // ----- instruction execution ---------------------------------------------
 
+    /// A resolved ALU source: registers become a column offset into the
+    /// flattened file; immediates, kernel params, and warp-uniform specials
+    /// become a single constant; lane-affine specials become a base the
+    /// lane id is added to — all resolvable ONCE per instruction instead of
+    /// per lane (mirrors [`Engine::eval`], including its u32 arithmetic).
+    fn alu_src(&self, w: u32, op: Operand) -> AluSrc {
+        match op {
+            Operand::Reg(r) => AluSrc::Col(r as usize * 32),
+            Operand::Imm(v) => AluSrc::Const(v),
+            Operand::Param(p) => {
+                let rank = self.warps[w as usize].rank as usize;
+                AluSrc::Const(self.launch.params[rank][p as usize])
+            }
+            Operand::Sp(s) => {
+                let warp = &self.warps[w as usize];
+                let tid0 = warp.warp_in_block * WARP;
+                match s {
+                    Special::Tid => AluSrc::Lin(tid0),
+                    Special::LaneId => AluSrc::Lin(0),
+                    Special::WarpId => AluSrc::Const(warp.warp_in_block as u64),
+                    Special::BlockId => {
+                        let block = &self.blocks[warp.block as usize];
+                        AluSrc::Const(block.block_on_device as u64)
+                    }
+                    Special::BlockDim => AluSrc::Const(self.launch.block_dim as u64),
+                    Special::GridDim => AluSrc::Const(self.launch.grid_dim as u64),
+                    Special::GpuRank => AluSrc::Const(warp.rank as u64),
+                    Special::NumGpus => AluSrc::Const(self.launch.devices.len() as u64),
+                    Special::GlobalTid => {
+                        let block = &self.blocks[warp.block as usize];
+                        AluSrc::Lin(
+                            block
+                                .block_on_device
+                                .wrapping_mul(self.launch.block_dim)
+                                .wrapping_add(tid0),
+                        )
+                    }
+                    Special::GridThreads => {
+                        AluSrc::Const((self.launch.grid_dim * self.launch.block_dim) as u64)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Materialize a resolved source into one value per lane (a 256-byte
+    /// stack buffer — cheap, and lets every consumer run one straight,
+    /// vectorizable loop regardless of source kind).
+    #[inline]
+    fn fill_src(&self, w: u32, src: AluSrc, out: &mut [u64; WARP as usize]) {
+        match src {
+            AluSrc::Col(c) => {
+                out.copy_from_slice(&self.warps[w as usize].regs[c..c + WARP as usize])
+            }
+            AluSrc::Const(v) => *out = [v; WARP as usize],
+            AluSrc::Lin(base) => {
+                for (l, o) in out.iter_mut().enumerate() {
+                    *o = base.wrapping_add(l as u32) as u64;
+                }
+            }
+        }
+    }
+
+    /// Value of a pre-resolved source for one lane (used by the memory arms
+    /// to keep the per-lane work down to a register read in the common
+    /// uniform-operand case).
+    #[inline]
+    fn src_val(&self, w: u32, lane: u32, src: AluSrc) -> u64 {
+        match src {
+            AluSrc::Const(v) => v,
+            AluSrc::Col(c) => self.warps[w as usize].regs[c + (lane & 31) as usize],
+            AluSrc::Lin(base) => base.wrapping_add(lane) as u64,
+        }
+    }
+
+    /// Unary ALU op: `d = f(a)` for every lane in `group`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn alu1(
+        &mut self,
+        w: u32,
+        group: u32,
+        pc: u32,
+        d: Reg,
+        a: Operand,
+        lat: Ps,
+        f: impl Fn(u64) -> u64,
+    ) -> SimResult<Step> {
+        let start = self.charge_sched(w);
+        let dcol = d as usize * 32;
+        // Materialize the source (a 256-byte stack copy) so the destination
+        // column may alias it and the compute loop vectorizes.
+        let mut av = [0u64; WARP as usize];
+        self.fill_src(w, self.alu_src(w, a), &mut av);
+        let regs = &mut self.warps[w as usize].regs;
+        if group == FULL {
+            let dst = &mut regs[dcol..dcol + WARP as usize];
+            for (o, &x) in dst.iter_mut().zip(av.iter()) {
+                *o = f(x);
+            }
+        } else {
+            for lane in iter_lanes(group) {
+                let l = (lane & 31) as usize;
+                regs[dcol + l] = f(av[l]);
+            }
+        }
+        self.advance_pcs(w, group, pc);
+        Ok(Step::Ready(start + lat))
+    }
+
+    /// Binary ALU op: `d = f(a, b)` for every lane in `group`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn alu2(
+        &mut self,
+        w: u32,
+        group: u32,
+        pc: u32,
+        d: Reg,
+        a: Operand,
+        b: Operand,
+        lat: Ps,
+        f: impl Fn(u64, u64) -> u64,
+    ) -> SimResult<Step> {
+        let start = self.charge_sched(w);
+        let dcol = d as usize * 32;
+        // Materialize both sources (two 256-byte stack copies) so the
+        // destination column may alias either one and the compute loop
+        // vectorizes regardless of operand kinds.
+        let mut av = [0u64; WARP as usize];
+        self.fill_src(w, self.alu_src(w, a), &mut av);
+        if let AluSrc::Const(c) = self.alu_src(w, b) {
+            // Lane-invariant second operand: keep it scalar so the compiler
+            // folds it straight into the vector loop.
+            let regs = &mut self.warps[w as usize].regs;
+            if group == FULL {
+                let dst = &mut regs[dcol..dcol + WARP as usize];
+                for (o, &x) in dst.iter_mut().zip(av.iter()) {
+                    *o = f(x, c);
+                }
+            } else {
+                for lane in iter_lanes(group) {
+                    let l = (lane & 31) as usize;
+                    regs[dcol + l] = f(av[l], c);
+                }
+            }
+            self.advance_pcs(w, group, pc);
+            return Ok(Step::Ready(start + lat));
+        }
+        let mut bv = [0u64; WARP as usize];
+        self.fill_src(w, self.alu_src(w, b), &mut bv);
+        let regs = &mut self.warps[w as usize].regs;
+        if group == FULL {
+            let dst = &mut regs[dcol..dcol + WARP as usize];
+            for l in 0..WARP as usize {
+                dst[l] = f(av[l], bv[l]);
+            }
+        } else {
+            for lane in iter_lanes(group) {
+                let l = (lane & 31) as usize;
+                regs[dcol + l] = f(av[l], bv[l]);
+            }
+        }
+        self.advance_pcs(w, group, pc);
+        Ok(Step::Ready(start + lat))
+    }
+
     fn exec(&mut self, w: u32, group: u32, pc: u32, instr: Instr) -> SimResult<Step> {
         use Instr::*;
-        let t = self.arch.timing.clone();
         if !matches!(
             instr,
             Shfl {
@@ -790,71 +1141,43 @@ impl<'a> Engine<'a> {
         ) {
             self.warps[w as usize].coa_shfl_hot = false;
         }
+        // The instruction is matched ONCE here; each arm runs its own lane
+        // loop (the old code re-matched `instr` for every lane).
         match instr {
-            IAdd(..) | ISub(..) | IMul(..) | IMin(..) | IAnd(..) | CmpLt(..) | CmpEq(..)
-            | Mov(..) | I2F(..) | FAdd(..) | FMul(..) | FAdd32(..) => {
-                let start = self.charge_sched(w);
-                let lat = match instr {
-                    FAdd(..) | FMul(..) => t.fadd64_latency,
-                    FAdd32(..) => t.fadd32_latency,
-                    _ => t.alu_latency,
-                };
-                for lane in iter_lanes(group) {
-                    let v = match instr {
-                        IAdd(d, a, b) => {
-                            let r = self.eval(w, lane, a).wrapping_add(self.eval(w, lane, b));
-                            (d, r)
-                        }
-                        ISub(d, a, b) => {
-                            let r = self.eval(w, lane, a).wrapping_sub(self.eval(w, lane, b));
-                            (d, r)
-                        }
-                        IMul(d, a, b) => {
-                            let r = self.eval(w, lane, a).wrapping_mul(self.eval(w, lane, b));
-                            (d, r)
-                        }
-                        IMin(d, a, b) => {
-                            let r = self.eval(w, lane, a).min(self.eval(w, lane, b));
-                            (d, r)
-                        }
-                        IAnd(d, a, b) => {
-                            let r = self.eval(w, lane, a) & self.eval(w, lane, b);
-                            (d, r)
-                        }
-                        CmpLt(d, a, b) => {
-                            let r = (self.eval(w, lane, a) < self.eval(w, lane, b)) as u64;
-                            (d, r)
-                        }
-                        CmpEq(d, a, b) => {
-                            let r = (self.eval(w, lane, a) == self.eval(w, lane, b)) as u64;
-                            (d, r)
-                        }
-                        Mov(d, a) => (d, self.eval(w, lane, a)),
-                        I2F(d, a) => (d, (self.eval(w, lane, a) as f64).to_bits()),
-                        FAdd(d, a, b) | FAdd32(d, a, b) => {
-                            let r = f64::from_bits(self.eval(w, lane, a))
-                                + f64::from_bits(self.eval(w, lane, b));
-                            (d, r.to_bits())
-                        }
-                        FMul(d, a, b) => {
-                            let r = f64::from_bits(self.eval(w, lane, a))
-                                * f64::from_bits(self.eval(w, lane, b));
-                            (d, r.to_bits())
-                        }
-                        _ => unreachable!(),
-                    };
-                    self.warps[w as usize].threads[lane as usize].regs[v.0 as usize] = v.1;
-                }
-                self.advance_pcs(w, group, pc);
-                Ok(Step::Ready(start + self.cyc(lat as f64)))
+            IAdd(d, a, b) => self.alu2(w, group, pc, d, a, b, self.lat.alu, |x, y| {
+                x.wrapping_add(y)
+            }),
+            ISub(d, a, b) => self.alu2(w, group, pc, d, a, b, self.lat.alu, |x, y| {
+                x.wrapping_sub(y)
+            }),
+            IMul(d, a, b) => self.alu2(w, group, pc, d, a, b, self.lat.alu, |x, y| {
+                x.wrapping_mul(y)
+            }),
+            IMin(d, a, b) => self.alu2(w, group, pc, d, a, b, self.lat.alu, |x, y| x.min(y)),
+            IAnd(d, a, b) => self.alu2(w, group, pc, d, a, b, self.lat.alu, |x, y| x & y),
+            CmpLt(d, a, b) => self.alu2(w, group, pc, d, a, b, self.lat.alu, |x, y| (x < y) as u64),
+            CmpEq(d, a, b) => {
+                self.alu2(w, group, pc, d, a, b, self.lat.alu, |x, y| (x == y) as u64)
             }
+            Mov(d, a) => self.alu1(w, group, pc, d, a, self.lat.alu, |x| x),
+            I2F(d, a) => self.alu1(w, group, pc, d, a, self.lat.alu, |x| (x as f64).to_bits()),
+            FAdd(d, a, b) => self.alu2(w, group, pc, d, a, b, self.lat.fadd64, |x, y| {
+                (f64::from_bits(x) + f64::from_bits(y)).to_bits()
+            }),
+            FAdd32(d, a, b) => self.alu2(w, group, pc, d, a, b, self.lat.fadd32, |x, y| {
+                (f64::from_bits(x) + f64::from_bits(y)).to_bits()
+            }),
+            FMul(d, a, b) => self.alu2(w, group, pc, d, a, b, self.lat.fadd64, |x, y| {
+                (f64::from_bits(x) * f64::from_bits(y)).to_bits()
+            }),
 
             Bra(target) => {
                 let start = self.charge_sched(w);
+                let warp = &mut self.warps[w as usize];
                 for lane in iter_lanes(group) {
-                    self.warps[w as usize].threads[lane as usize].pc = target;
+                    warp.pcs[lane as usize] = target;
                 }
-                Ok(Step::Ready(start + self.cyc(t.alu_latency as f64)))
+                Ok(Step::Ready(start + self.lat.alu))
             }
             BraIf(cond, target) | BraIfZ(cond, target) => {
                 let start = self.charge_sched(w);
@@ -862,14 +1185,13 @@ impl<'a> Engine<'a> {
                 for lane in iter_lanes(group) {
                     let c = self.eval(w, lane, cond) != 0;
                     let taken = c == want_nonzero;
-                    let th = &mut self.warps[w as usize].threads[lane as usize];
-                    th.pc = if taken { target } else { pc + 1 };
+                    self.warps[w as usize].pcs[lane as usize] = if taken { target } else { pc + 1 };
                 }
-                Ok(Step::Ready(start + self.cyc(t.alu_latency as f64)))
+                Ok(Step::Ready(start + self.lat.alu))
             }
             Exit => {
                 self.retire_lanes(w, group);
-                Ok(Step::Ready(self.now + self.cyc(1.0)))
+                Ok(Step::Ready(self.now + self.lat.c1))
             }
 
             LdShared {
@@ -880,21 +1202,24 @@ impl<'a> Engine<'a> {
                 let start = self.charge_sched(w);
                 let warp = &self.warps[w as usize];
                 let (rank, sm, block) = (warp.rank as usize, warp.sm as usize, warp.block);
-                let bytes = 8.0 * group.count_ones() as f64;
-                let port_int = self.cyc(bytes / t.smem_bytes_per_cycle_sm);
+                let port_int = self.lat.smem_port_int[group.count_ones() as usize];
                 let port = self.devs[rank].sms[sm]
                     .smem_port
                     .issue(start, port_int, Ps::ZERO);
-                let lat = t.smem_latency + if volatile { t.volatile_extra } else { 0 };
+                let lat = if volatile {
+                    self.lat.smem_ld_vol
+                } else {
+                    self.lat.smem_ld
+                };
                 self.blocks[block as usize].smem.racecheck_at(pc);
                 for lane in iter_lanes(group) {
                     let a = self.eval(w, lane, addr);
                     let tid = self.warps[w as usize].warp_in_block * WARP + lane;
                     let v = self.blocks[block as usize].smem.load(tid, a, volatile)?;
-                    self.warps[w as usize].threads[lane as usize].regs[dst as usize] = v;
+                    self.warps[w as usize].set_reg(lane, dst, v);
                 }
                 self.advance_pcs(w, group, pc);
-                Ok(Step::Ready(port.start + self.cyc(lat as f64)))
+                Ok(Step::Ready(port.start + lat))
             }
             StShared {
                 addr,
@@ -905,8 +1230,7 @@ impl<'a> Engine<'a> {
                 let start = self.charge_sched(w);
                 let warp = &self.warps[w as usize];
                 let (rank, sm, block) = (warp.rank as usize, warp.sm as usize, warp.block);
-                let bytes = 8.0 * group.count_ones() as f64;
-                let port_int = self.cyc(bytes / t.smem_bytes_per_cycle_sm);
+                let port_int = self.lat.smem_port_int[group.count_ones() as usize];
                 let port = self.devs[rank].sms[sm]
                     .smem_port
                     .issue(start, port_int, Ps::ZERO);
@@ -925,28 +1249,39 @@ impl<'a> Engine<'a> {
                         .store(tid, a, v, volatile)?;
                 }
                 self.advance_pcs(w, group, pc);
-                let lat = if volatile { t.volatile_extra } else { 0 } + 1;
-                Ok(Step::Ready(port.start + self.cyc(lat as f64)))
+                let lat = if volatile {
+                    self.lat.smem_st_vol
+                } else {
+                    self.lat.smem_st
+                };
+                Ok(Step::Ready(port.start + lat))
             }
 
             LdGlobal { dst, buf, idx } => {
                 let start = self.charge_sched(w);
                 let warp_rank = self.warps[w as usize].rank as usize;
                 let mut remote = false;
+                let (rb, ri) = (self.alu_src(w, buf), self.alu_src(w, idx));
+                // Collect loads first, then write the register column, so the
+                // warp borrow doesn't alternate with the buffer borrow.
+                let mut vals = [0u64; WARP as usize];
                 for lane in iter_lanes(group) {
-                    let b = self.eval(w, lane, buf) as usize;
-                    let i = self.eval(w, lane, idx);
+                    let b = self.src_val(w, lane, rb) as usize;
+                    let i = self.src_val(w, lane, ri);
                     let buffer = self
                         .sys
                         .bufs
                         .get(b)
                         .ok_or_else(|| SimError::MemoryFault(format!("bad buffer id {b}")))?;
                     remote |= buffer.device != self.devs[warp_rank].device_id;
-                    let v = buffer.load(i)?;
-                    self.warps[w as usize].threads[lane as usize].regs[dst as usize] = v;
+                    vals[(lane & 31) as usize] = buffer.load(i)?;
+                }
+                let warp = &mut self.warps[w as usize];
+                for lane in iter_lanes(group) {
+                    warp.set_reg(lane, dst, vals[(lane & 31) as usize]);
                 }
                 self.advance_pcs(w, group, pc);
-                let mut done = start + self.cyc(self.arch.memory.dram_latency as f64);
+                let mut done = start + self.lat.dram;
                 if remote {
                     let dev = self.devs[warp_rank].device_id;
                     done += self.remote_flag_latency(dev);
@@ -955,10 +1290,24 @@ impl<'a> Engine<'a> {
             }
             StGlobal { buf, idx, val } => {
                 let start = self.charge_sched(w);
+                let (rb, ri, rv) = (
+                    self.alu_src(w, buf),
+                    self.alu_src(w, idx),
+                    self.alu_src(w, val),
+                );
+                // Evaluate operands (immutable borrows) before the mutable
+                // buffer stores.
+                let mut stores = [(0usize, 0u64, 0u64); WARP as usize];
+                let mut n = 0usize;
                 for lane in iter_lanes(group) {
-                    let b = self.eval(w, lane, buf) as usize;
-                    let i = self.eval(w, lane, idx);
-                    let v = self.eval(w, lane, val);
+                    stores[n] = (
+                        self.src_val(w, lane, rb) as usize,
+                        self.src_val(w, lane, ri),
+                        self.src_val(w, lane, rv),
+                    );
+                    n += 1;
+                }
+                for &(b, i, v) in &stores[..n] {
                     let buffer = self
                         .sys
                         .bufs
@@ -968,7 +1317,7 @@ impl<'a> Engine<'a> {
                 }
                 self.advance_pcs(w, group, pc);
                 // Stores are fire-and-forget: only issue cost.
-                Ok(Step::Ready(start + self.cyc(4.0)))
+                Ok(Step::Ready(start + self.lat.c4))
             }
             AtomicFAdd {
                 dst_old,
@@ -979,12 +1328,12 @@ impl<'a> Engine<'a> {
                 let warp_rank = self.warps[w as usize].rank as usize;
                 let start = self.charge_sched(w);
                 let mut done = start;
+                let int_ps = self.lat.l2_atomic_int;
+                let lat_ps = self.lat.global_atomic;
                 for lane in iter_lanes(group) {
                     let b = self.eval(w, lane, buf) as usize;
                     let i = self.eval(w, lane, idx);
                     let v = f64::from_bits(self.eval(w, lane, val));
-                    let int_ps = self.cyc(t.l2_atomic_interval);
-                    let lat_ps = self.cyc(t.global_atomic_latency as f64);
                     let iss = self.devs[warp_rank].l2.issue(start, int_ps, lat_ps);
                     done = done.max(iss.done);
                     let buffer = self
@@ -995,8 +1344,7 @@ impl<'a> Engine<'a> {
                     let old = f64::from_bits(buffer.load(i)?);
                     buffer.store(i, (old + v).to_bits())?;
                     if let Some(d) = dst_old {
-                        self.warps[w as usize].threads[lane as usize].regs[d as usize] =
-                            old.to_bits();
+                        self.warps[w as usize].set_reg(lane, d, old.to_bits());
                     }
                 }
                 self.advance_pcs(w, group, pc);
@@ -1011,35 +1359,35 @@ impl<'a> Engine<'a> {
                 width,
             } => {
                 let start = self.charge_sched(w);
-                let mut si = match kind {
-                    ShflKind::Tile => t.shfl_tile,
-                    ShflKind::Coalesced => t.shfl_coalesced,
+                let (int_ps, mut lat) = match kind {
+                    ShflKind::Tile => (self.lat.shfl_tile_int, self.lat.shfl_tile_lat),
+                    ShflKind::Coalesced => (self.lat.shfl_coa_int, self.lat.shfl_coa_lat),
                 };
                 if kind == ShflKind::Coalesced {
                     // Cold group descriptor: the software path rebuilds the
                     // member mask unless the previous instruction was also a
                     // coalesced shuffle (Table V vs Table II).
                     if !self.warps[w as usize].coa_shfl_hot {
-                        si.latency_cycles = t.shfl_coalesced_cold_cycles;
+                        lat = self.lat.shfl_coa_cold_lat;
                     }
                     self.warps[w as usize].coa_shfl_hot = true;
                 } else {
                     self.warps[w as usize].coa_shfl_hot = false;
                 }
                 let warp = &self.warps[w as usize];
-                let (rank, sm) = (warp.rank as usize, warp.sm as usize);
-                let int_ps = self.cyc(1.0 / si.throughput_per_sm);
+                let (rank, sm, nlanes) = (warp.rank as usize, warp.sm as usize, warp.nlanes);
                 let unit = self.devs[rank].sms[sm]
                     .sync_unit
                     .issue(start, int_ps, Ps::ZERO);
                 // Gather source values first (exchange happens "at once").
-                let mut new: Vec<(u32, u64)> = Vec::new();
+                let mut new = [(0u32, 0u64); WARP as usize];
+                let mut nnew = 0usize;
                 for lane in iter_lanes(group) {
                     let src_lane = match mode {
                         ShflMode::Down(delta) => {
                             let l = lane + delta;
                             let tile_end = (lane / width + 1) * width;
-                            if l < tile_end && (l as usize) < self.warps[w as usize].threads.len() {
+                            if l < tile_end && l < nlanes {
                                 l
                             } else {
                                 lane
@@ -1048,7 +1396,7 @@ impl<'a> Engine<'a> {
                         ShflMode::Idx(i) => {
                             let base = lane / width * width;
                             let l = base + (i % width);
-                            if (l as usize) < self.warps[w as usize].threads.len() {
+                            if l < nlanes {
                                 l
                             } else {
                                 lane
@@ -1056,13 +1404,15 @@ impl<'a> Engine<'a> {
                         }
                     };
                     let v = self.eval(w, src_lane, val);
-                    new.push((lane, v));
+                    new[nnew] = (lane, v);
+                    nnew += 1;
                 }
-                for (lane, v) in new {
-                    self.warps[w as usize].threads[lane as usize].regs[dst as usize] = v;
+                let warp = &mut self.warps[w as usize];
+                for &(lane, v) in &new[..nnew] {
+                    warp.set_reg(lane, dst, v);
                 }
                 self.advance_pcs(w, group, pc);
-                Ok(Step::Ready(unit.start + self.cyc(si.latency_cycles as f64)))
+                Ok(Step::Ready(unit.start + lat))
             }
 
             SyncTile { width } => self.warp_barrier(w, group, pc, width, ShflKind::Tile),
@@ -1075,7 +1425,7 @@ impl<'a> Engine<'a> {
                     self.blocks[block as usize].smem.fence(tid);
                 }
                 self.advance_pcs(w, group, pc);
-                Ok(Step::Ready(start + self.cyc(4.0)))
+                Ok(Step::Ready(start + self.lat.c4))
             }
 
             BarSync => self.block_level_barrier(w, group, pc, BlockWaitKind::Block),
@@ -1093,10 +1443,10 @@ impl<'a> Engine<'a> {
             }
             ReadClock(dst) => {
                 let start = self.charge_sched(w);
-                let done = start + self.cyc(t.clock_read_latency as f64);
+                let done = start + self.lat.clock_read;
                 let cycles = self.arch.clock().to_cycles_u64(done);
                 for lane in iter_lanes(group) {
-                    self.warps[w as usize].threads[lane as usize].regs[dst as usize] = cycles;
+                    self.warps[w as usize].set_reg(lane, dst, cycles);
                 }
                 self.advance_pcs(w, group, pc);
                 Ok(Step::Ready(done))
@@ -1237,20 +1587,30 @@ impl<'a> Engine<'a> {
             let warp = &self.warps[w as usize];
             group == warp.present() & !warp.exited && group.count_ones() == WARP
         };
-        let si = match kind {
-            ShflKind::Tile => t.tile_sync,
+        let (interval, latency, blocking) = match kind {
+            ShflKind::Tile => (
+                self.lat.tile_sync_int,
+                self.lat.tile_sync_lat,
+                t.tile_sync.blocking,
+            ),
             ShflKind::Coalesced => {
                 if full_warp_group {
-                    t.coalesced_sync_full
+                    (
+                        self.lat.coa_full_int,
+                        self.lat.coa_full_lat,
+                        t.coalesced_sync_full.blocking,
+                    )
                 } else {
-                    t.coalesced_sync_partial
+                    (
+                        self.lat.coa_part_int,
+                        self.lat.coa_part_lat,
+                        t.coalesced_sync_partial.blocking,
+                    )
                 }
             }
         };
-        let interval = self.cyc(1.0 / si.throughput_per_sm);
-        let latency = self.cyc(si.latency_cycles as f64);
 
-        if !si.blocking {
+        if !blocking {
             // Pascal: a fence, not a barrier (paper §VIII-A / Fig. 18 right).
             let start = self.charge_sched(w);
             let warp = &self.warps[w as usize];
@@ -1326,14 +1686,14 @@ impl<'a> Engine<'a> {
                 let waited = self.now.saturating_sub(parked_at).0;
                 self.prof_barrier_wait(w, SyncScope::Tile, waited);
             }
-            let latency = self.cyc(self.arch.timing.tile_sync.latency_cycles as f64);
+            let latency = self.lat.tile_sync_lat;
             // Commit stores of all released lanes; each advances past its own
             // barrier site (divergent code can sync at different PCs).
             let block = self.warps[w as usize].block;
             for lane in iter_lanes(released) {
                 let tid = self.warps[w as usize].warp_in_block * WARP + lane;
                 self.blocks[block as usize].smem.fence(tid);
-                self.warps[w as usize].threads[lane as usize].pc += 1;
+                self.warps[w as usize].pcs[lane as usize] += 1;
             }
             {
                 let warp = &mut self.warps[w as usize];
@@ -1382,10 +1742,9 @@ impl<'a> Engine<'a> {
     /// serialize its arrival at the SM barrier unit and release / escalate
     /// when it is the last one.
     fn warp_arrives_at_block_barrier(&mut self, w: u32, kind: BlockWaitKind) {
-        let t = self.arch.timing.clone();
         let warp = &self.warps[w as usize];
         let (rank, sm, block) = (warp.rank as usize, warp.sm as usize, warp.block);
-        let arr_int = self.cyc(t.block_sync_arrival_cycles);
+        let arr_int = self.lat.block_arr_int;
         let arrival = self.devs[rank].sms[sm]
             .barrier_unit
             .issue(self.now, arr_int, Ps::ZERO);
@@ -1405,22 +1764,25 @@ impl<'a> Engine<'a> {
     }
 
     fn release_block_barrier(&mut self, gb: u32) {
-        let t = self.arch.timing.clone();
         let release = {
             let b = &mut self.blocks[gb as usize];
             b.smem.fence_all();
-            b.bar_last + self.cyc(t.block_sync_latency as f64)
+            b.bar_last + self.lat.block_sync
         };
-        let waiting = std::mem::take(&mut self.blocks[gb as usize].bar_waiting);
+        let mut waiting = std::mem::take(&mut self.blocks[gb as usize].bar_waiting);
         self.blocks[gb as usize].bar_arrived = 0;
         self.blocks[gb as usize].bar_last = Ps::ZERO;
         if self.prof.is_some() {
             let rank = self.blocks[gb as usize].rank;
             self.prof_epoch(rank, SyncScope::Block, release);
         }
-        for w in waiting {
+        for &w in &waiting {
             self.release_warp_from_block_barrier(w, release);
         }
+        // Hand the (emptied) buffer back so the next epoch's arrivals don't
+        // reallocate it.
+        waiting.clear();
+        self.blocks[gb as usize].bar_waiting = waiting;
     }
 
     fn release_warp_from_block_barrier(&mut self, w: u32, at: Ps) {
@@ -1442,9 +1804,13 @@ impl<'a> Engine<'a> {
         }
         let warp = &mut self.warps[w as usize];
         let lane = mask.trailing_zeros();
-        let pc = warp.threads[lane as usize].pc;
-        for l in iter_lanes(mask) {
-            warp.threads[l as usize].pc = pc + 1;
+        let pc = warp.pcs[(lane & 31) as usize];
+        if mask == FULL {
+            warp.pcs = [pc + 1; 32];
+        } else {
+            for l in iter_lanes(mask) {
+                warp.pcs[(l & 31) as usize] = pc + 1;
+            }
         }
         self.schedule_warp(w, at);
     }
@@ -1459,11 +1825,13 @@ impl<'a> Engine<'a> {
             (b.rank as usize, b.bar_last)
         };
         // Intra-block convergence first (same cost as a block barrier).
-        let local = bar_last + self.cyc(t.block_sync_latency as f64);
+        let local = bar_last + self.lat.block_sync;
         let spinning = self.devs[rank].grid_bar.waiting.len() as f64;
+        // Contended interval varies with the number of spinning leaders —
+        // this one stays a live `cyc` conversion.
         let interval = t.l2_atomic_interval * (1.0 + t.poll_contention_per_block * spinning);
         let int_ps = self.cyc(interval);
-        let lat_ps = self.cyc(t.global_atomic_latency as f64);
+        let lat_ps = self.lat.global_atomic;
         let iss = self.devs[rank].l2.issue(local, int_ps, lat_ps);
         let dev = &mut self.devs[rank];
         dev.grid_bar.arrived += 1;
@@ -1502,8 +1870,8 @@ impl<'a> Engine<'a> {
         } else {
             0.0
         };
-        let poll = self.cyc(t.poll_interval as f64);
-        let l2_lat = self.cyc(self.arch.memory.l2_latency as f64);
+        let poll = self.lat.poll;
+        let l2_lat = self.lat.l2;
         let waiting = std::mem::take(&mut self.devs[rank].grid_bar.waiting);
         self.devs[rank].grid_bar.arrived = 0;
         let scope = if mgrid {
@@ -1589,11 +1957,21 @@ impl<'a> Engine<'a> {
         let mut total_elems = 0u64;
         let mut max_iters = 0u64;
         let mut remote_dev: Option<usize> = None;
+        // Operands resolved once; the per-lane loop only reads registers.
+        let (rb, rs, rk, rn) = (
+            self.alu_src(w, buf),
+            self.alu_src(w, st),
+            self.alu_src(w, stride),
+            self.alu_src(w, len),
+        );
+        // Phase 1 (immutable): sum each lane's stream into a stack buffer so
+        // the accumulator write-back doesn't fight the buffer borrow.
+        let mut sums = [0.0f64; WARP as usize];
         for lane in iter_lanes(group) {
-            let b = self.eval(w, lane, buf) as usize;
-            let s = self.eval(w, lane, st);
-            let k = self.eval(w, lane, stride).max(1);
-            let n = self.eval(w, lane, len);
+            let b = self.src_val(w, lane, rb) as usize;
+            let s = self.src_val(w, lane, rs);
+            let k = self.src_val(w, lane, rk).max(1);
+            let n = self.src_val(w, lane, rn);
             let buffer = self
                 .sys
                 .bufs
@@ -1605,9 +1983,13 @@ impl<'a> Engine<'a> {
             let (sum, cnt) = buffer.strided_sum(s, k, n)?;
             total_elems += cnt;
             max_iters = max_iters.max(cnt);
-            let th = &mut self.warps[w as usize].threads[lane as usize];
-            let old = f64::from_bits(th.regs[acc as usize]);
-            th.regs[acc as usize] = (old + sum).to_bits();
+            sums[(lane & 31) as usize] = sum;
+        }
+        // Phase 2 (mutable): fold the sums into the accumulator column.
+        let warp = &mut self.warps[w as usize];
+        for lane in iter_lanes(group) {
+            let old = f64::from_bits(warp.reg(lane, acc));
+            warp.set_reg(lane, acc, (old + sums[(lane & 31) as usize]).to_bits());
         }
         self.advance_pcs(w, group, pc);
         // A sub-unity efficiency stretches the channel occupancy, modelling
@@ -1671,9 +2053,9 @@ impl<'a> Engine<'a> {
             }
             total_elems += cnt;
             max_iters = max_iters.max(cnt);
-            let th = &mut self.warps[w as usize].threads[lane as usize];
-            let old = f64::from_bits(th.regs[acc as usize]);
-            th.regs[acc as usize] = (old + sum).to_bits();
+            let warp = &mut self.warps[w as usize];
+            let old = f64::from_bits(warp.reg(lane, acc));
+            warp.set_reg(lane, acc, (old + sum).to_bits());
         }
         self.advance_pcs(w, group, pc);
         let t = &self.arch.timing;
@@ -1790,9 +2172,46 @@ impl<'a> Engine<'a> {
     }
 }
 
-/// Iterate the set lanes of a mask.
-fn iter_lanes(mask: u32) -> impl Iterator<Item = u32> {
-    (0..32u32).filter(move |l| mask & (1 << l) != 0)
+/// Number of architectural registers a program can touch: max referenced
+/// index + 1, scanned once per launch. Derived from the instructions rather
+/// than `Kernel::regs_per_thread` so hand-assembled kernels with a stale
+/// register count can never index out of the flattened file.
+fn reg_rows(program: &Program) -> usize {
+    let mut rows = 0usize;
+    for i in &program.instrs {
+        if let Some(d) = crate::verify::written_reg(i) {
+            rows = rows.max(d as usize + 1);
+        }
+        for op in crate::verify::input_operands(i) {
+            if let Operand::Reg(r) = op {
+                rows = rows.max(r as usize + 1);
+            }
+        }
+    }
+    debug_assert!(rows <= NUM_REGS);
+    rows
+}
+
+/// Iterate the set lanes of a mask, ascending (bit-clearing walk — cost is
+/// proportional to the popcount, not 32).
+fn iter_lanes(mask: u32) -> Lanes {
+    Lanes(mask)
+}
+
+struct Lanes(u32);
+
+impl Iterator for Lanes {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            return None;
+        }
+        let lane = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(lane)
+    }
 }
 
 #[cfg(test)]

@@ -10,10 +10,51 @@
 //! * [`stream_kernel`] — Fig. 10's grid-stride bandwidth loop.
 
 use crate::isa::{Instr, Kernel, KernelBuilder, Operand, ShflKind, ShflMode, Special};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 use Operand::{Imm, Param, Reg, Sp};
 
+/// Cache key for the interned parametric builders below. Two calls with the
+/// same key produce (by construction) identical programs, so the second call
+/// can clone the first's kernel instead of re-emitting and re-resolving it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum InternKey {
+    SyncChain(SyncOp, usize),
+    SyncThroughput(SyncOp, usize),
+    CoalescedChain(u32, usize),
+    CoalescedThroughput(u32, usize),
+    Fadd32Chain(usize),
+    Stream(u8, u16),
+    SmemStream(u32, u32),
+}
+
+/// Look up `key`, building and caching the kernel on first use.
+///
+/// Sweep drivers call the chain/throughput builders once per cell — hundreds
+/// of times with a handful of distinct parameter tuples — and emission
+/// (label resolution, name formatting) was a measurable slice of small-cell
+/// sweeps. The cache is process-wide and append-only; a clone of the cached
+/// kernel is byte-identical to a fresh build, so interning can never change
+/// simulation results.
+fn interned(key: InternKey, build: impl FnOnce() -> Kernel) -> Kernel {
+    static CACHE: OnceLock<Mutex<HashMap<InternKey, Kernel>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(k) = cache.lock().unwrap().get(&key) {
+        return k.clone();
+    }
+    // Built outside the lock: emission is pure, and a racing duplicate build
+    // just inserts the same kernel twice.
+    let kernel = build();
+    cache
+        .lock()
+        .unwrap()
+        .entry(key)
+        .or_insert_with(|| kernel.clone());
+    kernel
+}
+
 /// Which synchronization instruction a chain exercises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SyncOp {
     /// Tile-group sync of the given width.
     Tile(u32),
@@ -117,30 +158,36 @@ pub fn chain_kernel(
 /// Dependent chain of FP32 adds — the reference instruction both of the
 /// paper's measurement methods must agree on (§IX-D).
 pub fn fadd32_chain(repeats: usize) -> Kernel {
-    chain_kernel("fadd32-chain", repeats, |b, acc| {
-        b.fadd32(acc, Reg(acc), crate::isa::fimm(1.0));
+    interned(InternKey::Fadd32Chain(repeats), || {
+        chain_kernel("fadd32-chain", repeats, |b, acc| {
+            b.fadd32(acc, Reg(acc), crate::isa::fimm(1.0));
+        })
     })
 }
 
 /// A chain of `repeats` synchronization ops with clock reads around it.
 /// Elapsed cycles stored to `param(0)[global_tid]`.
 pub fn sync_chain(op: SyncOp, repeats: usize) -> Kernel {
-    chain_kernel(&format!("sync-chain-{op:?}"), repeats, |b, acc| {
-        op.emit(b, acc);
+    interned(InternKey::SyncChain(op, repeats), || {
+        chain_kernel(&format!("sync-chain-{op:?}"), repeats, |b, acc| {
+            op.emit(b, acc);
+        })
     })
 }
 
 /// A chain of `repeats` synchronization ops with no timing reads — used for
 /// throughput sweeps where the host measures kernel duration.
 pub fn sync_throughput(op: SyncOp, repeats: usize) -> Kernel {
-    let mut b = KernelBuilder::new(&format!("sync-thr-{op:?}"));
-    let acc = b.reg();
-    b.mov(acc, crate::isa::fimm(1.0));
-    for _ in 0..repeats {
-        op.emit(&mut b, acc);
-    }
-    b.exit();
-    b.build(0)
+    interned(InternKey::SyncThroughput(op, repeats), || {
+        let mut b = KernelBuilder::new(&format!("sync-thr-{op:?}"));
+        let acc = b.reg();
+        b.mov(acc, crate::isa::fimm(1.0));
+        for _ in 0..repeats {
+            op.emit(&mut b, acc);
+        }
+        b.exit();
+        b.build(0)
+    })
 }
 
 /// Table II "Coalesced(1–31)": lanes below `k` form a partial coalesced
@@ -148,6 +195,12 @@ pub fn sync_throughput(op: SyncOp, repeats: usize) -> Kernel {
 /// its elapsed cycles to `param(0)[0]`.
 pub fn coalesced_partial_chain(k: u32, repeats: usize) -> Kernel {
     assert!((1..=32).contains(&k));
+    interned(InternKey::CoalescedChain(k, repeats), || {
+        coalesced_partial_chain_uncached(k, repeats)
+    })
+}
+
+fn coalesced_partial_chain_uncached(k: u32, repeats: usize) -> Kernel {
     let mut b = KernelBuilder::new("coalesced-partial");
     let c = b.reg();
     let t0 = b.reg();
@@ -174,16 +227,18 @@ pub fn coalesced_partial_chain(k: u32, repeats: usize) -> Kernel {
 /// every warp sync `repeats` times, no clocks (host-timed sweeps).
 pub fn coalesced_partial_throughput(k: u32, repeats: usize) -> Kernel {
     assert!((1..=32).contains(&k));
-    let mut b = KernelBuilder::new("coalesced-partial-thr");
-    let c = b.reg();
-    b.cmp_lt(c, Sp(Special::LaneId), Imm(k as u64));
-    b.bra_ifz(Reg(c), "out");
-    for _ in 0..repeats {
-        b.push(Instr::SyncCoalesced);
-    }
-    b.label("out");
-    b.exit();
-    b.build(0)
+    interned(InternKey::CoalescedThroughput(k, repeats), || {
+        let mut b = KernelBuilder::new("coalesced-partial-thr");
+        let c = b.reg();
+        b.cmp_lt(c, Sp(Special::LaneId), Imm(k as u64));
+        b.bra_ifz(Reg(c), "out");
+        for _ in 0..repeats {
+            b.push(Instr::SyncCoalesced);
+        }
+        b.label("out");
+        b.exit();
+        b.build(0)
+    })
 }
 
 /// Fig. 17: every lane takes its own branch arm, records a start clock,
@@ -239,6 +294,12 @@ pub fn stream_kernel(flops: u8) -> Kernel {
 
 /// [`stream_kernel`] with an explicit streaming-efficiency (permille).
 pub fn stream_kernel_eff(flops: u8, eff_permille: u16) -> Kernel {
+    interned(InternKey::Stream(flops, eff_permille), || {
+        stream_kernel_eff_uncached(flops, eff_permille)
+    })
+}
+
+fn stream_kernel_eff_uncached(flops: u8, eff_permille: u16) -> Kernel {
     let mut b = KernelBuilder::new("stream");
     let acc = b.reg();
     let start = b.reg();
@@ -271,6 +332,12 @@ pub fn stream_kernel_eff(flops: u8, eff_permille: u16) -> Kernel {
 /// each stream `per_thread_iters` words of shared memory (stride =
 /// `threads_live`), then store their partials to `param(0)[tid]`.
 pub fn smem_stream_kernel(shared_words: u32, threads_live: u32) -> Kernel {
+    interned(InternKey::SmemStream(shared_words, threads_live), || {
+        smem_stream_kernel_uncached(shared_words, threads_live)
+    })
+}
+
+fn smem_stream_kernel_uncached(shared_words: u32, threads_live: u32) -> Kernel {
     let mut b = KernelBuilder::new("smem-stream");
     let acc = b.reg();
     let c = b.reg();
@@ -312,5 +379,28 @@ mod tests {
     #[should_panic]
     fn partial_chain_rejects_zero_group() {
         let _ = coalesced_partial_chain(0, 4);
+    }
+
+    /// Interning must be invisible: a cache hit is byte-equal to a fresh
+    /// emission, and distinct parameters never collide.
+    #[test]
+    fn interned_builders_match_fresh_emission() {
+        let cached = sync_chain(SyncOp::Grid, 4);
+        let fresh = chain_kernel("sync-chain-Grid", 4, |b, acc| SyncOp::Grid.emit(b, acc));
+        assert_eq!(cached, fresh);
+        assert_eq!(cached, sync_chain(SyncOp::Grid, 4));
+        assert_ne!(sync_chain(SyncOp::Grid, 5), cached);
+        assert_eq!(
+            coalesced_partial_chain(7, 3),
+            coalesced_partial_chain_uncached(7, 3)
+        );
+        assert_eq!(
+            smem_stream_kernel(64, 32),
+            smem_stream_kernel_uncached(64, 32)
+        );
+        assert_eq!(
+            stream_kernel_eff(2, 870),
+            stream_kernel_eff_uncached(2, 870)
+        );
     }
 }

@@ -20,6 +20,7 @@ pub mod isa;
 pub mod kernels;
 pub mod mem;
 pub mod profile;
+pub mod stats;
 pub mod system;
 pub mod timeline;
 pub mod verify;

@@ -258,6 +258,17 @@ impl GpuSystem {
         self.topology.num_gpus
     }
 
+    /// Drop all device memory, returning the system to its just-constructed
+    /// state (allocation ids restart from 0).
+    ///
+    /// Sweep drivers reuse one `GpuSystem` per worker across cells instead
+    /// of rebuilding device memory and peer channels per cell; calling
+    /// `reset` between launches makes the reused system indistinguishable
+    /// from a fresh one, so results stay byte-identical to unamortized runs.
+    pub fn reset(&mut self) {
+        self.bufs.clear();
+    }
+
     fn check_device(&self, device: usize) {
         assert!(
             device < self.num_gpus(),
@@ -339,6 +350,7 @@ impl GpuSystem {
             engine = engine.with_trace(cap);
         }
         let (report, trace, hazards, profile) = engine.run_full()?;
+        crate::stats::count_instrs(report.instrs_executed);
         Ok(RunArtifacts {
             report,
             hazards: if check { Some(hazards) } else { None },
@@ -349,49 +361,6 @@ impl GpuSystem {
             },
             profile,
         })
-    }
-
-    /// Validate and execute a grid launch, returning its device-side timing.
-    ///
-    /// For a [`GridLaunch::checked`] launch, any detected shared-memory
-    /// hazard fails the run with [`SimError::ProgramError`].
-    #[deprecated(note = "use `GpuSystem::execute` with `RunOptions::new()`")]
-    pub fn run(&mut self, launch: &GridLaunch) -> SimResult<ExecReport> {
-        let arts = self.execute(launch, &RunOptions::new())?;
-        if launch.checked {
-            if let Some(hazards) = &arts.hazards {
-                if !hazards.is_clean() {
-                    return Err(SimError::ProgramError(format!(
-                        "kernel {:?}: {}",
-                        launch.kernel.name,
-                        hazards.render(&launch.kernel.program)
-                    )));
-                }
-            }
-        }
-        Ok(arts.report)
-    }
-
-    /// Run with synchronization checking forced on, returning the hazard
-    /// report as data.
-    #[deprecated(note = "use `GpuSystem::execute` with `RunOptions::new().check()`")]
-    pub fn run_checked(
-        &mut self,
-        launch: &GridLaunch,
-    ) -> SimResult<(ExecReport, crate::engine::HazardReport)> {
-        let arts = self.execute(launch, &RunOptions::new().check())?;
-        Ok((arts.report, arts.hazards.expect("checking was armed")))
-    }
-
-    /// Run with an execution trace of up to `max_events` instructions.
-    #[deprecated(note = "use `GpuSystem::execute` with `RunOptions::new().trace(max_events)`")]
-    pub fn run_traced(
-        &mut self,
-        launch: &GridLaunch,
-        max_events: usize,
-    ) -> SimResult<(ExecReport, Vec<crate::engine::TraceEvent>)> {
-        let arts = self.execute(launch, &RunOptions::new().trace(max_events))?;
-        Ok((arts.report, arts.trace.expect("tracing was armed")))
     }
 
     fn validate_with(&self, launch: &GridLaunch, check: bool) -> SimResult<()> {
@@ -737,43 +706,6 @@ mod tests {
             }
             other => panic!("expected InvalidLaunch, got {other:?}"),
         }
-    }
-
-    /// The deprecated `run`/`run_checked`/`run_traced` trio must keep its
-    /// historical behaviour while delegating to [`GpuSystem::execute`].
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_execute() {
-        use crate::isa::{Instr, Operand::*, Special};
-        let mut sys = GpuSystem::single(GpuArch::v100());
-        let l = GridLaunch::single(null_kernel(), 4, 64, vec![]);
-        let via_execute = sys.execute(&l, &RunOptions::new()).unwrap().report;
-        assert_eq!(sys.run(&l).unwrap(), via_execute);
-        let traced = sys.run_traced(&l, 1_000).unwrap();
-        assert_eq!(traced.0, via_execute);
-        assert!(!traced.1.is_empty());
-
-        // A racy kernel: run_checked hands back the evidence, while `run` on
-        // a `.checked()` launch keeps the legacy error-on-hazard contract.
-        let mut b = KernelBuilder::new("smemrace");
-        b.push(Instr::StShared {
-            addr: Imm(0),
-            val: Sp(Special::Tid),
-            volatile: false,
-            pred: None,
-        });
-        b.exit();
-        let racy = GridLaunch::single(b.build(1), 1, 32, vec![]);
-        let (_, hazards) = sys.run_checked(&racy).unwrap();
-        assert!(!hazards.is_clean());
-        match sys.run(&racy.clone().checked()) {
-            Err(SimError::ProgramError(msg)) => {
-                assert!(msg.contains("write-after-write"), "{msg}")
-            }
-            other => panic!("expected ProgramError, got {other:?}"),
-        }
-        // Unchecked, the race is silent.
-        assert!(sys.run(&racy).is_ok());
     }
 
     #[test]

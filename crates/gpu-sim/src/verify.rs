@@ -411,7 +411,7 @@ fn count_bits(v: &[u64]) -> u32 {
 /// Operands an instruction reads (register reads, specials, params,
 /// immediates). The streaming accumulators are read-modify-write and appear
 /// here as register reads.
-fn input_operands(i: &Instr) -> Vec<Operand> {
+pub(crate) fn input_operands(i: &Instr) -> Vec<Operand> {
     use Instr::*;
     match *i {
         IAdd(_, a, b)
@@ -479,7 +479,7 @@ fn input_operands(i: &Instr) -> Vec<Operand> {
 }
 
 /// The register an instruction writes, if any.
-fn written_reg(i: &Instr) -> Option<Reg> {
+pub(crate) fn written_reg(i: &Instr) -> Option<Reg> {
     use Instr::*;
     match *i {
         IAdd(d, ..)

@@ -1,0 +1,194 @@
+//! Golden `ExecReport` snapshots for canonical launches.
+//!
+//! These pin `{duration, instrs_executed, warps_run}` for eight launch
+//! shapes spanning every barrier scope (tile / block / grid / multi-grid),
+//! both calibrated architectures, and 1-SM as well as full-chip grids. Any
+//! engine refactor — event queue, warp state layout, scheduling fast paths —
+//! must leave every line byte-identical: these numbers are the contract that
+//! performance work does not change observable simulation results.
+//!
+//! If a change is *supposed* to alter timing (a calibration update), rerun
+//! with `UPDATE=1 cargo test -p gpu-sim --test golden_exec -- --nocapture`
+//! and paste the printed block below.
+
+use gpu_arch::GpuArch;
+use gpu_node::NodeTopology;
+use gpu_sim::kernels::{self, SyncOp};
+use gpu_sim::{GpuSystem, GridLaunch, LaunchKind, RunOptions};
+use std::sync::Arc;
+
+const GOLDEN: &str = "\
+v100-1sm-tile-chain: duration=719531 instrs=70 warps=1
+v100-full-block-chain: duration=486181 instrs=14080 warps=640
+v100-full-grid-chain: duration=6599493 instrs=6400 warps=640
+v100-dgx1-mgrid-x2-chain: duration=27133489 instrs=1280 warps=128
+p100-1sm-tile-chain: duration=168206 instrs=70 warps=1
+p100-full-block-chain: duration=3938617 instrs=9856 warps=448
+p100-full-grid-chain: duration=7686160 instrs=4480 warps=448
+p100-pair-mgrid-x2-chain: duration=30884332 instrs=320 warps=32
+";
+
+struct Case {
+    name: &'static str,
+    arch: GpuArch,
+    topology: NodeTopology,
+    devices: Vec<usize>,
+    op: SyncOp,
+    reps: usize,
+    grid_dim: u32,
+    block_dim: u32,
+}
+
+fn one_sm(mut arch: GpuArch) -> GpuArch {
+    arch.num_sms = 1;
+    arch
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "v100-1sm-tile-chain",
+            arch: one_sm(GpuArch::v100()),
+            topology: NodeTopology::single(),
+            devices: vec![0],
+            op: SyncOp::Tile(32),
+            reps: 64,
+            grid_dim: 1,
+            block_dim: 32,
+        },
+        Case {
+            name: "v100-full-block-chain",
+            arch: GpuArch::v100(),
+            topology: NodeTopology::single(),
+            devices: vec![0],
+            op: SyncOp::Block,
+            reps: 16,
+            grid_dim: 80,
+            block_dim: 256,
+        },
+        Case {
+            name: "v100-full-grid-chain",
+            arch: GpuArch::v100(),
+            topology: NodeTopology::single(),
+            devices: vec![0],
+            op: SyncOp::Grid,
+            reps: 4,
+            grid_dim: 80,
+            block_dim: 256,
+        },
+        Case {
+            name: "v100-dgx1-mgrid-x2-chain",
+            arch: GpuArch::v100(),
+            topology: NodeTopology::dgx1_v100(),
+            devices: vec![0, 1],
+            op: SyncOp::MultiGrid,
+            reps: 4,
+            grid_dim: 16,
+            block_dim: 128,
+        },
+        Case {
+            name: "p100-1sm-tile-chain",
+            arch: one_sm(GpuArch::p100()),
+            topology: NodeTopology::single(),
+            devices: vec![0],
+            op: SyncOp::Tile(32),
+            reps: 64,
+            grid_dim: 1,
+            block_dim: 32,
+        },
+        Case {
+            name: "p100-full-block-chain",
+            arch: GpuArch::p100(),
+            topology: NodeTopology::single(),
+            devices: vec![0],
+            op: SyncOp::Block,
+            reps: 16,
+            grid_dim: 56,
+            block_dim: 256,
+        },
+        Case {
+            name: "p100-full-grid-chain",
+            arch: GpuArch::p100(),
+            topology: NodeTopology::single(),
+            devices: vec![0],
+            op: SyncOp::Grid,
+            reps: 4,
+            grid_dim: 56,
+            block_dim: 256,
+        },
+        Case {
+            name: "p100-pair-mgrid-x2-chain",
+            arch: GpuArch::p100(),
+            topology: NodeTopology::p100_pair(),
+            devices: vec![0, 1],
+            op: SyncOp::MultiGrid,
+            reps: 4,
+            grid_dim: 8,
+            block_dim: 64,
+        },
+    ]
+}
+
+fn run_case(c: &Case) -> String {
+    let mut sys = GpuSystem::new(c.arch.clone(), Arc::new(c.topology.clone()));
+    let kernel = kernels::sync_chain(c.op, c.reps);
+    let words = (c.grid_dim as u64) * (c.block_dim as u64);
+    let params: Vec<Vec<u64>> = c
+        .devices
+        .iter()
+        .map(|&d| vec![sys.alloc(d, words).0 as u64])
+        .collect();
+    let kind = match c.op {
+        SyncOp::Grid => LaunchKind::Cooperative,
+        SyncOp::MultiGrid => LaunchKind::CooperativeMultiDevice,
+        _ => LaunchKind::Traditional,
+    };
+    let launch = GridLaunch {
+        kernel,
+        grid_dim: c.grid_dim,
+        block_dim: c.block_dim,
+        kind,
+        devices: c.devices.clone(),
+        params,
+        checked: false,
+    };
+    let report = sys.execute(&launch, &RunOptions::new()).unwrap().report;
+    format!(
+        "{}: duration={} instrs={} warps={}\n",
+        c.name, report.duration.0, report.instrs_executed, report.warps_run
+    )
+}
+
+#[test]
+fn golden_exec_reports_are_stable() {
+    let actual: String = cases().iter().map(run_case).collect();
+    if std::env::var_os("UPDATE").is_some() {
+        println!("--- paste into GOLDEN ---\n{actual}--- end ---");
+    }
+    assert_eq!(
+        actual, GOLDEN,
+        "ExecReport drifted from the golden snapshot; if the timing change \
+         is intentional, rerun with UPDATE=1 and refresh GOLDEN"
+    );
+}
+
+/// The snapshots must not depend on instrumentation: a profiled + traced +
+/// checked run reports the same `ExecReport` as the bare golden run.
+#[test]
+fn golden_reports_insensitive_to_instrumentation() {
+    let c = &cases()[1];
+    let bare = run_case(c);
+    let mut sys = GpuSystem::new(c.arch.clone(), Arc::new(c.topology.clone()));
+    let kernel = kernels::sync_chain(c.op, c.reps);
+    let words = (c.grid_dim as u64) * (c.block_dim as u64);
+    let buf = sys.alloc(0, words);
+    let launch = GridLaunch::single(kernel, c.grid_dim, c.block_dim, vec![buf.0 as u64]);
+    let arts = sys
+        .execute(&launch, &RunOptions::new().check().trace(64).profile())
+        .unwrap();
+    let instrumented = format!(
+        "{}: duration={} instrs={} warps={}\n",
+        c.name, arts.report.duration.0, arts.report.instrs_executed, arts.report.warps_run
+    );
+    assert_eq!(bare, instrumented);
+}

@@ -2,44 +2,38 @@
 //!
 //! Events are ordered by time; ties are broken by insertion sequence number so
 //! a simulation replays identically regardless of heap internals.
+//!
+//! The heap is hand-rolled and compares *keys only* — the payload needs no
+//! `Ord` (the old implementation wrapped events in an always-`Equal` slot to
+//! satisfy `BinaryHeap`, which worked but made every comparison walk a tuple
+//! and made `peek` awkward). Two layout choices matter for the simulator's
+//! pop-dominated access pattern:
+//!
+//! * **4-ary** instead of binary: half the depth, and the up-to-four child
+//!   keys a sift-down inspects sit in one or two cache lines.
+//! * **Parallel arrays**: `(Ps, seq)` keys live in one dense `Vec` and
+//!   payloads in another, so sift comparisons never drag payload bytes
+//!   through the cache.
 
 use crate::time::Ps;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Key {
-    time: Ps,
-    seq: u64,
-}
+/// Arity of the heap. Four keeps sibling keys within a cache line and halves
+/// tree depth versus a binary heap; pops dominate, so that trade wins.
+const D: usize = 4;
 
 /// A min-heap of timed events with FIFO tie-breaking.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(Key, EventSlot<E>)>>,
+    /// `(time, seq)` keys, heap-ordered; dense so sifts stay in-cache.
+    keys: Vec<(Ps, u64)>,
+    /// Payloads, kept index-parallel with `keys`; never compared.
+    payload: Vec<E>,
     seq: u64,
 }
 
-// BinaryHeap needs Ord on the payload; we wrap the event so only the key is
-// compared (the slot always compares equal).
-#[derive(Debug)]
-struct EventSlot<E>(E);
-
-impl<E> PartialEq for EventSlot<E> {
-    fn eq(&self, _: &Self) -> bool {
-        true
-    }
-}
-impl<E> Eq for EventSlot<E> {}
-impl<E> PartialOrd for EventSlot<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for EventSlot<E> {
-    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
-    }
+#[inline]
+fn key_lt(a: (Ps, u64), b: (Ps, u64)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
 }
 
 impl<E> Default for EventQueue<E> {
@@ -51,43 +45,97 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            keys: Vec::new(),
+            payload: Vec::new(),
             seq: 0,
         }
     }
 
     /// Schedule `event` at absolute time `at`.
     pub fn push(&mut self, at: Ps, event: E) {
-        let key = Key {
-            time: at,
-            seq: self.seq,
-        };
+        let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse((key, EventSlot(event))));
+        self.keys.push((at, seq));
+        self.payload.push(event);
+        self.sift_up(self.keys.len() - 1);
     }
 
-    /// Remove and return the earliest event.
+    /// Remove and return the earliest event (FIFO among equal times).
     pub fn pop(&mut self) -> Option<(Ps, E)> {
-        self.heap
-            .pop()
-            .map(|Reverse((k, EventSlot(e)))| (k.time, e))
+        let n = self.keys.len();
+        if n == 0 {
+            return None;
+        }
+        let key = self.keys.swap_remove(0);
+        let ev = self.payload.swap_remove(0);
+        if n > 2 {
+            self.sift_down(0);
+        }
+        Some((key.0, ev))
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<Ps> {
-        self.heap.peek().map(|Reverse((k, _))| k.time)
+        self.keys.first().map(|k| k.0)
+    }
+
+    /// The earliest pending event, without removing it.
+    pub fn peek(&self) -> Option<(Ps, &E)> {
+        self.keys.first().map(|k| (k.0, &self.payload[0]))
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.keys.is_empty()
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.keys.len()
     }
 
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.keys.clear();
+        self.payload.clear();
+    }
+
+    #[inline]
+    fn swap(&mut self, i: usize, j: usize) {
+        self.keys.swap(i, j);
+        self.payload.swap(i, j);
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / D;
+            if !key_lt(self.keys[i], self.keys[parent]) {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.keys.len();
+        loop {
+            let first = D * i + 1;
+            if first >= n {
+                break;
+            }
+            let mut child = first;
+            let mut child_key = self.keys[first];
+            for c in first + 1..(first + D).min(n) {
+                let k = self.keys[c];
+                if key_lt(k, child_key) {
+                    child = c;
+                    child_key = k;
+                }
+            }
+            if !key_lt(child_key, self.keys[i]) {
+                break;
+            }
+            self.swap(i, child);
+            i = child;
+        }
     }
 }
 
@@ -123,9 +171,11 @@ mod tests {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
-        q.push(Ps(7), ());
-        q.push(Ps(3), ());
+        assert!(q.peek().is_none());
+        q.push(Ps(7), 'a');
+        q.push(Ps(3), 'b');
         assert_eq!(q.peek_time(), Some(Ps(3)));
+        assert_eq!(q.peek(), Some((Ps(3), &'b')));
         assert_eq!(q.len(), 2);
         q.clear();
         assert!(q.is_empty());
@@ -142,5 +192,52 @@ mod tests {
         assert_eq!(q.pop(), Some((Ps(7), 2)));
         assert_eq!(q.pop(), Some((Ps(10), 1)));
         assert_eq!(q.pop(), Some((Ps(12), 3)));
+    }
+
+    /// Property test: seeded interleaved push/pop with *heavily duplicated*
+    /// timestamps replays in exactly the order a stable sort by arrival
+    /// would produce — the FIFO-at-equal-times contract the whole engine's
+    /// determinism rests on.
+    #[test]
+    fn fifo_replay_matches_stable_model_under_duplicates() {
+        // xorshift64* — deterministic, no external deps.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x2545F4914F6CDD1D);
+            state
+        };
+        for round in 0..50u64 {
+            let mut q = EventQueue::new();
+            // Model: FIFO list of (time, id); a pop takes the earliest time,
+            // first-inserted entry — i.e. min by (time, insertion index),
+            // which a stable min-scan over arrival order gives for free.
+            let mut model: Vec<(Ps, u64)> = Vec::new();
+            let mut next_id = 0u64;
+            for _ in 0..400 {
+                if rng() % 3 != 0 || model.is_empty() {
+                    // Only 4 distinct times: duplicates are the common case.
+                    let t = Ps(round + rng() % 4);
+                    q.push(t, next_id);
+                    model.push((t, next_id));
+                    next_id += 1;
+                } else {
+                    let min_t = model.iter().map(|e| e.0).min().unwrap();
+                    let pos = model.iter().position(|e| e.0 == min_t).unwrap();
+                    let expect = model.remove(pos);
+                    assert_eq!(q.pop(), Some(expect), "round {round}");
+                }
+            }
+            // Drain: remaining events come out in stable (time, arrival)
+            // order.
+            while let Some(got) = q.pop() {
+                let min_t = model.iter().map(|e| e.0).min().unwrap();
+                let pos = model.iter().position(|e| e.0 == min_t).unwrap();
+                assert_eq!(got, model.remove(pos), "round {round} drain");
+            }
+            assert!(model.is_empty());
+        }
     }
 }
