@@ -14,15 +14,23 @@
 //! repro --bench               # run the fixed perf suite and write the
 //!                             # tracked baseline (BENCH_4.json) to the
 //!                             # current directory
+//! repro --faults 7 sync_resilience
+//!                             # seed for the fault-injection experiments
 //! ```
 //!
 //! Experiment names are validated up front: a typo anywhere in the argument
 //! list aborts before any experiment runs or the `--out` directory is
 //! created, so a failed invocation never leaves partial results behind.
 //!
+//! Experiment *failures* (an error or panic inside one runner) do not stop
+//! the others: every requested experiment runs, successes are printed and
+//! written to `--out` as usual, and a deterministic per-experiment error
+//! summary goes to stderr before the process exits nonzero.
+//!
 //! Output order on stdout is always the requested order, independent of
 //! `--jobs` — per-experiment wall-clock progress goes to stderr instead.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use syncmark_bench::experiments::{Experiment, EXPERIMENTS};
 use syncmark_bench::profiling;
@@ -93,6 +101,21 @@ fn main() {
             }
         };
         sync_micro::sweep::set_jobs(n);
+        args.drain(pos..pos + 2);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--faults") {
+        if pos + 1 >= args.len() {
+            eprintln!("--faults requires a seed");
+            std::process::exit(2);
+        }
+        let seed: u64 = match args[pos + 1].parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--faults requires a number, got {:?}", args[pos + 1]);
+                std::process::exit(2);
+            }
+        };
+        syncmark_bench::faults::set_seed(seed);
         args.drain(pos..pos + 2);
     }
     if let Some(pos) = args.iter().position(|a| a == "--out") {
@@ -203,23 +226,37 @@ fn main() {
         }
     }
     // Run the registry entries themselves as a sweep (experiments nest their
-    // own cell-level sweeps on the same worker setting).
+    // own cell-level sweeps on the same worker setting). A panic inside one
+    // runner is contained to its cell: the rest still complete, partial
+    // results still land in --out, and the failure is reported at the end.
     let wall = Instant::now();
     let results = sync_micro::sweep::map(selected, |(name, _, f)| {
         let t = Instant::now();
-        let out = f();
+        let out = catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+            payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string())
+        });
         let dt = t.elapsed();
         eprintln!("[repro] {name:<12} {:8.2}s", dt.as_secs_f64());
         (*name, out)
     });
+    let mut failed = Vec::new();
     for (name, out) in &results {
-        println!("{out}");
-        if let Some(dir) = &out_dir {
-            let path = dir.join(format!("{name}.txt"));
-            if let Err(e) = std::fs::write(&path, out) {
-                eprintln!("cannot write {}: {e}", path.display());
-                std::process::exit(1);
+        match out {
+            Ok(out) => {
+                println!("{out}");
+                if let Some(dir) = &out_dir {
+                    let path = dir.join(format!("{name}.txt"));
+                    if let Err(e) = std::fs::write(&path, out) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
             }
+            Err(msg) => failed.push((name, msg)),
         }
     }
     eprintln!(
@@ -228,4 +265,17 @@ fn main() {
         wall.elapsed().as_secs_f64(),
         sync_micro::sweep::jobs()
     );
+    if !failed.is_empty() {
+        // Requested order, so the failure summary is as deterministic as
+        // the results themselves.
+        for (name, msg) in &failed {
+            eprintln!("[repro] FAILED {name}: {msg}");
+        }
+        eprintln!(
+            "[repro] {} of {} experiment(s) failed; partial results were kept",
+            failed.len(),
+            results.len()
+        );
+        std::process::exit(1);
+    }
 }

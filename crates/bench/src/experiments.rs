@@ -580,6 +580,13 @@ pub fn group_sizes() -> String {
     sync_micro::group_size::render_group_size_sweeps(&[&v, &p]).expect("sweeps")
 }
 
+/// Robustness extension: sync cost under injected faults — straggler
+/// jitter per barrier scope and multi-grid cost under degraded links.
+/// Seeded by `repro --faults` ([`crate::faults::seed`]).
+pub fn sync_resilience() -> String {
+    sync_micro::resilience::report(crate::faults::seed()).expect("sync_resilience")
+}
+
 /// §III-B extension: software device-wide barriers vs `grid.sync()`.
 pub fn software_barriers() -> String {
     let mut s = String::new();
@@ -663,6 +670,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         "synccheck",
         "synchronization-hazard audit of the kernel registry",
         synccheck_report,
+    ),
+    (
+        "sync_resilience",
+        "sync cost under stragglers & degraded links (--faults)",
+        sync_resilience,
     ),
 ];
 

@@ -18,6 +18,7 @@
 //! * [`warp_probe`] — §VIII-A / Figs. 17–18
 //! * [`group_size`] — §V-A's every-group-size sweeps
 //! * [`software_barrier`] — §III-B's software barriers as an extension
+//! * [`resilience`] — sync cost under injected faults (extension)
 //! * [`summary`] — §X / Table VIII, derived from the data
 //! * [`measure`], [`report`] — shared runners and table rendering
 
@@ -31,6 +32,7 @@ pub mod multi_gpu;
 pub mod multi_grid;
 pub mod plot;
 pub mod report;
+pub mod resilience;
 pub mod shared_mem;
 pub mod software_barrier;
 pub mod summary;

@@ -15,9 +15,59 @@
 //! and the OS timeshares them, which is harmless because workers are
 //! compute-bound simulation and never block on each other.
 
-use sim_core::SimResult;
+use sim_core::{CellError, SimError, SimResult};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Cap on per-cell errors carried in a [`SimError::CellErrors`] summary;
+/// overflow is counted in `dropped` rather than ballooning the report.
+pub const ERR_CAP: usize = 16;
+
+/// Run one sweep cell, converting a panic into a structured error so a
+/// single poisoned cell cannot take down the whole sweep (or, under
+/// parallel workers, abort the process via a crossed thread boundary).
+fn run_cell<T>(cell: impl FnOnce() -> SimResult<T>) -> SimResult<T> {
+    match catch_unwind(AssertUnwindSafe(cell)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(SimError::ProgramError(format!(
+                "sweep cell panicked: {msg}"
+            )))
+        }
+    }
+}
+
+/// Fold per-cell results into the fallible-sweep contract: all cells ran;
+/// zero errors yields the full result vector, exactly one error is returned
+/// unwrapped (the common case keeps its precise type), and several are
+/// bundled — in input order, capped at [`ERR_CAP`] with a dropped counter —
+/// into [`SimError::CellErrors`] so one pass surfaces every failure.
+fn collect_cells<T>(results: Vec<SimResult<T>>) -> SimResult<Vec<T>> {
+    let mut ok = Vec::with_capacity(results.len());
+    let mut errors: Vec<CellError> = Vec::new();
+    let mut dropped = 0u32;
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(t) => ok.push(t),
+            Err(e) if errors.len() < ERR_CAP => errors.push(CellError {
+                cell: i as u64,
+                error: e,
+            }),
+            Err(_) => dropped += 1,
+        }
+    }
+    match errors.len() {
+        0 => Ok(ok),
+        1 => Err(errors.pop().expect("one error").error),
+        _ => Err(SimError::CellErrors { errors, dropped }),
+    }
+}
 
 /// Process-wide worker-count override; 0 means "use [`default_jobs`]".
 static JOBS: AtomicUsize = AtomicUsize::new(0);
@@ -93,15 +143,18 @@ where
         .collect()
 }
 
-/// [`map`] over fallible points. All points run; the error reported is the
-/// first in *input* order, so failures are as deterministic as successes.
+/// [`map`] over fallible points. Every point runs to completion (panics
+/// included — they become structured errors), and *all* failures are
+/// reported in one pass: a single error comes back unwrapped, several come
+/// back as [`SimError::CellErrors`] ordered by input position. Failures are
+/// as deterministic as successes.
 pub fn try_map<I, T, F>(items: Vec<I>, f: F) -> SimResult<Vec<T>>
 where
     I: Send,
     T: Send,
     F: Fn(I) -> SimResult<T> + Sync,
 {
-    map(items, f).into_iter().collect()
+    collect_cells(map(items, |i| run_cell(|| f(i))))
 }
 
 /// [`map`] with per-worker scratch state: each worker builds one `S` with
@@ -163,7 +216,9 @@ where
         .collect()
 }
 
-/// [`map_init`] over fallible points; first error in input order wins.
+/// [`map_init`] over fallible points; same all-errors contract as
+/// [`try_map`]. A cell that panics may leave the worker's shared state `S`
+/// torn, so the state is rebuilt with `init` before the next claimed cell.
 pub fn try_map_init<I, T, S, G, F>(items: Vec<I>, init: G, f: F) -> SimResult<Vec<T>>
 where
     I: Send,
@@ -171,7 +226,21 @@ where
     G: Fn() -> S + Sync,
     F: Fn(&mut S, I) -> SimResult<T> + Sync,
 {
-    map_init(items, init, f).into_iter().collect()
+    collect_cells(map_init(
+        items,
+        || (init(), false),
+        |(state, poisoned), i| {
+            if std::mem::take(poisoned) {
+                *state = init();
+            }
+            let r = run_cell(AssertUnwindSafe(|| f(state, i)));
+            if matches!(&r, Err(SimError::ProgramError(m)) if m.starts_with("sweep cell panicked"))
+            {
+                *poisoned = true;
+            }
+            r
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -202,7 +271,7 @@ mod tests {
     }
 
     #[test]
-    fn try_map_reports_first_error_in_input_order() {
+    fn try_map_reports_every_error_in_input_order() {
         let items: Vec<u32> = (0..64).collect();
         let r = try_map(items, |i| {
             if i % 10 == 7 {
@@ -212,8 +281,109 @@ mod tests {
             }
         });
         match r {
-            Err(SimError::ProgramError(m)) => assert_eq!(m, "bad 7"),
-            other => panic!("expected first input-order error, got {other:?}"),
+            Err(SimError::CellErrors { errors, dropped }) => {
+                let cells: Vec<u64> = errors.iter().map(|e| e.cell).collect();
+                assert_eq!(cells, vec![7, 17, 27, 37, 47, 57]);
+                assert_eq!(dropped, 0);
+                assert!(
+                    matches!(&errors[0].error, SimError::ProgramError(m) if m == "bad 7"),
+                    "{errors:?}"
+                );
+            }
+            other => panic!("expected all cell errors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_map_unwraps_a_lone_error() {
+        let r = try_map((0..16u32).collect(), |i| {
+            if i == 9 {
+                Err(SimError::ProgramError("only 9".into()))
+            } else {
+                Ok(i)
+            }
+        });
+        match r {
+            Err(SimError::ProgramError(m)) => assert_eq!(m, "only 9"),
+            other => panic!("a single error should come back unwrapped, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_map_caps_errors_and_counts_dropped() {
+        // 40 failing cells, cap is ERR_CAP: the summary keeps the first
+        // ERR_CAP in input order and counts the rest.
+        let r = try_map((0..40u32).collect(), |i| {
+            Err::<u32, _>(SimError::ProgramError(format!("bad {i}")))
+        });
+        match r {
+            Err(SimError::CellErrors { errors, dropped }) => {
+                assert_eq!(errors.len(), ERR_CAP);
+                assert_eq!(errors[0].cell, 0);
+                assert_eq!(errors[ERR_CAP - 1].cell, ERR_CAP as u64 - 1);
+                assert_eq!(dropped as usize, 40 - ERR_CAP);
+            }
+            other => panic!("expected capped cell errors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_map_turns_panics_into_cell_errors() {
+        // The panic is contained on whatever worker claims the cell; other
+        // cells still complete and the failure is deterministic. (Serial and
+        // parallel paths share the same run_cell wrapper, so one invocation
+        // at the ambient worker count covers both.)
+        let r = try_map((0..24u32).collect(), |i| {
+            if i == 13 {
+                panic!("cell exploded at {i}");
+            }
+            Ok(i)
+        });
+        match r {
+            Err(SimError::ProgramError(m)) => {
+                assert_eq!(m, "sweep cell panicked: cell exploded at 13")
+            }
+            other => panic!("expected captured panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_map_init_rebuilds_state_after_a_panic() {
+        // The cell after a panic must see fresh state, not the torn value
+        // the panicking cell left behind. Each state carries a unique id; a
+        // rebuild mints a new id, so every id's recorded counter values must
+        // run 1..=k with no gap. Without the rebuild, the panicking worker's
+        // counter would skip the increment the panicked cell consumed.
+        let next_id = AtomicUsize::new(0);
+        let seen = Mutex::new(Vec::new());
+        let r = try_map_init(
+            (0..6u32).collect(),
+            || (next_id.fetch_add(1, Ordering::Relaxed), 0u32),
+            |(id, s), i| {
+                *s += 1;
+                if i == 2 {
+                    panic!("torn");
+                }
+                seen.lock().unwrap().push((*id, *s));
+                Ok(())
+            },
+        );
+        match r {
+            Err(SimError::ProgramError(m)) => assert_eq!(m, "sweep cell panicked: torn"),
+            other => panic!("expected captured panic, got {other:?}"),
+        }
+        let seen = seen.into_inner().unwrap();
+        for id in 0..next_id.load(Ordering::Relaxed) {
+            let counts: Vec<u32> = seen
+                .iter()
+                .filter(|(w, _)| *w == id)
+                .map(|(_, s)| *s)
+                .collect();
+            let expect: Vec<u32> = (1..=counts.len() as u32).collect();
+            assert_eq!(
+                counts, expect,
+                "state id {id} carried torn counter: {seen:?}"
+            );
         }
     }
 

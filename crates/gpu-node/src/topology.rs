@@ -142,6 +142,30 @@ impl NodeTopology {
         }
     }
 
+    /// A copy of this topology with every inter-GPU path degraded: flag
+    /// latencies and per-arrival serialization scaled by
+    /// `lat_mult_permille / 1000`, peer bandwidths divided by
+    /// `bw_mult_permille / 1000`. Multipliers are fixed-point permille so a
+    /// fault plan built from them stays `Eq` and byte-deterministic;
+    /// `(1000, 1000)` returns an identical topology. The adjacency structure
+    /// is untouched — a degraded NVLink is still NVLink, just slower.
+    pub fn degraded(&self, lat_mult_permille: u32, bw_mult_permille: u32) -> NodeTopology {
+        let lat = |t: Ps| Ps(t.0.saturating_mul(lat_mult_permille as u64) / 1000);
+        let mut d = self.clone();
+        if lat_mult_permille != 1000 {
+            d.near_flag = lat(self.near_flag);
+            d.far_flag = lat(self.far_flag);
+            d.near_serial = lat(self.near_serial);
+            d.far_serial = lat(self.far_serial);
+        }
+        if bw_mult_permille != 1000 && bw_mult_permille != 0 {
+            let bw = 1000.0 / bw_mult_permille as f64;
+            d.near_bw_gbs = self.near_bw_gbs * bw;
+            d.far_bw_gbs = self.far_bw_gbs * bw;
+        }
+        d
+    }
+
     /// Classify the path between two GPUs.
     pub fn link(&self, a: usize, b: usize) -> LinkClass {
         assert!(
@@ -318,6 +342,21 @@ mod tests {
         assert_eq!(t.max_hops(0, &[1, 2, 3, 4]), 1);
         assert_eq!(t.max_hops(0, &[1, 2, 3, 4, 5]), 2);
         assert_eq!(t.max_hops(0, &[]), 0);
+    }
+
+    #[test]
+    fn degraded_scales_latency_and_bandwidth() {
+        let t = NodeTopology::dgx1_v100();
+        let d = t.degraded(2000, 4000);
+        assert_eq!(d.near_flag, t.near_flag * 2);
+        assert_eq!(d.far_serial, t.far_serial * 2);
+        assert!((d.near_bw_gbs - t.near_bw_gbs / 4.0).abs() < 1e-9);
+        assert!((d.far_bw_gbs - t.far_bw_gbs / 4.0).abs() < 1e-9);
+        // Structure untouched.
+        assert_eq!(d.link(0, 4), LinkClass::Near);
+        assert_eq!(d.link(0, 5), LinkClass::Far);
+        // Identity multipliers change nothing.
+        assert_eq!(t.degraded(1000, 1000), t);
     }
 
     #[test]

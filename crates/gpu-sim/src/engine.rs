@@ -11,13 +11,15 @@
 //! barrier unit, warp-sync unit, shared-memory port, L2 atomic unit, DRAM
 //! channel) plus per-instruction latencies from [`gpu_arch::TimingParams`].
 
+use crate::fault::{self, FaultPlan};
 use crate::isa::{Instr, Operand, Program, Reg, ShflKind, ShflMode, Special, NUM_REGS};
 use crate::mem::{Hazard, SharedMem};
 use crate::profile::{BarrierEpoch, ProfileReport, SmProfile, SyncScope, EPOCH_CAP};
 use crate::system::{ExecReport, GpuSystem, GridLaunch};
 use gpu_arch::GpuArch;
+use gpu_node::NodeTopology;
 use serde::{Deserialize, Serialize};
-use sim_core::{Channel, EventQueue, Pipeline, Ps, SimError, SimResult};
+use sim_core::{Channel, EventQueue, Pipeline, Ps, SimError, SimResult, StuckKind, StuckWarp};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -78,6 +80,13 @@ struct Warp {
     /// path's group descriptor is hot; see Table V's cold-path column).
     coa_shfl_hot: bool,
     done: bool,
+    /// Fault-injection latency multiplier (permille; 1000 = unfaulted),
+    /// drawn once per warp from the plan's seed at block start.
+    mult_permille: u32,
+    /// Furthest PC any lane of this warp has reached — the watchdog's
+    /// progress watermark. Spin loops revisit PCs, so the watermark stalls;
+    /// straight-line code always advances it.
+    max_pc: u32,
 }
 
 impl Warp {
@@ -263,6 +272,28 @@ pub(crate) struct Engine<'a> {
     /// Scheduler-issue time of the instruction currently executing (profile
     /// attribution anchor; equals `now` for unscheduled steps).
     last_issue_start: Ps,
+    /// Armed fault injection (`None` for clean runs and zero plans — every
+    /// fault hook is gated on this so the clean path stays byte-identical).
+    fault: Option<FaultState>,
+    /// Progress watchdog budget (`None` = unarmed).
+    watchdog: Option<Ps>,
+    /// Last simulated time any warp advanced its `max_pc` watermark (or
+    /// retired lanes). Only maintained while the watchdog is armed.
+    last_progress_at: Ps,
+}
+
+/// Armed fault-injection state derived from a non-zero [`FaultPlan`].
+struct FaultState {
+    plan: FaultPlan,
+    /// Degraded interconnect (`Some` iff the plan degrades links); the
+    /// engine's topology accessor substitutes it for the system's.
+    degraded: Option<Arc<NodeTopology>>,
+    /// Sorted `(rank, block_on_device)` kill list.
+    killed: Vec<(u32, u32)>,
+    /// Counter feeding the barrier-delay draws. The engine's event
+    /// processing order is deterministic, so the counter sequence — and
+    /// every draw — replays identically across runs and `--jobs`.
+    barrier_draws: u64,
 }
 
 /// Accumulating profile state (see [`crate::profile`]).
@@ -423,6 +454,9 @@ impl<'a> Engine<'a> {
             check: launch.checked,
             prof: None,
             last_issue_start: Ps::ZERO,
+            fault: None,
+            watchdog: None,
+            last_progress_at: Ps::ZERO,
         }
     }
 
@@ -435,6 +469,39 @@ impl<'a> Engine<'a> {
     /// Arm the dynamic racecheck (in addition to the launch's own flag).
     pub(crate) fn with_check(mut self, check: bool) -> Self {
         self.check |= check;
+        self
+    }
+
+    /// Arm fault injection from a plan. Zero plans (and `None`) leave the
+    /// engine in its clean configuration — no fault hook ever fires.
+    pub(crate) fn with_faults(mut self, plan: Option<&FaultPlan>) -> Self {
+        if let Some(p) = plan {
+            if !p.is_zero() {
+                let degraded = if p.degrades_links() {
+                    Some(Arc::new(self.sys.topology.degraded(
+                        p.link_latency_mult_permille,
+                        p.link_bw_mult_permille,
+                    )))
+                } else {
+                    None
+                };
+                let mut killed = p.killed_blocks.clone();
+                killed.sort_unstable();
+                killed.dedup();
+                self.fault = Some(FaultState {
+                    plan: p.clone(),
+                    degraded,
+                    killed,
+                    barrier_draws: 0,
+                });
+            }
+        }
+        self
+    }
+
+    /// Arm the progress watchdog with a simulated-time budget.
+    pub(crate) fn with_watchdog(mut self, budget: Option<Ps>) -> Self {
+        self.watchdog = budget;
         self
     }
 
@@ -470,6 +537,9 @@ impl<'a> Engine<'a> {
         while let Some((t, ev)) = self.q.pop() {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
+            if self.watchdog_expired() {
+                return Err(self.watchdog_error());
+            }
             match ev {
                 Ev::WarpStep(w, gen) => {
                     if self.warps[w as usize].gen == gen && !self.warps[w as usize].done {
@@ -519,9 +589,185 @@ impl<'a> Engine<'a> {
             warp.gen = warp.gen.wrapping_add(1);
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
+            // A lone spinning warp never leaves this inline loop (the queue
+            // is empty), so the watchdog must also fire here.
+            if self.watchdog_expired() {
+                return Err(self.watchdog_error());
+            }
             next = self.step_warp(w)?;
         }
         Ok(())
+    }
+
+    // ----- fault injection / watchdog -----------------------------------------
+
+    /// Whether the armed watchdog's no-progress budget is exhausted at `now`.
+    #[inline]
+    fn watchdog_expired(&self) -> bool {
+        match self.watchdog {
+            Some(budget) => self.now.saturating_sub(self.last_progress_at) > budget,
+            None => false,
+        }
+    }
+
+    /// Structured livelock report: every unfinished warp with its PC and
+    /// what it was waiting on, sorted by (rank, sm, block, warp).
+    fn watchdog_error(&self) -> SimError {
+        let mut stuck: Vec<StuckWarp> = self
+            .warps
+            .iter()
+            .filter(|w| !w.done)
+            .map(|w| {
+                let waiting = if w.blk_wait != 0 {
+                    match w.blk_kind {
+                        BlockWaitKind::Grid => StuckKind::GridBarrier,
+                        BlockWaitKind::MultiGrid => StuckKind::MultiGridBarrier,
+                        _ => StuckKind::BlockBarrier,
+                    }
+                } else if w.wb_wait != 0 {
+                    StuckKind::TileBarrier
+                } else {
+                    StuckKind::Spinning
+                };
+                // For a spinning warp this is the PC of the loop it keeps
+                // revisiting; for a parked warp, the barrier site.
+                let pc = iter_lanes(w.present() & !w.exited)
+                    .map(|l| w.pcs[(l & 31) as usize])
+                    .min()
+                    .unwrap_or(0);
+                StuckWarp {
+                    rank: w.rank,
+                    sm: w.sm,
+                    block: self.blocks[w.block as usize].block_on_device,
+                    warp: w.warp_in_block,
+                    pc,
+                    waiting,
+                }
+            })
+            .collect();
+        stuck.sort_unstable();
+        SimError::Watchdog {
+            at: self.now,
+            last_progress: self.last_progress_at,
+            stuck,
+        }
+    }
+
+    /// Record that warp `w` reached `new_pc`: forward progress iff it beats
+    /// the warp's watermark. Only maintained while the watchdog is armed —
+    /// the clean path pays one predictable branch.
+    #[inline]
+    fn note_pc(&mut self, w: u32, new_pc: u32) {
+        if self.watchdog.is_some() {
+            let warp = &mut self.warps[w as usize];
+            if new_pc > warp.max_pc {
+                warp.max_pc = new_pc;
+                self.last_progress_at = self.now;
+            }
+        }
+    }
+
+    /// Scale a step's completion time by the warp's fault multiplier
+    /// (straggler jitter x SM throttle). Identity without an armed plan.
+    #[inline]
+    fn fault_scaled(&self, w: u32, done: Ps) -> Ps {
+        if self.fault.is_none() {
+            return done;
+        }
+        let m = self.warps[w as usize].mult_permille;
+        if m == 1000 || done <= self.now {
+            return done;
+        }
+        self.now + Ps((done - self.now).0.saturating_mul(m as u64) / 1000)
+    }
+
+    /// Per-warp fault multiplier, drawn from the plan's seed and the warp's
+    /// stable coordinates — never from execution order.
+    fn fault_warp_mult(&self, rank: u32, block_on_device: u32, wi: u32, sm: u32) -> u32 {
+        let Some(f) = &self.fault else { return 1000 };
+        let p = &f.plan;
+        let mut m = 1000u64;
+        if p.straggler_permille > 0
+            && fault::mix(
+                p.seed,
+                &[
+                    fault::TAG_STRAGGLER,
+                    rank as u64,
+                    block_on_device as u64,
+                    wi as u64,
+                ],
+            ) % 1000
+                < p.straggler_permille as u64
+        {
+            m = m * p.straggler_mult_permille as u64 / 1000;
+        }
+        if p.sm_throttle_permille > 0
+            && fault::mix(p.seed, &[fault::TAG_SM_THROTTLE, rank as u64, sm as u64]) % 1000
+                < p.sm_throttle_permille as u64
+        {
+            m = m * p.sm_throttle_mult_permille as u64 / 1000;
+        }
+        m.clamp(1, u32::MAX as u64) as u32
+    }
+
+    /// Whether the plan kills `gb`'s arrival at grid-level barriers.
+    fn fault_block_killed(&self, gb: u32) -> bool {
+        let Some(f) = &self.fault else { return false };
+        if f.killed.is_empty() {
+            return false;
+        }
+        let b = &self.blocks[gb as usize];
+        f.killed.binary_search(&(b.rank, b.block_on_device)).is_ok()
+    }
+
+    /// Extra delay for a barrier arrival drawn from the plan (counter-based,
+    /// so the draw sequence replays identically).
+    fn fault_barrier_delay(&mut self) -> Ps {
+        let Some(f) = &mut self.fault else {
+            return Ps::ZERO;
+        };
+        let p = &f.plan;
+        if p.barrier_delay_permille == 0 || p.barrier_delay_ns == 0 {
+            return Ps::ZERO;
+        }
+        f.barrier_draws += 1;
+        if fault::mix(p.seed, &[fault::TAG_BARRIER_DELAY, f.barrier_draws]) % 1000
+            < p.barrier_delay_permille as u64
+        {
+            Ps::from_ns(p.barrier_delay_ns)
+        } else {
+            Ps::ZERO
+        }
+    }
+
+    /// The interconnect the run sees: the plan's degraded copy when links
+    /// are faulted, the system's otherwise.
+    #[inline]
+    fn topo(&self) -> &NodeTopology {
+        match &self.fault {
+            Some(f) => f.degraded.as_deref().unwrap_or(&self.sys.topology),
+            None => &self.sys.topology,
+        }
+    }
+
+    /// Wait until the links are back up if `at` lands in a flap's down
+    /// window (a deterministic function of simulated time).
+    fn fault_flap(&self, at: Ps) -> Ps {
+        let Some(f) = &self.fault else {
+            return Ps::ZERO;
+        };
+        let p = &f.plan;
+        if p.flap_period_ns == 0 || p.flap_down_ns == 0 {
+            return Ps::ZERO;
+        }
+        let period = Ps::from_ns(p.flap_period_ns).0;
+        let down = Ps::from_ns(p.flap_down_ns).0.min(period);
+        let phase = at.0 % period;
+        if phase < down {
+            Ps(down - phase)
+        } else {
+            Ps::ZERO
+        }
     }
 
     fn setup(&mut self) {
@@ -617,7 +863,8 @@ impl<'a> Engine<'a> {
         b.started = true;
         b.warp_start = self.warps.len() as u32;
         b.live_warps = b.nwarps;
-        let (rank, sm, wstart, nwarps) = (b.rank, b.sm, b.warp_start, b.nwarps);
+        let (rank, sm, wstart, nwarps, block_on_device) =
+            (b.rank, b.sm, b.warp_start, b.nwarps, b.block_on_device);
         if let Some(p) = &mut self.prof {
             let c = &mut p.sms[rank as usize][sm as usize];
             c.blocks_started += 1;
@@ -649,6 +896,8 @@ impl<'a> Engine<'a> {
                 prev_blocked_at_warp_barrier: false,
                 coa_shfl_hot: false,
                 done: false,
+                mult_permille: self.fault_warp_mult(rank, block_on_device, wi, sm),
+                max_pc: 0,
             };
             self.warps.push(w);
             self.warps_run += 1;
@@ -788,6 +1037,7 @@ impl<'a> Engine<'a> {
         self.last_issue_start = self.now;
         match self.exec(w, group, min_pc, instr)? {
             Step::Ready(done) => {
+                let done = self.fault_scaled(w, done);
                 if self.prof.is_some() {
                     self.prof_attribute_ready(w, &instr, done);
                 }
@@ -823,10 +1073,15 @@ impl<'a> Engine<'a> {
                 warp.pcs[(lane & 31) as usize] = from_pc + 1;
             }
         }
+        self.note_pc(w, from_pc + 1);
     }
 
     /// Mark lanes exited; drive warp/block/grid completion bookkeeping.
     fn retire_lanes(&mut self, w: u32, mask: u32) {
+        // Retirement is forward progress regardless of the PC watermark.
+        if self.watchdog.is_some() {
+            self.last_progress_at = self.now;
+        }
         let warp = &mut self.warps[w as usize];
         warp.exited |= mask;
         let all_exited = warp.exited == warp.present();
@@ -1177,16 +1432,21 @@ impl<'a> Engine<'a> {
                 for lane in iter_lanes(group) {
                     warp.pcs[lane as usize] = target;
                 }
+                self.note_pc(w, target);
                 Ok(Step::Ready(start + self.lat.alu))
             }
             BraIf(cond, target) | BraIfZ(cond, target) => {
                 let start = self.charge_sched(w);
                 let want_nonzero = matches!(instr, BraIf(..));
+                let mut max_new = 0u32;
                 for lane in iter_lanes(group) {
                     let c = self.eval(w, lane, cond) != 0;
                     let taken = c == want_nonzero;
-                    self.warps[w as usize].pcs[lane as usize] = if taken { target } else { pc + 1 };
+                    let new_pc = if taken { target } else { pc + 1 };
+                    max_new = max_new.max(new_pc);
+                    self.warps[w as usize].pcs[lane as usize] = new_pc;
                 }
+                self.note_pc(w, max_new);
                 Ok(Step::Ready(start + self.lat.alu))
             }
             Exit => {
@@ -1538,8 +1798,13 @@ impl<'a> Engine<'a> {
         let mut done = local_done;
         remote.sort_unstable();
         remote.dedup();
+        let peer_start = start + self.fault_flap(start);
         for rd in remote {
-            done = done.max(self.peer_channel(rd, local_dev).transfer(start, bytes).done);
+            done = done.max(
+                self.peer_channel(rd, local_dev)
+                    .transfer(peer_start, bytes)
+                    .done,
+            );
         }
         Ok(Step::Ready(done))
     }
@@ -1548,14 +1813,15 @@ impl<'a> Engine<'a> {
     /// ride their own link; PCIe-routed (Far) traffic shares one ingress
     /// bus per destination device.
     fn peer_channel(&mut self, remote: usize, local: usize) -> &mut Channel {
-        let far = self.sys.topology.link(remote, local) == gpu_node::LinkClass::Far;
+        let topo = self.topo();
+        let far = topo.link(remote, local) == gpu_node::LinkClass::Far;
         let key = if far {
             (usize::MAX, local)
         } else {
             (remote, local)
         };
-        let lat = self.sys.topology.flag_latency(remote, local);
-        let bw = self.sys.topology.peer_bandwidth_gbs(remote, local);
+        let lat = topo.flag_latency(remote, local);
+        let bw = topo.peer_bandwidth_gbs(remote, local);
         self.peer
             .entry(key)
             .or_insert_with(|| Channel::new(bw.max(0.001), lat))
@@ -1564,7 +1830,7 @@ impl<'a> Engine<'a> {
     fn remote_flag_latency(&self, dev: usize) -> Ps {
         // One-way small-transfer latency to the nearest peer; used for the
         // rare single-word remote accesses.
-        let topo = &self.sys.topology;
+        let topo = self.topo();
         (0..topo.num_gpus)
             .filter(|&g| g != dev)
             .map(|g| topo.flag_latency(dev, g))
@@ -1690,11 +1956,15 @@ impl<'a> Engine<'a> {
             // Commit stores of all released lanes; each advances past its own
             // barrier site (divergent code can sync at different PCs).
             let block = self.warps[w as usize].block;
+            let mut max_new = 0u32;
             for lane in iter_lanes(released) {
                 let tid = self.warps[w as usize].warp_in_block * WARP + lane;
                 self.blocks[block as usize].smem.fence(tid);
-                self.warps[w as usize].pcs[lane as usize] += 1;
+                let warp = &mut self.warps[w as usize];
+                warp.pcs[lane as usize] += 1;
+                max_new = max_new.max(warp.pcs[lane as usize]);
             }
+            self.note_pc(w, max_new);
             {
                 let warp = &mut self.warps[w as usize];
                 warp.wb_wait &= !released;
@@ -1744,14 +2014,23 @@ impl<'a> Engine<'a> {
     fn warp_arrives_at_block_barrier(&mut self, w: u32, kind: BlockWaitKind) {
         let warp = &self.warps[w as usize];
         let (rank, sm, block) = (warp.rank as usize, warp.sm as usize, warp.block);
+        if matches!(kind, BlockWaitKind::Grid | BlockWaitKind::MultiGrid)
+            && self.fault_block_killed(block)
+        {
+            // A killed block never arrives: its warps stay parked, the queue
+            // drains, and the run reports the paper's §VIII-B partial-arrival
+            // hang as a structured `SimError::Deadlock`.
+            return;
+        }
         let arr_int = self.lat.block_arr_int;
         let arrival = self.devs[rank].sms[sm]
             .barrier_unit
             .issue(self.now, arr_int, Ps::ZERO);
+        let arr_done = arrival.start + arr_int + self.fault_barrier_delay();
         let b = &mut self.blocks[block as usize];
         b.bar_arrived += 1;
         b.bar_waiting.push(w);
-        b.bar_last = b.bar_last.max(arrival.start + arr_int);
+        b.bar_last = b.bar_last.max(arr_done);
         if b.bar_arrived == b.live_warps {
             match kind {
                 BlockWaitKind::Block => self.release_block_barrier(block),
@@ -1812,6 +2091,7 @@ impl<'a> Engine<'a> {
                 warp.pcs[(l & 31) as usize] = pc + 1;
             }
         }
+        self.note_pc(w, pc + 1);
         self.schedule_warp(w, at);
     }
 
@@ -1866,7 +2146,7 @@ impl<'a> Engine<'a> {
         // actually spans devices (a 1-GPU multi-grid launch degenerates to a
         // grid barrier, matching the paper's near-identical 1-GPU columns).
         let per_block_ns = if mgrid && self.launch.devices.len() > 1 {
-            self.sys.topology.mgrid_per_block_ns
+            self.topo().mgrid_per_block_ns
         } else {
             0.0
         };
@@ -1910,14 +2190,20 @@ impl<'a> Engine<'a> {
         if self.mgrid.ranks_arrived as usize != self.launch.devices.len() {
             return;
         }
-        let topo = self.sys.topology.clone();
+        let topo = self
+            .fault
+            .as_ref()
+            .and_then(|f| f.degraded.clone())
+            .unwrap_or_else(|| self.sys.topology.clone());
         let master = self.launch.devices[0];
         // Arrival: every rank's leader flags the master.
         let mut master_done = Ps::ZERO;
         let mut serial = Ps::ZERO;
         for (r, &dev) in self.launch.devices.iter().enumerate() {
             let d = self.mgrid.rank_done[r].expect("rank arrived");
-            master_done = master_done.max(d + topo.flag_latency(dev, master));
+            // A flag posted while the link is flapped down waits out the
+            // remainder of the down window before it travels.
+            master_done = master_done.max(d + self.fault_flap(d) + topo.flag_latency(dev, master));
             serial += topo.arrival_serial(master, dev);
         }
         master_done += serial;
@@ -2004,6 +2290,7 @@ impl<'a> Engine<'a> {
         let ch_done = match remote_dev {
             None => self.devs[warp_rank].dram.transfer(start, bytes).done,
             Some(rd) => {
+                let start = start + self.fault_flap(start);
                 self.peer_channel(rd, local_dev_id)
                     .transfer(start, bytes)
                     .done
@@ -2081,19 +2368,28 @@ impl<'a> Engine<'a> {
         HazardReport,
         Option<ProfileReport>,
     )> {
-        let mut blocked = Vec::new();
-        for (i, b) in self.blocks.iter().enumerate() {
+        // Keyed by (rank, sm, block) then sorted, so the blocked list is
+        // deterministically ordered whatever order blocks were created or
+        // scheduled in; never-started blocks have no SM and sort last per rank.
+        let mut blocked: Vec<(u32, u32, u32, String)> = Vec::new();
+        for b in self.blocks.iter() {
             if b.done {
                 continue;
             }
             if !b.started {
-                blocked.push(format!(
-                    "block {} (device rank {}) never started",
-                    b.block_on_device, b.rank
+                blocked.push((
+                    b.rank,
+                    u32::MAX,
+                    b.block_on_device,
+                    format!(
+                        "block {} (device rank {}) never started",
+                        b.block_on_device, b.rank
+                    ),
                 ));
                 continue;
             }
             // Describe why this block is stuck.
+            let sm = self.warps[b.warp_start as usize].sm;
             let mut reasons = Vec::new();
             for wi in b.warp_start..b.warp_start + b.nwarps {
                 let w = &self.warps[wi as usize];
@@ -2115,22 +2411,27 @@ impl<'a> Engine<'a> {
                     reasons.push(format!("warp {} at {}", w.warp_in_block, kind));
                 }
             }
-            blocked.push(format!(
-                "block {} (device rank {}): {}",
-                b.block_on_device,
+            blocked.push((
                 b.rank,
-                if reasons.is_empty() {
-                    "stalled".to_string()
-                } else {
-                    reasons.join(", ")
-                }
+                sm,
+                b.block_on_device,
+                format!(
+                    "block {} (device rank {}): {}",
+                    b.block_on_device,
+                    b.rank,
+                    if reasons.is_empty() {
+                        "stalled".to_string()
+                    } else {
+                        reasons.join(", ")
+                    }
+                ),
             ));
-            let _ = i;
         }
         if !blocked.is_empty() {
+            blocked.sort_unstable();
             return Err(SimError::Deadlock {
                 at: self.now,
-                blocked,
+                blocked: blocked.into_iter().map(|(_, _, _, s)| s).collect(),
             });
         }
         // Blocks are created rank-major, so the hazard report is ordered

@@ -1,0 +1,230 @@
+//! Deterministic fault injection: the `syncfault` layer.
+//!
+//! A [`FaultPlan`] is a seeded, serializable description of how a run should
+//! be perturbed — which warps straggle, which SMs are throttled, how the
+//! inter-device links are degraded, which barrier arrivals are delayed, and
+//! which blocks never reach their grid-level barrier. Arm it through
+//! [`crate::RunOptions::faults`]; the engine derives every decision from the
+//! plan's seed with counter-based hashing (never from execution order), so a
+//! faulted run is byte-deterministic across `--jobs` values and replays.
+//!
+//! All magnitudes are fixed-point **permille** integers (1000 = 1.0×):
+//! probabilities are drawn as `hash % 1000 < p`, multipliers scale integer
+//! picosecond latencies exactly. That keeps the plan `Eq`/hashable and the
+//! perturbed timeline free of float accumulation. A zero plan
+//! ([`FaultPlan::is_zero`]) injects nothing and leaves every artifact
+//! byte-identical to an unarmed run.
+
+use serde::{Deserialize, Serialize};
+
+/// Identity latency multiplier (1.0× in permille fixed-point).
+pub const IDENT_PERMILLE: u32 = 1000;
+
+/// A seeded, serializable description of the faults to inject into one run.
+///
+/// ```
+/// use gpu_sim::FaultPlan;
+/// let plan = FaultPlan::seeded(7)
+///     .stragglers(250, 4000)      // 25% of warps run 4.0x slower
+///     .degrade_links(2000, 1000); // inter-GPU latency doubled
+/// assert!(!plan.is_zero());
+/// assert!(FaultPlan::seeded(7).is_zero());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Root of every per-entity draw; two plans differing only in seed
+    /// straggle different warps.
+    pub seed: u64,
+    /// Probability (permille) that a warp is a straggler.
+    pub straggler_permille: u16,
+    /// Latency multiplier (permille) on every step of a straggler warp —
+    /// instruction and memory latencies alike.
+    pub straggler_mult_permille: u32,
+    /// Probability (permille) that an SM's clock is throttled.
+    pub sm_throttle_permille: u16,
+    /// Latency multiplier (permille) on every warp of a throttled SM.
+    pub sm_throttle_mult_permille: u32,
+    /// Multiplier (permille) on inter-device flag latency and arrival
+    /// serialization (NVLink/PCIe path degradation).
+    pub link_latency_mult_permille: u32,
+    /// Divisor (permille) on inter-device peer bandwidth: 2000 halves it.
+    pub link_bw_mult_permille: u32,
+    /// Transient link flaps: every `flap_period_ns` of simulated time the
+    /// links go down for `flap_down_ns`; traffic starting in the down window
+    /// waits it out. 0 disables.
+    pub flap_period_ns: u64,
+    pub flap_down_ns: u64,
+    /// Probability (permille) that a block-level barrier arrival is delayed.
+    pub barrier_delay_permille: u16,
+    /// Extra delay (ns) charged to each delayed barrier arrival.
+    pub barrier_delay_ns: u64,
+    /// `(rank, block_on_device)` pairs that never reach a grid or multi-grid
+    /// barrier — the paper's §VIII-B partial-arrival hang, on demand. The
+    /// queue drains and the run returns [`sim_core::SimError::Deadlock`].
+    pub killed_blocks: Vec<(u32, u32)>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::seeded(0)
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing; compose faults with the builder arms.
+    pub const fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            straggler_permille: 0,
+            straggler_mult_permille: IDENT_PERMILLE,
+            sm_throttle_permille: 0,
+            sm_throttle_mult_permille: IDENT_PERMILLE,
+            link_latency_mult_permille: IDENT_PERMILLE,
+            link_bw_mult_permille: IDENT_PERMILLE,
+            flap_period_ns: 0,
+            flap_down_ns: 0,
+            barrier_delay_permille: 0,
+            barrier_delay_ns: 0,
+            killed_blocks: Vec::new(),
+        }
+    }
+
+    /// Make each warp a straggler with probability `permille`/1000; straggler
+    /// steps take `mult_permille`/1000 times as long.
+    pub fn stragglers(mut self, permille: u16, mult_permille: u32) -> FaultPlan {
+        self.straggler_permille = permille;
+        self.straggler_mult_permille = mult_permille;
+        self
+    }
+
+    /// Throttle each SM with probability `permille`/1000; every warp on a
+    /// throttled SM runs `mult_permille`/1000 times slower.
+    pub fn sm_throttle(mut self, permille: u16, mult_permille: u32) -> FaultPlan {
+        self.sm_throttle_permille = permille;
+        self.sm_throttle_mult_permille = mult_permille;
+        self
+    }
+
+    /// Degrade every inter-device path: flag latency and arrival
+    /// serialization scaled by `lat_mult_permille`/1000, peer bandwidth
+    /// divided by `bw_mult_permille`/1000.
+    pub fn degrade_links(mut self, lat_mult_permille: u32, bw_mult_permille: u32) -> FaultPlan {
+        self.link_latency_mult_permille = lat_mult_permille;
+        self.link_bw_mult_permille = bw_mult_permille;
+        self
+    }
+
+    /// Flap the inter-device links: down for `down_ns` at the start of every
+    /// `period_ns` of simulated time.
+    pub fn link_flaps(mut self, period_ns: u64, down_ns: u64) -> FaultPlan {
+        self.flap_period_ns = period_ns;
+        self.flap_down_ns = down_ns;
+        self
+    }
+
+    /// Delay each block-level barrier arrival by `delay_ns` with probability
+    /// `permille`/1000.
+    pub fn delay_barriers(mut self, permille: u16, delay_ns: u64) -> FaultPlan {
+        self.barrier_delay_permille = permille;
+        self.barrier_delay_ns = delay_ns;
+        self
+    }
+
+    /// Block `block` of device rank `rank` never arrives at a grid or
+    /// multi-grid barrier.
+    pub fn kill_block(mut self, rank: u32, block: u32) -> FaultPlan {
+        self.killed_blocks.push((rank, block));
+        self
+    }
+
+    /// Whether this plan perturbs nothing (the seed alone is not a fault).
+    /// A zero plan armed via `RunOptions` must leave every artifact
+    /// byte-identical to an unarmed run — pinned by the golden tests.
+    pub fn is_zero(&self) -> bool {
+        (self.straggler_permille == 0 || self.straggler_mult_permille == IDENT_PERMILLE)
+            && (self.sm_throttle_permille == 0 || self.sm_throttle_mult_permille == IDENT_PERMILLE)
+            && self.link_latency_mult_permille == IDENT_PERMILLE
+            && self.link_bw_mult_permille == IDENT_PERMILLE
+            && (self.flap_period_ns == 0 || self.flap_down_ns == 0)
+            && (self.barrier_delay_permille == 0 || self.barrier_delay_ns == 0)
+            && self.killed_blocks.is_empty()
+    }
+
+    /// Whether any link-level fault (degradation or flaps) is armed.
+    pub fn degrades_links(&self) -> bool {
+        self.link_latency_mult_permille != IDENT_PERMILLE
+            || self.link_bw_mult_permille != IDENT_PERMILLE
+    }
+}
+
+/// Deterministic per-entity draw: SplitMix64-fold the seed with each part.
+/// Execution order never feeds in, so a draw for (warp, block, rank) is the
+/// same whatever the event interleaving — the bedrock of `--jobs` and
+/// replay byte-determinism.
+pub fn mix(seed: u64, parts: &[u64]) -> u64 {
+    let mut z = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for &p in parts {
+        z = z.wrapping_add(p).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+    }
+    z
+}
+
+/// Domain tags for [`mix`], so draws of different fault kinds never collide.
+pub(crate) const TAG_STRAGGLER: u64 = 1;
+pub(crate) const TAG_SM_THROTTLE: u64 = 2;
+pub(crate) const TAG_BARRIER_DELAY: u64 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_detection() {
+        assert!(FaultPlan::seeded(42).is_zero());
+        // Probability without effect, or effect without probability, is zero.
+        assert!(FaultPlan::seeded(1).stragglers(500, 1000).is_zero());
+        assert!(FaultPlan::seeded(1).stragglers(0, 4000).is_zero());
+        assert!(FaultPlan::seeded(1).link_flaps(1000, 0).is_zero());
+        assert!(FaultPlan::seeded(1).delay_barriers(100, 0).is_zero());
+        // Any real perturbation flips it.
+        assert!(!FaultPlan::seeded(1).stragglers(500, 2000).is_zero());
+        assert!(!FaultPlan::seeded(1).sm_throttle(100, 3000).is_zero());
+        assert!(!FaultPlan::seeded(1).degrade_links(2000, 1000).is_zero());
+        assert!(!FaultPlan::seeded(1).degrade_links(1000, 2000).is_zero());
+        assert!(!FaultPlan::seeded(1).link_flaps(1000, 100).is_zero());
+        assert!(!FaultPlan::seeded(1).delay_barriers(100, 50).is_zero());
+        assert!(!FaultPlan::seeded(1).kill_block(0, 3).is_zero());
+    }
+
+    #[test]
+    fn plans_serialize_round_trip() {
+        let plan = FaultPlan::seeded(7)
+            .stragglers(250, 4000)
+            .degrade_links(2000, 1500)
+            .kill_block(1, 2);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn mix_is_seed_and_order_sensitive() {
+        let a = mix(1, &[10, 20]);
+        assert_eq!(a, mix(1, &[10, 20]), "deterministic");
+        assert_ne!(a, mix(2, &[10, 20]), "seed feeds in");
+        assert_ne!(a, mix(1, &[20, 10]), "part order feeds in");
+        assert_ne!(mix(1, &[TAG_STRAGGLER, 5]), mix(1, &[TAG_SM_THROTTLE, 5]));
+    }
+
+    #[test]
+    fn mix_draws_are_roughly_uniform() {
+        // 25% permille threshold over 4000 draws should land near 1000.
+        let hits = (0..4000u64)
+            .filter(|&i| mix(7, &[TAG_STRAGGLER, i]) % 1000 < 250)
+            .count();
+        assert!((800..1200).contains(&hits), "{hits}");
+    }
+}

@@ -10,12 +10,16 @@
 //!   coalesced / shuffle, block, grid, and multi-grid ([`engine`]),
 //! * shared memory with a store-visibility model that makes unsynchronized
 //!   warp reductions *incorrect*, as on real hardware ([`mem`]),
-//! * DRAM/L2/shared-memory port/barrier-unit contention models, and
-//! * deadlock detection for partial-group synchronization (paper §VIII-B).
+//! * DRAM/L2/shared-memory port/barrier-unit contention models,
+//! * deadlock detection for partial-group synchronization (paper §VIII-B), and
+//! * seeded deterministic fault injection plus a progress watchdog for
+//!   spin-barrier livelocks ([`fault`], [`RunOptions::faults`],
+//!   [`RunOptions::watchdog`]).
 
 pub mod chrome_trace;
 pub mod disasm;
 pub mod engine;
+pub mod fault;
 pub mod isa;
 pub mod kernels;
 pub mod mem;
@@ -28,6 +32,7 @@ pub mod verify;
 pub use chrome_trace::export_chrome_trace;
 pub use disasm::{disassemble, instr_to_string};
 pub use engine::{HazardRecord, HazardReport, TraceEvent};
+pub use fault::FaultPlan;
 pub use isa::{
     fimm, BuildError, Instr, Kernel, KernelBuilder, Operand, Program, Reg, ShflKind, ShflMode,
     Special,

@@ -126,12 +126,17 @@ impl ExecReport {
 /// ```
 ///
 /// None of the instruments perturb simulated timing: a checked, traced, and
-/// profiled run reports the same `ExecReport` as a bare one.
+/// profiled run reports the same `ExecReport` as a bare one. Fault injection
+/// ([`RunOptions::faults`]) is the deliberate exception — it exists to
+/// perturb timing — but a zero plan and an unarmed watchdog are guaranteed
+/// no-ops.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunOptions {
     check: bool,
     trace: Option<usize>,
     profile: bool,
+    faults: Option<crate::fault::FaultPlan>,
+    watchdog: Option<Ps>,
 }
 
 impl RunOptions {
@@ -141,6 +146,8 @@ impl RunOptions {
             check: false,
             trace: None,
             profile: false,
+            faults: None,
+            watchdog: None,
         }
     }
 
@@ -167,8 +174,35 @@ impl RunOptions {
         self
     }
 
+    /// Arm deterministic fault injection with `plan` (see
+    /// [`crate::fault::FaultPlan`]). A [`FaultPlan::is_zero`] plan perturbs
+    /// nothing — artifacts stay byte-identical to an unarmed run.
+    ///
+    /// [`FaultPlan::is_zero`]: crate::fault::FaultPlan::is_zero
+    pub fn faults(mut self, plan: crate::fault::FaultPlan) -> RunOptions {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Arm the progress watchdog: if simulated time advances more than
+    /// `budget` past the last forward progress (any warp moving beyond its
+    /// furthest-reached PC), the run fails with
+    /// [`SimError::Watchdog`] instead of spinning to the instruction limit.
+    pub const fn watchdog(mut self, budget: Ps) -> RunOptions {
+        self.watchdog = Some(budget);
+        self
+    }
+
     pub const fn wants_check(&self) -> bool {
         self.check
+    }
+
+    pub fn fault_plan(&self) -> Option<&crate::fault::FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    pub const fn watchdog_budget(&self) -> Option<Ps> {
+        self.watchdog
     }
 
     pub const fn trace_cap(&self) -> Option<usize> {
@@ -345,7 +379,9 @@ impl GpuSystem {
         self.validate_with(launch, check)?;
         let mut engine = Engine::new(self, launch)
             .with_check(check)
-            .with_profile(opts.wants_profile());
+            .with_profile(opts.wants_profile())
+            .with_faults(opts.fault_plan())
+            .with_watchdog(opts.watchdog_budget());
         if let Some(cap) = opts.trace_cap() {
             engine = engine.with_trace(cap);
         }

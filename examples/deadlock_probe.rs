@@ -22,6 +22,19 @@ fn outcome(label: &str, r: SimResult<gpu_sim::RunArtifacts>) {
                 println!("{:<42}   ... and {} more", "", blocked.len() - 3);
             }
         }
+        Err(SimError::Watchdog {
+            at,
+            last_progress,
+            stuck,
+        }) => {
+            println!("{label:<42} LIVELOCK at t={at} (no progress since {last_progress})");
+            for s in stuck.iter().take(3) {
+                println!("{:<42}   stuck: {s}", "");
+            }
+            if stuck.len() > 3 {
+                println!("{:<42}   ... and {} more", "", stuck.len() - 3);
+            }
+        }
         Err(e) => println!("{label:<42} error: {e}"),
     }
 }
@@ -101,6 +114,53 @@ fn main() {
         let r = GpuSystem::new(arch.clone(), NodeTopology::dgx1_v100())
             .execute(&launch, &RunOptions::new());
         outcome("multi-grid: 1 of 2 GPUs multi_grid.sync", r);
+    }
+
+    // Software spin barrier with a missing participant: the hardware-barrier
+    // deadlock detector can never fire because the spinning blocks keep
+    // executing (a *livelock*, not a queue drain). The progress watchdog
+    // catches it instead: per-warp PC watermarks stop advancing, and after
+    // the budget elapses the run returns a structured report of who is
+    // spinning where.
+    {
+        let mut b = KernelBuilder::new("spin-barrier-missing-block");
+        let c = b.reg();
+        let v = b.reg();
+        let target = b.reg();
+        // The last block exits without arriving...
+        b.iadd(target, Sp(Special::GridDim), Imm(0));
+        b.push(Instr::I2F(target, Reg(target)));
+        b.cmp_eq(c, Sp(Special::BlockId), Imm(3));
+        b.bra_if(Reg(c), "out");
+        // ...every other block's leader arrives and spins for full arrival.
+        b.cmp_eq(c, Sp(Special::Tid), Imm(0));
+        b.bra_ifz(Reg(c), "out");
+        b.push(Instr::AtomicFAdd {
+            dst_old: None,
+            buf: Param(0),
+            idx: Imm(0),
+            val: gpu_sim::fimm(1.0),
+        });
+        b.label("spin");
+        b.push(Instr::LdGlobal {
+            dst: v,
+            buf: Param(0),
+            idx: Imm(0),
+        });
+        b.cmp_lt(c, Reg(v), Reg(target));
+        b.bra_if(Reg(c), "spin");
+        b.label("out");
+        b.exit();
+        let mut sys = GpuSystem::single(arch.clone());
+        let counter = sys.alloc(0, 1);
+        let launch = GridLaunch::single(b.build(0), 4, 32, vec![counter.0 as u64]);
+        let r = sys.execute(
+            &launch,
+            // 10 us of simulated time without a single PC-watermark advance
+            // or retirement anywhere in the grid trips the watchdog.
+            &RunOptions::new().watchdog(Ps(10_000_000)),
+        );
+        outcome("spin barrier: 3 of 4 blocks arrive", r);
     }
 
     // And the API-level guard: grid.sync in a non-cooperative launch is

@@ -54,9 +54,9 @@ pub mod prelude {
     pub use gpu_node::NodeTopology;
     pub use gpu_sim::kernels::SyncOp;
     pub use gpu_sim::{
-        GpuSystem, GridLaunch, Kernel, KernelBuilder, LaunchKind, ProfileReport, RunArtifacts,
-        RunOptions,
+        FaultPlan, GpuSystem, GridLaunch, Kernel, KernelBuilder, LaunchKind, ProfileReport,
+        RunArtifacts, RunOptions,
     };
-    pub use sim_core::{Ps, SimError, SimResult};
+    pub use sim_core::{Ps, SimError, SimResult, StuckKind, StuckWarp};
     pub use sync_micro::Placement;
 }
