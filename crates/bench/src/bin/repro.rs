@@ -12,8 +12,12 @@
 //!                             # summary to stdout, <name>.profile.json and
 //!                             # <name>.trace.json (Perfetto) next to --out
 //! repro --bench               # run the fixed perf suite and write the
-//!                             # tracked baseline (BENCH_4.json) to the
+//!                             # tracked baseline (BENCH_6.json) to the
 //!                             # current directory
+//! repro --bench --bench-out perf/smoke.json
+//!                             # same suite, baseline written to the given
+//!                             # path instead (CI smoke runs keep the
+//!                             # tracked file untouched)
 //! repro --faults 7 sync_resilience
 //!                             # seed for the fault-injection experiments
 //! ```
@@ -37,8 +41,8 @@ use syncmark_bench::profiling;
 
 fn usage_and_list() {
     println!(
-        "usage: repro [--jobs N] [--out DIR] [--check] [--bench] [--profile NAME]... \
-         [all | list | <experiment>...]\n"
+        "usage: repro [--jobs N] [--out DIR] [--check] [--bench] [--bench-out PATH] \
+         [--profile NAME]... [all | list | <experiment>...]\n"
     );
     println!("available experiments:");
     for (name, desc, _) in EXPERIMENTS {
@@ -161,24 +165,46 @@ fn main() {
             return;
         }
     }
+    let mut bench_out: Option<std::path::PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--bench-out") {
+        if pos + 1 >= args.len() {
+            eprintln!("--bench-out requires a file path");
+            std::process::exit(2);
+        }
+        bench_out = Some(args.remove(pos + 1).into());
+        args.remove(pos);
+    }
     if let Some(pos) = args.iter().position(|a| a == "--bench") {
         args.remove(pos);
         use syncmark_bench::perf;
+        let path = bench_out
+            .take()
+            .unwrap_or_else(|| perf::DEFAULT_BENCH_FILE.into());
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                std::process::exit(1);
+            }
+        }
         let records = perf::run_suite();
         let json = perf::to_json(&records);
-        if let Err(e) = std::fs::write(perf::BENCH_FILE, &json) {
-            eprintln!("cannot write {}: {e}", perf::BENCH_FILE);
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write {}: {e}", path.display());
             std::process::exit(1);
         }
         eprintln!(
             "[repro] wrote {} ({} experiments, {} worker(s))",
-            perf::BENCH_FILE,
+            path.display(),
             records.len(),
             sync_micro::sweep::jobs()
         );
         if args.is_empty() {
             return;
         }
+    }
+    if bench_out.is_some() {
+        eprintln!("--bench-out is only meaningful with --bench");
+        std::process::exit(2);
     }
     if let Some(pos) = args.iter().position(|a| a == "--check") {
         args.remove(pos);

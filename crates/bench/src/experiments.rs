@@ -597,6 +597,19 @@ pub fn software_barriers() -> String {
     s
 }
 
+/// Fine-grained sync primitives (Eqs. 7–8 micro-benchmarks) and the fused
+/// GEMM→LayerNorm tile pipeline under its three dependency strategies.
+pub fn fused_pipeline() -> String {
+    let mut s = String::new();
+    for arch in [GpuArch::v100(), GpuArch::p100()] {
+        let rows = sync_micro::sync_micro::comparison(&arch).expect("sync primitives");
+        s.push_str(&sync_micro::sync_micro::render_comparison(&arch, &rows).render());
+        let rows = sync_micro::sync_micro::pipeline_comparison(&arch).expect("fused pipeline");
+        s.push_str(&sync_micro::sync_micro::render_pipeline(&arch, &rows).render());
+    }
+    s
+}
+
 /// The calibration sheets: every parameter with its paper anchor.
 pub fn calibration() -> String {
     let mut s = String::new();
@@ -660,6 +673,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         "swbarrier",
         "software vs hardware device-wide barriers",
         software_barriers,
+    ),
+    (
+        "fused_pipeline",
+        "fine-grained sync primitives + fused wait/signal pipeline",
+        fused_pipeline,
     ),
     (
         "ablation",

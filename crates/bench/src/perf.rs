@@ -4,8 +4,9 @@
 //! (figure5), multi-GPU barriers (figure9), host-side launch modeling
 //! (table1), the amortized small-cell sweep path (sync_heatmap), and the
 //! memory-system reduction models (reduction) — each timed once and written
-//! to `BENCH_4.json` at the invocation directory (CI runs from the repo
-//! root, so the file lands there as the tracked perf trajectory).
+//! to [`DEFAULT_BENCH_FILE`] at the invocation directory (CI runs from the
+//! repo root, so the file lands there as the tracked perf trajectory), or
+//! wherever `--bench-out <path>` points.
 //!
 //! `wall_ms` and `instrs_per_sec` are machine-dependent; `experiment`,
 //! `instrs_executed`, and `jobs`-invariance of the instruction counts are
@@ -20,10 +21,11 @@ use std::time::Instant;
 use sync_micro::measure::Placement;
 use sync_micro::{grid_sync, sweep};
 
-/// The tracked perf-baseline file for this PR generation.
-pub const BENCH_FILE: &str = "BENCH_4.json";
+/// Where `repro --bench` writes when `--bench-out` is not given: the
+/// tracked perf-baseline file for this PR generation.
+pub const DEFAULT_BENCH_FILE: &str = "BENCH_6.json";
 
-/// One suite entry of `BENCH_FILE`.
+/// One suite entry of the bench file.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchRecord {
     pub experiment: String,
@@ -105,7 +107,7 @@ pub fn run_suite() -> Vec<BenchRecord> {
         .collect()
 }
 
-/// Serialize suite records in the tracked `BENCH_FILE` shape.
+/// Serialize suite records in the tracked bench-file shape.
 pub fn to_json(records: &[BenchRecord]) -> String {
     let mut s = serde_json::to_string_pretty(records).expect("bench records serialize");
     s.push('\n');

@@ -20,6 +20,7 @@ use gpu_node::NodeTopology;
 use gpu_sim::kernels::{self, SyncOp};
 use gpu_sim::{export_chrome_trace, GpuSystem, GridLaunch, LaunchKind, ProfileReport, RunOptions};
 use sim_core::SimResult;
+use sync_micro::sync_micro as fine_sync;
 use sync_micro::{grid_sync, launch_overhead, multi_gpu};
 
 /// Artifacts of one `--profile` run.
@@ -50,6 +51,11 @@ pub const PROFILES: &[ProfileEntry] = &[
         "table1",
         "Table 1 launch-path overheads with syncprof armed",
         table1_profile,
+    ),
+    (
+        "fused_pipeline",
+        "fused GEMM->LayerNorm pipeline under wait/signal flags, flag-wait attributed",
+        fused_pipeline_profile,
     ),
 ];
 
@@ -170,6 +176,21 @@ fn table1_profile() -> SimResult<ProfileRun> {
     ))
 }
 
+/// The fused producer/consumer pipeline under tile-granularity wait/signal
+/// flags; the consumers' spins land in syncprof's `flag-wait` column and the
+/// trace follows the flags-strategy launch itself.
+fn fused_pipeline_profile() -> SimResult<ProfileRun> {
+    let arch = profile_arch();
+    let rows = fine_sync::pipeline_comparison(&arch)?;
+    let (report, trace) = fine_sync::flags_pipeline_instrumented(&arch)?;
+    let trace_json = export_chrome_trace(&trace, Some(&report));
+    Ok(package(
+        fine_sync::render_pipeline(&arch, &rows).render(),
+        report,
+        trace_json,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +208,24 @@ mod tests {
         // The JSON artifact round-trips through the vendored parser.
         let v: serde_json::Value = serde_json::from_str(&run.report.to_json()).unwrap();
         assert!(matches!(v, serde_json::Value::Object(_)));
+    }
+
+    #[test]
+    fn fused_pipeline_profile_attributes_flag_waits() {
+        let run = fused_pipeline_profile().unwrap();
+        let k = run
+            .report
+            .kernels
+            .iter()
+            .find(|k| k.kernel == "pipe-fused-flags")
+            .expect("flags kernel profiled");
+        assert!(
+            k.totals.flag_wait_ps > 0,
+            "consumer spins must land in flag-wait: {:?}",
+            k.totals
+        );
+        assert!(run.summary.contains("syncprof:"));
+        assert!(run.trace_json.contains("sync.flag"));
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`warp_probe`] — §VIII-A / Figs. 17–18
 //! * [`group_size`] — §V-A's every-group-size sweeps
 //! * [`software_barrier`] — §III-B's software barriers as an extension
+//! * [`sync_micro`] — fine-grained mutex/semaphore/barrier/flag primitives
+//!   and the fused wait-signal pipeline (extension, after arXiv:2305.13450)
 //! * [`resilience`] — sync cost under injected faults (extension)
 //! * [`summary`] — §X / Table VIII, derived from the data
 //! * [`measure`], [`report`] — shared runners and table rendering
@@ -37,6 +39,7 @@ pub mod shared_mem;
 pub mod software_barrier;
 pub mod summary;
 pub mod sweep;
+pub mod sync_micro;
 pub mod warp_probe;
 pub mod warp_sync;
 

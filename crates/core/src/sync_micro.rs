@@ -1,0 +1,728 @@
+//! Fine-grained inter-kernel synchronization (extension): mutex, counting
+//! semaphore, sense-reversing spin-barrier and tile-ready flag primitives
+//! built from the ISA's global-memory atomics, plus a fused two-kernel
+//! producer→consumer pipeline (a GEMM→LayerNorm shape after Jangda et al.,
+//! arXiv:2305.13450) run under three dependency-enforcement strategies:
+//!
+//! 1. **separate launches** — the implicit barrier of back-to-back kernels
+//!    (the paper's §IV launch-gap cost plus a full drain of the producer),
+//! 2. **cooperative grid sync** — one fused kernel with `grid.sync()`
+//!    between the phases (§V-C), and
+//! 3. **tile-granularity wait/signal** — one fused kernel where consumers
+//!    spin on per-row arrival counters, so row *r*'s consumption overlaps
+//!    row *r+1*'s production and no cooperative launch is needed.
+//!
+//! The primitive micro-benchmarks use the paper's own methodology: Wong-style
+//! clocked chains at two repeat counts, the Eq. 7 difference quotient for the
+//! per-op latency and Eq. 8 for its uncertainty, with per-block timer samples
+//! feeding [`OnlineStats`]. Every spin loop here is intentional; runs arm the
+//! PR-5 progress watchdog so a missing signaller fails fast as
+//! [`SimError::Watchdog`] instead of hanging (the static linter flags the
+//! same loops as `unbounded-spin` warnings).
+//!
+//! [`SimError::Watchdog`]: sim_core::SimError::Watchdog
+
+use crate::measure::{self, Placement};
+use crate::report::{fmt, TextTable};
+use crate::sweep;
+use gpu_arch::GpuArch;
+use gpu_sim::isa::{Instr, Kernel, KernelBuilder, Operand, Special};
+use gpu_sim::kernels::{self, SyncOp};
+use gpu_sim::{fimm, GpuSystem, GridLaunch, ProfileReport, RunOptions};
+use serde::Serialize;
+use sim_core::{propagate_difference_quotient, OnlineStats, Ps, SimResult};
+use Operand::{Imm, Param, Reg as R, Sp};
+
+/// High repeat count of the differential pair (Eq. 7).
+const R1: usize = 64;
+/// Low repeat count of the differential pair.
+const R2: usize = 16;
+/// Permits of the benchmarked counting semaphore.
+const SEM_PERMITS: u32 = 2;
+/// Forward-progress budget for the intentional spin loops: generous against
+/// real contention, tiny against a livelock's instruction-limit death.
+pub const SPIN_WATCHDOG: Ps = Ps(100_000_000); // 100 µs
+
+// ---------------------------------------------------------------------------
+// Primitive micro-benchmarks (Wong chains, Eqs. 7–8)
+// ---------------------------------------------------------------------------
+
+/// One primitive measured against the hardware barrier it replaces.
+#[derive(Debug, Clone, Serialize)]
+pub struct PrimitiveRow {
+    pub primitive: String,
+    /// Blocks contending on the primitive.
+    pub grid: u32,
+    /// Eq. 7 difference-quotient latency, cycles per operation.
+    pub cycles_per_op: f64,
+    /// Eq. 8 propagated uncertainty, cycles.
+    pub sigma_cycles: f64,
+    pub baseline: String,
+    pub baseline_cycles: f64,
+}
+
+struct PrimitiveSpec {
+    name: &'static str,
+    build: fn(usize) -> Kernel,
+    grid: u32,
+    sync_words: u64,
+    baseline_op: SyncOp,
+    baseline_label: &'static str,
+    baseline_grid: u32,
+}
+
+fn build_mutex(reps: usize) -> Kernel {
+    kernels::mutex_chain(reps)
+}
+fn build_semaphore(reps: usize) -> Kernel {
+    kernels::semaphore_chain(SEM_PERMITS, reps)
+}
+fn build_spin_barrier(reps: usize) -> Kernel {
+    kernels::spin_barrier_chain(reps)
+}
+fn build_pingpong(reps: usize) -> Kernel {
+    kernels::flag_pingpong_chain(reps)
+}
+
+fn specs(arch: &GpuArch) -> Vec<PrimitiveSpec> {
+    // The spin barrier spans one block per SM (its only safe residency,
+    // like the §III-B software barriers); cap the grid so the full-size
+    // V100 sweep stays cheap — the comparison is at matched grid sizes
+    // either way.
+    let barrier_grid = arch.num_sms.min(16);
+    vec![
+        PrimitiveSpec {
+            name: "mutex (atomicCAS spin-lock)",
+            build: build_mutex,
+            grid: 4,
+            sync_words: 1,
+            baseline_op: SyncOp::Block,
+            baseline_label: "bar.sync",
+            baseline_grid: 4,
+        },
+        PrimitiveSpec {
+            name: "semaphore (2 permits, ticket)",
+            build: build_semaphore,
+            grid: 4,
+            sync_words: 2,
+            baseline_op: SyncOp::Block,
+            baseline_label: "bar.sync",
+            baseline_grid: 4,
+        },
+        PrimitiveSpec {
+            name: "spin barrier (sense-reversing)",
+            build: build_spin_barrier,
+            grid: barrier_grid,
+            sync_words: 1,
+            baseline_op: SyncOp::Grid,
+            baseline_label: "grid.sync()",
+            baseline_grid: barrier_grid,
+        },
+        PrimitiveSpec {
+            name: "flag ping-pong (2 handoffs/op)",
+            build: build_pingpong,
+            grid: 2,
+            sync_words: 2,
+            baseline_op: SyncOp::Grid,
+            baseline_label: "grid.sync()",
+            baseline_grid: 2,
+        },
+    ]
+}
+
+/// Run one clocked chain and collect the per-block elapsed-cycle samples.
+fn chain_stats(arch: &GpuArch, spec: &PrimitiveSpec, reps: usize) -> SimResult<OnlineStats> {
+    let mut sys = GpuSystem::single(arch.clone());
+    let out = sys.alloc(0, spec.grid as u64);
+    let sync = sys.alloc(0, spec.sync_words);
+    let launch = GridLaunch::single(
+        (spec.build)(reps),
+        spec.grid,
+        32,
+        vec![out.0 as u64, sync.0 as u64],
+    );
+    sys.execute(&launch, &RunOptions::new().watchdog(SPIN_WATCHDOG))?;
+    let mut stats = OnlineStats::new();
+    for i in 0..spec.grid as u64 {
+        stats.push(sys.buffer(out).load(i)? as f64);
+    }
+    Ok(stats)
+}
+
+fn measure_primitive(arch: &GpuArch, spec: &PrimitiveSpec) -> SimResult<PrimitiveRow> {
+    let s1 = chain_stats(arch, spec, R1)?;
+    let s2 = chain_stats(arch, spec, R2)?;
+    let cycles_per_op = (s1.mean() - s2.mean()) / (R1 - R2) as f64;
+    let sigma_cycles =
+        propagate_difference_quotient(s1.stddev(), s2.stddev(), R1 as u64, R2 as u64);
+    let baseline = measure::sync_chain_cycles(
+        arch,
+        &Placement::single(),
+        spec.baseline_op,
+        R1,
+        spec.baseline_grid,
+        32,
+    )?;
+    Ok(PrimitiveRow {
+        primitive: spec.name.to_string(),
+        grid: spec.grid,
+        cycles_per_op,
+        sigma_cycles,
+        baseline: spec.baseline_label.to_string(),
+        baseline_cycles: baseline.cycles_per_op,
+    })
+}
+
+/// Measure every primitive against its hardware baseline. Cells go through
+/// [`sweep::map`], so `--jobs` parallelism cannot reorder or change results.
+pub fn comparison(arch: &GpuArch) -> SimResult<Vec<PrimitiveRow>> {
+    sweep::map(specs(arch), |spec| measure_primitive(arch, &spec))
+        .into_iter()
+        .collect()
+}
+
+pub fn render_comparison(arch: &GpuArch, rows: &[PrimitiveRow]) -> TextTable {
+    let mut t = TextTable::new(
+        &format!(
+            "Fine-grained sync primitives vs hardware barriers, {} (Eqs. 7–8)",
+            arch.name
+        ),
+        &[
+            "primitive",
+            "blocks",
+            "cycles/op",
+            "sigma",
+            "baseline",
+            "cycles/op",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.primitive.clone(),
+            r.grid.to_string(),
+            fmt(r.cycles_per_op),
+            fmt(r.sigma_cycles),
+            r.baseline.clone(),
+            fmt(r.baseline_cycles),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Fused producer→consumer pipeline
+// ---------------------------------------------------------------------------
+
+/// Tile rows of the pipeline (one consumer block per row).
+pub const ROWS: u32 = 4;
+/// Tile columns per row (one producer block per tile).
+pub const COLS: u32 = 8;
+/// Producer flops per unit of row weight: row `r` runs `(r+1) * PRODUCE_WORK`
+/// dependent `fadd32` (the GEMM-shaped skew).
+const PRODUCE_WORK: u64 = 96;
+/// Consumer flops per unit of inverse row weight: row `r` runs
+/// `(ROWS-r) * CONSUME_WORK` normalization-shaped flops, so the row that is
+/// produced last is the cheapest to consume — the overlap the wait/signal
+/// strategy exploits.
+const CONSUME_WORK: u64 = 96;
+
+/// Emit `row = block_id / COLS`, `col = block_id % COLS`. The ISA has no
+/// integer divide; repeated subtraction runs at most `ROWS` iterations.
+fn emit_tile_coords(b: &mut KernelBuilder, row: u8, col: u8, c: u8) {
+    b.mov(row, Imm(0));
+    b.mov(col, Sp(Special::BlockId));
+    b.label("coords");
+    b.cmp_lt(c, R(col), Imm(COLS as u64));
+    b.bra_if(R(c), "coords_done");
+    b.isub(col, R(col), Imm(COLS as u64));
+    b.iadd(row, R(row), Imm(1));
+    b.bra("coords");
+    b.label("coords_done");
+}
+
+/// Emit the GEMM-shaped producer body: `(row+1) * PRODUCE_WORK` dependent
+/// `fadd32` into `acc`.
+fn emit_produce(b: &mut KernelBuilder, row: u8, acc: u8, n: u8, i: u8, c: u8) {
+    b.iadd(n, R(row), Imm(1));
+    b.imul(n, R(n), Imm(PRODUCE_WORK));
+    b.mov(acc, Imm(0));
+    b.mov(i, Imm(0));
+    b.label("produce");
+    b.fadd32(acc, R(acc), fimm(1.0));
+    b.iadd(i, R(i), Imm(1));
+    b.cmp_lt(c, R(i), R(n));
+    b.bra_if(R(c), "produce");
+}
+
+/// Emit the LayerNorm-shaped consumer body for the row in `rowid`: reduce the
+/// row's `COLS` tiles from `param(tiles)`, then `(ROWS-row) * CONSUME_WORK`
+/// normalization-shaped `fmul64`.
+fn emit_consume(b: &mut KernelBuilder, tiles: u8, rowid: u8, acc: u8, n: u8, i: u8, c: u8) {
+    b.imul(i, R(rowid), Imm(COLS as u64));
+    b.mov(acc, Imm(0));
+    for j in 0..COLS {
+        if j > 0 {
+            b.iadd(i, R(i), Imm(1));
+        }
+        b.push(Instr::LdGlobal {
+            dst: n,
+            buf: Param(tiles),
+            idx: R(i),
+        });
+        b.fadd32(acc, R(acc), R(n));
+    }
+    b.isub(n, Imm(ROWS as u64), R(rowid));
+    b.imul(n, R(n), Imm(CONSUME_WORK));
+    b.mov(i, Imm(0));
+    b.label("consume");
+    b.push(Instr::FMul(acc, R(acc), fimm(0.999)));
+    b.iadd(i, R(i), Imm(1));
+    b.cmp_lt(c, R(i), R(n));
+    b.bra_if(R(c), "consume");
+}
+
+/// Producer of the separate-launch strategy: `ROWS*COLS` blocks, each
+/// producing tile `block_id` into `param(0)`.
+fn producer_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("pipe-produce");
+    let c = b.reg();
+    let row = b.reg();
+    let col = b.reg();
+    let acc = b.reg();
+    let n = b.reg();
+    let i = b.reg();
+    emit_tile_coords(&mut b, row, col, c);
+    emit_produce(&mut b, row, acc, n, i, c);
+    b.cmp_eq(c, Sp(Special::Tid), Imm(0));
+    b.bra_ifz(R(c), "published");
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::BlockId),
+        val: R(acc),
+    });
+    b.label("published");
+    b.exit();
+    b.build(0)
+}
+
+/// Consumer of the separate-launch strategy: `ROWS` blocks, block `r`
+/// consuming row `r` of `param(0)` into `param(1)[r]`.
+fn consumer_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("pipe-consume");
+    let c = b.reg();
+    let rowid = b.reg();
+    let acc = b.reg();
+    let n = b.reg();
+    let i = b.reg();
+    b.mov(rowid, Sp(Special::BlockId));
+    emit_consume(&mut b, 0, rowid, acc, n, i, c);
+    b.cmp_eq(c, Sp(Special::Tid), Imm(0));
+    b.bra_ifz(R(c), "stored");
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: R(rowid),
+        val: R(acc),
+    });
+    b.label("stored");
+    b.exit();
+    b.build(0)
+}
+
+/// Fused kernel with `grid.sync()` between the phases (needs a cooperative
+/// launch): params 0=tiles, 1=out.
+fn fused_coop_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("pipe-fused-coop");
+    let c = b.reg();
+    let row = b.reg();
+    let col = b.reg();
+    let acc = b.reg();
+    let n = b.reg();
+    let i = b.reg();
+    let rowid = b.reg();
+    emit_tile_coords(&mut b, row, col, c);
+    emit_produce(&mut b, row, acc, n, i, c);
+    b.cmp_eq(c, Sp(Special::Tid), Imm(0));
+    b.bra_ifz(R(c), "published");
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::BlockId),
+        val: R(acc),
+    });
+    b.label("published");
+    // Every block crosses the device-wide barrier, then the first ROWS
+    // blocks become the consumers.
+    b.grid_sync();
+    b.cmp_lt(c, Sp(Special::BlockId), Imm(ROWS as u64));
+    b.bra_ifz(R(c), "done");
+    b.mov(rowid, Sp(Special::BlockId));
+    emit_consume(&mut b, 0, rowid, acc, n, i, c);
+    b.cmp_eq(c, Sp(Special::Tid), Imm(0));
+    b.bra_ifz(R(c), "done");
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: R(rowid),
+        val: R(acc),
+    });
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Fused kernel with tile-granularity wait/signal (a traditional launch
+/// suffices): params 0=tiles, 1=per-row arrival counters (`ROWS` words,
+/// zero-initialized), 2=out. Each producer's leader publishes its tile and
+/// fetch-adds the row's counter; consumer block `r` spins with
+/// `wait.ge counters[r], COLS` and starts as soon as *its* row is complete,
+/// overlapping later rows' production.
+fn fused_flags_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("pipe-fused-flags");
+    let c = b.reg();
+    let row = b.reg();
+    let col = b.reg();
+    let acc = b.reg();
+    let n = b.reg();
+    let i = b.reg();
+    let rowid = b.reg();
+    emit_tile_coords(&mut b, row, col, c);
+    emit_produce(&mut b, row, acc, n, i, c);
+    b.cmp_eq(c, Sp(Special::Tid), Imm(0));
+    b.bra_ifz(R(c), "published");
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::BlockId),
+        val: R(acc),
+    });
+    b.atomic_iadd(None, Param(1), R(row), Imm(1));
+    b.label("published");
+    b.cmp_lt(c, Sp(Special::BlockId), Imm(ROWS as u64));
+    b.bra_ifz(R(c), "done");
+    b.mov(rowid, Sp(Special::BlockId));
+    b.wait_ge(Param(1), R(rowid), Imm(COLS as u64));
+    emit_consume(&mut b, 0, rowid, acc, n, i, c);
+    b.cmp_eq(c, Sp(Special::Tid), Imm(0));
+    b.bra_ifz(R(c), "done");
+    b.push(Instr::StGlobal {
+        buf: Param(2),
+        idx: R(rowid),
+        val: R(acc),
+    });
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// The three dependency-enforcement strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Strategy {
+    /// Two launches; the inter-kernel gap is the implicit barrier.
+    SeparateLaunches,
+    /// One fused cooperative kernel with `grid.sync()`.
+    CooperativeGridSync,
+    /// One fused traditional kernel with per-row wait/signal flags.
+    WaitSignalFlags,
+}
+
+impl Strategy {
+    pub const ALL: [Strategy; 3] = [
+        Strategy::SeparateLaunches,
+        Strategy::CooperativeGridSync,
+        Strategy::WaitSignalFlags,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::SeparateLaunches => "separate launches (implicit barrier)",
+            Strategy::CooperativeGridSync => "fused + grid.sync() (cooperative)",
+            Strategy::WaitSignalFlags => "fused + tile wait/signal flags",
+        }
+    }
+}
+
+/// Outcome of one strategy: simulated wall-clock plus the consumer outputs
+/// (for the cross-strategy equivalence check).
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineRun {
+    pub strategy: Strategy,
+    pub wall_ps: u64,
+    /// `out[r]` bit patterns — identical across strategies by construction.
+    pub out: Vec<u64>,
+}
+
+/// Run the pipeline under one strategy and return its simulated wall-clock.
+pub fn run_strategy(arch: &GpuArch, strategy: Strategy) -> SimResult<PipelineRun> {
+    let grid = ROWS * COLS;
+    let opts = RunOptions::new().watchdog(SPIN_WATCHDOG);
+    let mut sys = GpuSystem::single(arch.clone());
+    let tiles = sys.alloc(0, grid as u64);
+    let (wall_ps, out_buf) = match strategy {
+        Strategy::SeparateLaunches => {
+            let out = sys.alloc(0, ROWS as u64);
+            let produce = GridLaunch::single(producer_kernel(), grid, 32, vec![tiles.0 as u64]);
+            let d1 = sys.execute(&produce, &opts)?.report.duration;
+            let consume = GridLaunch::single(
+                consumer_kernel(),
+                ROWS,
+                32,
+                vec![tiles.0 as u64, out.0 as u64],
+            );
+            let d2 = sys.execute(&consume, &opts)?.report.duration;
+            // The implicit barrier costs the back-to-back launch gap (§IV).
+            let gap = Ps::from_ns(arch.host.traditional.overhead_ns);
+            (d1.0 + gap.0 + d2.0, out)
+        }
+        Strategy::CooperativeGridSync => {
+            let out = sys.alloc(0, ROWS as u64);
+            let launch = GridLaunch::single(
+                fused_coop_kernel(),
+                grid,
+                32,
+                vec![tiles.0 as u64, out.0 as u64],
+            )
+            .cooperative();
+            (sys.execute(&launch, &opts)?.report.duration.0, out)
+        }
+        Strategy::WaitSignalFlags => {
+            let counters = sys.alloc(0, ROWS as u64);
+            let out = sys.alloc(0, ROWS as u64);
+            let launch = GridLaunch::single(
+                fused_flags_kernel(),
+                grid,
+                32,
+                vec![tiles.0 as u64, counters.0 as u64, out.0 as u64],
+            );
+            (sys.execute(&launch, &opts)?.report.duration.0, out)
+        }
+    };
+    let mut out = Vec::with_capacity(ROWS as usize);
+    for r in 0..ROWS as u64 {
+        out.push(sys.buffer(out_buf).load(r)?);
+    }
+    Ok(PipelineRun {
+        strategy,
+        wall_ps,
+        out,
+    })
+}
+
+/// One row of the strategy comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineRow {
+    pub strategy: String,
+    pub wall_us: f64,
+    pub speedup_vs_separate: f64,
+}
+
+/// Run all three strategies (through [`sweep::map`], so the table is
+/// byte-identical at any `--jobs`) and derive speedups over the
+/// separate-launch baseline.
+pub fn pipeline_comparison(arch: &GpuArch) -> SimResult<Vec<PipelineRow>> {
+    let runs: SimResult<Vec<PipelineRun>> =
+        sweep::map(Strategy::ALL.to_vec(), |s| run_strategy(arch, s))
+            .into_iter()
+            .collect();
+    let runs = runs?;
+    let sep = runs[0].wall_ps as f64;
+    Ok(runs
+        .iter()
+        .map(|r| PipelineRow {
+            strategy: r.strategy.name().to_string(),
+            wall_us: r.wall_ps as f64 / 1e6,
+            speedup_vs_separate: sep / r.wall_ps as f64,
+        })
+        .collect())
+}
+
+pub fn render_pipeline(arch: &GpuArch, rows: &[PipelineRow]) -> TextTable {
+    let mut t = TextTable::new(
+        &format!(
+            "Fused GEMM→LayerNorm tile pipeline ({ROWS}×{COLS} tiles), {}",
+            arch.name
+        ),
+        &["strategy", "wall clock (us)", "speedup vs separate"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.strategy.clone(),
+            fmt(r.wall_us),
+            fmt(r.speedup_vs_separate),
+        ]);
+    }
+    t
+}
+
+/// The wait/signal pipeline with syncprof and tracing armed — the profile's
+/// `flag-wait` column attributes the consumers' spin time, and the trace is
+/// small enough to load interactively (for `repro --profile`).
+pub fn flags_pipeline_instrumented(
+    arch: &GpuArch,
+) -> SimResult<(ProfileReport, Vec<gpu_sim::TraceEvent>)> {
+    let grid = ROWS * COLS;
+    let mut sys = GpuSystem::single(arch.clone());
+    let tiles = sys.alloc(0, grid as u64);
+    let counters = sys.alloc(0, ROWS as u64);
+    let out = sys.alloc(0, ROWS as u64);
+    let launch = GridLaunch::single(
+        fused_flags_kernel(),
+        grid,
+        32,
+        vec![tiles.0 as u64, counters.0 as u64, out.0 as u64],
+    );
+    let arts = sys.execute(
+        &launch,
+        &RunOptions::new()
+            .watchdog(SPIN_WATCHDOG)
+            .profile()
+            .trace(100_000),
+    )?;
+    Ok((
+        arts.profile.expect("profiling was armed"),
+        arts.trace.expect("tracing was armed"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{SimError, StuckKind};
+
+    fn small() -> GpuArch {
+        let mut a = GpuArch::v100();
+        a.num_sms = 8;
+        a
+    }
+
+    #[test]
+    fn primitives_measure_positive_latency_with_finite_uncertainty() {
+        let rows = comparison(&small()).unwrap();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(
+                r.cycles_per_op > 0.0,
+                "{}: non-positive latency {}",
+                r.primitive,
+                r.cycles_per_op
+            );
+            assert!(r.sigma_cycles.is_finite(), "{}", r.primitive);
+            assert!(r.baseline_cycles > 0.0, "{}", r.primitive);
+        }
+        // Software primitives pay L2 round trips per op; none should beat
+        // the hardware barrier it replaces by a wide margin.
+        for r in &rows {
+            assert!(
+                r.cycles_per_op > r.baseline_cycles * 0.5,
+                "{}: implausibly cheap vs {} ({} vs {})",
+                r.primitive,
+                r.baseline,
+                r.cycles_per_op,
+                r.baseline_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn wait_signal_beats_the_implicit_barrier_baseline() {
+        let rows = pipeline_comparison(&small()).unwrap();
+        assert_eq!(rows.len(), 3);
+        let sep = &rows[0];
+        let flags = &rows[2];
+        assert!(
+            flags.wall_us < sep.wall_us,
+            "wait/signal ({}) must beat separate launches ({})",
+            flags.wall_us,
+            sep.wall_us
+        );
+        assert!(flags.speedup_vs_separate > 1.0);
+        // The cooperative fusion sits between: it saves the launch gap but
+        // still serializes all rows behind the device-wide barrier.
+        let coop = &rows[1];
+        assert!(
+            flags.wall_us < coop.wall_us,
+            "wait/signal ({}) must beat grid.sync fusion ({})",
+            flags.wall_us,
+            coop.wall_us
+        );
+    }
+
+    #[test]
+    fn all_strategies_compute_identical_outputs() {
+        let arch = small();
+        let runs: Vec<PipelineRun> = Strategy::ALL
+            .iter()
+            .map(|&s| run_strategy(&arch, s).unwrap())
+            .collect();
+        assert!(runs[0].out.iter().all(|&v| v != 0), "{:?}", runs[0].out);
+        for r in &runs[1..] {
+            assert_eq!(r.out, runs[0].out, "{:?} diverged", r.strategy);
+        }
+    }
+
+    #[test]
+    fn pipeline_walls_are_jobs_invariant() {
+        let arch = small();
+        let run = |jobs| {
+            sweep::map_jobs(Strategy::ALL.to_vec(), jobs, |s| {
+                run_strategy(&arch, s).unwrap().wall_ps
+            })
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn primitive_rows_are_jobs_invariant() {
+        let arch = small();
+        let run = |jobs| {
+            sweep::map_jobs(vec![0usize, 1, 2, 3], jobs, |i| {
+                let spec = &specs(&arch)[i];
+                let row = measure_primitive(&arch, spec).unwrap();
+                (row.cycles_per_op.to_bits(), row.baseline_cycles.to_bits())
+            })
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn unsignalled_wait_watchdogs_identically_at_jobs_1_and_8() {
+        // Sweep-level version of the engine tests: a never-signalled
+        // spin-wait must fail as Watchdog with the stuck warp classified as
+        // spinning, in every cell, whatever the worker count.
+        let arch = small();
+        let run = |jobs| {
+            sweep::map_jobs(vec![0u32, 1, 2, 3], jobs, |cell| {
+                let mut b = KernelBuilder::new(&format!("never-signalled-{cell}"));
+                b.wait_ge(Param(0), Imm(0), Imm(1));
+                b.exit();
+                let mut sys = GpuSystem::single(arch.clone());
+                let flag = sys.alloc(0, 1);
+                let launch = GridLaunch::single(b.build(0), 1, 32, vec![flag.0 as u64]);
+                match sys.execute(&launch, &RunOptions::new().watchdog(SPIN_WATCHDOG)) {
+                    Err(SimError::Watchdog { at, stuck, .. }) => {
+                        assert_eq!(stuck.len(), 1);
+                        assert_eq!(stuck[0].waiting, StuckKind::Spinning);
+                        at.0
+                    }
+                    other => panic!("cell {cell}: expected watchdog, got {other:?}"),
+                }
+            })
+        };
+        let a = run(1);
+        assert_eq!(a, run(8));
+        assert!(a.iter().all(|&t| t >= SPIN_WATCHDOG.0));
+    }
+
+    #[test]
+    fn flags_profile_attributes_flag_wait_time() {
+        let (p, trace) = flags_pipeline_instrumented(&small()).unwrap();
+        assert!(!trace.is_empty(), "tracing was armed");
+        let k = p
+            .kernels
+            .iter()
+            .find(|k| k.kernel == "pipe-fused-flags")
+            .expect("profiled kernel");
+        assert!(
+            k.totals.flag_wait_ps > 0,
+            "consumer spins must land in flag-wait: {:?}",
+            k.totals
+        );
+        assert!(k.totals.atomic_ps > 0, "producer arrivals are atomics");
+    }
+}

@@ -34,7 +34,12 @@ fn category(i: &Instr) -> &'static str {
         LdShared { .. } | StShared { .. } | SmemStream { .. } => "mem.shared",
         LdGlobal { .. } | StGlobal { .. } | MemStream { .. } | MemCombine { .. } => "mem.global",
         MemFence => "mem.fence",
-        AtomicFAdd { .. } => "atomic",
+        AtomicFAdd { .. }
+        | AtomicCas { .. }
+        | AtomicExch { .. }
+        | AtomicIAdd { .. }
+        | Signal { .. } => "atomic",
+        WaitGe { .. } => "sync.flag",
         Shfl { .. } => "shfl",
         SyncTile { .. } | SyncCoalesced => "sync.tile",
         BarSync => "sync.block",

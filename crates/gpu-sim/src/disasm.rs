@@ -94,6 +94,46 @@ pub fn instr_to_string(i: &Instr) -> String {
             let d = dst_old.map(|r| format!("r{r}, ")).unwrap_or_default();
             format!("atom.add.f64 {d}{}[{}], {}", op(buf), op(idx), op(val))
         }
+        AtomicCas {
+            dst_old,
+            buf,
+            idx,
+            cmp,
+            val,
+        } => {
+            let d = dst_old.map(|r| format!("r{r}, ")).unwrap_or_default();
+            format!(
+                "atom.cas.u64 {d}{}[{}], {}, {}",
+                op(buf),
+                op(idx),
+                op(cmp),
+                op(val)
+            )
+        }
+        AtomicExch {
+            dst_old,
+            buf,
+            idx,
+            val,
+        } => {
+            let d = dst_old.map(|r| format!("r{r}, ")).unwrap_or_default();
+            format!("atom.exch.u64 {d}{}[{}], {}", op(buf), op(idx), op(val))
+        }
+        AtomicIAdd {
+            dst_old,
+            buf,
+            idx,
+            val,
+        } => {
+            let d = dst_old.map(|r| format!("r{r}, ")).unwrap_or_default();
+            format!("atom.add.u64 {d}{}[{}], {}", op(buf), op(idx), op(val))
+        }
+        WaitGe { buf, idx, target } => {
+            format!("wait.ge {}[{}], {}", op(buf), op(idx), op(target))
+        }
+        Signal { buf, idx, val } => {
+            format!("signal {}[{}], {}", op(buf), op(idx), op(val))
+        }
         Shfl {
             dst,
             val,
@@ -210,6 +250,44 @@ mod tests {
         assert!(d.contains("bar.sync"), "{d}");
         assert!(d.contains("bra.nz r0, @1"), "{d}");
         assert_eq!(d.lines().count(), 7);
+    }
+
+    #[test]
+    fn disassembles_fine_grained_sync_shapes() {
+        let cas = instr_to_string(&Instr::AtomicCas {
+            dst_old: Some(1),
+            buf: Param(0),
+            idx: Imm(0),
+            cmp: Imm(0),
+            val: Imm(1),
+        });
+        assert_eq!(cas, "atom.cas.u64 r1, param0[0], 0, 1");
+        let exch = instr_to_string(&Instr::AtomicExch {
+            dst_old: None,
+            buf: Param(0),
+            idx: Imm(2),
+            val: Imm(0),
+        });
+        assert_eq!(exch, "atom.exch.u64 param0[2], 0");
+        let iadd = instr_to_string(&Instr::AtomicIAdd {
+            dst_old: Some(3),
+            buf: Param(1),
+            idx: Imm(0),
+            val: Imm(1),
+        });
+        assert_eq!(iadd, "atom.add.u64 r3, param1[0], 1");
+        let wait = instr_to_string(&Instr::WaitGe {
+            buf: Param(0),
+            idx: Imm(7),
+            target: Reg(2),
+        });
+        assert_eq!(wait, "wait.ge param0[7], r2");
+        let sig = instr_to_string(&Instr::Signal {
+            buf: Param(0),
+            idx: Imm(7),
+            val: Imm(1),
+        });
+        assert_eq!(sig, "signal param0[7], 1");
     }
 
     #[test]

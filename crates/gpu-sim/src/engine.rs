@@ -83,10 +83,12 @@ struct Warp {
     /// Fault-injection latency multiplier (permille; 1000 = unfaulted),
     /// drawn once per warp from the plan's seed at block start.
     mult_permille: u32,
-    /// Furthest PC any lane of this warp has reached — the watchdog's
-    /// progress watermark. Spin loops revisit PCs, so the watermark stalls;
-    /// straight-line code always advances it.
-    max_pc: u32,
+    /// Furthest PC each lane of this warp has reached — the watchdog's
+    /// progress watermark, per lane so a divergent branch (e.g. non-leader
+    /// lanes jumping to the exit label) cannot poison the whole warp's
+    /// watermark. Spin loops revisit PCs, so a spinning lane's watermark
+    /// stalls; straight-line code always advances it.
+    max_pcs: [u32; 32],
 }
 
 impl Warp {
@@ -653,15 +655,38 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Record that warp `w` reached `new_pc`: forward progress iff it beats
-    /// the warp's watermark. Only maintained while the watchdog is armed —
-    /// the clean path pays one predictable branch.
+    /// Record that the lanes in `mask` of warp `w` moved (their `pcs` are
+    /// already updated): forward progress iff some lane beat its own
+    /// watermark. Per-lane watermarks keep a divergent forward jump (one
+    /// lane reaching the exit label) from masking another lane's later,
+    /// genuine progress. Only maintained while the watchdog is armed — the
+    /// clean path pays one predictable branch.
+    /// Record forward progress that the PC watermark cannot see: an
+    /// operation whose *success* proves the system is live (a satisfied
+    /// `wait.ge`, a CAS that exchanged) happening at an already-visited PC,
+    /// e.g. each round of a spin-barrier loop. Livelocked spins never
+    /// succeed, so they still starve the watchdog.
     #[inline]
-    fn note_pc(&mut self, w: u32, new_pc: u32) {
+    fn note_semantic_progress(&mut self) {
+        if self.watchdog.is_some() {
+            self.last_progress_at = self.now;
+        }
+    }
+
+    #[inline]
+    fn note_lanes(&mut self, w: u32, mask: u32) {
         if self.watchdog.is_some() {
             let warp = &mut self.warps[w as usize];
-            if new_pc > warp.max_pc {
-                warp.max_pc = new_pc;
+            let mut progressed = false;
+            for lane in iter_lanes(mask) {
+                let pc = warp.pcs[(lane & 31) as usize];
+                let max = &mut warp.max_pcs[(lane & 31) as usize];
+                if pc > *max {
+                    *max = pc;
+                    progressed = true;
+                }
+            }
+            if progressed {
                 self.last_progress_at = self.now;
             }
         }
@@ -897,7 +922,7 @@ impl<'a> Engine<'a> {
                 coa_shfl_hot: false,
                 done: false,
                 mult_permille: self.fault_warp_mult(rank, block_on_device, wi, sm),
-                max_pc: 0,
+                max_pcs: [0; 32],
             };
             self.warps.push(w);
             self.warps_run += 1;
@@ -1073,7 +1098,7 @@ impl<'a> Engine<'a> {
                 warp.pcs[(lane & 31) as usize] = from_pc + 1;
             }
         }
-        self.note_pc(w, from_pc + 1);
+        self.note_lanes(w, mask);
     }
 
     /// Mark lanes exited; drive warp/block/grid completion bookkeeping.
@@ -1205,7 +1230,14 @@ impl<'a> Engine<'a> {
                 | MemCombine { .. }
                 | SmemStream { .. }
                 | MemFence => c.mem_ps += lat,
-                AtomicFAdd { .. } => c.atomic_ps += lat,
+                AtomicFAdd { .. }
+                | AtomicCas { .. }
+                | AtomicExch { .. }
+                | AtomicIAdd { .. }
+                | Signal { .. } => c.atomic_ps += lat,
+                // Both the successful poll and every backed-off retry land
+                // here: the whole time a warp spends on a flag is flag-wait.
+                WaitGe { .. } => c.flag_wait_ps += lat,
                 Nanosleep(..) => c.sleep_ps += lat,
                 // A warp barrier that completed synchronously (converged
                 // warp, or Pascal's fence semantics): its latency is barrier
@@ -1432,21 +1464,19 @@ impl<'a> Engine<'a> {
                 for lane in iter_lanes(group) {
                     warp.pcs[lane as usize] = target;
                 }
-                self.note_pc(w, target);
+                self.note_lanes(w, group);
                 Ok(Step::Ready(start + self.lat.alu))
             }
             BraIf(cond, target) | BraIfZ(cond, target) => {
                 let start = self.charge_sched(w);
                 let want_nonzero = matches!(instr, BraIf(..));
-                let mut max_new = 0u32;
                 for lane in iter_lanes(group) {
                     let c = self.eval(w, lane, cond) != 0;
                     let taken = c == want_nonzero;
                     let new_pc = if taken { target } else { pc + 1 };
-                    max_new = max_new.max(new_pc);
                     self.warps[w as usize].pcs[lane as usize] = new_pc;
                 }
-                self.note_pc(w, max_new);
+                self.note_lanes(w, group);
                 Ok(Step::Ready(start + self.lat.alu))
             }
             Exit => {
@@ -1606,6 +1636,180 @@ impl<'a> Engine<'a> {
                     if let Some(d) = dst_old {
                         self.warps[w as usize].set_reg(lane, d, old.to_bits());
                     }
+                }
+                self.advance_pcs(w, group, pc);
+                Ok(Step::Ready(done))
+            }
+            AtomicCas {
+                dst_old,
+                buf,
+                idx,
+                cmp,
+                val,
+            } => {
+                let warp_rank = self.warps[w as usize].rank as usize;
+                let start = self.charge_sched(w);
+                let mut done = start;
+                let int_ps = self.lat.l2_atomic_int;
+                let lat_ps = self.lat.global_atomic;
+                for lane in iter_lanes(group) {
+                    let b = self.eval(w, lane, buf) as usize;
+                    let i = self.eval(w, lane, idx);
+                    let c = self.eval(w, lane, cmp);
+                    let v = self.eval(w, lane, val);
+                    let iss = self.devs[warp_rank].l2.issue(start, int_ps, lat_ps);
+                    done = done.max(iss.done);
+                    let buffer = self
+                        .sys
+                        .bufs
+                        .get_mut(b)
+                        .ok_or_else(|| SimError::MemoryFault(format!("bad buffer id {b}")))?;
+                    let old = buffer.load(i)?;
+                    let exchanged = old == c;
+                    if exchanged {
+                        buffer.store(i, v)?;
+                    }
+                    if let Some(d) = dst_old {
+                        self.warps[w as usize].set_reg(lane, d, old);
+                    }
+                    // A *successful* CAS (a lock acquired) is semantic
+                    // progress even inside a retry loop whose PCs the
+                    // watermark has already seen; a CAS that only ever
+                    // fails (the holder died) still starves the watchdog.
+                    if exchanged {
+                        self.note_semantic_progress();
+                    }
+                }
+                self.advance_pcs(w, group, pc);
+                Ok(Step::Ready(done))
+            }
+            AtomicExch {
+                dst_old,
+                buf,
+                idx,
+                val,
+            } => {
+                let warp_rank = self.warps[w as usize].rank as usize;
+                let start = self.charge_sched(w);
+                let mut done = start;
+                let int_ps = self.lat.l2_atomic_int;
+                let lat_ps = self.lat.global_atomic;
+                for lane in iter_lanes(group) {
+                    let b = self.eval(w, lane, buf) as usize;
+                    let i = self.eval(w, lane, idx);
+                    let v = self.eval(w, lane, val);
+                    let iss = self.devs[warp_rank].l2.issue(start, int_ps, lat_ps);
+                    done = done.max(iss.done);
+                    let buffer = self
+                        .sys
+                        .bufs
+                        .get_mut(b)
+                        .ok_or_else(|| SimError::MemoryFault(format!("bad buffer id {b}")))?;
+                    let old = buffer.load(i)?;
+                    buffer.store(i, v)?;
+                    if let Some(d) = dst_old {
+                        self.warps[w as usize].set_reg(lane, d, old);
+                    }
+                }
+                self.advance_pcs(w, group, pc);
+                Ok(Step::Ready(done))
+            }
+            AtomicIAdd {
+                dst_old,
+                buf,
+                idx,
+                val,
+            } => {
+                let warp_rank = self.warps[w as usize].rank as usize;
+                let start = self.charge_sched(w);
+                let mut done = start;
+                let int_ps = self.lat.l2_atomic_int;
+                let lat_ps = self.lat.global_atomic;
+                for lane in iter_lanes(group) {
+                    let b = self.eval(w, lane, buf) as usize;
+                    let i = self.eval(w, lane, idx);
+                    let v = self.eval(w, lane, val);
+                    let iss = self.devs[warp_rank].l2.issue(start, int_ps, lat_ps);
+                    done = done.max(iss.done);
+                    let buffer = self
+                        .sys
+                        .bufs
+                        .get_mut(b)
+                        .ok_or_else(|| SimError::MemoryFault(format!("bad buffer id {b}")))?;
+                    let old = buffer.load(i)?;
+                    buffer.store(i, old.wrapping_add(v))?;
+                    if let Some(d) = dst_old {
+                        self.warps[w as usize].set_reg(lane, d, old);
+                    }
+                }
+                self.advance_pcs(w, group, pc);
+                Ok(Step::Ready(done))
+            }
+            WaitGe { buf, idx, target } => {
+                // One poll of the flag cell(s): every active lane pays a full
+                // L2 atomic round trip (the paper's measured global-atomic
+                // latency — flag polls and atomics share the L2 atomic unit).
+                let warp_rank = self.warps[w as usize].rank as usize;
+                let start = self.charge_sched(w);
+                let mut done = start;
+                let int_ps = self.lat.l2_atomic_int;
+                let lat_ps = self.lat.global_atomic;
+                let mut satisfied = true;
+                for lane in iter_lanes(group) {
+                    let b = self.eval(w, lane, buf) as usize;
+                    let i = self.eval(w, lane, idx);
+                    let t = self.eval(w, lane, target);
+                    let iss = self.devs[warp_rank].l2.issue(start, int_ps, lat_ps);
+                    done = done.max(iss.done);
+                    let buffer = self
+                        .sys
+                        .bufs
+                        .get_mut(b)
+                        .ok_or_else(|| SimError::MemoryFault(format!("bad buffer id {b}")))?;
+                    if buffer.load(i)? < t {
+                        satisfied = false;
+                    }
+                }
+                if satisfied {
+                    // All active lanes saw their flags: fall through. A
+                    // satisfied wait is semantic progress even when this PC
+                    // was already visited (a barrier loop re-crossing the
+                    // same wait each round) — only a wait that never sees
+                    // its flag should starve the watchdog.
+                    self.note_semantic_progress();
+                    self.advance_pcs(w, group, pc);
+                    Ok(Step::Ready(done))
+                } else {
+                    // Spin with backoff: the PC does NOT advance, so the warp
+                    // re-executes this instruction after the architecture's
+                    // poll interval. The stationary PC watermark is exactly
+                    // what the watchdog classifies as `StuckKind::Spinning`
+                    // when the flag is never signalled — in both the pop loop
+                    // and the run-ahead fast path.
+                    Ok(Step::Ready(done + self.lat.poll))
+                }
+            }
+            Signal { buf, idx, val } => {
+                // Release-store through the L2 atomic unit: an atomicExch
+                // whose old value is discarded. The warp waits for the round
+                // trip, like every other global atomic.
+                let warp_rank = self.warps[w as usize].rank as usize;
+                let start = self.charge_sched(w);
+                let mut done = start;
+                let int_ps = self.lat.l2_atomic_int;
+                let lat_ps = self.lat.global_atomic;
+                for lane in iter_lanes(group) {
+                    let b = self.eval(w, lane, buf) as usize;
+                    let i = self.eval(w, lane, idx);
+                    let v = self.eval(w, lane, val);
+                    let iss = self.devs[warp_rank].l2.issue(start, int_ps, lat_ps);
+                    done = done.max(iss.done);
+                    let buffer = self
+                        .sys
+                        .bufs
+                        .get_mut(b)
+                        .ok_or_else(|| SimError::MemoryFault(format!("bad buffer id {b}")))?;
+                    buffer.store(i, v)?;
                 }
                 self.advance_pcs(w, group, pc);
                 Ok(Step::Ready(done))
@@ -1956,15 +2160,13 @@ impl<'a> Engine<'a> {
             // Commit stores of all released lanes; each advances past its own
             // barrier site (divergent code can sync at different PCs).
             let block = self.warps[w as usize].block;
-            let mut max_new = 0u32;
             for lane in iter_lanes(released) {
                 let tid = self.warps[w as usize].warp_in_block * WARP + lane;
                 self.blocks[block as usize].smem.fence(tid);
                 let warp = &mut self.warps[w as usize];
                 warp.pcs[lane as usize] += 1;
-                max_new = max_new.max(warp.pcs[lane as usize]);
             }
-            self.note_pc(w, max_new);
+            self.note_lanes(w, released);
             {
                 let warp = &mut self.warps[w as usize];
                 warp.wb_wait &= !released;
@@ -2091,7 +2293,7 @@ impl<'a> Engine<'a> {
                 warp.pcs[(l & 31) as usize] = pc + 1;
             }
         }
-        self.note_pc(w, pc + 1);
+        self.note_lanes(w, mask);
         self.schedule_warp(w, at);
     }
 

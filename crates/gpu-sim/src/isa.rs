@@ -139,6 +139,52 @@ pub enum Instr {
         idx: Operand,
         val: Operand,
     },
+    /// Integer compare-and-swap on a device buffer word: store `val` when
+    /// the current word equals `cmp`; optionally returns the old value
+    /// (`atomicCAS`). Timed like every global atomic: one L2 round trip
+    /// serialized through the L2 atomic unit.
+    AtomicCas {
+        dst_old: Option<Reg>,
+        buf: Operand,
+        idx: Operand,
+        cmp: Operand,
+        val: Operand,
+    },
+    /// Integer atomic exchange on a device buffer word; optionally returns
+    /// the old value (`atomicExch`).
+    AtomicExch {
+        dst_old: Option<Reg>,
+        buf: Operand,
+        idx: Operand,
+        val: Operand,
+    },
+    /// Unsigned integer fetch-add on a device buffer word; optionally
+    /// returns the pre-add value (`atomicAdd` on `unsigned int`, the
+    /// arrival counter of every software barrier).
+    AtomicIAdd {
+        dst_old: Option<Reg>,
+        buf: Operand,
+        idx: Operand,
+        val: Operand,
+    },
+    /// Spin until the flag cell `buf[idx]` is `>= target` (unsigned). Each
+    /// poll is a full L2 atomic round trip; between failed polls the warp
+    /// backs off for the architecture's poll interval, so a waiting warp
+    /// does not saturate the L2 atomic unit. Needs no cooperative launch —
+    /// the whole point of flag-cell sync.
+    WaitGe {
+        buf: Operand,
+        idx: Operand,
+        target: Operand,
+    },
+    /// Release-store `val` to the flag cell `buf[idx]` through the L2
+    /// atomic unit (an `atomicExch` whose old value is discarded, i.e. the
+    /// producer side of a tile-ready flag).
+    Signal {
+        buf: Operand,
+        idx: Operand,
+        val: Operand,
+    },
 
     // --- warp data exchange / synchronization ---
     Shfl {
@@ -324,6 +370,56 @@ impl KernelBuilder {
     }
     pub fn read_clock(&mut self, d: Reg) -> &mut Self {
         self.push(Instr::ReadClock(d))
+    }
+    pub fn atomic_cas(
+        &mut self,
+        dst_old: Option<Reg>,
+        buf: Operand,
+        idx: Operand,
+        cmp: Operand,
+        val: Operand,
+    ) -> &mut Self {
+        self.push(Instr::AtomicCas {
+            dst_old,
+            buf,
+            idx,
+            cmp,
+            val,
+        })
+    }
+    pub fn atomic_exch(
+        &mut self,
+        dst_old: Option<Reg>,
+        buf: Operand,
+        idx: Operand,
+        val: Operand,
+    ) -> &mut Self {
+        self.push(Instr::AtomicExch {
+            dst_old,
+            buf,
+            idx,
+            val,
+        })
+    }
+    pub fn atomic_iadd(
+        &mut self,
+        dst_old: Option<Reg>,
+        buf: Operand,
+        idx: Operand,
+        val: Operand,
+    ) -> &mut Self {
+        self.push(Instr::AtomicIAdd {
+            dst_old,
+            buf,
+            idx,
+            val,
+        })
+    }
+    pub fn wait_ge(&mut self, buf: Operand, idx: Operand, target: Operand) -> &mut Self {
+        self.push(Instr::WaitGe { buf, idx, target })
+    }
+    pub fn signal(&mut self, buf: Operand, idx: Operand, val: Operand) -> &mut Self {
+        self.push(Instr::Signal { buf, idx, val })
     }
     pub fn bar_sync(&mut self) -> &mut Self {
         self.push(Instr::BarSync)

@@ -26,6 +26,10 @@ enum InternKey {
     Fadd32Chain(usize),
     Stream(u8, u16),
     SmemStream(u32, u32),
+    MutexChain(usize),
+    SemaphoreChain(u32, usize),
+    SpinBarrierChain(usize),
+    FlagPingPong(usize),
 }
 
 /// Look up `key`, building and caching the kernel on first use.
@@ -362,6 +366,174 @@ fn smem_stream_kernel_uncached(shared_words: u32, threads_live: u32) -> Kernel {
     b.build(shared_words)
 }
 
+// ---------------------------------------------------------------------------
+// Atomics-built synchronization primitives (Stuart & Owens style)
+// ---------------------------------------------------------------------------
+
+/// Spin-lock mutex chain: thread 0 of each block acquires (CAS 0→1 spin)
+/// and releases (exchange→0) the lock at `param(1)[0]`, `repeats` times,
+/// bracketed by clock reads (Wong's method). Elapsed cycles go to
+/// `param(0)[block_id]`; every other thread exits immediately.
+///
+/// synccheck: the CAS retry loop spins *on purpose* — a held lock is
+/// transient, and the PR-5 watchdog still catches a holder that never
+/// releases.
+pub fn mutex_chain(repeats: usize) -> Kernel {
+    interned(InternKey::MutexChain(repeats), || {
+        let mut b = KernelBuilder::new("mutex-chain");
+        let c = b.reg();
+        let old = b.reg();
+        let t0 = b.reg();
+        let t1 = b.reg();
+        b.cmp_eq(c, Sp(Special::Tid), Imm(0));
+        b.bra_ifz(Reg(c), "out");
+        b.read_clock(t0);
+        for i in 0..repeats {
+            b.label(&format!("acq{i}"));
+            b.atomic_cas(Some(old), Param(1), Imm(0), Imm(0), Imm(1));
+            // Non-zero old value: someone held the lock — retry.
+            b.bra_if(Reg(old), &format!("acq{i}"));
+            b.atomic_exch(None, Param(1), Imm(0), Imm(0));
+        }
+        b.read_clock(t1);
+        b.isub(t1, Reg(t1), Reg(t0));
+        b.push(Instr::StGlobal {
+            buf: Param(0),
+            idx: Sp(Special::BlockId),
+            val: Reg(t1),
+        });
+        b.label("out");
+        b.exit();
+        b.build(0)
+    })
+}
+
+/// Ticket-based counting semaphore chain: thread 0 of each block acquires
+/// one of `permits` permits (fetch-add a ticket at `param(1)[0]`, waiting
+/// on the release counter `param(1)[1]` when oversubscribed) and releases
+/// it, `repeats` times. Zero-initialized buffers need no host setup: the
+/// ticket/release pair never resets. Elapsed cycles → `param(0)[block_id]`.
+pub fn semaphore_chain(permits: u32, repeats: usize) -> Kernel {
+    assert!(permits >= 1);
+    interned(InternKey::SemaphoreChain(permits, repeats), || {
+        let mut b = KernelBuilder::new("semaphore-chain");
+        let c = b.reg();
+        let my = b.reg();
+        let need = b.reg();
+        let t0 = b.reg();
+        let t1 = b.reg();
+        b.cmp_eq(c, Sp(Special::Tid), Imm(0));
+        b.bra_ifz(Reg(c), "out");
+        b.read_clock(t0);
+        for i in 0..repeats {
+            b.atomic_iadd(Some(my), Param(1), Imm(0), Imm(1));
+            b.cmp_lt(c, Reg(my), Imm(permits as u64));
+            b.bra_if(Reg(c), &format!("got{i}"));
+            // Ticket `my` waits until `my + 1 - permits` releases happened.
+            b.iadd(need, Reg(my), Imm(1));
+            b.isub(need, Reg(need), Imm(permits as u64));
+            b.wait_ge(Param(1), Imm(1), Reg(need));
+            b.label(&format!("got{i}"));
+            b.atomic_iadd(None, Param(1), Imm(1), Imm(1));
+        }
+        b.read_clock(t1);
+        b.isub(t1, Reg(t1), Reg(t0));
+        b.push(Instr::StGlobal {
+            buf: Param(0),
+            idx: Sp(Special::BlockId),
+            val: Reg(t1),
+        });
+        b.label("out");
+        b.exit();
+        b.build(0)
+    })
+}
+
+/// Centralized sense-reversing spin-barrier chain across block
+/// representatives (thread 0 of each block), the software replacement for
+/// `grid.sync()` that needs no cooperative launch. The "sense" is the
+/// monotone round number: round `r` arrives with a fetch-add on
+/// `param(1)[0]` and spins until the counter reaches `r * grid_dim`, so no
+/// round ever races a reset of the previous one (the reason sense-reversing
+/// barriers flip their sense bit). `repeats` rounds are bracketed by clock
+/// reads; elapsed cycles → `param(0)[block_id]`.
+pub fn spin_barrier_chain(repeats: usize) -> Kernel {
+    assert!(repeats >= 1);
+    interned(InternKey::SpinBarrierChain(repeats), || {
+        let mut b = KernelBuilder::new("spin-barrier-chain");
+        let c = b.reg();
+        let r = b.reg();
+        let tgt = b.reg();
+        let t0 = b.reg();
+        let t1 = b.reg();
+        b.cmp_eq(c, Sp(Special::Tid), Imm(0));
+        b.bra_ifz(Reg(c), "out");
+        b.mov(r, Imm(0));
+        b.read_clock(t0);
+        b.label("round");
+        b.iadd(r, Reg(r), Imm(1));
+        b.atomic_iadd(None, Param(1), Imm(0), Imm(1));
+        b.imul(tgt, Reg(r), Sp(Special::GridDim));
+        b.wait_ge(Param(1), Imm(0), Reg(tgt));
+        b.cmp_lt(c, Reg(r), Imm(repeats as u64));
+        b.bra_if(Reg(c), "round");
+        b.read_clock(t1);
+        b.isub(t1, Reg(t1), Reg(t0));
+        b.push(Instr::StGlobal {
+            buf: Param(0),
+            idx: Sp(Special::BlockId),
+            val: Reg(t1),
+        });
+        b.label("out");
+        b.exit();
+        b.build(0)
+    })
+}
+
+/// Tile-ready flag handoff: blocks 0 and 1 ping-pong through two flag
+/// cells (`param(1)[0]`, `param(1)[1]`) for `repeats` rounds — block 0
+/// signals the ping cell with the round number and waits on the pong cell;
+/// block 1 mirrors it. One round is therefore two signal→wait handoffs, the
+/// producer/consumer edge of a tile-granularity pipeline in isolation.
+/// Elapsed cycles → `param(0)[block_id]`. Launch with exactly 2 blocks.
+pub fn flag_pingpong_chain(repeats: usize) -> Kernel {
+    assert!(repeats >= 1);
+    interned(InternKey::FlagPingPong(repeats), || {
+        let mut b = KernelBuilder::new("flag-pingpong");
+        let c = b.reg();
+        let r = b.reg();
+        let t0 = b.reg();
+        let t1 = b.reg();
+        b.cmp_eq(c, Sp(Special::Tid), Imm(0));
+        b.bra_ifz(Reg(c), "out");
+        b.mov(r, Imm(0));
+        b.read_clock(t0);
+        b.label("round");
+        b.iadd(r, Reg(r), Imm(1));
+        b.cmp_eq(c, Sp(Special::BlockId), Imm(0));
+        b.bra_ifz(Reg(c), "peer");
+        b.signal(Param(1), Imm(0), Reg(r));
+        b.wait_ge(Param(1), Imm(1), Reg(r));
+        b.bra("next");
+        b.label("peer");
+        b.wait_ge(Param(1), Imm(0), Reg(r));
+        b.signal(Param(1), Imm(1), Reg(r));
+        b.label("next");
+        b.cmp_lt(c, Reg(r), Imm(repeats as u64));
+        b.bra_if(Reg(c), "round");
+        b.read_clock(t1);
+        b.isub(t1, Reg(t1), Reg(t0));
+        b.push(Instr::StGlobal {
+            buf: Param(0),
+            idx: Sp(Special::BlockId),
+            val: Reg(t1),
+        });
+        b.label("out");
+        b.exit();
+        b.build(0)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +551,45 @@ mod tests {
     #[should_panic]
     fn partial_chain_rejects_zero_group() {
         let _ = coalesced_partial_chain(0, 4);
+    }
+
+    /// The atomics-built primitives must run to completion on the engine
+    /// with correct final sync-cell state and populated timers.
+    #[test]
+    fn sync_primitives_run_and_converge() {
+        use crate::{GpuSystem, GridLaunch, RunOptions};
+        let run = |k: Kernel, blocks: u32, cells: u64| {
+            let mut arch = gpu_arch::GpuArch::v100();
+            arch.num_sms = 4;
+            let mut sys = GpuSystem::single(arch);
+            let out = sys.alloc(0, blocks as u64);
+            let sync = sys.alloc(0, cells);
+            let l = GridLaunch::single(k, blocks, 32, vec![out.0 as u64, sync.0 as u64]);
+            sys.execute(&l, &RunOptions::new()).expect("primitive runs");
+            let timers: Vec<u64> = (0..blocks as u64)
+                .map(|i| sys.buffer(out).load(i).unwrap())
+                .collect();
+            let state: Vec<u64> = (0..cells)
+                .map(|i| sys.buffer(sync).load(i).unwrap())
+                .collect();
+            (timers, state)
+        };
+
+        let (timers, state) = run(mutex_chain(8), 4, 1);
+        assert!(timers.iter().all(|&t| t > 0), "{timers:?}");
+        assert_eq!(state[0], 0, "lock must end released");
+
+        let (timers, state) = run(semaphore_chain(2, 8), 4, 2);
+        assert!(timers.iter().all(|&t| t > 0), "{timers:?}");
+        assert_eq!(state, vec![32, 32], "4 blocks x 8 acquire/release pairs");
+
+        let (timers, state) = run(spin_barrier_chain(4), 4, 1);
+        assert!(timers.iter().all(|&t| t > 0), "{timers:?}");
+        assert_eq!(state[0], 16, "4 blocks x 4 rounds of arrivals");
+
+        let (timers, state) = run(flag_pingpong_chain(8), 2, 2);
+        assert!(timers.iter().all(|&t| t > 0), "{timers:?}");
+        assert_eq!(state, vec![8, 8], "both flags end at the round count");
     }
 
     /// Interning must be invisible: a cache hit is byte-equal to a fresh

@@ -14,6 +14,8 @@
 //!   release (paper Figs. 4, 5, 7, 9),
 //! * **memory** — shared/global access latency and stream transfers,
 //! * **atomic** — L2 atomic round-trips (the grid-barrier arrival path),
+//! * **flag wait** — spinning on a `WaitGe` flag cell (fine-grained
+//!   producer/consumer sync), successful polls and back-off retries alike,
 //! * **sleep** — `__nanosleep` residency.
 //!
 //! Counters are integral picoseconds accumulated in deterministic event
@@ -66,6 +68,8 @@ pub struct StallBreakdown {
     pub mem_ps: u64,
     /// L2 atomic round-trips.
     pub atomic_ps: u64,
+    /// Spinning on a flag cell (`WaitGe` polls, successful and backed-off).
+    pub flag_wait_ps: u64,
     /// `__nanosleep` residency.
     pub sleep_ps: u64,
 }
@@ -80,6 +84,7 @@ impl StallBreakdown {
         self.multi_grid_wait_ps += o.multi_grid_wait_ps;
         self.mem_ps += o.mem_ps;
         self.atomic_ps += o.atomic_ps;
+        self.flag_wait_ps += o.flag_wait_ps;
         self.sleep_ps += o.sleep_ps;
     }
 
@@ -113,6 +118,7 @@ impl StallBreakdown {
             + self.total_barrier_wait_ps()
             + self.mem_ps
             + self.atomic_ps
+            + self.flag_wait_ps
             + self.sleep_ps
     }
 }
@@ -333,7 +339,7 @@ impl ProfileReport {
         );
         let _ = writeln!(
             s,
-            "{:<28} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "{:<28} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
             "kernel",
             "launches",
             "issue-stall",
@@ -344,13 +350,14 @@ impl ProfileReport {
             "mgrid-wait",
             "mem",
             "atomic",
+            "flag-wait",
             "sleep"
         );
         for k in &self.kernels {
             let t = &k.totals;
             let _ = writeln!(
                 s,
-                "{:<28} {:>8} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
+                "{:<28} {:>8} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
                 k.kernel,
                 k.launches,
                 self.cycles(t.issue_stall_ps),
@@ -361,6 +368,7 @@ impl ProfileReport {
                 self.cycles(t.multi_grid_wait_ps),
                 self.cycles(t.mem_ps),
                 self.cycles(t.atomic_ps),
+                self.cycles(t.flag_wait_ps),
                 self.cycles(t.sleep_ps)
             );
         }

@@ -16,7 +16,9 @@ fn glyph(i: &Instr) -> char {
         Bra(..) | BraIf(..) | BraIfZ(..) | Exit => 'b',
         LdShared { .. } | StShared { .. } | SmemStream { .. } => 's',
         LdGlobal { .. } | StGlobal { .. } | MemStream { .. } | MemCombine { .. } => 'g',
-        AtomicFAdd { .. } => 'A',
+        AtomicFAdd { .. } | AtomicCas { .. } | AtomicExch { .. } | AtomicIAdd { .. } => 'A',
+        WaitGe { .. } => 'W',
+        Signal { .. } => 'S',
         Shfl { .. } => 'h',
         SyncTile { .. } | SyncCoalesced => 'w',
         BarSync => 'B',
@@ -33,10 +35,11 @@ fn glyph(i: &Instr) -> char {
 /// a barrier must *show* the barrier.
 fn priority(g: char) -> u8 {
     match g {
-        // sync: block/grid/mgrid barriers, warp sync, shuffles, fences.
-        'B' | 'G' | 'M' | 'w' | 'h' | 'f' => 3,
-        // memory: shared, global, atomics.
-        's' | 'g' | 'A' => 2,
+        // sync: block/grid/mgrid barriers, warp sync, flag waits, shuffles,
+        // fences.
+        'B' | 'G' | 'M' | 'w' | 'W' | 'h' | 'f' => 3,
+        // memory: shared, global, atomics, flag signals.
+        's' | 'g' | 'A' | 'S' => 2,
         '.' => 0,
         // alu / branch / sleep / clock.
         _ => 1,
@@ -48,7 +51,11 @@ fn priority(g: char) -> u8 {
 /// slice the cell keeps the highest-priority class (sync > memory > alu;
 /// ties keep the latest), `.` where the warp issued nothing.
 pub fn render_timeline(events: &[TraceEvent], width: usize) -> String {
-    assert!(width >= 10, "timeline too narrow");
+    // A malformed request (e.g. a squeezed terminal feeding `repro
+    // --profile`) must degrade, not panic mid-report.
+    if width < 10 {
+        return format!("(timeline too narrow: width {width} < 10)\n");
+    }
     if events.is_empty() {
         return "(empty trace)\n".to_string();
     }
@@ -70,6 +77,7 @@ pub fn render_timeline(events: &[TraceEvent], width: usize) -> String {
     let _ = writeln!(
         out,
         "timeline: {} .. {} ({} events; a=alu b=branch s=smem g=gmem A=atomic \
+         W=flag-wait S=signal \
          h=shfl w=warp-sync B=block-sync G=grid-sync M=mgrid-sync f=fence z=sleep c=clock; \
          cells merge sync > memory > alu)",
         t0,
@@ -119,6 +127,29 @@ mod tests {
     #[test]
     fn empty_trace_is_handled() {
         assert_eq!(render_timeline(&[], 40), "(empty trace)\n");
+    }
+
+    #[test]
+    fn narrow_width_degrades_instead_of_panicking() {
+        use sim_core::Ps;
+        let events = vec![TraceEvent {
+            at: Ps(0),
+            rank: 0,
+            sm: 0,
+            block: 0,
+            warp_in_block: 0,
+            lanes: u32::MAX,
+            pc: 0,
+            instr: Instr::Exit,
+        }];
+        assert_eq!(
+            render_timeline(&events, 3),
+            "(timeline too narrow: width 3 < 10)\n"
+        );
+        assert_eq!(
+            render_timeline(&[], 0),
+            "(timeline too narrow: width 0 < 10)\n"
+        );
     }
 
     #[test]

@@ -69,6 +69,11 @@ pub enum HazardClass {
     /// A branch target beyond the program (builder bug; `try_build`
     /// rejects these, but hand-assembled `Program`s can still carry them).
     InvalidBranch,
+    /// A `wait.ge` flag spin: progress depends on another agent signalling
+    /// the cell, which no static analysis here can prove. Intentional spins
+    /// are allowlisted in synccheck; a genuinely missing signaller is
+    /// caught at run time by the watchdog (`RunOptions::watchdog`).
+    UnboundedSpin,
 }
 
 impl HazardClass {
@@ -82,6 +87,7 @@ impl HazardClass {
             HazardClass::UnboundParam => "unbound-param",
             HazardClass::UnreachableCode => "unreachable-code",
             HazardClass::InvalidBranch => "invalid-branch",
+            HazardClass::UnboundedSpin => "unbounded-spin",
         }
     }
 }
@@ -449,6 +455,13 @@ pub(crate) fn input_operands(i: &Instr) -> Vec<Operand> {
         LdGlobal { buf, idx, .. } => vec![buf, idx],
         StGlobal { buf, idx, val } => vec![buf, idx, val],
         AtomicFAdd { buf, idx, val, .. } => vec![buf, idx, val],
+        AtomicCas {
+            buf, idx, cmp, val, ..
+        } => vec![buf, idx, cmp, val],
+        AtomicExch { buf, idx, val, .. } => vec![buf, idx, val],
+        AtomicIAdd { buf, idx, val, .. } => vec![buf, idx, val],
+        WaitGe { buf, idx, target } => vec![buf, idx, target],
+        Signal { buf, idx, val } => vec![buf, idx, val],
         Shfl { val, .. } => vec![val],
         Nanosleep(ns) => vec![ns],
         ReadClock(_) => Vec::new(),
@@ -497,7 +510,10 @@ pub(crate) fn written_reg(i: &Instr) -> Option<Reg> {
         LdShared { dst, .. } | LdGlobal { dst, .. } | Shfl { dst, .. } | ReadClock(dst) => {
             Some(dst)
         }
-        AtomicFAdd { dst_old, .. } => dst_old,
+        AtomicFAdd { dst_old, .. }
+        | AtomicCas { dst_old, .. }
+        | AtomicExch { dst_old, .. }
+        | AtomicIAdd { dst_old, .. } => dst_old,
         MemStream { acc, .. } | SmemStream { acc, .. } => Some(acc),
         _ => None,
     }
@@ -702,6 +718,15 @@ impl<'a> Checker<'a> {
                     ),
                     // SyncCoalesced synchronizes whatever group is currently
                     // converged, so divergence is legal by construction.
+                    Instr::WaitGe { .. } => (
+                        HazardClass::UnboundedSpin,
+                        Severity::Warning,
+                        "wait.ge spins until another agent raises the flag cell past \
+                         the target; no static check can prove a matching signal \
+                         exists — arm the watchdog (RunOptions::watchdog) so a missing \
+                         signaller surfaces as SimError::Watchdog, not a hang"
+                            .to_string(),
+                    ),
                     _ => continue,
                 };
                 self.diags.push(Diagnostic::new(class, sev, pc as u32, msg));
@@ -831,6 +856,9 @@ fn step_taint(state: &mut [u8; NUM_REGS], instr: &Instr) {
         Instr::LdShared { .. }
         | Instr::LdGlobal { .. }
         | Instr::AtomicFAdd { .. }
+        | Instr::AtomicCas { .. }
+        | Instr::AtomicExch { .. }
+        | Instr::AtomicIAdd { .. }
         | Instr::ReadClock(_) => 0,
         Instr::MemStream { acc, .. } | Instr::SmemStream { acc, .. } => state[*acc as usize],
         _ => input_operands(instr)
@@ -952,6 +980,23 @@ mod tests {
             .iter()
             .any(|d| d.class == HazardClass::WarpBarrierDivergence
                 && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn wait_ge_is_an_unbounded_spin_warning_not_an_error() {
+        let mut b = KernelBuilder::new("spinwait");
+        b.wait_ge(Param(0), Imm(0), Imm(1));
+        b.exit();
+        let diags = check_launch(&b.build(0), 1);
+        assert!(
+            diags.iter().any(|d| d.class == HazardClass::UnboundedSpin
+                && d.severity == Severity::Warning
+                && d.pc == Some(0)),
+            "{diags:?}"
+        );
+        // Warning, not Error: checked() launches must still run (the
+        // watchdog, not the linter, decides whether the spin is live).
+        assert!(!has_errors(&diags));
     }
 
     #[test]

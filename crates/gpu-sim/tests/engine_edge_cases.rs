@@ -28,6 +28,29 @@ fn v100(sms: u32) -> GpuArch {
 // ---------- instruction semantics ----------------------------------------------
 
 #[test]
+fn nanosleep_nanosecond_advances_exactly_1000_ps() {
+    // The ISA documents `Nanosleep` in nanoseconds while the engine runs on
+    // picosecond ticks: pin the conversion at both layers. Each extra sleep
+    // nanosecond must lengthen the run by exactly 1000 Ps — the scheduling
+    // overhead around the sleep is identical between the two launches.
+    assert_eq!(sim_core::Ps::from_ns(1), sim_core::Ps(1_000));
+    let dur = |ns: u64| {
+        let mut sys = GpuSystem::single(v100(1));
+        sys.run_plain(&GridLaunch::single(
+            kernels::sleep_kernel(ns),
+            1,
+            32,
+            vec![],
+        ))
+        .unwrap()
+        .duration
+    };
+    let base = dur(1_000);
+    assert_eq!(dur(1_001) - base, sim_core::Ps(1_000));
+    assert_eq!(dur(2_000) - base, sim_core::Ps(1_000_000));
+}
+
+#[test]
 fn shuffle_idx_broadcasts_a_lane() {
     let mut sys = GpuSystem::single(v100(1));
     let out = sys.alloc(0, 32);

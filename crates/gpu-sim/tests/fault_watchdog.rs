@@ -41,6 +41,95 @@ fn spin_forever(b: &mut KernelBuilder) {
     b.bra("spin");
 }
 
+/// A kernel whose only work is waiting on a flag cell nobody ever signals.
+fn wait_forever() -> gpu_sim::Kernel {
+    let mut b = KernelBuilder::new("wait-forever");
+    b.wait_ge(Param(0), Imm(0), Imm(1));
+    b.exit();
+    b.build(0)
+}
+
+#[test]
+fn watchdog_catches_unsignalled_flag_wait_in_run_ahead_path() {
+    // A single lone warp: after launch the event queue holds nothing but
+    // this warp's own steps, so every `WaitGe` retry happens inside the
+    // run-ahead inline loop — the watchdog must fire from inside it.
+    let mut sys = GpuSystem::single(v100_small(1));
+    let flag = sys.alloc(0, 1);
+    let r = sys.execute(
+        &GridLaunch::single(wait_forever(), 1, 32, vec![flag.0 as u64]),
+        &RunOptions::new().watchdog(BUDGET),
+    );
+    match r {
+        Err(SimError::Watchdog {
+            at,
+            last_progress,
+            stuck,
+        }) => {
+            assert!(at >= BUDGET, "{at}");
+            assert!(last_progress < at);
+            assert_eq!(stuck.len(), 1, "{stuck:?}");
+            assert_eq!(stuck[0].waiting, StuckKind::Spinning);
+            // The top of the spin is the WaitGe itself (pc 0).
+            assert_eq!(stuck[0].pc, 0);
+        }
+        other => panic!("expected watchdog, got {other:?}"),
+    }
+}
+
+#[test]
+fn watchdog_catches_unsignalled_flag_wait_in_pop_loop() {
+    // Several warps across several SMs all poll the dead flag: their
+    // interleaved retry events keep the queue non-empty, so the engine
+    // stays in the pop loop — the watchdog must fire there too, and every
+    // stuck warp must classify as spinning.
+    let mut sys = GpuSystem::single(v100_small(2));
+    let flag = sys.alloc(0, 1);
+    let r = sys.execute(
+        &GridLaunch::single(wait_forever(), 4, 64, vec![flag.0 as u64]),
+        &RunOptions::new().watchdog(BUDGET),
+    );
+    match r {
+        Err(SimError::Watchdog { at, stuck, .. }) => {
+            assert!(at >= BUDGET, "{at}");
+            // 4 blocks x 2 warps, sorted by (rank, sm, block, warp).
+            assert_eq!(stuck.len(), 8, "{stuck:?}");
+            assert!(stuck.iter().all(|s| s.waiting == StuckKind::Spinning));
+            assert!(stuck.iter().all(|s| s.pc == 0));
+            let sorted: Vec<_> = {
+                let mut v = stuck.clone();
+                v.sort();
+                v
+            };
+            assert_eq!(stuck, sorted, "stuck warps must be reported sorted");
+        }
+        other => panic!("expected watchdog, got {other:?}"),
+    }
+}
+
+#[test]
+fn signalled_flag_wait_completes_without_watchdog() {
+    // The same wait, but block 1 signals the flag: the waiters in block 0
+    // proceed and the armed watchdog stays quiet.
+    let mut b = KernelBuilder::new("signal-then-wait");
+    let c = b.reg();
+    b.cmp_eq(c, Sp(Special::BlockId), Imm(1));
+    b.bra_ifz(Reg(c), "wait");
+    b.signal(Param(0), Imm(0), Imm(1));
+    b.exit();
+    b.label("wait");
+    b.wait_ge(Param(0), Imm(0), Imm(1));
+    b.exit();
+    let mut sys = GpuSystem::single(v100_small(2));
+    let flag = sys.alloc(0, 1);
+    sys.execute(
+        &GridLaunch::single(b.build(0), 2, 32, vec![flag.0 as u64]),
+        &RunOptions::new().watchdog(BUDGET),
+    )
+    .expect("signalled wait must complete");
+    assert_eq!(sys.buffer(flag).load(0).unwrap(), 1);
+}
+
 #[test]
 fn watchdog_catches_spin_against_a_half_warp_tile_barrier() {
     // Lanes >= 16 spin forever; lanes < 16 wait at a full-warp tile

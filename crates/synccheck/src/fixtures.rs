@@ -84,3 +84,26 @@ pub fn smem_race_launch() -> (GpuSystem, GridLaunch) {
     let launch = GridLaunch::single(smem_race_kernel(), 1, 32, vec![]);
     (sys, launch)
 }
+
+/// The dependent-kernel bug class behind `wait.ge`: a consumer spins on a
+/// flag cell that no agent in the launch ever signals. The static lint can
+/// only warn ([`gpu_sim::verify::HazardClass::UnboundedSpin`]); proving the
+/// livelock takes the watchdog, which [`spin_livelock_launch`] exercises.
+pub fn spin_livelock_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("fixture-spin-livelock");
+    b.wait_ge(Param(0), Imm(0), Imm(1));
+    b.exit();
+    b.build(0)
+}
+
+/// One block spinning on a zeroed, never-signalled flag cell. Run it with a
+/// watchdog armed and the simulation fails with `SimError::Watchdog`
+/// instead of hanging.
+pub fn spin_livelock_launch() -> (GpuSystem, GridLaunch) {
+    let mut arch = gpu_arch::GpuArch::v100();
+    arch.num_sms = 1;
+    let mut sys = GpuSystem::single(arch);
+    let flag = sys.alloc(0, 1);
+    let launch = GridLaunch::single(spin_livelock_kernel(), 1, 32, vec![flag.0 as u64]);
+    (sys, launch)
+}
