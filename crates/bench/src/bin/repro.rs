@@ -8,6 +8,18 @@
 //! repro --out results all     # additionally write one .txt per artifact
 //! repro --check               # synchronization-hazard audit; exits nonzero
 //!                             # on any unsuppressed violation (the CI gate)
+//! repro --check --out audit.json
+//!                             # same audit, plus the full report as
+//!                             # byte-deterministic JSON at the given path
+//! repro --scorecard           # run the seeded bug corpus and print the
+//!                             # per-pass / per-class detection scorecard
+//! repro --scorecard --scorecard-out SCORECARD.json
+//!                             # also write the scorecard JSON (the tracked
+//!                             # baseline artifact; byte-identical at any
+//!                             # --jobs)
+//! repro --scorecard --scorecard-gate SCORECARD.json
+//!                             # additionally fail if any (pass, class)
+//!                             # recall drops below the baseline file
 //! repro --profile grid_sync   # re-run an experiment with syncprof armed:
 //!                             # summary to stdout, <name>.profile.json and
 //!                             # <name>.trace.json (Perfetto) next to --out
@@ -41,7 +53,8 @@ use syncmark_bench::profiling;
 
 fn usage_and_list() {
     println!(
-        "usage: repro [--jobs N] [--out DIR] [--check] [--bench] [--bench-out PATH] \
+        "usage: repro [--jobs N] [--out DIR] [--check] [--scorecard] \
+         [--scorecard-out PATH] [--scorecard-gate PATH] [--bench] [--bench-out PATH] \
          [--profile NAME]... [all | list | <experiment>...]\n"
     );
     println!("available experiments:");
@@ -206,12 +219,103 @@ fn main() {
         eprintln!("--bench-out is only meaningful with --bench");
         std::process::exit(2);
     }
+    let mut scorecard_out: Option<std::path::PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--scorecard-out") {
+        if pos + 1 >= args.len() {
+            eprintln!("--scorecard-out requires a file path");
+            std::process::exit(2);
+        }
+        scorecard_out = Some(args.remove(pos + 1).into());
+        args.remove(pos);
+    }
+    let mut scorecard_gate: Option<std::path::PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--scorecard-gate") {
+        if pos + 1 >= args.len() {
+            eprintln!("--scorecard-gate requires a baseline file path");
+            std::process::exit(2);
+        }
+        scorecard_gate = Some(args.remove(pos + 1).into());
+        args.remove(pos);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--scorecard") {
+        args.remove(pos);
+        // Like the audit, the corpus runs serially in a fixed order: the
+        // scorecard must be byte-identical whatever `--jobs` was set to.
+        let sc = synccheck::corpus::scorecard();
+        print!("{}", sc.render());
+        if let Some(path) = &scorecard_out {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("cannot create {}: {e}", parent.display());
+                    std::process::exit(1);
+                }
+            }
+            if let Err(e) = std::fs::write(path, sc.to_json()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("[repro] wrote {}", path.display());
+        }
+        if let Some(path) = &scorecard_gate {
+            let baseline = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read baseline {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            let baseline = match synccheck::corpus::Scorecard::from_json(&baseline) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("baseline {} is not a scorecard: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            let violations = sc.recall_regressions(&baseline);
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!("[repro] scorecard regression: {v}");
+                }
+                std::process::exit(1);
+            }
+            eprintln!("[repro] scorecard recall gate passed");
+        }
+        if args.is_empty() {
+            return;
+        }
+    } else if scorecard_out.is_some() || scorecard_gate.is_some() {
+        eprintln!("--scorecard-out/--scorecard-gate are only meaningful with --scorecard");
+        std::process::exit(2);
+    }
     if let Some(pos) = args.iter().position(|a| a == "--check") {
         args.remove(pos);
         // The audit is deliberately serial and jobs-independent: its report
         // must be byte-identical whatever `--jobs` was set to.
         let report = synccheck::audit();
         print!("{}", report.render());
+        // With no experiments requested, `--out` names the JSON report file
+        // (a file, not a directory, so it cannot double as an experiment
+        // output dir in the same invocation).
+        if let Some(path) = out_dir.take() {
+            if !args.is_empty() {
+                eprintln!(
+                    "--check --out writes the audit JSON and cannot be combined \
+                     with experiment output; run the experiments separately"
+                );
+                std::process::exit(2);
+            }
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("cannot create {}: {e}", parent.display());
+                    std::process::exit(1);
+                }
+            }
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("[repro] wrote {}", path.display());
+        }
         let bad = report.unsuppressed();
         if bad > 0 {
             eprintln!("[repro] synccheck: {bad} unsuppressed violation(s)");

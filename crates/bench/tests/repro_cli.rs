@@ -159,3 +159,112 @@ fn parallel_run_prints_outputs_in_request_order() {
     let t = out.find("Table VII").expect("table7 output present");
     assert!(d < t, "outputs out of request order");
 }
+
+#[test]
+fn scorecard_is_byte_identical_across_jobs_and_matches_baseline() {
+    let j1 = std::env::temp_dir().join("syncmark-repro-cli-scorecard-j1.json");
+    let j8 = std::env::temp_dir().join("syncmark-repro-cli-scorecard-j8.json");
+    for (jobs, path) in [("1", &j1), ("8", &j8)] {
+        let _ = std::fs::remove_file(path);
+        let r = repro()
+            .args([
+                "--jobs",
+                jobs,
+                "--scorecard",
+                "--scorecard-out",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(r.status.success(), "scorecard run failed at --jobs {jobs}");
+        let stdout = String::from_utf8_lossy(&r.stdout);
+        assert!(stdout.contains("bug-corpus scorecard"), "{stdout}");
+        assert!(stdout.contains("global-racecheck"), "{stdout}");
+    }
+    let a = std::fs::read(&j1).unwrap();
+    let b = std::fs::read(&j8).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "SCORECARD.json differs between --jobs 1 and 8");
+    // The generated scorecard must also satisfy its own recall gate.
+    let r = repro()
+        .args(["--scorecard", "--scorecard-gate", j1.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(r.status.success(), "self-gate failed");
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    assert!(stderr.contains("recall gate passed"), "{stderr}");
+    let _ = std::fs::remove_file(&j1);
+    let _ = std::fs::remove_file(&j8);
+}
+
+#[test]
+fn scorecard_gate_fails_on_recall_regression() {
+    // Inflate one baseline recall figure above anything achievable: the
+    // gate must report the regression and exit nonzero.
+    let base = std::env::temp_dir().join("syncmark-repro-cli-scorecard-inflated.json");
+    let _ = std::fs::remove_file(&base);
+    let r = repro()
+        .args(["--scorecard", "--scorecard-out", base.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(r.status.success());
+    let json = std::fs::read_to_string(&base).unwrap();
+    // "recall_permille": 0 → 1000 for some (pass, class) that detects nothing.
+    let inflated = json.replacen("\"recall_permille\": 0", "\"recall_permille\": 1000", 1);
+    assert_ne!(json, inflated, "expected at least one zero-recall entry");
+    std::fs::write(&base, inflated).unwrap();
+    let r = repro()
+        .args(["--scorecard", "--scorecard-gate", base.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        r.status.code(),
+        Some(1),
+        "inflated baseline must fail the gate"
+    );
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    assert!(stderr.contains("dropped below baseline"), "{stderr}");
+    let _ = std::fs::remove_file(&base);
+}
+
+#[test]
+fn check_out_writes_audit_json() {
+    let path = std::env::temp_dir().join("syncmark-repro-cli-audit.json");
+    let _ = std::fs::remove_file(&path);
+    let r = repro()
+        .args(["--check", "--out", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(r.status.success(), "audit failed");
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"kernels\""), "{json}");
+    assert!(json.contains("warp-probe"), "{json}");
+    assert!(json.ends_with('\n'));
+    // Byte-identical on a second run (and at a different --jobs).
+    let again = std::env::temp_dir().join("syncmark-repro-cli-audit2.json");
+    let _ = std::fs::remove_file(&again);
+    let r = repro()
+        .args(["--jobs", "8", "--check", "--out", again.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(r.status.success());
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        std::fs::read(&again).unwrap(),
+        "audit JSON must be byte-deterministic"
+    );
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&again);
+}
+
+#[test]
+fn check_out_refuses_to_double_as_experiment_dir() {
+    let path = std::env::temp_dir().join("syncmark-repro-cli-audit-conflict.json");
+    let _ = std::fs::remove_file(&path);
+    let r = repro()
+        .args(["--check", "--out", path.to_str().unwrap(), "deadlocks"])
+        .output()
+        .unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(!Path::new(&path).exists());
+}

@@ -13,7 +13,7 @@
 
 use crate::fault::{self, FaultPlan};
 use crate::isa::{Instr, Operand, Program, Reg, ShflKind, ShflMode, Special, NUM_REGS};
-use crate::mem::{Hazard, SharedMem};
+use crate::mem::{GlobalAgent, GlobalHazard, GlobalRaceCheck, Hazard, SharedMem};
 use crate::profile::{BarrierEpoch, ProfileReport, SmProfile, SyncScope, EPOCH_CAP};
 use crate::system::{ExecReport, GpuSystem, GridLaunch};
 use gpu_arch::GpuArch;
@@ -188,16 +188,29 @@ pub struct HazardReport {
     pub records: Vec<HazardRecord>,
     /// Hazards beyond the per-block recording cap, counted but not stored.
     pub dropped: u32,
+    /// Global-memory hazards, in the launch-wide execution order they were
+    /// detected (deterministic).
+    pub global: Vec<GlobalHazard>,
+    /// Global hazards beyond the launch-wide recording cap.
+    pub global_dropped: u32,
 }
 
 impl HazardReport {
     pub fn is_clean(&self) -> bool {
-        self.records.is_empty() && self.dropped == 0
+        self.records.is_empty()
+            && self.dropped == 0
+            && self.global.is_empty()
+            && self.global_dropped == 0
+    }
+
+    /// Total recorded hazards across both address spaces.
+    pub fn total(&self) -> usize {
+        self.records.len() + self.global.len()
     }
 
     /// Render with disassembly context (byte-deterministic).
     pub fn render(&self, program: &Program) -> String {
-        let mut s = format!("racecheck: {} hazard(s)\n", self.records.len());
+        let mut s = format!("racecheck: {} hazard(s)\n", self.total());
         for r in &self.records {
             let h = &r.hazard;
             s.push_str(&format!(
@@ -219,6 +232,31 @@ impl HazardReport {
             s.push_str(&format!(
                 "  ... and {} more (per-block cap)\n",
                 self.dropped
+            ));
+        }
+        for h in &self.global {
+            s.push_str(&format!(
+                "  {} at global buf {} word {} (epoch {}): \
+                 rank {} block {} thread {} then rank {} block {} thread {}\n",
+                h.kind.slug(),
+                h.buf,
+                h.idx,
+                h.epoch,
+                h.first.rank,
+                h.first.block,
+                h.first.thread,
+                h.second.rank,
+                h.second.block,
+                h.second.thread
+            ));
+            if let Some(pc) = h.pc {
+                s.push_str(&crate::verify::context_lines(program, pc));
+            }
+        }
+        if self.global_dropped > 0 {
+            s.push_str(&format!(
+                "  ... and {} more global (launch-wide cap)\n",
+                self.global_dropped
             ));
         }
         s
@@ -269,6 +307,8 @@ pub(crate) struct Engine<'a> {
     /// Whether the shared-memory racecheck shadow state is armed (the
     /// launch's own `checked` flag OR-ed with the run options).
     check: bool,
+    /// Launch-wide global-memory racecheck, armed alongside `check`.
+    grace: Option<GlobalRaceCheck>,
     /// When profiling: per-(rank, SM) counters and barrier epochs.
     prof: Option<ProfState>,
     /// Scheduler-issue time of the instruction currently executing (profile
@@ -454,6 +494,7 @@ impl<'a> Engine<'a> {
             warps_run: 0,
             trace: None,
             check: launch.checked,
+            grace: None,
             prof: None,
             last_issue_start: Ps::ZERO,
             fault: None,
@@ -673,6 +714,26 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Identity of `lane` of warp `w` for the global racecheck.
+    fn grace_agent(&self, w: u32, lane: u32) -> GlobalAgent {
+        let warp = &self.warps[w as usize];
+        GlobalAgent {
+            rank: warp.rank,
+            block: self.blocks[warp.block as usize].block_on_device,
+            thread: warp.warp_in_block * WARP + lane,
+        }
+    }
+
+    /// A scope-appropriate synchronization event executed (atomic, fence,
+    /// signal, satisfied wait, grid barrier): advance the global racecheck
+    /// epoch. No-op when the racecheck is unarmed.
+    #[inline]
+    fn grace_sync(&mut self) {
+        if let Some(g) = &mut self.grace {
+            g.sync_event();
+        }
+    }
+
     #[inline]
     fn note_lanes(&mut self, w: u32, mask: u32) {
         if self.watchdog.is_some() {
@@ -796,6 +857,9 @@ impl<'a> Engine<'a> {
     }
 
     fn setup(&mut self) {
+        if self.check {
+            self.grace = Some(GlobalRaceCheck::new());
+        }
         let occ = self
             .arch
             .occupancy(self.launch.block_dim, self.launch.kernel.shared_words * 8);
@@ -1566,6 +1630,17 @@ impl<'a> Engine<'a> {
                     remote |= buffer.device != self.devs[warp_rank].device_id;
                     vals[(lane & 31) as usize] = buffer.load(i)?;
                 }
+                // Take the checker out of `self` for the loop: grace_agent
+                // needs a fresh immutable borrow per lane.
+                if let Some(mut g) = self.grace.take() {
+                    g.at(pc);
+                    for lane in iter_lanes(group) {
+                        let b = self.src_val(w, lane, rb) as u32;
+                        let i = self.src_val(w, lane, ri);
+                        g.on_load(self.grace_agent(w, lane), b, i);
+                    }
+                    self.grace = Some(g);
+                }
                 let warp = &mut self.warps[w as usize];
                 for lane in iter_lanes(group) {
                     warp.set_reg(lane, dst, vals[(lane & 31) as usize]);
@@ -1605,6 +1680,14 @@ impl<'a> Engine<'a> {
                         .ok_or_else(|| SimError::MemoryFault(format!("bad buffer id {b}")))?;
                     buffer.store(i, v)?;
                 }
+                if let Some(mut g) = self.grace.take() {
+                    g.at(pc);
+                    for (k, lane) in iter_lanes(group).enumerate() {
+                        let (b, i, _) = stores[k];
+                        g.on_store(self.grace_agent(w, lane), b as u32, i);
+                    }
+                    self.grace = Some(g);
+                }
                 self.advance_pcs(w, group, pc);
                 // Stores are fire-and-forget: only issue cost.
                 Ok(Step::Ready(start + self.lat.c4))
@@ -1637,6 +1720,7 @@ impl<'a> Engine<'a> {
                         self.warps[w as usize].set_reg(lane, d, old.to_bits());
                     }
                 }
+                self.grace_sync();
                 self.advance_pcs(w, group, pc);
                 Ok(Step::Ready(done))
             }
@@ -1678,6 +1762,11 @@ impl<'a> Engine<'a> {
                     // fails (the holder died) still starves the watchdog.
                     if exchanged {
                         self.note_semantic_progress();
+                        // Only an exchange that *won* synchronizes anything;
+                        // failed CAS polls must not advance the epoch or a
+                        // spinning loser would mask the very race its lock
+                        // is meant to prevent.
+                        self.grace_sync();
                     }
                 }
                 self.advance_pcs(w, group, pc);
@@ -1711,6 +1800,7 @@ impl<'a> Engine<'a> {
                         self.warps[w as usize].set_reg(lane, d, old);
                     }
                 }
+                self.grace_sync();
                 self.advance_pcs(w, group, pc);
                 Ok(Step::Ready(done))
             }
@@ -1742,6 +1832,7 @@ impl<'a> Engine<'a> {
                         self.warps[w as usize].set_reg(lane, d, old);
                     }
                 }
+                self.grace_sync();
                 self.advance_pcs(w, group, pc);
                 Ok(Step::Ready(done))
             }
@@ -1777,6 +1868,7 @@ impl<'a> Engine<'a> {
                     // same wait each round) — only a wait that never sees
                     // its flag should starve the watchdog.
                     self.note_semantic_progress();
+                    self.grace_sync();
                     self.advance_pcs(w, group, pc);
                     Ok(Step::Ready(done))
                 } else {
@@ -1811,6 +1903,7 @@ impl<'a> Engine<'a> {
                         .ok_or_else(|| SimError::MemoryFault(format!("bad buffer id {b}")))?;
                     buffer.store(i, v)?;
                 }
+                self.grace_sync();
                 self.advance_pcs(w, group, pc);
                 Ok(Step::Ready(done))
             }
@@ -1888,6 +1981,7 @@ impl<'a> Engine<'a> {
                     let tid = self.warps[w as usize].warp_in_block * WARP + lane;
                     self.blocks[block as usize].smem.fence(tid);
                 }
+                self.grace_sync();
                 self.advance_pcs(w, group, pc);
                 Ok(Step::Ready(start + self.lat.c4))
             }
@@ -2338,6 +2432,11 @@ impl<'a> Engine<'a> {
     /// release flag time (multi-grid exchange); `mgrid` selects the heavier
     /// per-warp system-scope release cost and per-block fence cost.
     fn release_grid(&mut self, rank: usize, release_flag: Ps, mgrid: bool, _pad: Ps) {
+        // A grid (or multi-grid) barrier orders every agent of the launch:
+        // one launch-wide epoch tick. Block barriers deliberately do NOT
+        // bump the global epoch — they only order one block's threads, and
+        // a launch-wide tick for them would hide true cross-block races.
+        self.grace_sync();
         let t = self.arch.timing.clone();
         let per_warp = if mgrid {
             t.mgrid_release_per_warp
@@ -2649,6 +2748,11 @@ impl<'a> Engine<'a> {
                     hazard,
                 });
             }
+        }
+        if let Some(g) = &mut self.grace {
+            let (hz, dropped) = g.take_hazards();
+            hazards.global = hz;
+            hazards.global_dropped = dropped;
         }
         let device_durations: Vec<Ps> = self.devs.iter().map(|d| d.end_time).collect();
         let profile = self.prof.take().map(|p| {

@@ -534,6 +534,713 @@ pub fn flag_pingpong_chain(repeats: usize) -> Kernel {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Bug corpus (Wu et al. taxonomy): seeded buggy kernels and their clean
+// twins, scored by `synccheck::corpus`. Convention: `param0` is a result
+// buffer, `param1` a zeroed cells buffer (data + flag words). Buggy/clean
+// status and launch shapes live in the corpus table, not here.
+// ---------------------------------------------------------------------------
+
+/// Restrict the body to thread 0 of each block: other threads jump to a
+/// trailing `done` label the caller must emit (`b.label("done"); b.exit()`).
+fn only_thread0(b: &mut KernelBuilder) {
+    let c = b.reg();
+    b.cmp_lt(c, Sp(Special::Tid), Imm(1));
+    b.bra_ifz(Reg(c), "done");
+}
+
+/// Buggy: half the block skips a `bar.sync` (Wu et al.'s barrier-divergence
+/// deadlock class; the corpus twin of the synccheck fixture).
+pub fn bug_bd_divergent_barrier() -> Kernel {
+    let mut b = KernelBuilder::new("bug-bd-divergent-barrier");
+    let c = b.reg();
+    b.cmp_lt(c, Sp(Special::Tid), Imm(16));
+    b.bra_ifz(Reg(c), "out");
+    b.bar_sync();
+    b.label("out");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: a `bar.sync` inside a loop whose trip count depends on `%tid` —
+/// threads leave the loop at different iterations, stranding the barrier.
+pub fn bug_bd_barrier_divergent_loop() -> Kernel {
+    let mut b = KernelBuilder::new("bug-bd-barrier-divergent-loop");
+    let i = b.reg();
+    let c = b.reg();
+    b.mov(i, Imm(0));
+    b.label("loop");
+    b.bar_sync();
+    b.iadd(i, Reg(i), Imm(1));
+    b.cmp_lt(c, Reg(i), Sp(Special::Tid));
+    b.bra_if(Reg(c), "loop");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: a grid barrier only block 0 executes — every other block of the
+/// cooperative launch never arrives.
+pub fn bug_bd_grid_sync_divergent() -> Kernel {
+    let mut b = KernelBuilder::new("bug-bd-grid-sync-divergent");
+    let c = b.reg();
+    b.cmp_eq(c, Sp(Special::BlockId), Imm(0));
+    b.bra_ifz(Reg(c), "skip");
+    b.grid_sync();
+    b.label("skip");
+    b.exit();
+    b.build(0)
+}
+
+/// Clean twin: a barrier inside a loop with a *uniform* trip count — every
+/// thread crosses it the same number of times.
+pub fn clean_bd_uniform_loop_barrier() -> Kernel {
+    let mut b = KernelBuilder::new("clean-bd-uniform-loop-barrier");
+    let i = b.reg();
+    let c = b.reg();
+    b.mov(i, Imm(0));
+    b.label("loop");
+    b.bar_sync();
+    b.iadd(i, Reg(i), Imm(1));
+    b.cmp_lt(c, Reg(i), Imm(3));
+    b.bra_if(Reg(c), "loop");
+    b.exit();
+    b.build(0)
+}
+
+/// Clean twin: a block barrier under a block-uniform condition (`%bid`) —
+/// whole blocks skip it together, which is legal.
+pub fn clean_bd_block_uniform_barrier() -> Kernel {
+    let mut b = KernelBuilder::new("clean-bd-block-uniform-barrier");
+    let c = b.reg();
+    b.cmp_eq(c, Sp(Special::BlockId), Imm(0));
+    b.bra_ifz(Reg(c), "out");
+    b.bar_sync();
+    b.label("out");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: a producer hands a data word to another block through a plain
+/// flag store — no release/acquire anywhere, so nothing orders the data
+/// store against the consumer's loads (missing-fence visibility class).
+pub fn bug_mf_plain_flag_handoff() -> Kernel {
+    let mut b = KernelBuilder::new("bug-mf-plain-flag-handoff");
+    let f = b.reg();
+    let d = b.reg();
+    only_thread0(&mut b);
+    let c = b.reg();
+    b.cmp_eq(c, Sp(Special::BlockId), Imm(0));
+    b.bra_ifz(Reg(c), "consumer");
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(0),
+        val: Imm(42),
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(1),
+        val: Imm(1),
+    });
+    b.bra("done");
+    b.label("consumer");
+    b.label("spin");
+    b.push(Instr::LdGlobal {
+        dst: f,
+        buf: Param(1),
+        idx: Imm(1),
+    });
+    b.bra_ifz(Reg(f), "spin");
+    b.push(Instr::LdGlobal {
+        dst: d,
+        buf: Param(1),
+        idx: Imm(0),
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Imm(0),
+        val: Reg(d),
+    });
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: the consumer reads the data word without waiting at all; the
+/// producer's (deliberately slow) store lands after the read.
+pub fn bug_mf_read_no_wait() -> Kernel {
+    let mut b = KernelBuilder::new("bug-mf-read-no-wait");
+    let d = b.reg();
+    only_thread0(&mut b);
+    let c = b.reg();
+    b.cmp_eq(c, Sp(Special::BlockId), Imm(0));
+    b.bra_ifz(Reg(c), "consumer");
+    b.push(Instr::Nanosleep(Imm(1_000)));
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(0),
+        val: Imm(42),
+    });
+    b.signal(Param(1), Imm(1), Imm(1));
+    b.bra("done");
+    b.label("consumer");
+    b.push(Instr::LdGlobal {
+        dst: d,
+        buf: Param(1),
+        idx: Imm(0),
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Imm(0),
+        val: Reg(d),
+    });
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: block 0 broadcasts four words that every other block reads with
+/// no synchronization in between.
+pub fn bug_mf_broadcast_no_sync() -> Kernel {
+    let mut b = KernelBuilder::new("bug-mf-broadcast-no-sync");
+    let d = b.reg();
+    let acc = b.reg();
+    only_thread0(&mut b);
+    let c = b.reg();
+    b.cmp_eq(c, Sp(Special::BlockId), Imm(0));
+    b.bra_ifz(Reg(c), "reader");
+    for i in 0..4u64 {
+        b.push(Instr::StGlobal {
+            buf: Param(1),
+            idx: Imm(i),
+            val: Imm(i + 1),
+        });
+    }
+    b.bra("done");
+    b.label("reader");
+    b.mov(acc, Imm(0));
+    for i in 0..4u64 {
+        b.push(Instr::LdGlobal {
+            dst: d,
+            buf: Param(1),
+            idx: Imm(i),
+        });
+        b.iadd(acc, Reg(acc), Reg(d));
+    }
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Sp(Special::BlockId),
+        val: Reg(acc),
+    });
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Clean twin: the same handoff done right — store, `signal` (release),
+/// `wait.ge` (acquire), load. The epoch rules must not flag it.
+pub fn clean_mf_signal_handoff() -> Kernel {
+    let mut b = KernelBuilder::new("clean-mf-signal-handoff");
+    let d = b.reg();
+    only_thread0(&mut b);
+    let c = b.reg();
+    b.cmp_eq(c, Sp(Special::BlockId), Imm(0));
+    b.bra_ifz(Reg(c), "consumer");
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(0),
+        val: Imm(42),
+    });
+    b.signal(Param(1), Imm(1), Imm(1));
+    b.bra("done");
+    b.label("consumer");
+    b.wait_ge(Param(1), Imm(1), Imm(1));
+    b.push(Instr::LdGlobal {
+        dst: d,
+        buf: Param(1),
+        idx: Imm(0),
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Imm(0),
+        val: Reg(d),
+    });
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: every block does a plain load/add/store on the same counter word
+/// — the classic lost-update race through global memory.
+pub fn bug_cbr_rmw_counter() -> Kernel {
+    let mut b = KernelBuilder::new("bug-cbr-rmw-counter");
+    let v = b.reg();
+    only_thread0(&mut b);
+    b.push(Instr::LdGlobal {
+        dst: v,
+        buf: Param(1),
+        idx: Imm(0),
+    });
+    b.iadd(v, Reg(v), Imm(1));
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(0),
+        val: Reg(v),
+    });
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: every block plain-stores its id to the same word (WAW race).
+pub fn bug_cbr_waw_broadcast() -> Kernel {
+    let mut b = KernelBuilder::new("bug-cbr-waw-broadcast");
+    only_thread0(&mut b);
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(0),
+        val: Sp(Special::BlockId),
+    });
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: all threads of all blocks store to `cells[tid & 3]` — strided
+/// writes that collide both within and across blocks.
+pub fn bug_cbr_strided_overlap() -> Kernel {
+    let mut b = KernelBuilder::new("bug-cbr-strided-overlap");
+    let t = b.reg();
+    b.mov(t, Sp(Special::Tid));
+    b.push(Instr::IAnd(t, Reg(t), Imm(3)));
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Reg(t),
+        val: Sp(Special::GlobalTid),
+    });
+    b.exit();
+    b.build(0)
+}
+
+/// Clean twin: the same per-block accumulation through `atom.add` — atomics
+/// are the synchronization, not the race.
+pub fn clean_cbr_atomic_counter() -> Kernel {
+    let mut b = KernelBuilder::new("clean-cbr-atomic-counter");
+    only_thread0(&mut b);
+    b.atomic_iadd(None, Param(1), Imm(0), Imm(1));
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Clean twin: each block writes its own slot — disjoint, race-free.
+pub fn clean_cbr_disjoint_slots() -> Kernel {
+    let mut b = KernelBuilder::new("clean-cbr-disjoint-slots");
+    only_thread0(&mut b);
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Sp(Special::BlockId),
+        val: Sp(Special::BlockId),
+    });
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: a one-shot spin barrier whose arrival counter is plain-reset by
+/// *every* participant after the wait — the ABA/flag-reuse class: the
+/// counter returns to 0 while peers may still be polling it, and the racy
+/// resets are a cross-block WAW pile-up.
+pub fn bug_aba_barrier_reset() -> Kernel {
+    let mut b = KernelBuilder::new("bug-aba-barrier-reset");
+    only_thread0(&mut b);
+    b.atomic_iadd(None, Param(1), Imm(0), Imm(1));
+    b.wait_ge(Param(1), Imm(0), Sp(Special::GridDim));
+    // Sleep long enough that every peer's wait has been satisfied, so the
+    // run terminates deterministically and the racy resets still collide.
+    b.push(Instr::Nanosleep(Imm(50_000)));
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(0),
+        val: Imm(0),
+    });
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: a test-and-set "lock" built from plain loads and stores — the
+/// load/store pair is not atomic, so two blocks can both observe 0 and both
+/// enter (Wu et al.'s atomicity-violation class).
+pub fn bug_aba_plain_lock() -> Kernel {
+    let mut b = KernelBuilder::new("bug-aba-plain-lock");
+    let f = b.reg();
+    let v = b.reg();
+    only_thread0(&mut b);
+    b.label("retry");
+    b.push(Instr::LdGlobal {
+        dst: f,
+        buf: Param(1),
+        idx: Imm(0),
+    });
+    b.bra_if(Reg(f), "retry");
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(0),
+        val: Imm(1),
+    });
+    b.push(Instr::LdGlobal {
+        dst: v,
+        buf: Param(1),
+        idx: Imm(1),
+    });
+    b.iadd(v, Reg(v), Imm(1));
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(1),
+        val: Reg(v),
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(0),
+        val: Imm(0),
+    });
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Clean twin: the same critical-section increment under a real CAS mutex —
+/// the winning CAS and the releasing exchange advance the epoch, so the
+/// protected plain accesses never conflict.
+pub fn clean_aba_cas_lock() -> Kernel {
+    let mut b = KernelBuilder::new("clean-aba-cas-lock");
+    let old = b.reg();
+    let v = b.reg();
+    only_thread0(&mut b);
+    b.label("acq");
+    b.atomic_cas(Some(old), Param(1), Imm(0), Imm(0), Imm(1));
+    b.bra_if(Reg(old), "acq");
+    b.push(Instr::LdGlobal {
+        dst: v,
+        buf: Param(1),
+        idx: Imm(1),
+    });
+    b.iadd(v, Reg(v), Imm(1));
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(1),
+        val: Reg(v),
+    });
+    b.atomic_exch(None, Param(1), Imm(0), Imm(0));
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: the mutex is acquired and never released — the next contender
+/// spins on the CAS forever (unreleased-lock class).
+pub fn bug_lm_lock_leak() -> Kernel {
+    let mut b = KernelBuilder::new("bug-lm-lock-leak");
+    let old = b.reg();
+    only_thread0(&mut b);
+    b.label("acq");
+    b.atomic_cas(Some(old), Param(1), Imm(0), Imm(0), Imm(1));
+    b.bra_if(Reg(old), "acq");
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(1),
+        val: Sp(Special::BlockId),
+    });
+    // Exit while still holding the mutex: never joins the skip path, so the
+    // held lockset survives to this exit edge.
+    b.exit();
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: the mutex is released twice — after the first unlock a second
+/// owner can hold it, and the second unlock hands it to a third.
+pub fn bug_lm_double_unlock() -> Kernel {
+    let mut b = KernelBuilder::new("bug-lm-double-unlock");
+    let old = b.reg();
+    only_thread0(&mut b);
+    b.label("acq");
+    b.atomic_cas(Some(old), Param(1), Imm(0), Imm(0), Imm(1));
+    b.bra_if(Reg(old), "acq");
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(1),
+        val: Sp(Special::BlockId),
+    });
+    b.atomic_exch(None, Param(1), Imm(0), Imm(0));
+    b.atomic_exch(None, Param(1), Imm(0), Imm(0));
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: only block 0's path releases the mutex; every other block exits
+/// still holding it.
+pub fn bug_lm_leak_one_path() -> Kernel {
+    let mut b = KernelBuilder::new("bug-lm-leak-one-path");
+    let old = b.reg();
+    only_thread0(&mut b);
+    let c = b.reg();
+    b.label("acq");
+    b.atomic_cas(Some(old), Param(1), Imm(0), Imm(0), Imm(1));
+    b.bra_if(Reg(old), "acq");
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(1),
+        val: Sp(Special::BlockId),
+    });
+    b.cmp_eq(c, Sp(Special::BlockId), Imm(0));
+    b.bra_ifz(Reg(c), "leak");
+    b.atomic_exch(None, Param(1), Imm(0), Imm(0));
+    b.label("done");
+    b.exit();
+    b.label("leak");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: one site writes the shared word under the mutex, another writes
+/// it with no lock at all — the Eraser inconsistent-lockset condition.
+pub fn bug_lm_inconsistent_lockset() -> Kernel {
+    let mut b = KernelBuilder::new("bug-lm-inconsistent-lockset");
+    let old = b.reg();
+    only_thread0(&mut b);
+    let c = b.reg();
+    b.cmp_eq(c, Sp(Special::BlockId), Imm(0));
+    b.bra_ifz(Reg(c), "unlocked");
+    b.label("acq");
+    b.atomic_cas(Some(old), Param(1), Imm(0), Imm(0), Imm(1));
+    b.bra_if(Reg(old), "acq");
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(1),
+        val: Imm(1),
+    });
+    b.atomic_exch(None, Param(1), Imm(0), Imm(0));
+    b.bra("done");
+    b.label("unlocked");
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(1),
+        val: Imm(2),
+    });
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Clean twin: both paths write the shared word under the mutex and both
+/// release it — consistent locksets, balanced acquire/release.
+pub fn clean_lm_conditional_release() -> Kernel {
+    let mut b = KernelBuilder::new("clean-lm-conditional-release");
+    let old = b.reg();
+    only_thread0(&mut b);
+    let c = b.reg();
+    b.label("acq");
+    b.atomic_cas(Some(old), Param(1), Imm(0), Imm(0), Imm(1));
+    b.bra_if(Reg(old), "acq");
+    b.cmp_eq(c, Sp(Special::BlockId), Imm(0));
+    b.bra_ifz(Reg(c), "other");
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(1),
+        val: Imm(1),
+    });
+    b.atomic_exch(None, Param(1), Imm(0), Imm(0));
+    b.bra("done");
+    b.label("other");
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(1),
+        val: Imm(2),
+    });
+    b.atomic_exch(None, Param(1), Imm(0), Imm(0));
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: the producer signals readiness *before* writing the data word
+/// (signal-before-init): the consumer's load races the late store.
+pub fn bug_sbi_signal_before_store() -> Kernel {
+    let mut b = KernelBuilder::new("bug-sbi-signal-before-store");
+    let d = b.reg();
+    only_thread0(&mut b);
+    let c = b.reg();
+    b.cmp_eq(c, Sp(Special::BlockId), Imm(0));
+    b.bra_ifz(Reg(c), "consumer");
+    b.signal(Param(1), Imm(1), Imm(1));
+    b.push(Instr::Nanosleep(Imm(10_000)));
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(0),
+        val: Imm(42),
+    });
+    b.bra("done");
+    b.label("consumer");
+    b.wait_ge(Param(1), Imm(1), Imm(1));
+    b.push(Instr::LdGlobal {
+        dst: d,
+        buf: Param(1),
+        idx: Imm(0),
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Imm(0),
+        val: Reg(d),
+    });
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: the producer initializes one of two words, signals, then fills in
+/// the second — the consumer races only on the late half.
+pub fn bug_sbi_partial_init() -> Kernel {
+    let mut b = KernelBuilder::new("bug-sbi-partial-init");
+    let d0 = b.reg();
+    let d1 = b.reg();
+    only_thread0(&mut b);
+    let c = b.reg();
+    b.cmp_eq(c, Sp(Special::BlockId), Imm(0));
+    b.bra_ifz(Reg(c), "consumer");
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(0),
+        val: Imm(1),
+    });
+    b.signal(Param(1), Imm(2), Imm(1));
+    b.push(Instr::Nanosleep(Imm(10_000)));
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(1),
+        val: Imm(2),
+    });
+    b.bra("done");
+    b.label("consumer");
+    b.wait_ge(Param(1), Imm(2), Imm(1));
+    b.push(Instr::LdGlobal {
+        dst: d0,
+        buf: Param(1),
+        idx: Imm(0),
+    });
+    b.push(Instr::LdGlobal {
+        dst: d1,
+        buf: Param(1),
+        idx: Imm(1),
+    });
+    b.iadd(d0, Reg(d0), Reg(d1));
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Imm(0),
+        val: Reg(d0),
+    });
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Clean twin: both data words are stored before the signal.
+pub fn clean_sbi_store_then_signal() -> Kernel {
+    let mut b = KernelBuilder::new("clean-sbi-store-then-signal");
+    let d0 = b.reg();
+    let d1 = b.reg();
+    only_thread0(&mut b);
+    let c = b.reg();
+    b.cmp_eq(c, Sp(Special::BlockId), Imm(0));
+    b.bra_ifz(Reg(c), "consumer");
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(0),
+        val: Imm(1),
+    });
+    b.push(Instr::StGlobal {
+        buf: Param(1),
+        idx: Imm(1),
+        val: Imm(2),
+    });
+    b.signal(Param(1), Imm(2), Imm(1));
+    b.bra("done");
+    b.label("consumer");
+    b.wait_ge(Param(1), Imm(2), Imm(1));
+    b.push(Instr::LdGlobal {
+        dst: d0,
+        buf: Param(1),
+        idx: Imm(0),
+    });
+    b.push(Instr::LdGlobal {
+        dst: d1,
+        buf: Param(1),
+        idx: Imm(1),
+    });
+    b.iadd(d0, Reg(d0), Reg(d1));
+    b.push(Instr::StGlobal {
+        buf: Param(0),
+        idx: Imm(0),
+        val: Reg(d0),
+    });
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: the consumer waits on cell 0 but the producer signals cell 1 —
+/// the lost-signal livelock only the watchdog can prove.
+pub fn bug_lv_lost_signal() -> Kernel {
+    let mut b = KernelBuilder::new("bug-lv-lost-signal");
+    only_thread0(&mut b);
+    let c = b.reg();
+    b.cmp_eq(c, Sp(Special::BlockId), Imm(0));
+    b.bra_ifz(Reg(c), "producer");
+    b.wait_ge(Param(1), Imm(0), Imm(1));
+    b.bra("done");
+    b.label("producer");
+    b.signal(Param(1), Imm(1), Imm(1));
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: block 0 waits on a flag block 1 only signals after its own wait
+/// on a flag block 0 only signals after *its* wait — a circular spin.
+pub fn bug_lv_circular_wait() -> Kernel {
+    let mut b = KernelBuilder::new("bug-lv-circular-wait");
+    only_thread0(&mut b);
+    let c = b.reg();
+    b.cmp_eq(c, Sp(Special::BlockId), Imm(0));
+    b.bra_ifz(Reg(c), "peer");
+    b.wait_ge(Param(1), Imm(0), Imm(1));
+    b.signal(Param(1), Imm(1), Imm(1));
+    b.bra("done");
+    b.label("peer");
+    b.wait_ge(Param(1), Imm(1), Imm(1));
+    b.signal(Param(1), Imm(0), Imm(1));
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
+/// Buggy: every block arrives once but the wait target is `griddim + 1` —
+/// one signal short, forever.
+pub fn bug_lv_insufficient_signal() -> Kernel {
+    let mut b = KernelBuilder::new("bug-lv-insufficient-signal");
+    let t = b.reg();
+    only_thread0(&mut b);
+    b.atomic_iadd(None, Param(1), Imm(0), Imm(1));
+    b.mov(t, Sp(Special::GridDim));
+    b.iadd(t, Reg(t), Imm(1));
+    b.wait_ge(Param(1), Imm(0), Reg(t));
+    b.label("done");
+    b.exit();
+    b.build(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

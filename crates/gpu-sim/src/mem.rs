@@ -428,6 +428,177 @@ impl SharedMem {
     }
 }
 
+/// Identity of an agent in the global-memory racecheck: global memory is
+/// visible across blocks and devices, so a plain thread id is not enough to
+/// tell two accessors apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalAgent {
+    /// Device rank within the system.
+    pub rank: u32,
+    /// Block index on that device.
+    pub block: u32,
+    /// Thread id within the block.
+    pub thread: u32,
+}
+
+/// One detected cross-agent global-memory hazard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalHazard {
+    pub kind: HazardKind,
+    /// Device buffer the racing accesses hit.
+    pub buf: u32,
+    /// Word index within the buffer.
+    pub idx: u64,
+    /// Agent that made the earlier access.
+    pub first: GlobalAgent,
+    /// Agent whose access completed the hazard.
+    pub second: GlobalAgent,
+    /// Synchronization epoch both accesses fell into.
+    pub epoch: u32,
+    /// Program counter of the second access, when the engine provided it.
+    pub pc: Option<u32>,
+}
+
+/// Shadow state per global word — same two-reader approximation as the
+/// shared-memory [`Shadow`].
+#[derive(Debug, Clone, Copy, Default)]
+struct GlobalShadow {
+    write: Option<(GlobalAgent, u32)>,
+    read: Option<(GlobalAgent, u32)>,
+    other_reader: Option<GlobalAgent>,
+}
+
+/// Launch-wide racecheck over plain global loads and stores.
+///
+/// Mirrors the shared-memory shadow, with two deliberate differences:
+///
+/// * **Scope.** One instance covers the whole launch (all blocks, all
+///   devices), because global memory is the medium every cross-block
+///   primitive communicates through.
+/// * **Epoch rules.** The single launch-wide epoch advances on events that
+///   order *global* accesses: grid/multi-grid barriers, memory fences, and
+///   every successful atomic or flag operation (`atom.*`, satisfied
+///   `wait.ge`, `signal`). Block barriers do *not* advance it — they only
+///   order threads of one block, and bumping a launch-wide counter for them
+///   would hide true cross-block races. Atomic accesses themselves are
+///   never recorded in the shadow: they are the synchronization, not the
+///   race. The cost of the coarse launch-wide epoch is missed reports (an
+///   unrelated atomic can separate two racing plain accesses), never false
+///   ones on correctly flag-synchronized handoffs.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalRaceCheck {
+    shadow: std::collections::HashMap<(u32, u64), GlobalShadow>,
+    epoch: u32,
+    pc: Option<u32>,
+    hazards: Vec<GlobalHazard>,
+    /// Hazards beyond [`MAX_RECORDED_HAZARDS`] are counted, not stored.
+    dropped: u32,
+}
+
+impl GlobalRaceCheck {
+    pub fn new() -> GlobalRaceCheck {
+        GlobalRaceCheck::default()
+    }
+
+    /// Record the pc of the access about to execute (for reports).
+    pub fn at(&mut self, pc: u32) {
+        self.pc = Some(pc);
+    }
+
+    /// A scope-appropriate synchronization event executed: advance the
+    /// launch-wide epoch so accesses separated by it never conflict.
+    pub fn sync_event(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Drain recorded hazards (insertion order — the engine's deterministic
+    /// execution order) and the overflow count.
+    pub fn take_hazards(&mut self) -> (Vec<GlobalHazard>, u32) {
+        (
+            std::mem::take(&mut self.hazards),
+            std::mem::take(&mut self.dropped),
+        )
+    }
+
+    fn record(&mut self, h: GlobalHazard) {
+        if self.hazards.len() < MAX_RECORDED_HAZARDS {
+            self.hazards.push(h);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    pub fn on_load(&mut self, agent: GlobalAgent, buf: u32, idx: u64) {
+        let epoch = self.epoch;
+        let pc = self.pc;
+        let s = self.shadow.entry((buf, idx)).or_default();
+        let hazard = match s.write {
+            Some((w, e)) if e == epoch && w != agent => Some(GlobalHazard {
+                kind: HazardKind::Raw,
+                buf,
+                idx,
+                first: w,
+                second: agent,
+                epoch,
+                pc,
+            }),
+            _ => None,
+        };
+        match s.read {
+            Some((r, e)) if e == epoch => {
+                if r != agent {
+                    s.other_reader = Some(r);
+                }
+            }
+            _ => s.other_reader = None,
+        }
+        s.read = Some((agent, epoch));
+        if let Some(h) = hazard {
+            self.record(h);
+        }
+    }
+
+    pub fn on_store(&mut self, agent: GlobalAgent, buf: u32, idx: u64) {
+        let epoch = self.epoch;
+        let pc = self.pc;
+        let s = *self.shadow.entry((buf, idx)).or_default();
+        if let Some((w, e)) = s.write {
+            if e == epoch && w != agent {
+                self.record(GlobalHazard {
+                    kind: HazardKind::Waw,
+                    buf,
+                    idx,
+                    first: w,
+                    second: agent,
+                    epoch,
+                    pc,
+                });
+            }
+        }
+        if let Some((r, e)) = s.read {
+            if e == epoch {
+                let reader = if r != agent {
+                    Some(r)
+                } else {
+                    s.other_reader.filter(|&o| o != agent)
+                };
+                if let Some(first) = reader {
+                    self.record(GlobalHazard {
+                        kind: HazardKind::War,
+                        buf,
+                        idx,
+                        first,
+                        second: agent,
+                        epoch,
+                        pc,
+                    });
+                }
+            }
+        }
+        self.shadow.entry((buf, idx)).or_default().write = Some((agent, epoch));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -648,5 +819,99 @@ mod tests {
         let (hz, dropped) = s.take_hazards();
         assert!(hz.is_empty());
         assert_eq!(dropped, 0);
+    }
+
+    // --- global racecheck ---
+
+    fn agent(block: u32, thread: u32) -> GlobalAgent {
+        GlobalAgent {
+            rank: 0,
+            block,
+            thread,
+        }
+    }
+
+    #[test]
+    fn global_waw_between_blocks_is_flagged() {
+        let mut g = GlobalRaceCheck::new();
+        g.at(4);
+        g.on_store(agent(0, 0), 1, 7);
+        g.on_store(agent(1, 0), 1, 7);
+        let (hz, dropped) = g.take_hazards();
+        assert_eq!(dropped, 0);
+        assert_eq!(hz.len(), 1);
+        assert_eq!(hz[0].kind, HazardKind::Waw);
+        assert_eq!((hz[0].buf, hz[0].idx), (1, 7));
+        assert_eq!(hz[0].pc, Some(4));
+    }
+
+    #[test]
+    fn global_raw_and_war_are_flagged() {
+        let mut g = GlobalRaceCheck::new();
+        g.on_store(agent(0, 0), 0, 0);
+        g.on_load(agent(1, 0), 0, 0);
+        let (hz, _) = g.take_hazards();
+        assert_eq!(hz.len(), 1);
+        assert_eq!(hz[0].kind, HazardKind::Raw);
+
+        let mut g = GlobalRaceCheck::new();
+        g.on_load(agent(0, 0), 0, 0);
+        g.on_store(agent(1, 0), 0, 0);
+        let (hz, _) = g.take_hazards();
+        assert_eq!(hz.len(), 1);
+        assert_eq!(hz[0].kind, HazardKind::War);
+    }
+
+    #[test]
+    fn same_agent_and_distinct_words_are_not_races() {
+        let mut g = GlobalRaceCheck::new();
+        g.on_store(agent(0, 3), 0, 0);
+        g.on_store(agent(0, 3), 0, 0); // same thread rewrites its word
+        g.on_store(agent(1, 3), 0, 1); // different word
+        g.on_store(agent(1, 3), 2, 0); // different buffer
+        let (hz, dropped) = g.take_hazards();
+        assert!(hz.is_empty(), "{hz:?}");
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn sync_event_separates_epochs() {
+        // A store handed off through a sync event (fence/atomic/grid
+        // barrier in the engine) is ordered: no hazard across the bump.
+        let mut g = GlobalRaceCheck::new();
+        g.on_store(agent(0, 0), 0, 0);
+        g.sync_event();
+        g.on_load(agent(1, 0), 0, 0);
+        g.on_store(agent(1, 0), 0, 0);
+        let (hz, _) = g.take_hazards();
+        assert!(hz.is_empty(), "{hz:?}");
+    }
+
+    #[test]
+    fn second_reader_is_tracked_when_writer_is_the_last_reader() {
+        // Two readers in the same epoch, then one of them writes: a
+        // single-reader shadow would only remember the writer itself and
+        // miss the conflict; the two-reader approximation keeps the other
+        // reader and reports the WAR against it.
+        let mut g = GlobalRaceCheck::new();
+        g.on_load(agent(0, 0), 0, 0);
+        g.on_load(agent(1, 0), 0, 0);
+        g.on_store(agent(1, 0), 0, 0);
+        let (hz, _) = g.take_hazards();
+        assert_eq!(hz.len(), 1, "{hz:?}");
+        assert_eq!(hz[0].kind, HazardKind::War);
+        assert_eq!(hz[0].first, agent(0, 0));
+    }
+
+    #[test]
+    fn global_racecheck_caps_recorded_hazards() {
+        let mut g = GlobalRaceCheck::new();
+        g.on_store(agent(0, 0), 0, 0);
+        for t in 0..(MAX_RECORDED_HAZARDS as u32 + 10) {
+            g.on_store(agent(1, t), 0, 0);
+        }
+        let (hz, dropped) = g.take_hazards();
+        assert_eq!(hz.len(), MAX_RECORDED_HAZARDS);
+        assert!(dropped > 0);
     }
 }

@@ -74,6 +74,15 @@ pub enum HazardClass {
     /// are allowlisted in synccheck; a genuinely missing signaller is
     /// caught at run time by the watchdog (`RunOptions::watchdog`).
     UnboundedSpin,
+    /// A CAS-acquired lock still held on some path reaching `exit` — the
+    /// next contender spins forever (Wu et al.'s unreleased-lock class).
+    LockLeak,
+    /// A release (`atom.exch`/`signal`) of a lock cell on a path where the
+    /// lock is not held — a second unlock hands the mutex to two owners.
+    DoubleUnlock,
+    /// A global location accessed at multiple sites (at least one a write)
+    /// under differing must-held locksets — the Eraser condition.
+    InconsistentLockset,
 }
 
 impl HazardClass {
@@ -88,7 +97,18 @@ impl HazardClass {
             HazardClass::UnreachableCode => "unreachable-code",
             HazardClass::InvalidBranch => "invalid-branch",
             HazardClass::UnboundedSpin => "unbounded-spin",
+            HazardClass::LockLeak => "lock-leak",
+            HazardClass::DoubleUnlock => "double-unlock",
+            HazardClass::InconsistentLockset => "inconsistent-lockset",
         }
+    }
+
+    /// The classes produced by the lockset analysis (scored as one pass).
+    pub fn is_lockset(&self) -> bool {
+        matches!(
+            self,
+            HazardClass::LockLeak | HazardClass::DoubleUnlock | HazardClass::InconsistentLockset
+        )
     }
 }
 
@@ -564,6 +584,7 @@ impl<'a> Checker<'a> {
         self.check_barriers(&div);
         self.check_definite_assignment();
         self.check_shared_bounds();
+        self.check_locksets();
         sort_diags(&mut self.diags);
         self.diags
     }
@@ -834,6 +855,249 @@ impl<'a> Checker<'a> {
                     ),
                 ));
             }
+        }
+    }
+
+    /// Must-held lockset analysis over the atomic ISA (the static companion
+    /// to the global racecheck, after Stuart & Owens' atomics-built mutex).
+    ///
+    /// A lock is identified syntactically: a basic block whose terminating
+    /// conditional branch tests the old value returned by an `atom.cas` is
+    /// an acquire loop, and the edge taken when the CAS won (`bra.if`
+    /// retries, so its fall-through wins; `bra.ifz` jumps to the critical
+    /// section, so its taken edge wins) adds the CAS's `(buf, idx)` operand
+    /// pair to the must-held set. `atom.exch` / `signal` to a known lock
+    /// cell releases it. The sets flow forward (intersection at merges, the
+    /// classic must-dataflow), and three findings come out:
+    ///
+    /// * [`HazardClass::DoubleUnlock`] — a release on a path where the lock
+    ///   is not held (error: two owners after the next acquire).
+    /// * [`HazardClass::LockLeak`] — an exit edge with a lock still held
+    ///   (error: the next contender spins forever).
+    /// * [`HazardClass::InconsistentLockset`] — a statically-addressed
+    ///   global location accessed at 2+ sites, at least one a write, under
+    ///   differing locksets (warning: the Eraser condition).
+    fn check_locksets(&mut self) {
+        let nb = self.cfg.blocks.len();
+        if nb == 0 {
+            return;
+        }
+        // Acquire edges: acquire[b] = (winning succ index, lock key index).
+        let mut keys: Vec<(Operand, Operand)> = Vec::new();
+        let mut acquire: Vec<Option<(usize, usize)>> = vec![None; nb];
+        for (bi, acq) in acquire.iter_mut().enumerate() {
+            let last = self.cfg.blocks[bi].end - 1;
+            let (cond, edge) = match self.p.instrs[last] {
+                // `bra.if old, retry`: nonzero old = lost, retry; the
+                // fall-through (succ 1) holds the lock.
+                Instr::BraIf(Operand::Reg(r), _) => (r, 1usize),
+                // `bra.ifz old, crit`: zero old = won; taken edge (succ 0).
+                Instr::BraIfZ(Operand::Reg(r), _) => (r, 0usize),
+                _ => continue,
+            };
+            // The branch condition must come straight from a CAS in this
+            // block (no intervening redefinition).
+            for pc in (self.cfg.blocks[bi].start..last).rev() {
+                if written_reg(&self.p.instrs[pc]) != Some(cond) {
+                    continue;
+                }
+                if let Instr::AtomicCas {
+                    dst_old: Some(_),
+                    buf,
+                    idx,
+                    ..
+                } = self.p.instrs[pc]
+                {
+                    let k = keys
+                        .iter()
+                        .position(|&p| p == (buf, idx))
+                        .unwrap_or_else(|| {
+                            keys.push((buf, idx));
+                            keys.len() - 1
+                        });
+                    *acq = Some((edge, k));
+                }
+                break;
+            }
+        }
+        if keys.is_empty() || keys.len() > 64 {
+            return;
+        }
+        let release_key = |instr: &Instr| -> Option<usize> {
+            let (buf, idx) = match *instr {
+                Instr::AtomicExch { buf, idx, .. } => (buf, idx),
+                Instr::Signal { buf, idx, .. } => (buf, idx),
+                _ => return None,
+            };
+            keys.iter().position(|&p| p == (buf, idx))
+        };
+        let top = if keys.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << keys.len()) - 1
+        };
+        // Forward must-dataflow: entry starts empty, everything else at ⊤,
+        // intersect over incoming edges (an acquire edge adds its key).
+        let transfer = |mut state: u64, bi: usize, blocks: &[BasicBlock]| -> u64 {
+            for pc in blocks[bi].start..blocks[bi].end {
+                if let Some(k) = release_key(&self.p.instrs[pc]) {
+                    state &= !(1u64 << k);
+                }
+            }
+            state
+        };
+        let mut inset = vec![top; nb];
+        inset[0] = 0;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bi in 0..nb {
+                if !self.cfg.blocks[bi].reachable {
+                    continue;
+                }
+                let mut new = if bi == 0 { 0 } else { top };
+                if bi != 0 {
+                    for &p in &self.cfg.blocks[bi].preds {
+                        if !self.cfg.blocks[p].reachable {
+                            continue;
+                        }
+                        let out = transfer(inset[p], p, &self.cfg.blocks);
+                        for (j, &s) in self.cfg.blocks[p].succs.iter().enumerate() {
+                            if s != bi {
+                                continue;
+                            }
+                            let mut edge = out;
+                            if let Some((winning, k)) = acquire[p] {
+                                if winning == j {
+                                    edge |= 1u64 << k;
+                                }
+                            }
+                            new &= edge;
+                        }
+                    }
+                }
+                if new != inset[bi] {
+                    inset[bi] = new;
+                    changed = true;
+                }
+            }
+        }
+        let lock_name = |k: usize| -> String {
+            let (buf, idx) = keys[k];
+            let part = |op: Operand| match op {
+                Operand::Param(p) => format!("param{p}"),
+                Operand::Imm(v) => format!("{v}"),
+                Operand::Reg(r) => format!("r{r}"),
+                Operand::Sp(s) => format!("%{s:?}"),
+            };
+            format!("{}[{}]", part(buf), part(idx))
+        };
+        // Final pass with the settled sets: double unlocks, exit leaks, and
+        // per-location lockset consistency over statically-addressed sites.
+        let mut sites: Vec<((Operand, Operand), u32, bool, u64)> = Vec::new();
+        for bi in 0..nb {
+            if !self.cfg.blocks[bi].reachable {
+                continue;
+            }
+            let mut state = inset[bi];
+            for pc in self.cfg.blocks[bi].start..self.cfg.blocks[bi].end {
+                let instr = &self.p.instrs[pc];
+                if let Some(k) = release_key(instr) {
+                    if state & (1u64 << k) == 0 {
+                        self.diags.push(Diagnostic::new(
+                            HazardClass::DoubleUnlock,
+                            Severity::Error,
+                            pc as u32,
+                            format!(
+                                "lock {} released on a path where it is not \
+                                 held (double unlock hands the mutex to two \
+                                 owners)",
+                                lock_name(k)
+                            ),
+                        ));
+                    }
+                    state &= !(1u64 << k);
+                }
+                let (loc, write) = match *instr {
+                    Instr::LdGlobal { buf, idx, .. } => ((buf, idx), false),
+                    Instr::StGlobal { buf, idx, .. } => ((buf, idx), true),
+                    _ => continue,
+                };
+                // Only statically-addressed locations are comparable
+                // across sites; register/special indices are per-thread.
+                if matches!(loc.0, Operand::Param(_) | Operand::Imm(_))
+                    && matches!(loc.1, Operand::Imm(_))
+                {
+                    sites.push((loc, pc as u32, write, state));
+                }
+            }
+            // An exit edge with a lock still held leaks it.
+            let exit = self.cfg.exit();
+            for (j, &s) in self.cfg.blocks[bi].succs.iter().enumerate() {
+                if s != exit {
+                    continue;
+                }
+                let mut edge = state;
+                if let Some((winning, k)) = acquire[bi] {
+                    if winning == j {
+                        edge |= 1u64 << k;
+                    }
+                }
+                if edge != 0 {
+                    let held: Vec<String> = (0..keys.len())
+                        .filter(|k| edge & (1u64 << k) != 0)
+                        .map(lock_name)
+                        .collect();
+                    self.diags.push(Diagnostic::new(
+                        HazardClass::LockLeak,
+                        Severity::Error,
+                        (self.cfg.blocks[bi].end - 1) as u32,
+                        format!(
+                            "lock {} still held when this path exits (the \
+                             next contender spins forever)",
+                            held.join(", ")
+                        ),
+                    ));
+                }
+            }
+        }
+        // Eraser condition per location: 2+ sites, 1+ write, differing
+        // must-held locksets. Anchored at the least-protected site.
+        let mut locs: Vec<(Operand, Operand)> = Vec::new();
+        for s in &sites {
+            if !locs.contains(&s.0) {
+                locs.push(s.0);
+            }
+        }
+        for loc in locs {
+            let group: Vec<_> = sites.iter().filter(|s| s.0 == loc).collect();
+            if group.len() < 2 || !group.iter().any(|s| s.2) {
+                continue;
+            }
+            if group.iter().all(|s| s.3 == group[0].3) {
+                continue;
+            }
+            let anchor = group
+                .iter()
+                .min_by_key(|s| (s.3.count_ones(), s.1))
+                .unwrap();
+            let part = |op: Operand| match op {
+                Operand::Param(p) => format!("param{p}"),
+                Operand::Imm(v) => format!("{v}"),
+                _ => unreachable!(),
+            };
+            self.diags.push(Diagnostic::new(
+                HazardClass::InconsistentLockset,
+                Severity::Warning,
+                anchor.1,
+                format!(
+                    "global {}[{}] is accessed at {} site(s) (at least one a \
+                     write) under inconsistent locksets",
+                    part(loc.0),
+                    part(loc.1),
+                    group.len()
+                ),
+            ));
         }
     }
 }
@@ -1255,5 +1519,100 @@ mod tests {
         assert!(rendered.contains("barrier-divergence"), "{rendered}");
         assert!(rendered.contains("> "), "{rendered}");
         assert!(rendered.contains("bar.sync"), "{rendered}");
+    }
+
+    // --- CFG edge cases -------------------------------------------------
+
+    #[test]
+    fn branch_to_self_loop_terminates_analysis() {
+        // A single-instruction block whose taken edge is itself: the
+        // back-edge must not hang the dataflow fixpoints, and a uniform
+        // self-loop followed by a barrier is clean.
+        let mut b = KernelBuilder::new("selfloop");
+        let c = b.reg();
+        b.cmp_lt(c, Sp(crate::Special::BlockDim), Imm(1));
+        b.label("spin");
+        b.bra_if(Reg(c), "spin");
+        b.bar_sync();
+        b.exit();
+        assert!(diag_classes(&b.build(0)).is_empty());
+    }
+
+    #[test]
+    fn divergent_branch_to_self_flags_barrier_beyond_it() {
+        // The same shape with a tid-dependent condition: lanes leave the
+        // self-loop at different times; the analyzer must still converge
+        // and treat the loop exit as the reconvergence point.
+        let mut b = KernelBuilder::new("selfloop-div");
+        let c = b.reg();
+        b.cmp_lt(c, Sp(crate::Special::Tid), Imm(1));
+        b.label("spin");
+        b.bra_if(Reg(c), "spin");
+        b.bar_sync();
+        b.exit();
+        let diags = check_kernel(&b.build(0));
+        // The barrier sits at the branch's immediate post-dominator, i.e.
+        // after reconvergence — whatever else is reported, it must not be
+        // an error-severity divergence finding.
+        assert!(!has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn barrier_as_first_instruction_is_clean() {
+        // The entry block opens with the barrier: there is no branch above
+        // it, so the divergence state at pc 0 must be "uniform", not
+        // uninitialized.
+        let mut b = KernelBuilder::new("barrier-first");
+        b.bar_sync();
+        b.exit();
+        assert!(diag_classes(&b.build(0)).is_empty());
+        let mut b = KernelBuilder::new("grid-first");
+        b.grid_sync();
+        b.exit();
+        assert!(diag_classes(&b.build(0)).is_empty());
+    }
+
+    #[test]
+    fn back_edge_only_program_does_not_panic() {
+        // No path reaches the exit: the virtual-exit post-dominator sets
+        // are degenerate (nothing post-dominates anything reachable). The
+        // analysis must terminate without panicking; findings are allowed,
+        // errors about the unconditional infinite loop are not required.
+        let mut b = KernelBuilder::new("foreverloop");
+        let r = b.reg();
+        b.label("top");
+        b.iadd(r, Reg(r), Imm(1));
+        b.bra("top");
+        b.exit(); // dead code: build() wants a terminator, nothing reaches it
+        let _ = check_kernel(&b.build(0));
+    }
+
+    #[test]
+    fn empty_divergence_region_is_clean() {
+        // Both edges of the divergent branch land on the same block
+        // (ipdom == branch successor): the guarded region is empty, so a
+        // barrier right at the join is uniform and must not be flagged.
+        let mut b = KernelBuilder::new("emptyregion");
+        let c = b.reg();
+        b.cmp_lt(c, Sp(crate::Special::Tid), Imm(16));
+        b.bra_ifz(Reg(c), "join");
+        b.label("join");
+        b.bar_sync();
+        b.exit();
+        assert!(diag_classes(&b.build(0)).is_empty());
+    }
+
+    #[test]
+    fn branch_target_past_program_end_is_handled() {
+        // A label defined after the last instruction resolves to one past
+        // the end (an implicit exit) — the CFG must route that edge to the
+        // virtual exit rather than index out of bounds.
+        let mut b = KernelBuilder::new("offend");
+        let c = b.reg();
+        b.cmp_lt(c, Sp(crate::Special::Tid), Imm(16));
+        b.bra_ifz(Reg(c), "end");
+        b.exit();
+        b.label("end");
+        let _ = check_kernel(&b.build(0));
     }
 }

@@ -19,16 +19,22 @@ use gpu_sim::{GpuSystem, GridLaunch, Kernel, RunOptions};
 use serde::{Deserialize, Serialize};
 use sim_core::SimResult;
 
+pub mod corpus;
 pub mod fixtures;
 
-/// One allowlisted (kernel, hazard-class) pair with the reason it is
-/// intentional. Suppressions are exact-match on both fields so a new hazard
-/// class appearing in an allowlisted kernel still fails the audit.
+/// One allowlisted (kernel, hazard-class, pc-set) triple with the reason it
+/// is intentional. Suppressions are exact-match on all three keys: a new
+/// hazard class in an allowlisted kernel still fails the audit, and so does
+/// the *same* class at a program counter the allowlist does not name (e.g.
+/// a second, unreviewed spin loop added to an allowlisted kernel).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Suppression {
     /// `Kernel::name` the suppression applies to.
     pub kernel: &'static str,
     pub class: HazardClass,
+    /// Exact program counters the suppression covers. A finding with no pc
+    /// anchor is never suppressed.
+    pub pcs: &'static [u32],
     /// Why the pattern is intentional — rendered in the audit report.
     pub reason: &'static str,
 }
@@ -42,6 +48,12 @@ pub const ALLOWLIST: &[Suppression] = &[
     Suppression {
         kernel: "warp-probe",
         class: HazardClass::WarpBarrierDivergence,
+        // One `SyncTile` per branch arm: 32 arms of 6 instructions each,
+        // with the barrier third in its arm.
+        pcs: &[
+            3, 9, 15, 21, 27, 33, 39, 45, 51, 57, 63, 69, 75, 81, 87, 93, 99, 105, 111, 117, 123,
+            129, 135, 141, 147, 153, 159, 165, 171, 177, 183, 187,
+        ],
         reason: "Fig. 17 intentionally times a tile barrier inside 32 divergent \
                  branch arms; divergence is the quantity being measured",
     },
@@ -53,27 +65,38 @@ pub const ALLOWLIST: &[Suppression] = &[
     Suppression {
         kernel: "semaphore-chain",
         class: HazardClass::UnboundedSpin,
+        // The four `wait.ge` sites of the acquire/release rounds.
+        pcs: &[8, 15, 22, 29],
         reason: "oversubscribed tickets wait on the release counter; the \
                  permit holders in the same launch are the signallers",
     },
     Suppression {
         kernel: "spin-barrier-chain",
         class: HazardClass::UnboundedSpin,
+        // The single arrival-count spin.
+        pcs: &[7],
         reason: "each round spins until all grid_dim arrivals land; every \
                  block in the launch arrives each round",
     },
     Suppression {
         kernel: "flag-pingpong",
         class: HazardClass::UnboundedSpin,
+        // The two waits: block 0's and block 1's.
+        pcs: &[8, 10],
         reason: "blocks 0 and 1 alternate signal/wait on two flag cells; \
                  each wait's signaller is the peer block",
     },
 ];
 
-fn suppression_for(kernel: &str, class: HazardClass) -> Option<&'static Suppression> {
+fn suppression_for(
+    kernel: &str,
+    class: HazardClass,
+    pc: Option<u32>,
+) -> Option<&'static Suppression> {
+    let pc = pc?;
     ALLOWLIST
         .iter()
-        .find(|s| s.kernel == kernel && s.class == class)
+        .find(|s| s.kernel == kernel && s.class == class && s.pcs.contains(&pc))
 }
 
 /// A registry kernel plus its canonical launch context.
@@ -113,6 +136,13 @@ fn dyn_plain(kernel: Kernel) -> (GpuSystem, GridLaunch) {
 fn dyn_clocked(kernel: Kernel) -> (GpuSystem, GridLaunch) {
     // chain_kernel shapes store cycles to param(0)[global_tid].
     single_with_out(kernel, 2, 64, 2 * 64)
+}
+
+fn dyn_clocked_warp(kernel: Kernel) -> (GpuSystem, GridLaunch) {
+    // Per-lane probes (coalesced-partial) store to param(0)[lane_id], so a
+    // representative launch is a single warp: wider shapes would overwrite
+    // each other's slots and report that overwrite as the hazard it is.
+    single_with_out(kernel, 1, 32, 64)
 }
 
 fn dyn_clocked_coop(kernel: Kernel) -> (GpuSystem, GridLaunch) {
@@ -241,7 +271,7 @@ pub fn registry() -> Vec<AuditEntry> {
     push(
         kernels::coalesced_partial_chain(16, 8),
         1,
-        Some(dyn_clocked),
+        Some(dyn_clocked_warp),
     );
     push(
         kernels::coalesced_partial_throughput(16, 8),
@@ -295,7 +325,7 @@ impl KernelAudit {
     pub fn unsuppressed(&self) -> usize {
         self.findings.iter().filter(|f| !f.suppressed).count()
             + match &self.racecheck {
-                RacecheckOutcome::Ran(hz) if !hz.is_clean() => hz.records.len().max(1),
+                RacecheckOutcome::Ran(hz) if !hz.is_clean() => hz.total().max(1),
                 RacecheckOutcome::Failed(_) => 1,
                 _ => 0,
             }
@@ -315,6 +345,33 @@ impl AuditReport {
         self.kernels.iter().map(|k| k.unsuppressed()).sum()
     }
 
+    /// Byte-deterministic JSON of the full audit (the `--check --out`
+    /// artifact): serial audit order, no timestamps, no host paths.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("audit report serializes");
+        s.push('\n');
+        s
+    }
+
+    /// [`ALLOWLIST`] entries that suppressed nothing in this audit — the pc
+    /// they name drifted, or the kernel was fixed. Stale entries are
+    /// reported (not gated) so the allowlist gets pruned instead of rotting.
+    pub fn stale_suppressions(&self) -> Vec<&'static Suppression> {
+        ALLOWLIST
+            .iter()
+            .filter(|s| {
+                !self.kernels.iter().any(|k| {
+                    k.name == s.kernel
+                        && k.findings.iter().any(|f| {
+                            f.suppressed
+                                && f.diagnostic.class == s.class
+                                && f.diagnostic.pc.is_some_and(|p| s.pcs.contains(&p))
+                        })
+                })
+            })
+            .collect()
+    }
+
     /// Render the report section (byte-deterministic: serial audit order,
     /// no timestamps, no paths).
     pub fn render(&self) -> String {
@@ -323,7 +380,7 @@ impl AuditReport {
             let dynamic = match &k.racecheck {
                 RacecheckOutcome::NotRun => "not run".to_string(),
                 RacecheckOutcome::Ran(hz) if hz.is_clean() => "clean".to_string(),
-                RacecheckOutcome::Ran(hz) => format!("{} hazard(s)", hz.records.len()),
+                RacecheckOutcome::Ran(hz) => format!("{} hazard(s)", hz.total()),
                 RacecheckOutcome::Failed(e) => format!("failed ({e})"),
             };
             if k.findings.is_empty() {
@@ -354,6 +411,14 @@ impl AuditReport {
                 }
             }
         }
+        for stale in self.stale_suppressions() {
+            s.push_str(&format!(
+                "warning: stale allowlist entry {} / {} (pcs {:?}) suppressed nothing\n",
+                stale.kernel,
+                stale.class.slug(),
+                stale.pcs
+            ));
+        }
         s.push_str(&format!(
             "\n{} kernel(s) audited, {} unsuppressed violation(s)\n",
             self.kernels.len(),
@@ -370,7 +435,7 @@ pub fn audit_entry(entry: &AuditEntry) -> KernelAudit {
     let findings = diags
         .into_iter()
         .map(|diagnostic| {
-            let sup = suppression_for(&entry.kernel.name, diagnostic.class);
+            let sup = suppression_for(&entry.kernel.name, diagnostic.class, diagnostic.pc);
             AuditFinding {
                 suppressed: sup.is_some(),
                 reason: sup.map(|s| s.reason.to_string()),
@@ -426,6 +491,47 @@ mod tests {
             "registry must be clean or allowlisted:\n{}",
             report.render()
         );
+    }
+
+    #[test]
+    fn no_allowlist_entry_is_stale() {
+        // Every (kernel, class, pc) in the allowlist must still suppress a
+        // live finding; otherwise the entry names a pc that drifted.
+        let report = audit();
+        let stale = report.stale_suppressions();
+        assert!(
+            stale.is_empty(),
+            "stale allowlist entries: {:?}",
+            stale
+                .iter()
+                .map(|s| (s.kernel, s.class.slug(), s.pcs))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn suppression_requires_matching_pc() {
+        // The allowlist key is (kernel, class, pc): the same class at an
+        // unlisted pc — or with no pc anchor at all — must not be covered.
+        assert!(
+            suppression_for("warp-probe", HazardClass::WarpBarrierDivergence, Some(3)).is_some()
+        );
+        assert!(
+            suppression_for("warp-probe", HazardClass::WarpBarrierDivergence, Some(4)).is_none()
+        );
+        assert!(suppression_for("warp-probe", HazardClass::WarpBarrierDivergence, None).is_none());
+        assert!(
+            suppression_for("spin-barrier-chain", HazardClass::UnboundedSpin, Some(7)).is_some()
+        );
+        assert!(
+            suppression_for("spin-barrier-chain", HazardClass::UnboundedSpin, Some(8)).is_none()
+        );
+        assert!(suppression_for(
+            "spin-barrier-chain",
+            HazardClass::WarpBarrierDivergence,
+            Some(7)
+        )
+        .is_none());
     }
 
     #[test]
