@@ -16,10 +16,10 @@ fn small_v100() -> GpuArch {
 }
 
 fn heatmap_at(jobs: usize) -> f64 {
-    sweep::set_jobs(jobs);
+    sweep::Sweep::set_default_jobs(jobs);
     let arch = small_v100();
     let hm = grid_sync::sync_heatmap(&arch, &Placement::single(), SyncOp::Grid, "bench").unwrap();
-    sweep::set_jobs(0); // restore the default for anything that runs after
+    sweep::Sweep::set_default_jobs(0); // restore the default for anything that runs after
     hm.cells.iter().flatten().filter_map(|c| *c).sum()
 }
 

@@ -5,34 +5,42 @@
 //! repro all                   # run everything (slow but complete)
 //! repro table2 fig5 ...       # run specific artifacts
 //! repro --jobs 8 all          # run the registry (and inner sweeps) on 8 workers
+//! repro --shards 4 fig9       # drive each multi-device launch on 4 shard
+//!                             # workers (one discrete-event shard per rank;
+//!                             # artifacts are byte-identical at any value)
 //! repro --out results all     # additionally write one .txt per artifact
 //! repro --check               # synchronization-hazard audit; exits nonzero
 //!                             # on any unsuppressed violation (the CI gate)
-//! repro --check --out audit.json
-//!                             # same audit, plus the full report as
-//!                             # byte-deterministic JSON at the given path
 //! repro --scorecard           # run the seeded bug corpus and print the
 //!                             # per-pass / per-class detection scorecard
-//! repro --scorecard --scorecard-out SCORECARD.json
-//!                             # also write the scorecard JSON (the tracked
-//!                             # baseline artifact; byte-identical at any
-//!                             # --jobs)
 //! repro --scorecard --scorecard-gate SCORECARD.json
 //!                             # additionally fail if any (pass, class)
 //!                             # recall drops below the baseline file
 //! repro --profile grid_sync   # re-run an experiment with syncprof armed:
-//!                             # summary to stdout, <name>.profile.json and
-//!                             # <name>.trace.json (Perfetto) next to --out
+//!                             # summary to stdout, artifacts under --out
 //! repro --bench               # run the fixed perf suite and write the
-//!                             # tracked baseline (BENCH_6.json) to the
+//!                             # tracked baseline (BENCH_8.json) to the
 //!                             # current directory
-//! repro --bench --bench-out perf/smoke.json
-//!                             # same suite, baseline written to the given
-//!                             # path instead (CI smoke runs keep the
-//!                             # tracked file untouched)
 //! repro --faults 7 sync_resilience
 //!                             # seed for the fault-injection experiments
 //! ```
+//!
+//! Every artifact lands under the one `--out DIR` with a fixed per-artifact
+//! filename (the old `--bench-out` / `--scorecard-out` spellings are
+//! rejected with a pointer here):
+//!
+//! ```text
+//! experiments      DIR/<name>.txt
+//! --profile NAME   DIR/<name>.profile.json, DIR/<name>.trace.json
+//! --check          DIR/audit.json
+//! --scorecard      DIR/SCORECARD.json
+//! --bench          DIR/BENCH_8.json
+//! ```
+//!
+//! Without `--out`, experiments/audit/scorecard print to stdout only and
+//! `--bench` writes its baseline to the current directory. Modes compose in
+//! one invocation because the filenames cannot collide; `--out` naming an
+//! existing non-directory is a conflict and exits 2.
 //!
 //! Experiment names are validated up front: a typo anywhere in the argument
 //! list aborts before any experiment runs or the `--out` directory is
@@ -53,9 +61,18 @@ use syncmark_bench::profiling;
 
 fn usage_and_list() {
     println!(
-        "usage: repro [--jobs N] [--out DIR] [--check] [--scorecard] \
-         [--scorecard-out PATH] [--scorecard-gate PATH] [--bench] [--bench-out PATH] \
+        "usage: repro [--jobs N] [--shards N] [--out DIR] [--check] [--scorecard] \
+         [--scorecard-gate PATH] [--bench] [--faults SEED] \
          [--profile NAME]... [all | list | <experiment>...]\n"
+    );
+    println!("artifacts land under the one --out DIR with fixed names:");
+    println!("  experiments     DIR/<name>.txt");
+    println!("  --profile NAME  DIR/<name>.profile.json, DIR/<name>.trace.json");
+    println!("  --check         DIR/audit.json");
+    println!("  --scorecard     DIR/{SCORECARD_FILE}");
+    println!(
+        "  --bench         DIR/{} (current directory without --out)\n",
+        syncmark_bench::perf::DEFAULT_BENCH_FILE
     );
     println!("available experiments:");
     for (name, desc, _) in EXPERIMENTS {
@@ -66,6 +83,10 @@ fn usage_and_list() {
         println!("  {name:<10} {desc}");
     }
 }
+
+/// Fixed `--out` filename of the scorecard JSON (matches the tracked
+/// baseline artifact at the repo root).
+const SCORECARD_FILE: &str = "SCORECARD.json";
 
 /// Run one syncprof profile: summary to stdout; when `--out` was given,
 /// `<name>.profile.json` and `<name>.trace.json` land next to it.
@@ -117,8 +138,37 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        sync_micro::sweep::set_jobs(n);
+        sync_micro::sweep::Sweep::set_default_jobs(n);
         args.drain(pos..pos + 2);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--shards") {
+        if pos + 1 >= args.len() {
+            eprintln!("--shards requires a worker count (0 = single-queue engine)");
+            std::process::exit(2);
+        }
+        let n: usize = match args[pos + 1].parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--shards requires a number, got {:?}", args[pos + 1]);
+                std::process::exit(2);
+            }
+        };
+        gpu_sim::set_default_shards(n);
+        args.drain(pos..pos + 2);
+    }
+    // The per-artifact output flags were unified under `--out DIR`; reject
+    // the old spellings with a pointer instead of silently ignoring them.
+    for (old, new) in [
+        ("--bench-out", "--bench --out DIR writes DIR/BENCH_8.json"),
+        (
+            "--scorecard-out",
+            "--scorecard --out DIR writes DIR/SCORECARD.json",
+        ),
+    ] {
+        if args.iter().any(|a| a == old) {
+            eprintln!("{old} was replaced by the unified --out convention: {new}");
+            std::process::exit(2);
+        }
     }
     if let Some(pos) = args.iter().position(|a| a == "--faults") {
         if pos + 1 >= args.len() {
@@ -142,6 +192,16 @@ fn main() {
         }
         out_dir = Some(args.remove(pos + 1).into());
         args.remove(pos);
+    }
+    if let Some(dir) = &out_dir {
+        if dir.exists() && !dir.is_dir() {
+            eprintln!(
+                "--out {} names an existing file; pass a directory (artifacts \
+                 get fixed per-mode filenames under it)",
+                dir.display()
+            );
+            std::process::exit(2);
+        }
     }
     let mut profiles: Vec<String> = Vec::new();
     while let Some(pos) = args.iter().position(|a| a == "--profile") {
@@ -178,21 +238,13 @@ fn main() {
             return;
         }
     }
-    let mut bench_out: Option<std::path::PathBuf> = None;
-    if let Some(pos) = args.iter().position(|a| a == "--bench-out") {
-        if pos + 1 >= args.len() {
-            eprintln!("--bench-out requires a file path");
-            std::process::exit(2);
-        }
-        bench_out = Some(args.remove(pos + 1).into());
-        args.remove(pos);
-    }
     if let Some(pos) = args.iter().position(|a| a == "--bench") {
         args.remove(pos);
         use syncmark_bench::perf;
-        let path = bench_out
-            .take()
-            .unwrap_or_else(|| perf::DEFAULT_BENCH_FILE.into());
+        let path = match &out_dir {
+            Some(dir) => dir.join(perf::DEFAULT_BENCH_FILE),
+            None => perf::DEFAULT_BENCH_FILE.into(),
+        };
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             if let Err(e) = std::fs::create_dir_all(parent) {
                 eprintln!("cannot create {}: {e}", parent.display());
@@ -206,27 +258,15 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!(
-            "[repro] wrote {} ({} experiments, {} worker(s))",
+            "[repro] wrote {} ({} experiments, {} worker(s), {} shard(s))",
             path.display(),
             records.len(),
-            sync_micro::sweep::jobs()
+            sync_micro::sweep::jobs(),
+            gpu_sim::default_shards()
         );
         if args.is_empty() {
             return;
         }
-    }
-    if bench_out.is_some() {
-        eprintln!("--bench-out is only meaningful with --bench");
-        std::process::exit(2);
-    }
-    let mut scorecard_out: Option<std::path::PathBuf> = None;
-    if let Some(pos) = args.iter().position(|a| a == "--scorecard-out") {
-        if pos + 1 >= args.len() {
-            eprintln!("--scorecard-out requires a file path");
-            std::process::exit(2);
-        }
-        scorecard_out = Some(args.remove(pos + 1).into());
-        args.remove(pos);
     }
     let mut scorecard_gate: Option<std::path::PathBuf> = None;
     if let Some(pos) = args.iter().position(|a| a == "--scorecard-gate") {
@@ -243,14 +283,13 @@ fn main() {
         // scorecard must be byte-identical whatever `--jobs` was set to.
         let sc = synccheck::corpus::scorecard();
         print!("{}", sc.render());
-        if let Some(path) = &scorecard_out {
-            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-                if let Err(e) = std::fs::create_dir_all(parent) {
-                    eprintln!("cannot create {}: {e}", parent.display());
-                    std::process::exit(1);
-                }
+        if let Some(dir) = &out_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                std::process::exit(1);
             }
-            if let Err(e) = std::fs::write(path, sc.to_json()) {
+            let path = dir.join(SCORECARD_FILE);
+            if let Err(e) = std::fs::write(&path, sc.to_json()) {
                 eprintln!("cannot write {}: {e}", path.display());
                 std::process::exit(1);
             }
@@ -283,8 +322,8 @@ fn main() {
         if args.is_empty() {
             return;
         }
-    } else if scorecard_out.is_some() || scorecard_gate.is_some() {
-        eprintln!("--scorecard-out/--scorecard-gate are only meaningful with --scorecard");
+    } else if scorecard_gate.is_some() {
+        eprintln!("--scorecard-gate is only meaningful with --scorecard");
         std::process::exit(2);
     }
     if let Some(pos) = args.iter().position(|a| a == "--check") {
@@ -293,23 +332,12 @@ fn main() {
         // must be byte-identical whatever `--jobs` was set to.
         let report = synccheck::audit();
         print!("{}", report.render());
-        // With no experiments requested, `--out` names the JSON report file
-        // (a file, not a directory, so it cannot double as an experiment
-        // output dir in the same invocation).
-        if let Some(path) = out_dir.take() {
-            if !args.is_empty() {
-                eprintln!(
-                    "--check --out writes the audit JSON and cannot be combined \
-                     with experiment output; run the experiments separately"
-                );
-                std::process::exit(2);
+        if let Some(dir) = &out_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                std::process::exit(1);
             }
-            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-                if let Err(e) = std::fs::create_dir_all(parent) {
-                    eprintln!("cannot create {}: {e}", parent.display());
-                    std::process::exit(1);
-                }
-            }
+            let path = dir.join("audit.json");
             if let Err(e) = std::fs::write(&path, report.to_json()) {
                 eprintln!("cannot write {}: {e}", path.display());
                 std::process::exit(1);
@@ -360,7 +388,7 @@ fn main() {
     // runner is contained to its cell: the rest still complete, partial
     // results still land in --out, and the failure is reported at the end.
     let wall = Instant::now();
-    let results = sync_micro::sweep::map(selected, |(name, _, f)| {
+    let results = sync_micro::sweep::Sweep::new().run(selected, |(name, _, f)| {
         let t = Instant::now();
         let out = catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
             payload

@@ -251,7 +251,7 @@ pub fn figure15() -> String {
                 points.push((mb, m));
             }
         }
-        let samples = sweep::map(points, |(mb, m)| {
+        let samples = sweep::Sweep::new().run(points, |(mb, m)| {
             let n = (mb * 1e6 / 8.0) as u64;
             reduction::measure_device_reduce(&arch, m, n).expect("fig15")
         });

@@ -6,13 +6,14 @@
 //! memory-system reduction models (reduction) — each timed once and written
 //! to [`DEFAULT_BENCH_FILE`] at the invocation directory (CI runs from the
 //! repo root, so the file lands there as the tracked perf trajectory), or
-//! wherever `--bench-out <path>` points.
+//! under `--out <dir>`.
 //!
 //! `wall_ms` and `instrs_per_sec` are machine-dependent; `experiment`,
-//! `instrs_executed`, and `jobs`-invariance of the instruction counts are
-//! deterministic — CI diffs `instrs_executed` between `--jobs 1` and
-//! `--jobs 8` runs to prove the parallel sweep engine simulates exactly the
-//! same work.
+//! `instrs_executed`, and `jobs`/`shards`-invariance of the instruction
+//! counts are deterministic — CI diffs `instrs_executed` between `--jobs 1`
+//! and `--jobs 8` runs and between `--shards 1` and `--shards 4` runs to
+//! prove the parallel sweep engine and the intra-launch sharded engine
+//! simulate exactly the same work.
 
 use gpu_arch::GpuArch;
 use gpu_sim::kernels::SyncOp;
@@ -21,9 +22,9 @@ use std::time::Instant;
 use sync_micro::measure::Placement;
 use sync_micro::{grid_sync, sweep};
 
-/// Where `repro --bench` writes when `--bench-out` is not given: the
-/// tracked perf-baseline file for this PR generation.
-pub const DEFAULT_BENCH_FILE: &str = "BENCH_6.json";
+/// Where `repro --bench` writes when `--out` is not given: the tracked
+/// perf-baseline file for this PR generation.
+pub const DEFAULT_BENCH_FILE: &str = "BENCH_8.json";
 
 /// One suite entry of the bench file.
 #[derive(Debug, Clone, Serialize)]
@@ -38,6 +39,9 @@ pub struct BenchRecord {
     pub instrs_per_sec: f64,
     /// Worker count the sweeps ran on.
     pub jobs: usize,
+    /// Intra-launch shard workers multi-device launches ran on
+    /// (`--shards`; 0 = single-queue engine).
+    pub shards: usize,
 }
 
 /// The sweep bench's workload: the Fig. 5 grid-sync heatmap on a cut-down
@@ -81,6 +85,7 @@ pub const SUITE: &[BenchCase] = &[
 /// Run the suite, reporting per-experiment throughput on stderr.
 pub fn run_suite() -> Vec<BenchRecord> {
     let jobs = sweep::jobs();
+    let shards = gpu_sim::default_shards();
     SUITE
         .iter()
         .map(|&(name, f)| {
@@ -102,6 +107,7 @@ pub fn run_suite() -> Vec<BenchRecord> {
                 instrs_executed: instrs,
                 instrs_per_sec: ips,
                 jobs,
+                shards,
             }
         })
         .collect()
@@ -135,6 +141,7 @@ mod tests {
             instrs_executed: 10,
             instrs_per_sec: 6666.6,
             jobs: 2,
+            shards: 4,
         }]);
         for field in [
             "experiment",
@@ -142,6 +149,7 @@ mod tests {
             "instrs_executed",
             "instrs_per_sec",
             "jobs",
+            "shards",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }
@@ -153,11 +161,11 @@ mod tests {
     /// the single-process `repro --bench` runs can diff it meaningfully.)
     #[test]
     fn heatmap_output_is_jobs_invariant() {
-        sweep::set_jobs(1);
+        sweep::Sweep::set_default_jobs(1);
         let a = sync_heatmap_case();
-        sweep::set_jobs(4);
+        sweep::Sweep::set_default_jobs(4);
         let b = sync_heatmap_case();
-        sweep::set_jobs(0);
+        sweep::Sweep::set_default_jobs(0);
         assert_eq!(a, b);
     }
 }

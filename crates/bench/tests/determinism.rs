@@ -3,7 +3,7 @@
 //! slot-indexed, so completion order cannot leak into the tables; this test
 //! pins that guarantee on a single- and a multi-GPU figure.
 //!
-//! Everything lives in one `#[test]` because `sweep::set_jobs` is process
+//! Everything lives in one `#[test]` because the sweep default-jobs knob is process
 //! global and libtest runs test functions concurrently.
 
 use gpu_arch::GpuArch;
@@ -40,17 +40,17 @@ fn rendered_tables_are_byte_identical_across_worker_counts() {
     let v100 = small(GpuArch::v100());
     let p100 = small(GpuArch::p100());
 
-    sync_micro::sweep::set_jobs(1);
+    sync_micro::sweep::Sweep::set_default_jobs(1);
     let fig5_serial = render_fig5(&v100);
     let fig7_serial = render_fig7(&p100);
     let (profile_serial, trace_serial) = profile_artifacts();
 
-    sync_micro::sweep::set_jobs(8);
+    sync_micro::sweep::Sweep::set_default_jobs(8);
     let fig5_parallel = render_fig5(&v100);
     let fig7_parallel = render_fig7(&p100);
     let (profile_parallel, trace_parallel) = profile_artifacts();
 
-    sync_micro::sweep::set_jobs(0);
+    sync_micro::sweep::Sweep::set_default_jobs(0);
 
     assert_eq!(fig5_serial, fig5_parallel, "figure5 differs across jobs");
     assert_eq!(fig7_serial, fig7_parallel, "figure7 differs across jobs");

@@ -162,17 +162,17 @@ fn parallel_run_prints_outputs_in_request_order() {
 
 #[test]
 fn scorecard_is_byte_identical_across_jobs_and_matches_baseline() {
-    let j1 = std::env::temp_dir().join("syncmark-repro-cli-scorecard-j1.json");
-    let j8 = std::env::temp_dir().join("syncmark-repro-cli-scorecard-j8.json");
-    for (jobs, path) in [("1", &j1), ("8", &j8)] {
-        let _ = std::fs::remove_file(path);
+    let d1 = std::env::temp_dir().join("syncmark-repro-cli-scorecard-j1");
+    let d8 = std::env::temp_dir().join("syncmark-repro-cli-scorecard-j8");
+    for (jobs, dir) in [("1", &d1), ("8", &d8)] {
+        let _ = std::fs::remove_dir_all(dir);
         let r = repro()
             .args([
                 "--jobs",
                 jobs,
                 "--scorecard",
-                "--scorecard-out",
-                path.to_str().unwrap(),
+                "--out",
+                dir.to_str().unwrap(),
             ])
             .output()
             .unwrap();
@@ -181,33 +181,39 @@ fn scorecard_is_byte_identical_across_jobs_and_matches_baseline() {
         assert!(stdout.contains("bug-corpus scorecard"), "{stdout}");
         assert!(stdout.contains("global-racecheck"), "{stdout}");
     }
-    let a = std::fs::read(&j1).unwrap();
-    let b = std::fs::read(&j8).unwrap();
+    let a = std::fs::read(d1.join("SCORECARD.json")).unwrap();
+    let b = std::fs::read(d8.join("SCORECARD.json")).unwrap();
     assert!(!a.is_empty());
     assert_eq!(a, b, "SCORECARD.json differs between --jobs 1 and 8");
     // The generated scorecard must also satisfy its own recall gate.
+    let baseline = d1.join("SCORECARD.json");
     let r = repro()
-        .args(["--scorecard", "--scorecard-gate", j1.to_str().unwrap()])
+        .args([
+            "--scorecard",
+            "--scorecard-gate",
+            baseline.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(r.status.success(), "self-gate failed");
     let stderr = String::from_utf8_lossy(&r.stderr);
     assert!(stderr.contains("recall gate passed"), "{stderr}");
-    let _ = std::fs::remove_file(&j1);
-    let _ = std::fs::remove_file(&j8);
+    let _ = std::fs::remove_dir_all(&d1);
+    let _ = std::fs::remove_dir_all(&d8);
 }
 
 #[test]
 fn scorecard_gate_fails_on_recall_regression() {
     // Inflate one baseline recall figure above anything achievable: the
     // gate must report the regression and exit nonzero.
-    let base = std::env::temp_dir().join("syncmark-repro-cli-scorecard-inflated.json");
-    let _ = std::fs::remove_file(&base);
+    let dir = std::env::temp_dir().join("syncmark-repro-cli-scorecard-inflated");
+    let _ = std::fs::remove_dir_all(&dir);
     let r = repro()
-        .args(["--scorecard", "--scorecard-out", base.to_str().unwrap()])
+        .args(["--scorecard", "--out", dir.to_str().unwrap()])
         .output()
         .unwrap();
     assert!(r.status.success());
+    let base = dir.join("SCORECARD.json");
     let json = std::fs::read_to_string(&base).unwrap();
     // "recall_permille": 0 → 1000 for some (pass, class) that detects nothing.
     let inflated = json.replacen("\"recall_permille\": 0", "\"recall_permille\": 1000", 1);
@@ -224,25 +230,26 @@ fn scorecard_gate_fails_on_recall_regression() {
     );
     let stderr = String::from_utf8_lossy(&r.stderr);
     assert!(stderr.contains("dropped below baseline"), "{stderr}");
-    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
 fn check_out_writes_audit_json() {
-    let path = std::env::temp_dir().join("syncmark-repro-cli-audit.json");
-    let _ = std::fs::remove_file(&path);
+    let dir = std::env::temp_dir().join("syncmark-repro-cli-audit");
+    let _ = std::fs::remove_dir_all(&dir);
     let r = repro()
-        .args(["--check", "--out", path.to_str().unwrap()])
+        .args(["--check", "--out", dir.to_str().unwrap()])
         .output()
         .unwrap();
     assert!(r.status.success(), "audit failed");
+    let path = dir.join("audit.json");
     let json = std::fs::read_to_string(&path).unwrap();
     assert!(json.contains("\"kernels\""), "{json}");
     assert!(json.contains("warp-probe"), "{json}");
     assert!(json.ends_with('\n'));
     // Byte-identical on a second run (and at a different --jobs).
-    let again = std::env::temp_dir().join("syncmark-repro-cli-audit2.json");
-    let _ = std::fs::remove_file(&again);
+    let again = std::env::temp_dir().join("syncmark-repro-cli-audit2");
+    let _ = std::fs::remove_dir_all(&again);
     let r = repro()
         .args(["--jobs", "8", "--check", "--out", again.to_str().unwrap()])
         .output()
@@ -250,21 +257,96 @@ fn check_out_writes_audit_json() {
     assert!(r.status.success());
     assert_eq!(
         std::fs::read(&path).unwrap(),
-        std::fs::read(&again).unwrap(),
+        std::fs::read(again.join("audit.json")).unwrap(),
         "audit JSON must be byte-deterministic"
     );
-    let _ = std::fs::remove_file(&path);
-    let _ = std::fs::remove_file(&again);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&again);
+}
+
+/// One `--out DIR` serves every mode in a single invocation: fixed
+/// per-artifact filenames cannot collide, so `--check` composes with
+/// experiment output (the pre-unification CLI refused this).
+#[test]
+fn check_composes_with_experiments_under_one_out_dir() {
+    let dir = std::env::temp_dir().join("syncmark-repro-cli-compose");
+    let _ = std::fs::remove_dir_all(&dir);
+    let r = repro()
+        .args(["--check", "--out", dir.to_str().unwrap(), "deadlocks"])
+        .output()
+        .unwrap();
+    assert!(r.status.success(), "composed run failed");
+    assert!(dir.join("audit.json").exists(), "audit artifact missing");
+    assert!(
+        dir.join("deadlocks.txt").exists(),
+        "experiment artifact missing"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
-fn check_out_refuses_to_double_as_experiment_dir() {
-    let path = std::env::temp_dir().join("syncmark-repro-cli-audit-conflict.json");
-    let _ = std::fs::remove_file(&path);
+fn out_naming_an_existing_file_is_a_conflict() {
+    let path = std::env::temp_dir().join("syncmark-repro-cli-out-file-conflict");
+    std::fs::write(&path, b"not a directory").unwrap();
     let r = repro()
-        .args(["--check", "--out", path.to_str().unwrap(), "deadlocks"])
+        .args(["--out", path.to_str().unwrap(), "deadlocks"])
         .output()
         .unwrap();
     assert_eq!(r.status.code(), Some(2));
-    assert!(!Path::new(&path).exists());
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    assert!(stderr.contains("names an existing file"), "{stderr}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn removed_output_flags_are_rejected_with_a_pointer() {
+    for (flag, artifact) in [
+        ("--bench-out", "BENCH_8.json"),
+        ("--scorecard-out", "SCORECARD.json"),
+    ] {
+        let r = repro().args([flag, "x.json"]).output().unwrap();
+        assert_eq!(r.status.code(), Some(2), "{flag} must be rejected");
+        let stderr = String::from_utf8_lossy(&r.stderr);
+        assert!(
+            stderr.contains("--out") && stderr.contains(artifact),
+            "{flag} rejection must point at the --out convention: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn bad_shards_value_is_rejected() {
+    let r = repro()
+        .args(["--shards", "many", "table7"])
+        .output()
+        .unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    assert!(stderr.contains("--shards"), "{stderr}");
+}
+
+/// `--shards` must not change a single byte of any experiment artifact:
+/// the sharded engine's determinism contract, observed end-to-end through
+/// the CLI on the multi-device figure-9 experiment.
+#[test]
+fn shards_flag_leaves_experiment_output_byte_identical() {
+    let d0 = std::env::temp_dir().join("syncmark-repro-cli-shards-0");
+    let d4 = std::env::temp_dir().join("syncmark-repro-cli-shards-4");
+    let mut outs = Vec::new();
+    for (shards, dir) in [("0", &d0), ("4", &d4)] {
+        let _ = std::fs::remove_dir_all(dir);
+        let r = repro()
+            .args(["--shards", shards, "--out", dir.to_str().unwrap(), "fig9"])
+            .output()
+            .unwrap();
+        assert!(r.status.success(), "fig9 failed at --shards {shards}");
+        outs.push((
+            String::from_utf8_lossy(&r.stdout).into_owned(),
+            std::fs::read(dir.join("fig9.txt")).unwrap(),
+        ));
+    }
+    assert_eq!(outs[0].0, outs[1].0, "stdout must not depend on --shards");
+    assert_eq!(outs[0].1, outs[1].1, "fig9.txt must not depend on --shards");
+    let _ = std::fs::remove_dir_all(&d0);
+    let _ = std::fs::remove_dir_all(&d4);
 }

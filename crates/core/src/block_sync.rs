@@ -34,7 +34,7 @@ pub fn figure4(arch: &GpuArch) -> SimResult<Vec<BlockSyncPoint>> {
     let a1 = one_sm(arch);
     let p = Placement::single();
     let warps: Vec<u32> = (0..7u32).map(|shift| 1 << shift).collect();
-    crate::sweep::try_map(warps, |warps| {
+    crate::sweep::Sweep::new().try_run(warps, |warps| {
         let (grid, block) = config_for(warps);
         let lat = sync_chain_cycles(&a1, &p, SyncOp::Block, 32, grid, block)?.cycles_per_op;
         let thr = sync_throughput_per_sm(&a1, SyncOp::Block, 48, grid, block)?;

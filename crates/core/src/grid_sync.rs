@@ -113,10 +113,9 @@ pub fn sync_heatmap(
 ) -> SimResult<HeatMap> {
     assert!(matches!(op, SyncOp::Grid | SyncOp::MultiGrid));
     let plan = plan_cells(arch);
-    let values = crate::sweep::try_map_init(
-        plan.clone(),
-        || GpuSystem::new(arch.clone(), placement.topology.clone()),
-        |sys, c| {
+    let values = crate::sweep::Sweep::new()
+        .init(|| GpuSystem::new(arch.clone(), placement.topology.clone()))
+        .try_run(plan.clone(), |sys, c| {
             let m = sync_chain_cycles_in(
                 sys,
                 &placement.devices,
@@ -126,8 +125,7 @@ pub fn sync_heatmap(
                 c.tpb,
             )?;
             Ok(cycles_to_us(arch, m.cycles_per_op))
-        },
-    )?;
+        })?;
     Ok(assemble_heatmap(title, &plan, values))
 }
 
@@ -142,10 +140,9 @@ pub fn sync_heatmap_profiled(
 ) -> SimResult<(HeatMap, ProfileReport)> {
     assert!(matches!(op, SyncOp::Grid | SyncOp::MultiGrid));
     let plan = plan_cells(arch);
-    let cells = crate::sweep::try_map_init(
-        plan.clone(),
-        || GpuSystem::new(arch.clone(), placement.topology.clone()),
-        |sys, c| {
+    let cells = crate::sweep::Sweep::new()
+        .init(|| GpuSystem::new(arch.clone(), placement.topology.clone()))
+        .try_run(plan.clone(), |sys, c| {
             let (m, profile) = sync_chain_with_in(
                 sys,
                 &placement.devices,
@@ -159,8 +156,7 @@ pub fn sync_heatmap_profiled(
                 cycles_to_us(arch, m.cycles_per_op),
                 profile.expect("profiling was armed"),
             ))
-        },
-    )?;
+        })?;
     let mut profile = ProfileReport::empty(arch.clock().ps_per_cycle());
     let mut values = Vec::with_capacity(cells.len());
     for (v, p) in cells {

@@ -146,7 +146,7 @@ pub fn table1(arch: &GpuArch) -> SimResult<Vec<LaunchOverheadRow>> {
             NodeTopology::dgx1_v100(),
         ),
     ];
-    crate::sweep::try_map(paths, |(kind, topology)| {
+    crate::sweep::Sweep::new().try_run(paths, |(kind, topology)| {
         measure_launch_path(arch, kind, sleep, &[0], topology)
     })
 }
@@ -163,7 +163,7 @@ pub fn table1_profiled(arch: &GpuArch) -> SimResult<(Vec<LaunchOverheadRow>, Pro
             NodeTopology::dgx1_v100(),
         ),
     ];
-    let cells = crate::sweep::try_map(paths, |(kind, topology)| {
+    let cells = crate::sweep::Sweep::new().try_run(paths, |(kind, topology)| {
         measure_launch_path_with(
             arch,
             kind,

@@ -124,7 +124,7 @@ pub fn sync_chain_with(
 ///
 /// The system is [`GpuSystem::reset`] before the launch, so a sweep worker
 /// can thread one system through every cell it claims (see
-/// [`crate::sweep::map_init`]) and still measure exactly what a fresh
+/// [`crate::sweep::Sweep::init`]) and still measure exactly what a fresh
 /// system would: allocation ids, launch parameters, and therefore timing
 /// are identical to the unamortized path.
 pub fn sync_chain_with_in(

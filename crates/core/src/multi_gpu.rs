@@ -152,7 +152,7 @@ fn figure9_with(
             points.push((n, m));
         }
     }
-    let cells = crate::sweep::try_map(points, |(n, metric)| match metric {
+    let cells = crate::sweep::Sweep::new().try_run(points, |(n, metric)| match metric {
         Fig9Metric::Launch => {
             let devices: Vec<usize> = (0..n).collect();
             let (row, profile) = measure_launch_path_with(

@@ -39,7 +39,7 @@ pub fn multi_grid_figure(
             points.push((n, c));
         }
     }
-    let values = crate::sweep::try_map(points, |(n, c)| {
+    let values = crate::sweep::Sweep::new().try_run(points, |(n, c)| {
         let placement = Placement::multi(topology.clone(), n);
         let m = sync_chain_cycles(
             arch,

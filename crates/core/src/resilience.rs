@@ -84,7 +84,7 @@ pub fn jitter_sweep(seed: u64) -> SimResult<Vec<JitterPoint>> {
             cells.push((scope, op, grid_dim, tpb, mult));
         }
     }
-    sweep::try_map(cells, |(scope, op, grid_dim, tpb, mult)| {
+    sweep::Sweep::new().try_run(cells, |(scope, op, grid_dim, tpb, mult)| {
         let placement = match op {
             SyncOp::MultiGrid => Placement::multi(topology.clone(), 2),
             _ => Placement::single(),
@@ -113,7 +113,7 @@ pub fn link_sweep(seed: u64) -> SimResult<Vec<LinkPoint>> {
             }
         }
     }
-    sweep::try_map(cells, |(gpus, lat, flaps)| {
+    sweep::Sweep::new().try_run(cells, |(gpus, lat, flaps)| {
         let mut plan = FaultPlan::seeded(seed).degrade_links(lat, lat);
         if flaps {
             plan = plan.link_flaps(FLAP_PERIOD_NS, FLAP_DOWN_NS);
@@ -238,12 +238,16 @@ mod tests {
         // The sweep engine's slot-ordered collection plus counter-based
         // fault draws make the rendered report independent of the worker
         // count; pin it by measuring the same cells at jobs 1 and 8.
-        let serial: Vec<String> = sweep::map_jobs(JITTER_MULTS.to_vec(), 1, |mult| {
-            serde_json::to_string(&jitter_cell(mult)).unwrap()
-        });
-        let parallel: Vec<String> = sweep::map_jobs(JITTER_MULTS.to_vec(), 8, |mult| {
-            serde_json::to_string(&jitter_cell(mult)).unwrap()
-        });
+        let serial: Vec<String> = sweep::Sweep::new()
+            .jobs(1)
+            .run(JITTER_MULTS.to_vec(), |mult| {
+                serde_json::to_string(&jitter_cell(mult)).unwrap()
+            });
+        let parallel: Vec<String> = sweep::Sweep::new()
+            .jobs(8)
+            .run(JITTER_MULTS.to_vec(), |mult| {
+                serde_json::to_string(&jitter_cell(mult)).unwrap()
+            });
         assert_eq!(serial, parallel);
     }
 

@@ -58,18 +58,21 @@ pub fn table8(volta: &GpuArch, pascal: &GpuArch) -> SimResult<Vec<Observation>> 
     // The three probe configurations are independent, so they run as one
     // sweep sharing the topology.
     let topo = std::sync::Arc::new(gpu_node::NodeTopology::dgx1_v100());
-    let probes = crate::sweep::try_map(vec![(1u32, 32u32), (8, 32), (1, 1024)], |(bpsm, tpb)| {
-        let p = crate::measure::Placement::multi(topo.clone(), 2);
-        let m = crate::measure::sync_chain_cycles(
-            volta,
-            &p,
-            gpu_sim::kernels::SyncOp::MultiGrid,
-            4,
-            bpsm * volta.num_sms,
-            tpb,
-        )?;
-        Ok(m.cycles_per_op)
-    })?;
+    let probes = crate::sweep::Sweep::new().try_run(
+        vec![(1u32, 32u32), (8, 32), (1, 1024)],
+        |(bpsm, tpb)| {
+            let p = crate::measure::Placement::multi(topo.clone(), 2);
+            let m = crate::measure::sync_chain_cycles(
+                volta,
+                &p,
+                gpu_sim::kernels::SyncOp::MultiGrid,
+                4,
+                bpsm * volta.num_sms,
+                tpb,
+            )?;
+            Ok(m.cycles_per_op)
+        },
+    )?;
     let (base, more_blocks, more_threads) = (probes[0], probes[1], probes[2]);
     out.push(Observation {
         topic: "Multi-Grid Sync".into(),

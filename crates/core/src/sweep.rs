@@ -2,18 +2,25 @@
 //!
 //! Every table and figure of the reproduction is a sweep over independent
 //! simulation points — each cell a pure function of `(GpuArch,
-//! NodeTopology, config)` with no shared mutable state. [`map`] fans the
+//! NodeTopology, config)` with no shared mutable state. [`Sweep`] fans the
 //! points across a pool of scoped worker threads and collects results into
 //! slots indexed by input position, so the output order (and therefore every
 //! rendered table) is byte-identical to a serial run regardless of the
 //! worker count or completion order.
 //!
-//! The worker count is a process-wide setting ([`set_jobs`], driven by
-//! `repro --jobs N`); it scales wall-clock only, never results. Sweeps may
-//! nest (the `repro` binary sweeps the experiment registry while individual
-//! experiments sweep their cells); each level spawns its own scoped workers
-//! and the OS timeshares them, which is harmless because workers are
-//! compute-bound simulation and never block on each other.
+//! ```
+//! use sync_micro::sweep::Sweep;
+//! let squares = Sweep::new().jobs(4).run((0..8u64).collect(), |i| i * i);
+//! assert_eq!(squares[3], 9);
+//! ```
+//!
+//! The default worker count is a process-wide setting
+//! ([`Sweep::set_default_jobs`], driven by `repro --jobs N`); it scales
+//! wall-clock only, never results. Sweeps may nest (the `repro` binary
+//! sweeps the experiment registry while individual experiments sweep their
+//! cells); each level spawns its own scoped workers and the OS timeshares
+//! them, which is harmless because workers are compute-bound simulation and
+//! never block on each other.
 
 use sim_core::{CellError, SimError, SimResult};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -80,13 +87,7 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
-/// Override the worker count for all subsequent sweeps (0 restores the
-/// default). Wired to `repro --jobs N`.
-pub fn set_jobs(n: usize) {
-    JOBS.store(n, Ordering::Relaxed);
-}
-
-/// The worker count sweeps currently use.
+/// The worker count sweeps currently default to.
 pub fn jobs() -> usize {
     match JOBS.load(Ordering::Relaxed) {
         0 => default_jobs(),
@@ -94,92 +95,143 @@ pub fn jobs() -> usize {
     }
 }
 
-/// Apply `f` to every item on [`jobs`] workers; results come back in input
-/// order.
-pub fn map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
-where
-    I: Send,
-    T: Send,
-    F: Fn(I) -> T + Sync,
-{
-    map_jobs(items, jobs(), f)
-}
-
-/// [`map`] with an explicit worker count (1 runs fully serial on the calling
-/// thread — the baseline half of the serial-vs-parallel bench and the
-/// determinism tests).
-pub fn map_jobs<I, T, F>(items: Vec<I>, jobs: usize, f: F) -> Vec<T>
-where
-    I: Send,
-    T: Send,
-    F: Fn(I) -> T + Sync,
-{
-    let n = items.len();
-    let workers = jobs.max(1).min(n);
-    if workers <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    // Work-claiming by atomic index: each slot is taken by exactly one
-    // worker and its result lands back in the same slot, which is what makes
-    // the collected order independent of scheduling.
-    let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
-    let out: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i].lock().unwrap().take().expect("slot claimed once");
-                let r = f(item);
-                *out[i].lock().unwrap() = Some(r);
-            });
-        }
-    });
-    out.into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker filled slot"))
-        .collect()
-}
-
-/// [`map`] over fallible points. Every point runs to completion (panics
-/// included — they become structured errors), and *all* failures are
-/// reported in one pass: a single error comes back unwrapped, several come
-/// back as [`SimError::CellErrors`] ordered by input position. Failures are
-/// as deterministic as successes.
-pub fn try_map<I, T, F>(items: Vec<I>, f: F) -> SimResult<Vec<T>>
-where
-    I: Send,
-    T: Send,
-    F: Fn(I) -> SimResult<T> + Sync,
-{
-    collect_cells(map(items, |i| run_cell(|| f(i))))
-}
-
-/// [`map`] with per-worker scratch state: each worker builds one `S` with
-/// `init` and threads it through every cell it claims.
+/// A configured sweep: the one entry point for fanning independent cells
+/// across worker threads.
 ///
-/// This is the amortization hook for sweeps whose cells share an expensive
-/// setup — e.g. one reusable `GpuSystem` (reset between launches) instead of
-/// reconstructing device memory and peer channels per cell. The contract
-/// that keeps sweeps deterministic: `f`'s *result* must not depend on how
-/// cells were batched onto workers, i.e. a reused state must behave exactly
-/// like a fresh `init()` for every cell. Slot-indexed collection then makes
-/// the output order identical to a serial run at any worker count.
-pub fn map_init<I, T, S, G, F>(items: Vec<I>, init: G, f: F) -> Vec<T>
-where
-    I: Send,
-    T: Send,
-    G: Fn() -> S + Sync,
-    F: Fn(&mut S, I) -> T + Sync,
-{
-    map_jobs_init(items, jobs(), init, f)
+/// * [`Sweep::run`] — infallible cells, results in input order.
+/// * [`Sweep::try_run`] — fallible cells; every cell runs (panics become
+///   structured errors) and all failures surface in one pass.
+/// * [`Sweep::init`] — attach per-worker scratch state (e.g. one reusable
+///   `GpuSystem`) and get the `*_init` variants of both runs.
+/// * [`Sweep::jobs`] — explicit worker count; `1` is fully serial on the
+///   calling thread, the baseline half of the determinism tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sweep {
+    jobs: Option<usize>,
 }
 
-/// [`map_init`] with an explicit worker count (1 runs fully serial on the
-/// calling thread with a single state).
-pub fn map_jobs_init<I, T, S, G, F>(items: Vec<I>, jobs: usize, init: G, f: F) -> Vec<T>
+impl Sweep {
+    /// A sweep on the process-default worker count ([`jobs`]).
+    pub fn new() -> Sweep {
+        Sweep { jobs: None }
+    }
+
+    /// Use exactly `n` workers (1 runs fully serial on the calling thread).
+    pub fn jobs(mut self, n: usize) -> Sweep {
+        self.jobs = Some(n);
+        self
+    }
+
+    /// Override the process-default worker count for all subsequent sweeps
+    /// (0 restores [`default_jobs`]). Wired to `repro --jobs N`.
+    pub fn set_default_jobs(n: usize) {
+        JOBS.store(n, Ordering::Relaxed);
+    }
+
+    /// Attach a per-worker state factory: each worker builds one `S` and
+    /// threads it through every cell it claims.
+    ///
+    /// This is the amortization hook for sweeps whose cells share an
+    /// expensive setup — e.g. one reusable `GpuSystem` (reset between
+    /// launches) instead of reconstructing device memory and peer channels
+    /// per cell. The contract that keeps sweeps deterministic: the cell's
+    /// *result* must not depend on how cells were batched onto workers,
+    /// i.e. a reused state must behave exactly like a fresh `init()` for
+    /// every cell.
+    pub fn init<S, G: Fn() -> S + Sync>(self, init: G) -> SweepInit<G> {
+        SweepInit { sweep: self, init }
+    }
+
+    fn workers(self) -> usize {
+        self.jobs.unwrap_or_else(jobs)
+    }
+
+    /// Apply `f` to every item; results come back in input order.
+    pub fn run<I, T, F>(self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        run_pool(items, self.workers(), |_state: &mut (), i| f(i), || ())
+    }
+
+    /// [`Sweep::run`] over fallible points. Every point runs to completion
+    /// (panics included — they become structured errors), and *all*
+    /// failures are reported in one pass: a single error comes back
+    /// unwrapped, several come back as [`SimError::CellErrors`] ordered by
+    /// input position. Failures are as deterministic as successes.
+    pub fn try_run<I, T, F>(self, items: Vec<I>, f: F) -> SimResult<Vec<T>>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> SimResult<T> + Sync,
+    {
+        collect_cells(self.run(items, |i| run_cell(|| f(i))))
+    }
+}
+
+/// A [`Sweep`] with per-worker scratch state attached (see [`Sweep::init`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepInit<G> {
+    sweep: Sweep,
+    init: G,
+}
+
+impl<G> SweepInit<G> {
+    /// Use exactly `n` workers (1 runs fully serial with a single state).
+    pub fn jobs(mut self, n: usize) -> SweepInit<G> {
+        self.sweep = self.sweep.jobs(n);
+        self
+    }
+
+    /// Apply `f` to every item with the worker's state; results in input
+    /// order.
+    pub fn run<I, T, S, F>(self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        G: Fn() -> S + Sync,
+        F: Fn(&mut S, I) -> T + Sync,
+    {
+        run_pool(items, self.sweep.workers(), f, &self.init)
+    }
+
+    /// [`SweepInit::run`] over fallible points; same all-errors contract as
+    /// [`Sweep::try_run`]. A cell that panics may leave the worker's shared
+    /// state `S` torn, so the state is rebuilt with `init` before the next
+    /// claimed cell.
+    pub fn try_run<I, T, S, F>(self, items: Vec<I>, f: F) -> SimResult<Vec<T>>
+    where
+        I: Send,
+        T: Send,
+        G: Fn() -> S + Sync,
+        F: Fn(&mut S, I) -> SimResult<T> + Sync,
+    {
+        let init = &self.init;
+        collect_cells(run_pool(
+            items,
+            self.sweep.workers(),
+            |(state, poisoned): &mut (S, bool), i| {
+                if std::mem::take(poisoned) {
+                    *state = init();
+                }
+                let r = run_cell(AssertUnwindSafe(|| f(state, i)));
+                if matches!(&r, Err(SimError::ProgramError(m)) if m.starts_with("sweep cell panicked"))
+                {
+                    *poisoned = true;
+                }
+                r
+            },
+            || (init(), false),
+        ))
+    }
+}
+
+/// The pool itself: work-claiming by atomic index. Each slot is taken by
+/// exactly one worker and its result lands back in the same slot, which is
+/// what makes the collected order independent of scheduling.
+fn run_pool<I, T, S, F, G>(items: Vec<I>, jobs: usize, f: F, init: G) -> Vec<T>
 where
     I: Send,
     T: Send,
@@ -216,9 +268,82 @@ where
         .collect()
 }
 
-/// [`map_init`] over fallible points; same all-errors contract as
-/// [`try_map`]. A cell that panics may leave the worker's shared state `S`
-/// torn, so the state is rebuilt with `init` before the next claimed cell.
+// ---------------------------------------------------------------------------
+// Deprecated free-function façade (pre-`Sweep` API). Each is a thin wrapper
+// over the builder; migrate to `Sweep::new()...` — the lint job builds with
+// `-D deprecated`, so no in-repo caller may remain on these.
+// ---------------------------------------------------------------------------
+
+/// Override the worker count for all subsequent sweeps (0 restores the
+/// default).
+#[deprecated(since = "0.8.0", note = "use `Sweep::set_default_jobs(n)`")]
+pub fn set_jobs(n: usize) {
+    Sweep::set_default_jobs(n);
+}
+
+/// Apply `f` to every item on [`jobs`] workers; results come back in input
+/// order.
+#[deprecated(since = "0.8.0", note = "use `Sweep::new().run(items, f)`")]
+pub fn map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    Sweep::new().run(items, f)
+}
+
+/// `map` with an explicit worker count.
+#[deprecated(since = "0.8.0", note = "use `Sweep::new().jobs(n).run(items, f)`")]
+pub fn map_jobs<I, T, F>(items: Vec<I>, jobs: usize, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    Sweep::new().jobs(jobs).run(items, f)
+}
+
+/// `map` over fallible points.
+#[deprecated(since = "0.8.0", note = "use `Sweep::new().try_run(items, f)`")]
+pub fn try_map<I, T, F>(items: Vec<I>, f: F) -> SimResult<Vec<T>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> SimResult<T> + Sync,
+{
+    Sweep::new().try_run(items, f)
+}
+
+/// `map` with per-worker scratch state.
+#[deprecated(since = "0.8.0", note = "use `Sweep::new().init(g).run(items, f)`")]
+pub fn map_init<I, T, S, G, F>(items: Vec<I>, init: G, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, I) -> T + Sync,
+{
+    Sweep::new().init(init).run(items, f)
+}
+
+/// `map_init` with an explicit worker count.
+#[deprecated(
+    since = "0.8.0",
+    note = "use `Sweep::new().init(g).jobs(n).run(items, f)`"
+)]
+pub fn map_jobs_init<I, T, S, G, F>(items: Vec<I>, jobs: usize, init: G, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, I) -> T + Sync,
+{
+    Sweep::new().init(init).jobs(jobs).run(items, f)
+}
+
+/// `map_init` over fallible points.
+#[deprecated(since = "0.8.0", note = "use `Sweep::new().init(g).try_run(items, f)`")]
 pub fn try_map_init<I, T, S, G, F>(items: Vec<I>, init: G, f: F) -> SimResult<Vec<T>>
 where
     I: Send,
@@ -226,21 +351,7 @@ where
     G: Fn() -> S + Sync,
     F: Fn(&mut S, I) -> SimResult<T> + Sync,
 {
-    collect_cells(map_init(
-        items,
-        || (init(), false),
-        |(state, poisoned), i| {
-            if std::mem::take(poisoned) {
-                *state = init();
-            }
-            let r = run_cell(AssertUnwindSafe(|| f(state, i)));
-            if matches!(&r, Err(SimError::ProgramError(m)) if m.starts_with("sweep cell panicked"))
-            {
-                *poisoned = true;
-            }
-            r
-        },
-    ))
+    Sweep::new().init(init).try_run(items, f)
 }
 
 #[cfg(test)]
@@ -251,7 +362,7 @@ mod tests {
     #[test]
     fn results_come_back_in_input_order() {
         let items: Vec<u64> = (0..257).collect();
-        let out = map_jobs(items.clone(), 8, |i| {
+        let out = Sweep::new().jobs(8).run(items.clone(), |i| {
             // Make late items finish first to stress slot ordering.
             if i % 3 == 0 {
                 std::thread::sleep(std::time::Duration::from_micros(50));
@@ -265,15 +376,19 @@ mod tests {
     #[test]
     fn parallel_matches_serial_exactly() {
         let items: Vec<u32> = (0..100).collect();
-        let serial = map_jobs(items.clone(), 1, |i| format!("{}", (i as f64).sqrt()));
-        let parallel = map_jobs(items, 13, |i| format!("{}", (i as f64).sqrt()));
+        let serial = Sweep::new()
+            .jobs(1)
+            .run(items.clone(), |i| format!("{}", (i as f64).sqrt()));
+        let parallel = Sweep::new()
+            .jobs(13)
+            .run(items, |i| format!("{}", (i as f64).sqrt()));
         assert_eq!(serial, parallel);
     }
 
     #[test]
-    fn try_map_reports_every_error_in_input_order() {
+    fn try_run_reports_every_error_in_input_order() {
         let items: Vec<u32> = (0..64).collect();
-        let r = try_map(items, |i| {
+        let r = Sweep::new().try_run(items, |i| {
             if i % 10 == 7 {
                 Err(SimError::ProgramError(format!("bad {i}")))
             } else {
@@ -295,8 +410,8 @@ mod tests {
     }
 
     #[test]
-    fn try_map_unwraps_a_lone_error() {
-        let r = try_map((0..16u32).collect(), |i| {
+    fn try_run_unwraps_a_lone_error() {
+        let r = Sweep::new().try_run((0..16u32).collect(), |i| {
             if i == 9 {
                 Err(SimError::ProgramError("only 9".into()))
             } else {
@@ -310,10 +425,10 @@ mod tests {
     }
 
     #[test]
-    fn try_map_caps_errors_and_counts_dropped() {
+    fn try_run_caps_errors_and_counts_dropped() {
         // 40 failing cells, cap is ERR_CAP: the summary keeps the first
         // ERR_CAP in input order and counts the rest.
-        let r = try_map((0..40u32).collect(), |i| {
+        let r = Sweep::new().try_run((0..40u32).collect(), |i| {
             Err::<u32, _>(SimError::ProgramError(format!("bad {i}")))
         });
         match r {
@@ -328,12 +443,12 @@ mod tests {
     }
 
     #[test]
-    fn try_map_turns_panics_into_cell_errors() {
+    fn try_run_turns_panics_into_cell_errors() {
         // The panic is contained on whatever worker claims the cell; other
         // cells still complete and the failure is deterministic. (Serial and
         // parallel paths share the same run_cell wrapper, so one invocation
         // at the ambient worker count covers both.)
-        let r = try_map((0..24u32).collect(), |i| {
+        let r = Sweep::new().try_run((0..24u32).collect(), |i| {
             if i == 13 {
                 panic!("cell exploded at {i}");
             }
@@ -348,7 +463,7 @@ mod tests {
     }
 
     #[test]
-    fn try_map_init_rebuilds_state_after_a_panic() {
+    fn try_run_init_rebuilds_state_after_a_panic() {
         // The cell after a panic must see fresh state, not the torn value
         // the panicking cell left behind. Each state carries a unique id; a
         // rebuild mints a new id, so every id's recorded counter values must
@@ -356,18 +471,16 @@ mod tests {
         // counter would skip the increment the panicked cell consumed.
         let next_id = AtomicUsize::new(0);
         let seen = Mutex::new(Vec::new());
-        let r = try_map_init(
-            (0..6u32).collect(),
-            || (next_id.fetch_add(1, Ordering::Relaxed), 0u32),
-            |(id, s), i| {
+        let r = Sweep::new()
+            .init(|| (next_id.fetch_add(1, Ordering::Relaxed), 0u32))
+            .try_run((0..6u32).collect(), |(id, s), i| {
                 *s += 1;
                 if i == 2 {
                     panic!("torn");
                 }
                 seen.lock().unwrap().push((*id, *s));
                 Ok(())
-            },
-        );
+            });
         match r {
             Err(SimError::ProgramError(m)) => assert_eq!(m, "sweep cell panicked: torn"),
             other => panic!("expected captured panic, got {other:?}"),
@@ -390,52 +503,87 @@ mod tests {
     #[test]
     fn empty_and_single_item_sweeps_work() {
         let empty: Vec<u32> = Vec::new();
-        assert!(map(empty, |i| i).is_empty());
-        assert_eq!(map_jobs(vec![41u32], 8, |i| i + 1), vec![42]);
+        assert!(Sweep::new().run(empty, |i| i).is_empty());
+        assert_eq!(Sweep::new().jobs(8).run(vec![41u32], |i| i + 1), vec![42]);
     }
 
     #[test]
-    fn map_init_reuses_state_within_a_worker() {
+    fn init_reuses_state_within_a_worker() {
         // Each worker counts the cells it processed; totals must cover every
         // input exactly once and results stay in input order.
         let items: Vec<u32> = (0..97).collect();
-        let out = map_jobs_init(
-            items.clone(),
-            7,
-            || 0u32,
-            |seen, i| {
+        let out = Sweep::new()
+            .init(|| 0u32)
+            .jobs(7)
+            .run(items.clone(), |seen, i| {
                 *seen += 1;
                 (i, *seen)
-            },
-        );
+            });
         let got: Vec<u32> = out.iter().map(|(i, _)| *i).collect();
         assert_eq!(got, items);
         // Serial path: one state threads through all items.
-        let serial = map_jobs_init(
-            vec![1u32, 2, 3],
-            1,
-            || 0u32,
-            |s, i| {
+        let serial = Sweep::new()
+            .init(|| 0u32)
+            .jobs(1)
+            .run(vec![1u32, 2, 3], |s, i| {
                 *s += i;
                 *s
-            },
-        );
+            });
         assert_eq!(serial, vec![1, 3, 6]);
     }
 
     #[test]
-    fn try_map_init_matches_try_map() {
+    fn try_run_init_matches_try_run() {
         let items: Vec<u32> = (0..40).collect();
-        let plain = try_map(items.clone(), |i| Ok(i * 2)).unwrap();
-        let with_state = try_map_init(items, || (), |_, i| Ok(i * 2)).unwrap();
+        let plain = Sweep::new().try_run(items.clone(), |i| Ok(i * 2)).unwrap();
+        let with_state = Sweep::new()
+            .init(|| ())
+            .try_run(items, |_, i| Ok(i * 2))
+            .unwrap();
         assert_eq!(plain, with_state);
     }
 
     #[test]
     fn jobs_override_round_trips() {
-        set_jobs(3);
+        Sweep::set_default_jobs(3);
         assert_eq!(jobs(), 3);
-        set_jobs(0);
+        Sweep::set_default_jobs(0);
         assert_eq!(jobs(), default_jobs());
+    }
+
+    /// The deprecated façade must keep delegating to the builder until the
+    /// last out-of-repo caller migrates.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_facade_delegates_to_the_builder() {
+        let items: Vec<u32> = (0..32).collect();
+        assert_eq!(
+            map(items.clone(), |i| i + 1),
+            Sweep::new().run(items.clone(), |i| i + 1)
+        );
+        assert_eq!(
+            map_jobs(items.clone(), 3, |i| i * 2),
+            Sweep::new().jobs(3).run(items.clone(), |i| i * 2)
+        );
+        assert_eq!(
+            try_map(items.clone(), Ok).unwrap(),
+            Sweep::new().try_run(items.clone(), Ok).unwrap()
+        );
+        assert_eq!(
+            map_init(items.clone(), || 0u32, |_, i| i).as_slice(),
+            Sweep::new()
+                .init(|| 0u32)
+                .run(items.clone(), |_, i| i)
+                .as_slice()
+        );
+        assert_eq!(
+            map_jobs_init(items.clone(), 2, || (), |_, i| i).as_slice(),
+            items.as_slice()
+        );
+        assert_eq!(
+            try_map_init(items.clone(), || (), |_, i| Ok(i)).unwrap(),
+            items
+        );
+        set_jobs(0);
     }
 }

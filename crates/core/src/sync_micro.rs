@@ -174,9 +174,10 @@ fn measure_primitive(arch: &GpuArch, spec: &PrimitiveSpec) -> SimResult<Primitiv
 }
 
 /// Measure every primitive against its hardware baseline. Cells go through
-/// [`sweep::map`], so `--jobs` parallelism cannot reorder or change results.
+/// [`sweep::Sweep`], so `--jobs` parallelism cannot reorder or change results.
 pub fn comparison(arch: &GpuArch) -> SimResult<Vec<PrimitiveRow>> {
-    sweep::map(specs(arch), |spec| measure_primitive(arch, &spec))
+    sweep::Sweep::new()
+        .run(specs(arch), |spec| measure_primitive(arch, &spec))
         .into_iter()
         .collect()
 }
@@ -512,14 +513,14 @@ pub struct PipelineRow {
     pub speedup_vs_separate: f64,
 }
 
-/// Run all three strategies (through [`sweep::map`], so the table is
+/// Run all three strategies (through [`sweep::Sweep`], so the table is
 /// byte-identical at any `--jobs`) and derive speedups over the
 /// separate-launch baseline.
 pub fn pipeline_comparison(arch: &GpuArch) -> SimResult<Vec<PipelineRow>> {
-    let runs: SimResult<Vec<PipelineRun>> =
-        sweep::map(Strategy::ALL.to_vec(), |s| run_strategy(arch, s))
-            .into_iter()
-            .collect();
+    let runs: SimResult<Vec<PipelineRun>> = sweep::Sweep::new()
+        .run(Strategy::ALL.to_vec(), |s| run_strategy(arch, s))
+        .into_iter()
+        .collect();
     let runs = runs?;
     let sep = runs[0].wall_ps as f64;
     Ok(runs
@@ -660,9 +661,11 @@ mod tests {
     fn pipeline_walls_are_jobs_invariant() {
         let arch = small();
         let run = |jobs| {
-            sweep::map_jobs(Strategy::ALL.to_vec(), jobs, |s| {
-                run_strategy(&arch, s).unwrap().wall_ps
-            })
+            sweep::Sweep::new()
+                .jobs(jobs)
+                .run(Strategy::ALL.to_vec(), |s| {
+                    run_strategy(&arch, s).unwrap().wall_ps
+                })
         };
         assert_eq!(run(1), run(8));
     }
@@ -671,11 +674,13 @@ mod tests {
     fn primitive_rows_are_jobs_invariant() {
         let arch = small();
         let run = |jobs| {
-            sweep::map_jobs(vec![0usize, 1, 2, 3], jobs, |i| {
-                let spec = &specs(&arch)[i];
-                let row = measure_primitive(&arch, spec).unwrap();
-                (row.cycles_per_op.to_bits(), row.baseline_cycles.to_bits())
-            })
+            sweep::Sweep::new()
+                .jobs(jobs)
+                .run(vec![0usize, 1, 2, 3], |i| {
+                    let spec = &specs(&arch)[i];
+                    let row = measure_primitive(&arch, spec).unwrap();
+                    (row.cycles_per_op.to_bits(), row.baseline_cycles.to_bits())
+                })
         };
         assert_eq!(run(1), run(8));
     }
@@ -687,22 +692,24 @@ mod tests {
         // spinning, in every cell, whatever the worker count.
         let arch = small();
         let run = |jobs| {
-            sweep::map_jobs(vec![0u32, 1, 2, 3], jobs, |cell| {
-                let mut b = KernelBuilder::new(&format!("never-signalled-{cell}"));
-                b.wait_ge(Param(0), Imm(0), Imm(1));
-                b.exit();
-                let mut sys = GpuSystem::single(arch.clone());
-                let flag = sys.alloc(0, 1);
-                let launch = GridLaunch::single(b.build(0), 1, 32, vec![flag.0 as u64]);
-                match sys.execute(&launch, &RunOptions::new().watchdog(SPIN_WATCHDOG)) {
-                    Err(SimError::Watchdog { at, stuck, .. }) => {
-                        assert_eq!(stuck.len(), 1);
-                        assert_eq!(stuck[0].waiting, StuckKind::Spinning);
-                        at.0
+            sweep::Sweep::new()
+                .jobs(jobs)
+                .run(vec![0u32, 1, 2, 3], |cell| {
+                    let mut b = KernelBuilder::new(&format!("never-signalled-{cell}"));
+                    b.wait_ge(Param(0), Imm(0), Imm(1));
+                    b.exit();
+                    let mut sys = GpuSystem::single(arch.clone());
+                    let flag = sys.alloc(0, 1);
+                    let launch = GridLaunch::single(b.build(0), 1, 32, vec![flag.0 as u64]);
+                    match sys.execute(&launch, &RunOptions::new().watchdog(SPIN_WATCHDOG)) {
+                        Err(SimError::Watchdog { at, stuck, .. }) => {
+                            assert_eq!(stuck.len(), 1);
+                            assert_eq!(stuck[0].waiting, StuckKind::Spinning);
+                            at.0
+                        }
+                        other => panic!("cell {cell}: expected watchdog, got {other:?}"),
                     }
-                    other => panic!("cell {cell}: expected watchdog, got {other:?}"),
-                }
-            })
+                })
         };
         let a = run(1);
         assert_eq!(a, run(8));

@@ -50,8 +50,8 @@ fn best_throughput(
     arch: &GpuArch,
     measure: impl Fn(u32, u32) -> SimResult<f64> + Sync,
 ) -> SimResult<f64> {
-    let results =
-        crate::sweep::try_map(throughput_configs(arch), |(tpb, bpsm)| measure(tpb, bpsm))?;
+    let results = crate::sweep::Sweep::new()
+        .try_run(throughput_configs(arch), |(tpb, bpsm)| measure(tpb, bpsm))?;
     Ok(results.into_iter().fold(0.0f64, f64::max))
 }
 
@@ -78,11 +78,12 @@ pub fn table2(arch: &GpuArch) -> SimResult<Vec<WarpSyncRow>> {
             coa_configs.push((k, tpb, bpsm));
         }
     }
-    let coa_partial_thr = crate::sweep::try_map(coa_configs, |(k, tpb, bpsm)| {
-        coalesced_partial_throughput_per_sm(&a1, k, THR_REPS, bpsm, tpb)
-    })?
-    .into_iter()
-    .fold(0.0f64, f64::max);
+    let coa_partial_thr = crate::sweep::Sweep::new()
+        .try_run(coa_configs, |(k, tpb, bpsm)| {
+            coalesced_partial_throughput_per_sm(&a1, k, THR_REPS, bpsm, tpb)
+        })?
+        .into_iter()
+        .fold(0.0f64, f64::max);
 
     let shuffle_ref = 32.0; // programming guide: 32 thread-ops/cycle
     let block_ref = if arch.compute_capability.0 >= 7 {

@@ -24,6 +24,7 @@ pub mod isa;
 pub mod kernels;
 pub mod mem;
 pub mod profile;
+pub mod shard;
 pub mod stats;
 pub mod system;
 pub mod timeline;
@@ -41,6 +42,9 @@ pub use mem::{BufData, BufId, Buffer, Hazard, HazardKind, SharedMem};
 pub use profile::{
     BarrierEpoch, KernelProfile, ProfileReport, SmProfile, StallBreakdown, SyncScope,
 };
-pub use system::{ExecReport, GpuSystem, GridLaunch, LaunchKind, RunArtifacts, RunOptions};
+pub use shard::{default_shards, set_default_shards};
+pub use system::{
+    ExecReport, GpuSystem, GridLaunch, LaunchKind, RunArtifacts, RunOptions, ShardPolicy,
+};
 pub use timeline::render_timeline;
 pub use verify::{check_kernel, check_launch, render_report, Diagnostic, HazardClass, Severity};

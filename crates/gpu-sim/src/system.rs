@@ -115,6 +115,24 @@ impl ExecReport {
     }
 }
 
+/// How a launch's discrete-event execution is parallelized (see
+/// [`crate::shard`] for the protocol). Sharding is an *execution strategy*,
+/// not an instrument: every artifact a sharded run produces is byte-identical
+/// at any worker count, and a clean single-rank launch always uses the
+/// single-queue engine regardless of policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// Use the process-wide default ([`crate::shard::set_default_shards`],
+    /// wired to the CLI's `--shards`); `0` means the single-queue engine.
+    #[default]
+    Auto,
+    /// Force the classic single event queue.
+    SingleQueue,
+    /// One shard per device rank of a multi-device launch, driven by up to
+    /// `workers` OS threads under conservative time-window synchronization.
+    ByRank { workers: usize },
+}
+
 /// What to instrument during a run — the one knob set of the unified
 /// [`GpuSystem::execute`] API. Compose with the builder methods:
 ///
@@ -137,6 +155,7 @@ pub struct RunOptions {
     profile: bool,
     faults: Option<crate::fault::FaultPlan>,
     watchdog: Option<Ps>,
+    shards: ShardPolicy,
 }
 
 impl RunOptions {
@@ -148,6 +167,7 @@ impl RunOptions {
             profile: false,
             faults: None,
             watchdog: None,
+            shards: ShardPolicy::Auto,
         }
     }
 
@@ -191,6 +211,29 @@ impl RunOptions {
     pub const fn watchdog(mut self, budget: Ps) -> RunOptions {
         self.watchdog = Some(budget);
         self
+    }
+
+    /// Select intra-launch sharding: `n` worker threads driving one
+    /// discrete-event shard per device rank (`n = 0` forces the single-queue
+    /// engine; `n = 1` runs the sharded protocol on one thread — useful to
+    /// test its determinism). Shorthand for the common [`ShardPolicy`] cases.
+    pub const fn shards(mut self, n: usize) -> RunOptions {
+        self.shards = if n == 0 {
+            ShardPolicy::SingleQueue
+        } else {
+            ShardPolicy::ByRank { workers: n }
+        };
+        self
+    }
+
+    /// Set the full [`ShardPolicy`] (e.g. to restore `Auto`).
+    pub const fn shard_policy(mut self, policy: ShardPolicy) -> RunOptions {
+        self.shards = policy;
+        self
+    }
+
+    pub const fn sharding(&self) -> ShardPolicy {
+        self.shards
     }
 
     pub const fn wants_check(&self) -> bool {
@@ -365,6 +408,21 @@ impl GpuSystem {
         (0..b.len()).map(|i| b.load(i).unwrap()).collect()
     }
 
+    /// Does any rank's param list name a buffer on a different device?
+    /// Conservative (a scalar equal to a remote buffer's id counts), used
+    /// only to keep [`ShardPolicy::Auto`] off launches that need the
+    /// single-queue engine's cross-device data path.
+    fn params_cross_devices(&self, launch: &GridLaunch) -> bool {
+        launch.devices.iter().zip(&launch.params).any(|(&dev, ps)| {
+            ps.iter().any(|&p| {
+                usize::try_from(p)
+                    .ok()
+                    .and_then(|i| self.bufs.get(i))
+                    .is_some_and(|b| b.device != dev)
+            })
+        })
+    }
+
     /// Validate and execute a grid launch to completion — the single
     /// execution entry point. Host-side launch overheads are *not* included
     /// — they belong to the `cuda-rt` stream model.
@@ -377,6 +435,38 @@ impl GpuSystem {
     pub fn execute(&mut self, launch: &GridLaunch, opts: &RunOptions) -> SimResult<RunArtifacts> {
         let check = opts.wants_check() || launch.checked;
         self.validate_with(launch, check)?;
+        // Sharded path: multi-device launches with sharding selected (via
+        // the builder or the process-wide CLI default). Single-device
+        // launches have exactly one shard, so the single queue IS the
+        // sharded execution — no separate path needed.
+        let workers = match opts.sharding() {
+            // The process-wide default must widen no semantics: a launch
+            // whose params hand a rank another device's buffer (peer-access
+            // reductions, P2P allreduce) needs the single-queue engine's
+            // cross-device data path, so Auto quietly keeps it there. A
+            // scalar param colliding with a remote buffer id only costs the
+            // speedup, never correctness; computed cross-device accesses
+            // that slip past the scan still hit the in-engine guard.
+            ShardPolicy::Auto if self.params_cross_devices(launch) => 0,
+            ShardPolicy::Auto => crate::shard::default_shards(),
+            ShardPolicy::SingleQueue => 0,
+            ShardPolicy::ByRank { workers } => workers,
+        };
+        if workers > 0 && launch.devices.len() > 1 {
+            let (report, trace, hazards, profile) =
+                crate::shard::execute_sharded(self, launch, opts, check, workers)?;
+            crate::stats::count_instrs(report.instrs_executed);
+            return Ok(RunArtifacts {
+                report,
+                hazards: if check { Some(hazards) } else { None },
+                trace: if opts.trace_cap().is_some() {
+                    Some(trace)
+                } else {
+                    None
+                },
+                profile,
+            });
+        }
         let mut engine = Engine::new(self, launch)
             .with_check(check)
             .with_profile(opts.wants_profile())
