@@ -3,10 +3,11 @@
 //! The gpu-sim crate proves the sharded engine's artifacts are
 //! byte-identical per launch; this test proves the property survives the
 //! whole reproduction stack — sweep scheduling, profile merging in plan
-//! order, and chrome-trace export — by running the figure9 (multi-device),
-//! grid_sync (single-device), and fused_pipeline profile bundles across
-//! shard worker counts {0, 1, 2, 4} and sweep jobs {1, 8} and byte-diffing
-//! every artifact against the single-queue serial baseline.
+//! order, and chrome-trace export — by running the figure9 (multi-device,
+//! sharded by rank), grid_sync (single-device, sharded by SM cluster), and
+//! fused_pipeline profile bundles across shard worker counts {0, 1, 2, 4, 7}
+//! and sweep jobs {1, 8} and byte-diffing every artifact against the
+//! single-queue serial baseline.
 //!
 //! One `#[test]` on purpose: both knobs (`gpu_sim::set_default_shards`,
 //! `Sweep::set_default_jobs`) are process-global and libtest runs tests
@@ -37,7 +38,7 @@ fn profile_artifacts_are_invariant_across_shards_and_jobs() {
     Sweep::set_default_jobs(1);
     let baseline: Vec<String> = PROFILES.iter().map(|n| bundle(n)).collect();
 
-    for (shards, jobs) in [(1, 1), (2, 8), (4, 1), (4, 8)] {
+    for (shards, jobs) in [(1, 1), (2, 8), (4, 1), (4, 8), (7, 1), (7, 8)] {
         gpu_sim::set_default_shards(shards);
         Sweep::set_default_jobs(jobs);
         for (name, base) in PROFILES.iter().zip(&baseline) {

@@ -268,92 +268,6 @@ where
         .collect()
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated free-function façade (pre-`Sweep` API). Each is a thin wrapper
-// over the builder; migrate to `Sweep::new()...` — the lint job builds with
-// `-D deprecated`, so no in-repo caller may remain on these.
-// ---------------------------------------------------------------------------
-
-/// Override the worker count for all subsequent sweeps (0 restores the
-/// default).
-#[deprecated(since = "0.8.0", note = "use `Sweep::set_default_jobs(n)`")]
-pub fn set_jobs(n: usize) {
-    Sweep::set_default_jobs(n);
-}
-
-/// Apply `f` to every item on [`jobs`] workers; results come back in input
-/// order.
-#[deprecated(since = "0.8.0", note = "use `Sweep::new().run(items, f)`")]
-pub fn map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
-where
-    I: Send,
-    T: Send,
-    F: Fn(I) -> T + Sync,
-{
-    Sweep::new().run(items, f)
-}
-
-/// `map` with an explicit worker count.
-#[deprecated(since = "0.8.0", note = "use `Sweep::new().jobs(n).run(items, f)`")]
-pub fn map_jobs<I, T, F>(items: Vec<I>, jobs: usize, f: F) -> Vec<T>
-where
-    I: Send,
-    T: Send,
-    F: Fn(I) -> T + Sync,
-{
-    Sweep::new().jobs(jobs).run(items, f)
-}
-
-/// `map` over fallible points.
-#[deprecated(since = "0.8.0", note = "use `Sweep::new().try_run(items, f)`")]
-pub fn try_map<I, T, F>(items: Vec<I>, f: F) -> SimResult<Vec<T>>
-where
-    I: Send,
-    T: Send,
-    F: Fn(I) -> SimResult<T> + Sync,
-{
-    Sweep::new().try_run(items, f)
-}
-
-/// `map` with per-worker scratch state.
-#[deprecated(since = "0.8.0", note = "use `Sweep::new().init(g).run(items, f)`")]
-pub fn map_init<I, T, S, G, F>(items: Vec<I>, init: G, f: F) -> Vec<T>
-where
-    I: Send,
-    T: Send,
-    G: Fn() -> S + Sync,
-    F: Fn(&mut S, I) -> T + Sync,
-{
-    Sweep::new().init(init).run(items, f)
-}
-
-/// `map_init` with an explicit worker count.
-#[deprecated(
-    since = "0.8.0",
-    note = "use `Sweep::new().init(g).jobs(n).run(items, f)`"
-)]
-pub fn map_jobs_init<I, T, S, G, F>(items: Vec<I>, jobs: usize, init: G, f: F) -> Vec<T>
-where
-    I: Send,
-    T: Send,
-    G: Fn() -> S + Sync,
-    F: Fn(&mut S, I) -> T + Sync,
-{
-    Sweep::new().init(init).jobs(jobs).run(items, f)
-}
-
-/// `map_init` over fallible points.
-#[deprecated(since = "0.8.0", note = "use `Sweep::new().init(g).try_run(items, f)`")]
-pub fn try_map_init<I, T, S, G, F>(items: Vec<I>, init: G, f: F) -> SimResult<Vec<T>>
-where
-    I: Send,
-    T: Send,
-    G: Fn() -> S + Sync,
-    F: Fn(&mut S, I) -> SimResult<T> + Sync,
-{
-    Sweep::new().init(init).try_run(items, f)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,41 +463,5 @@ mod tests {
         assert_eq!(jobs(), 3);
         Sweep::set_default_jobs(0);
         assert_eq!(jobs(), default_jobs());
-    }
-
-    /// The deprecated façade must keep delegating to the builder until the
-    /// last out-of-repo caller migrates.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_facade_delegates_to_the_builder() {
-        let items: Vec<u32> = (0..32).collect();
-        assert_eq!(
-            map(items.clone(), |i| i + 1),
-            Sweep::new().run(items.clone(), |i| i + 1)
-        );
-        assert_eq!(
-            map_jobs(items.clone(), 3, |i| i * 2),
-            Sweep::new().jobs(3).run(items.clone(), |i| i * 2)
-        );
-        assert_eq!(
-            try_map(items.clone(), Ok).unwrap(),
-            Sweep::new().try_run(items.clone(), Ok).unwrap()
-        );
-        assert_eq!(
-            map_init(items.clone(), || 0u32, |_, i| i).as_slice(),
-            Sweep::new()
-                .init(|| 0u32)
-                .run(items.clone(), |_, i| i)
-                .as_slice()
-        );
-        assert_eq!(
-            map_jobs_init(items.clone(), 2, || (), |_, i| i).as_slice(),
-            items.as_slice()
-        );
-        assert_eq!(
-            try_map_init(items.clone(), || (), |_, i| Ok(i)).unwrap(),
-            items
-        );
-        set_jobs(0);
     }
 }

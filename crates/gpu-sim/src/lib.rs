@@ -42,7 +42,7 @@ pub use mem::{BufData, BufId, Buffer, Hazard, HazardKind, SharedMem};
 pub use profile::{
     BarrierEpoch, KernelProfile, ProfileReport, SmProfile, StallBreakdown, SyncScope,
 };
-pub use shard::{default_shards, set_default_shards};
+pub use shard::{default_shards, set_default_shards, set_shard_fallback_hook, ShardFallbackHook};
 pub use system::{
     ExecReport, GpuSystem, GridLaunch, LaunchKind, RunArtifacts, RunOptions, ShardPolicy,
 };
