@@ -19,7 +19,7 @@
 //! repro --profile grid_sync   # re-run an experiment with syncprof armed:
 //!                             # summary to stdout, artifacts under --out
 //! repro --bench               # run the fixed perf suite and write the
-//!                             # tracked baseline (BENCH_9.json) to the
+//!                             # tracked baseline (BENCH_10.json) to the
 //!                             # current directory
 //! repro --faults 7 sync_resilience
 //!                             # seed for the fault-injection experiments
@@ -34,7 +34,7 @@
 //! --profile NAME   DIR/<name>.profile.json, DIR/<name>.trace.json
 //! --check          DIR/audit.json
 //! --scorecard      DIR/SCORECARD.json
-//! --bench          DIR/BENCH_9.json
+//! --bench          DIR/BENCH_10.json
 //! ```
 //!
 //! Without `--out`, experiments/audit/scorecard print to stdout only and
@@ -159,7 +159,7 @@ fn main() {
     // The per-artifact output flags were unified under `--out DIR`; reject
     // the old spellings with a pointer instead of silently ignoring them.
     for (old, new) in [
-        ("--bench-out", "--bench --out DIR writes DIR/BENCH_9.json"),
+        ("--bench-out", "--bench --out DIR writes DIR/BENCH_10.json"),
         (
             "--scorecard-out",
             "--scorecard --out DIR writes DIR/SCORECARD.json",

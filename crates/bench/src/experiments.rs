@@ -587,6 +587,13 @@ pub fn sync_resilience() -> String {
     sync_micro::resilience::report(crate::faults::seed()).expect("sync_resilience")
 }
 
+/// Robustness extension: MTTR-style cost of recovering a multi-grid
+/// barrier from killed-block faults — checkpointed retry for transient
+/// kills, rank eviction for persistent ones. Seeded by `repro --faults`.
+pub fn sync_recovery() -> String {
+    sync_micro::recovery::report(crate::faults::seed()).expect("sync_recovery")
+}
+
 /// §III-B extension: software device-wide barriers vs `grid.sync()`.
 pub fn software_barriers() -> String {
     let mut s = String::new();
@@ -693,6 +700,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         "sync_resilience",
         "sync cost under stragglers & degraded links (--faults)",
         sync_resilience,
+    ),
+    (
+        "sync_recovery",
+        "MTTR of multi-grid barrier recovery: retry vs rank eviction (--faults)",
+        sync_recovery,
     ),
 ];
 

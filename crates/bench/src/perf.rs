@@ -24,7 +24,7 @@ use sync_micro::{grid_sync, sweep};
 
 /// Where `repro --bench` writes when `--out` is not given: the tracked
 /// perf-baseline file for this PR generation.
-pub const DEFAULT_BENCH_FILE: &str = "BENCH_9.json";
+pub const DEFAULT_BENCH_FILE: &str = "BENCH_10.json";
 
 /// One suite entry of the bench file.
 #[derive(Debug, Clone, Serialize)]

@@ -301,7 +301,7 @@ fn out_naming_an_existing_file_is_a_conflict() {
 #[test]
 fn removed_output_flags_are_rejected_with_a_pointer() {
     for (flag, artifact) in [
-        ("--bench-out", "BENCH_9.json"),
+        ("--bench-out", "BENCH_10.json"),
         ("--scorecard-out", "SCORECARD.json"),
     ] {
         let r = repro().args([flag, "x.json"]).output().unwrap();

@@ -33,6 +33,7 @@ pub mod measure;
 pub mod multi_gpu;
 pub mod multi_grid;
 pub mod plot;
+pub mod recovery;
 pub mod report;
 pub mod resilience;
 pub mod shared_mem;

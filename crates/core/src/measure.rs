@@ -3,7 +3,9 @@
 use gpu_arch::GpuArch;
 use gpu_node::NodeTopology;
 use gpu_sim::kernels::{self, SyncOp};
-use gpu_sim::{ExecReport, GpuSystem, GridLaunch, LaunchKind, ProfileReport, RunOptions};
+use gpu_sim::{
+    ExecReport, GpuSystem, GridLaunch, LaunchKind, ProfileReport, RunArtifacts, RunOptions,
+};
 use sim_core::{Ps, SimResult};
 use std::sync::Arc;
 
@@ -136,6 +138,44 @@ pub fn sync_chain_with_in(
     block_dim: u32,
     opts: &RunOptions,
 ) -> SimResult<(ChainMeasurement, Option<ProfileReport>)> {
+    let (m, arts) = sync_chain_run_in(sys, devices, op, reps, grid_dim, block_dim, opts)?;
+    Ok((m, arts.profile))
+}
+
+/// [`sync_chain_with`] keeping the *full* [`RunArtifacts`] — for callers
+/// that need more than the profile, e.g. the recovery account a
+/// [`RunOptions::recovery`] policy attaches after retries or eviction.
+pub fn sync_chain_run(
+    arch: &GpuArch,
+    placement: &Placement,
+    op: SyncOp,
+    reps: usize,
+    grid_dim: u32,
+    block_dim: u32,
+    opts: &RunOptions,
+) -> SimResult<(ChainMeasurement, RunArtifacts)> {
+    let mut sys = GpuSystem::new(arch.clone(), placement.topology.clone());
+    sync_chain_run_in(
+        &mut sys,
+        &placement.devices,
+        op,
+        reps,
+        grid_dim,
+        block_dim,
+        opts,
+    )
+}
+
+/// [`sync_chain_run`] against a caller-owned (reset) [`GpuSystem`].
+pub fn sync_chain_run_in(
+    sys: &mut GpuSystem,
+    devices: &[usize],
+    op: SyncOp,
+    reps: usize,
+    grid_dim: u32,
+    block_dim: u32,
+    opts: &RunOptions,
+) -> SimResult<(ChainMeasurement, RunArtifacts)> {
     sys.reset();
     let kernel = kernels::sync_chain(op, reps);
     let launch = launch_for(sys, op, kernel, grid_dim, block_dim, devices);
@@ -148,9 +188,9 @@ pub fn sync_chain_with_in(
     Ok((
         ChainMeasurement {
             cycles_per_op: cycles as f64 / reps as f64,
-            report: arts.report,
+            report: arts.report.clone(),
         },
-        arts.profile,
+        arts,
     ))
 }
 

@@ -20,8 +20,8 @@
 
 use gpu_arch::LaunchPath;
 use gpu_sim::{
-    BufId, ExecReport, GpuSystem, GridLaunch, HazardReport, LaunchKind, ProfileReport, RunOptions,
-    TraceEvent,
+    BufId, ExecReport, GpuSystem, GridLaunch, HazardReport, LaunchKind, ProfileReport,
+    RecoveryReport, RunOptions, TraceEvent,
 };
 use sim_core::{Ps, SimError, SimResult, SmallRng};
 
@@ -64,6 +64,9 @@ pub struct LaunchArtifacts {
     pub trace: Option<Vec<TraceEvent>>,
     /// Syncprof counters (`Some` iff profiling was requested).
     pub profile: Option<ProfileReport>,
+    /// Recovery account (`Some` iff a [`gpu_sim::RecoveryPolicy`] was
+    /// installed — even when the first attempt succeeded cleanly).
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl LaunchArtifacts {
@@ -212,7 +215,12 @@ impl HostSim {
     /// checking, tracing, profiling — without changing the stream timing.
     /// Detected hazards come back as *data* in [`LaunchArtifacts::hazards`];
     /// `launch` only errors on invalid launches, faults, deadlock, or
-    /// static-lint rejections.
+    /// static-lint rejections. With a [`gpu_sim::RecoveryPolicy`] installed,
+    /// a fault-induced failure may instead resolve to `Ok` via checkpointed
+    /// retry or rank eviction — the account lands in
+    /// [`LaunchArtifacts::recovery`], the failed attempts and backoff are
+    /// charged to the stream as busy time, and after eviction the stream
+    /// timing covers only the surviving devices.
     pub fn launch(
         &mut self,
         thread: usize,
@@ -222,6 +230,23 @@ impl HostSim {
         let path = self.path(launch.kind);
         let arts = self.sys.execute(launch, opts)?;
         let exec = arts.report;
+        let recovery = arts.recovery;
+        // Rank eviction shrinks the participant set: `device_durations`
+        // covers only the ranks the successful attempt ran on, so the
+        // stream timing below must use the survivors, not the request.
+        let live: Vec<usize> = match &recovery {
+            Some(r) if !r.evicted_devices.is_empty() => launch
+                .devices
+                .iter()
+                .copied()
+                .filter(|d| !r.evicted_devices.contains(d))
+                .collect(),
+            _ => launch.devices.clone(),
+        };
+        debug_assert_eq!(live.len(), exec.device_durations.len());
+        // Failed attempts and backoff occupy the stream(s) before the
+        // successful attempt begins.
+        let rec_cost = recovery.as_ref().map_or(Ps::ZERO, |r| r.recovery_cost);
         // CPU-side cost of the launch call.
         self.threads[thread] += Ps::from_ns(path.overhead_ns);
         let now = self.threads[thread];
@@ -230,17 +255,14 @@ impl HostSim {
             LaunchKind::CooperativeMultiDevice => {
                 // Gate: waits for ALL previous operations in every
                 // participating device's stream, plus per-GPU serialization.
-                let all_busy = launch
-                    .devices
+                let all_busy = live
                     .iter()
                     .map(|&d| self.streams[d].busy_until)
                     .max()
                     .unwrap_or(Ps::ZERO);
-                let gate = Ps::from_ns(
-                    self.sys.arch.host.multi_gate_per_gpu_ns * (launch.devices.len() as u64 - 1),
-                );
-                let saturated = launch
-                    .devices
+                let gate =
+                    Ps::from_ns(self.sys.arch.host.multi_gate_per_gpu_ns * (live.len() as u64 - 1));
+                let saturated = live
                     .iter()
                     .any(|&d| self.streams[d].has_tail && self.streams[d].busy_until > now);
                 if saturated {
@@ -250,7 +272,7 @@ impl HostSim {
                 }
             }
             _ => {
-                let d = launch.devices[0];
+                let d = live[0];
                 let s = self.streams[d];
                 if s.has_tail && s.busy_until > now {
                     // Back-to-back in a saturated stream: the launch gap,
@@ -265,8 +287,9 @@ impl HostSim {
             }
         };
 
+        let begin = begin + rec_cost;
         let mut end = Ps::ZERO;
-        for (r, &d) in launch.devices.iter().enumerate() {
+        for (r, &d) in live.iter().enumerate() {
             let e = begin + exec.device_durations[r];
             self.streams[d].busy_until = e;
             self.streams[d].has_tail = true;
@@ -279,6 +302,7 @@ impl HostSim {
             hazards: arts.hazards,
             trace: arts.trace,
             profile: arts.profile,
+            recovery,
         })
     }
 

@@ -166,6 +166,37 @@ impl NodeTopology {
         d
     }
 
+    /// The topology with the GPUs in `gone` removed — the *effective* node a
+    /// recovery layer re-runs on after evicting failed ranks. Surviving GPUs
+    /// are renumbered to `0..n-gone.len()` in their original order, and the
+    /// adjacency restriction preserves every surviving pair's link class, so
+    /// path costs between survivors are exactly what they were under their
+    /// old ids. Per-class latencies and bandwidths are unchanged: eviction
+    /// removes a participant, it does not repair or degrade the fabric.
+    ///
+    /// Panics if `gone` names an out-of-range GPU or would evict every GPU.
+    pub fn evict(&self, gone: &[usize]) -> NodeTopology {
+        for &g in gone {
+            assert!(g < self.num_gpus, "evicted GPU {g} out of range");
+        }
+        let survivors: Vec<usize> = (0..self.num_gpus).filter(|g| !gone.contains(g)).collect();
+        assert!(!survivors.is_empty(), "cannot evict every GPU");
+        let mut d = self.clone();
+        d.num_gpus = survivors.len();
+        d.adjacent = survivors
+            .iter()
+            .map(|&a| survivors.iter().map(|&b| self.adjacent[a][b]).collect())
+            .collect();
+        if survivors.len() < self.num_gpus {
+            d.name = format!(
+                "{} [-{} evicted]",
+                self.name,
+                self.num_gpus - survivors.len()
+            );
+        }
+        d
+    }
+
     /// Classify the path between two GPUs.
     pub fn link(&self, a: usize, b: usize) -> LinkClass {
         assert!(
@@ -364,5 +395,46 @@ mod tests {
     fn out_of_range_gpu_panics() {
         let t = NodeTopology::p100_pair();
         let _ = t.link(0, 2);
+    }
+
+    #[test]
+    fn evict_preserves_surviving_link_structure() {
+        let t = NodeTopology::dgx1_v100();
+        // Evict GPU 1: survivors are [0,2,3,4,5,6,7] renumbered 0..7.
+        let e = t.evict(&[1]);
+        assert_eq!(e.num_gpus, 7);
+        let survivors = [0usize, 2, 3, 4, 5, 6, 7];
+        for (na, &oa) in survivors.iter().enumerate() {
+            for (nb, &ob) in survivors.iter().enumerate() {
+                assert_eq!(e.link(na, nb), t.link(oa, ob), "{oa}-{ob}");
+            }
+        }
+        // Costs are untouched; the name records the eviction.
+        assert_eq!(e.near_flag, t.near_flag);
+        assert_eq!(e.far_bw_gbs, t.far_bw_gbs);
+        assert!(e.name.contains("[-1 evicted]"), "{}", e.name);
+    }
+
+    #[test]
+    fn evict_multiple_and_identity() {
+        let t = NodeTopology::dgx1_v100();
+        // Drop one whole quad: the survivors {4..7} are still a full mesh.
+        let e = t.evict(&[0, 1, 2, 3]);
+        assert_eq!(e.num_gpus, 4);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert_eq!(e.link(a, b), LinkClass::Near, "{a}-{b}");
+                }
+            }
+        }
+        // Evicting nothing is the identity (name included).
+        assert_eq!(t.evict(&[]), t);
+    }
+
+    #[test]
+    #[should_panic]
+    fn evicting_every_gpu_panics() {
+        let _ = NodeTopology::p100_pair().evict(&[0, 1]);
     }
 }

@@ -973,7 +973,15 @@ impl<'a> Engine<'a> {
             at: self.now,
             last_progress: self.last_progress_at,
             stuck: self.stuck_warps(),
+            faults: self.fault_fingerprint(),
         }
+    }
+
+    /// Fingerprint of the armed fault plan (`None` when unfaulted), stamped
+    /// into the Deadlock/Watchdog errors this engine — or the shard
+    /// coordinator merging several engines — constructs.
+    pub(crate) fn fault_fingerprint(&self) -> Option<sim_core::FaultFingerprint> {
+        self.fault.as_ref().map(|f| f.plan.fingerprint())
     }
 
     /// Every unfinished warp with its PC and wait kind, sorted by
@@ -3162,6 +3170,7 @@ impl<'a> Engine<'a> {
             return Err(SimError::Deadlock {
                 at: self.now,
                 blocked: blocked.into_iter().map(|(_, _, _, s)| s).collect(),
+                faults: self.fault_fingerprint(),
             });
         }
         // Blocks are created rank-major, so the hazard report is ordered

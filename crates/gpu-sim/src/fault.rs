@@ -155,6 +155,86 @@ impl FaultPlan {
         self.link_latency_mult_permille != IDENT_PERMILLE
             || self.link_bw_mult_permille != IDENT_PERMILLE
     }
+
+    /// Compact identity of this plan — the seed plus a `(tag, count)` pair
+    /// per armed channel — threaded into [`sim_core::SimError::Deadlock`] /
+    /// [`sim_core::SimError::Watchdog`] so the errors a plan provokes name
+    /// it. Channel order is fixed, so equal plans always fingerprint to
+    /// equal (and byte-identical when serialized) values.
+    pub fn fingerprint(&self) -> sim_core::FaultFingerprint {
+        let mut armed: Vec<(String, u32)> = Vec::new();
+        let mut arm = |on: bool, tag: &str, count: u32| {
+            if on {
+                armed.push((tag.to_string(), count));
+            }
+        };
+        arm(
+            self.straggler_permille > 0 && self.straggler_mult_permille != IDENT_PERMILLE,
+            "stragglers",
+            1,
+        );
+        arm(
+            self.sm_throttle_permille > 0 && self.sm_throttle_mult_permille != IDENT_PERMILLE,
+            "sm-throttle",
+            1,
+        );
+        arm(
+            self.link_latency_mult_permille != IDENT_PERMILLE,
+            "link-latency",
+            1,
+        );
+        arm(
+            self.link_bw_mult_permille != IDENT_PERMILLE,
+            "link-bandwidth",
+            1,
+        );
+        arm(
+            self.flap_period_ns > 0 && self.flap_down_ns > 0,
+            "link-flaps",
+            1,
+        );
+        arm(
+            self.barrier_delay_permille > 0 && self.barrier_delay_ns > 0,
+            "barrier-delays",
+            1,
+        );
+        arm(
+            !self.killed_blocks.is_empty(),
+            "killed-blocks",
+            self.killed_blocks.len() as u32,
+        );
+        sim_core::FaultFingerprint {
+            seed: self.seed,
+            armed,
+        }
+    }
+
+    /// The device ranks named by [`FaultPlan::killed_blocks`], sorted and
+    /// deduplicated — the ranks a recovery policy may evict.
+    pub fn killed_ranks(&self) -> Vec<u32> {
+        let mut ranks: Vec<u32> = self.killed_blocks.iter().map(|&(r, _)| r).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks
+    }
+
+    /// The plan as seen by a relaunch that evicted `ranks` (sorted original
+    /// rank indices): kill entries on evicted ranks disappear with their
+    /// rank, and surviving kill entries are renumbered to the compacted rank
+    /// space. Every other channel is rank-agnostic and carries over.
+    pub fn evict_ranks(&self, ranks: &[u32]) -> FaultPlan {
+        let mut plan = self.clone();
+        plan.killed_blocks = self
+            .killed_blocks
+            .iter()
+            .filter(|(r, _)| !ranks.contains(r))
+            .map(|&(r, b)| {
+                let below = ranks.iter().filter(|&&e| e < r).count() as u32;
+                (r - below, b)
+            })
+            .collect();
+        plan
+    }
 }
 
 /// Deterministic per-entity draw: SplitMix64-fold the seed with each part.
@@ -176,6 +256,10 @@ pub fn mix(seed: u64, parts: &[u64]) -> u64 {
 pub(crate) const TAG_STRAGGLER: u64 = 1;
 pub(crate) const TAG_SM_THROTTLE: u64 = 2;
 pub(crate) const TAG_BARRIER_DELAY: u64 = 3;
+/// Retry-backoff jitter draws of [`crate::recover`], keyed on the attempt
+/// counter — never on execution order — so retry schedules are
+/// byte-identical at any `--jobs`/`--shards` value.
+pub(crate) const TAG_RETRY_BACKOFF: u64 = 4;
 
 #[cfg(test)]
 mod tests {
@@ -208,6 +292,45 @@ mod tests {
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn fingerprint_names_armed_channels_only() {
+        let fp = FaultPlan::seeded(7).fingerprint();
+        assert_eq!(fp.seed, 7);
+        assert!(fp.armed.is_empty(), "{fp:?}");
+        let fp = FaultPlan::seeded(9)
+            .stragglers(250, 4000)
+            .kill_block(1, 0)
+            .kill_block(2, 3)
+            .fingerprint();
+        assert_eq!(
+            fp.armed,
+            vec![("stragglers".into(), 1), ("killed-blocks".into(), 2)]
+        );
+        // Probability-without-effect channels stay unarmed.
+        let fp = FaultPlan::seeded(9).stragglers(250, 1000).fingerprint();
+        assert!(fp.armed.is_empty(), "{fp:?}");
+    }
+
+    #[test]
+    fn evicting_ranks_drops_and_renumbers_kills() {
+        let plan = FaultPlan::seeded(3)
+            .kill_block(1, 0)
+            .kill_block(1, 2)
+            .kill_block(3, 5);
+        assert_eq!(plan.killed_ranks(), vec![1, 3]);
+        // Evicting rank 1: its kills vanish, rank 3 compacts to rank 2.
+        let after = plan.evict_ranks(&[1]);
+        assert_eq!(after.killed_blocks, vec![(2, 5)]);
+        // Evicting every killed rank leaves a kill-free plan.
+        assert!(plan.evict_ranks(&[1, 3]).killed_blocks.is_empty());
+        // Rank-agnostic channels carry over untouched.
+        let degraded = FaultPlan::seeded(3)
+            .degrade_links(2000, 1000)
+            .kill_block(0, 0);
+        let after = degraded.evict_ranks(&[0]);
+        assert_eq!(after.link_latency_mult_permille, 2000);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * deadlock detection for partial-group synchronization (paper §VIII-B), and
 //! * seeded deterministic fault injection plus a progress watchdog for
 //!   spin-barrier livelocks ([`fault`], [`RunOptions::faults`],
-//!   [`RunOptions::watchdog`]).
+//!   [`RunOptions::watchdog`]), and
+//! * an opt-in fault recovery layer — checkpointed retry with seeded
+//!   backoff and rank eviction for multi-grid launches ([`recover`],
+//!   [`RunOptions::recovery`]).
 
 pub mod chrome_trace;
 pub mod disasm;
@@ -24,6 +27,7 @@ pub mod isa;
 pub mod kernels;
 pub mod mem;
 pub mod profile;
+pub mod recover;
 pub mod shard;
 pub mod stats;
 pub mod system;
@@ -38,11 +42,15 @@ pub use isa::{
     fimm, BuildError, Instr, Kernel, KernelBuilder, Operand, Program, Reg, ShflKind, ShflMode,
     Special,
 };
-pub use mem::{BufData, BufId, Buffer, Hazard, HazardKind, SharedMem};
+pub use mem::{BufData, BufId, Buffer, Hazard, HazardKind, MemCheckpoint, SharedMem};
 pub use profile::{
     BarrierEpoch, KernelProfile, ProfileReport, SmProfile, StallBreakdown, SyncScope,
 };
-pub use shard::{default_shards, set_default_shards, set_shard_fallback_hook, ShardFallbackHook};
+pub use recover::{AttemptRecord, ErrorClass, RecoveryPolicy, RecoveryReport};
+pub use shard::{
+    default_shards, reset_shard_fallback_seen, set_default_shards, set_shard_fallback_hook,
+    shard_fallback_scope, ShardFallbackHook, ShardFallbackScope,
+};
 pub use system::{
     ExecReport, GpuSystem, GridLaunch, LaunchKind, RunArtifacts, RunOptions, ShardPolicy,
 };

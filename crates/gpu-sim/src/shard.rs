@@ -105,6 +105,39 @@ pub(crate) fn note_shard_fallback(reason: &str) {
     }
 }
 
+/// Clear the fallback hook's dedup-once state without touching the hook
+/// itself: every reason fires again on its next occurrence. The dedup set
+/// is process-global, so without this reset two tests observing fallbacks
+/// in one process poison each other — the first one to see a reason eats
+/// it for everyone after. Prefer [`shard_fallback_scope`], which resets on
+/// both entry and exit.
+pub fn reset_shard_fallback_seen() {
+    FALLBACK_SEEN.lock().unwrap().clear();
+}
+
+/// RAII scope around a fallback hook installation (see
+/// [`shard_fallback_scope`]): dropping it uninstalls the hook and clears
+/// the dedup set, so observations cannot leak into later code.
+#[must_use = "dropping the guard immediately uninstalls the hook"]
+pub struct ShardFallbackScope(());
+
+impl Drop for ShardFallbackScope {
+    fn drop(&mut self) {
+        set_shard_fallback_hook(None);
+    }
+}
+
+/// Install `hook` for the lifetime of the returned guard. Installation
+/// clears the process-global dedup set (as [`set_shard_fallback_hook`]
+/// does) and the guard's drop uninstalls the hook and clears it again —
+/// the scoped form tests should use so concurrent/later observers start
+/// from clean state. Scopes must not be nested or interleaved across
+/// threads: there is one process-wide hook slot.
+pub fn shard_fallback_scope(hook: ShardFallbackHook) -> ShardFallbackScope {
+    set_shard_fallback_hook(Some(hook));
+    ShardFallbackScope(())
+}
+
 /// Why a single-device launch cannot use SM-cluster sharding, or `None` when
 /// it can. The window protocol is exact only when no simulated global-memory
 /// effect can cross clusters below the lookahead horizon; every check here
@@ -440,6 +473,7 @@ fn coordinate(
         *final_err.lock().unwrap() = Some(SimError::Deadlock {
             at,
             blocked: blocked.into_iter().map(|(_, _, _, s)| s).collect(),
+            faults: engs[0].fault_fingerprint(),
         });
         return Control::Fail;
     };
@@ -460,6 +494,7 @@ fn coordinate(
                 at: m,
                 last_progress: last,
                 stuck,
+                faults: engs[0].fault_fingerprint(),
             });
             return Control::Fail;
         }
@@ -786,6 +821,7 @@ fn coordinate_clusters(
         *final_err.lock().unwrap() = Some(SimError::Deadlock {
             at,
             blocked: blocked.into_iter().map(|(_, _, _, s)| s).collect(),
+            faults: engs[0].fault_fingerprint(),
         });
         return Control::Fail;
     };
@@ -805,6 +841,7 @@ fn coordinate_clusters(
                 at: m,
                 last_progress: last,
                 stuck,
+                faults: engs[0].fault_fingerprint(),
             });
             return Control::Fail;
         }

@@ -177,6 +177,7 @@ pub struct RunOptions {
     faults: Option<crate::fault::FaultPlan>,
     watchdog: Option<Ps>,
     shards: ShardPolicy,
+    recovery: Option<crate::recover::RecoveryPolicy>,
 }
 
 impl RunOptions {
@@ -189,6 +190,7 @@ impl RunOptions {
             faults: None,
             watchdog: None,
             shards: ShardPolicy::Auto,
+            recovery: None,
         }
     }
 
@@ -255,6 +257,17 @@ impl RunOptions {
         self
     }
 
+    /// Arm the fault recovery layer (see [`crate::recover`]): on a
+    /// retryable [`SimError`] the launch is rolled back to a pre-attempt
+    /// buffer checkpoint and relaunched under the policy's backoff and
+    /// eviction rules, and [`RunArtifacts::recovery`] reports what happened.
+    /// With no policy armed, execution takes exactly the historical path and
+    /// every artifact is byte-identical to it.
+    pub const fn recovery(mut self, policy: crate::recover::RecoveryPolicy) -> RunOptions {
+        self.recovery = Some(policy);
+        self
+    }
+
     pub const fn sharding(&self) -> ShardPolicy {
         self.shards
     }
@@ -278,6 +291,24 @@ impl RunOptions {
     pub const fn wants_profile(&self) -> bool {
         self.profile
     }
+
+    pub fn recovery_policy(&self) -> Option<&crate::recover::RecoveryPolicy> {
+        self.recovery.as_ref()
+    }
+
+    /// The options one recovery attempt runs under: same instruments and
+    /// sharding, the attempt's (possibly disarmed or rank-compacted) fault
+    /// plan, and no recovery policy — the inner `execute` must not recurse
+    /// into the recovery layer.
+    pub(crate) fn for_recovery_attempt(
+        &self,
+        faults: Option<crate::fault::FaultPlan>,
+    ) -> RunOptions {
+        let mut opts = self.clone();
+        opts.faults = faults;
+        opts.recovery = None;
+        opts
+    }
 }
 
 /// Everything a run produced. `report` is always present; the optional
@@ -293,6 +324,10 @@ pub struct RunArtifacts {
     pub trace: Option<Vec<TraceEvent>>,
     /// Syncprof counters (`Some` iff profiling was requested).
     pub profile: Option<ProfileReport>,
+    /// What the recovery layer did (`Some` iff a [`RunOptions::recovery`]
+    /// policy was armed — even for a clean first attempt, so callers can
+    /// tell "no recovery armed" from "armed but unneeded").
+    pub recovery: Option<crate::recover::RecoveryReport>,
 }
 
 impl RunArtifacts {
@@ -356,6 +391,27 @@ impl GpuSystem {
 
     pub fn num_gpus(&self) -> usize {
         self.topology.num_gpus
+    }
+
+    /// Snapshot every buffer — the checkpoint the recovery layer takes
+    /// before a launch's first attempt (see [`crate::mem::MemCheckpoint`]
+    /// for the byte-exactness argument).
+    pub fn checkpoint(&self) -> crate::mem::MemCheckpoint {
+        crate::mem::MemCheckpoint {
+            bufs: self.bufs.clone(),
+        }
+    }
+
+    /// Restore every buffer from `ck`, byte-exactly. The checkpoint must
+    /// come from this system's current allocation epoch (same buffer count);
+    /// restoring someone else's checkpoint would silently remap ids.
+    pub fn restore(&mut self, ck: &crate::mem::MemCheckpoint) {
+        assert_eq!(
+            self.bufs.len(),
+            ck.num_buffers(),
+            "checkpoint is from a different allocation epoch"
+        );
+        self.bufs.clone_from(&ck.bufs);
     }
 
     /// Drop all device memory, returning the system to its just-constructed
@@ -456,6 +512,11 @@ impl GpuSystem {
     /// *data* in [`RunArtifacts::hazards`] — `execute` only errors on
     /// invalid launches, faults, deadlock, or static-lint rejections.
     pub fn execute(&mut self, launch: &GridLaunch, opts: &RunOptions) -> SimResult<RunArtifacts> {
+        if let Some(policy) = opts.recovery_policy() {
+            // The recovery layer wraps this same entry point with attempt
+            // options that carry no policy, so the recursion is one level.
+            return crate::recover::execute_with_recovery(self, launch, opts, policy);
+        }
         let check = opts.wants_check() || launch.checked;
         self.validate_with(launch, check)?;
         match self.decide_sharding(launch, opts, check) {
@@ -473,6 +534,7 @@ impl GpuSystem {
                         None
                     },
                     profile,
+                    recovery: None,
                 });
             }
             ShardMode::BySmCluster { workers } => {
@@ -488,6 +550,7 @@ impl GpuSystem {
                         None
                     },
                     profile,
+                    recovery: None,
                 });
             }
         }
@@ -510,6 +573,7 @@ impl GpuSystem {
                 None
             },
             profile,
+            recovery: None,
         })
     }
 

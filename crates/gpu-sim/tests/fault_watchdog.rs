@@ -65,6 +65,7 @@ fn watchdog_catches_unsignalled_flag_wait_in_run_ahead_path() {
             at,
             last_progress,
             stuck,
+            ..
         }) => {
             assert!(at >= BUDGET, "{at}");
             assert!(last_progress < at);
@@ -150,6 +151,7 @@ fn watchdog_catches_spin_against_a_half_warp_tile_barrier() {
             at,
             last_progress,
             stuck,
+            ..
         }) => {
             assert!(at >= BUDGET, "{at}");
             assert!(last_progress < at);

@@ -346,9 +346,9 @@ fn cluster_store_fault_merges_stores_back_on_error_path() {
 fn fallback_hook_reports_each_reason_once() {
     let seen: Arc<std::sync::Mutex<Vec<String>>> = Arc::default();
     let sink = seen.clone();
-    gpu_sim::set_shard_fallback_hook(Some(Box::new(move |r| {
+    let scope = gpu_sim::shard_fallback_scope(Box::new(move |r| {
         sink.lock().unwrap().push(r.to_string());
-    })));
+    }));
     // A kernel the window protocol can't reproduce: global atomics.
     let atomic_kernel = {
         let mut b = KernelBuilder::new("atomic-bump");
@@ -367,17 +367,26 @@ fn fallback_hook_reports_each_reason_once() {
     for _ in 0..2 {
         sys.execute(&launch, &RunOptions::new().shards(2)).unwrap();
     }
-    gpu_sim::set_shard_fallback_hook(None);
     // Other tests run concurrently and may report their own fallbacks; ours
     // is identified by its reason text — and deduplicated across both runs.
-    let ours: Vec<String> = seen
-        .lock()
-        .unwrap()
-        .iter()
-        .filter(|r| r.contains("global atomics"))
-        .cloned()
-        .collect();
-    assert_eq!(ours.len(), 1, "{ours:?}");
+    let ours = |seen: &std::sync::Mutex<Vec<String>>| {
+        seen.lock()
+            .unwrap()
+            .iter()
+            .filter(|r| r.contains("global atomics"))
+            .count()
+    };
+    assert_eq!(ours(&seen), 1, "{:?}", seen.lock().unwrap());
+    // The dedup set is process-global; without a reset, whichever test saw
+    // a reason first would eat it for every later observer. The reset arms
+    // the same reason again for the same installed hook.
+    gpu_sim::reset_shard_fallback_seen();
+    sys.execute(&launch, &RunOptions::new().shards(2)).unwrap();
+    assert_eq!(ours(&seen), 2, "{:?}", seen.lock().unwrap());
+    // Dropping the scope uninstalls the hook and clears the dedup state.
+    drop(scope);
+    sys.execute(&launch, &RunOptions::new().shards(2)).unwrap();
+    assert_eq!(ours(&seen), 2, "hook fired after its scope ended");
 }
 
 /// `shards(n)` on a single-device launch now means cluster sharding — the

@@ -67,6 +67,32 @@ pub struct CellError {
     pub error: SimError,
 }
 
+/// Compact identity of the fault plan that was armed when a launch failed:
+/// the seed every counter-based draw was keyed on, plus the armed fault
+/// channels as `(tag, count)` pairs. Threaded into [`SimError::Deadlock`]
+/// and [`SimError::Watchdog`] so recovery reports and chaos-CI logs are
+/// self-describing — a deadlock under `kill_block` names the plan that
+/// provoked it without any side channel. `None` on an unfaulted run keeps
+/// those errors (and their serialized form) independent of the fault layer.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FaultFingerprint {
+    /// Root seed of the plan's per-entity draws.
+    pub seed: u64,
+    /// Armed channels, tag-sorted: e.g. `[("killed-blocks", 2)]` for a plan
+    /// that kills two blocks and perturbs nothing else.
+    pub armed: Vec<(String, u32)>,
+}
+
+impl fmt::Display for FaultFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        for (tag, count) in &self.armed {
+            write!(f, " {tag}:{count}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Reasons a simulation cannot make progress or a request is invalid.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SimError {
@@ -79,6 +105,9 @@ pub enum SimError {
         /// Human-readable descriptions of the blocked entities, sorted by
         /// (rank, sm, warp) so reports are snapshot-stable.
         blocked: Vec<String>,
+        /// The fault plan armed when the queue drained (`None` when the run
+        /// was unfaulted) — a killed-block no-arrival hang names its cause.
+        faults: Option<FaultFingerprint>,
     },
     /// The progress watchdog fired: simulated time advanced past the armed
     /// budget with no warp moving beyond its furthest-reached PC. Catches the
@@ -92,6 +121,9 @@ pub enum SimError {
         last_progress: Ps,
         /// The warps that were stuck, sorted by (rank, sm, block, warp).
         stuck: Vec<StuckWarp>,
+        /// The fault plan armed when the watchdog fired (`None` when the
+        /// run was unfaulted).
+        faults: Option<FaultFingerprint>,
     },
     /// A launch or API call was rejected (e.g. cooperative grid does not fit
     /// co-resident, block too large, no peer access between devices).
@@ -111,19 +143,28 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { at, blocked } => {
+            SimError::Deadlock {
+                at,
+                blocked,
+                faults,
+            } => {
                 write!(
                     f,
                     "deadlock at t={at}: {} blocked entit{} ({})",
                     blocked.len(),
                     if blocked.len() == 1 { "y" } else { "ies" },
                     blocked.join("; ")
-                )
+                )?;
+                if let Some(fp) = faults {
+                    write!(f, " [faults: {fp}]")?;
+                }
+                Ok(())
             }
             SimError::Watchdog {
                 at,
                 last_progress,
                 stuck,
+                faults,
             } => {
                 write!(
                     f,
@@ -146,6 +187,9 @@ impl fmt::Display for SimError {
                         write!(f, "; +{} more", stuck.len() - SHOW)?;
                     }
                     write!(f, ")")?;
+                }
+                if let Some(fp) = faults {
+                    write!(f, " [faults: {fp}]")?;
                 }
                 Ok(())
             }
@@ -192,10 +236,13 @@ mod tests {
         let e = SimError::Deadlock {
             at: Ps::from_us(3),
             blocked: vec!["warp 0".into(), "warp 1".into()],
+            faults: None,
         };
         let s = e.to_string();
         assert!(s.contains("2 blocked entities"), "{s}");
         assert!(s.contains("warp 0; warp 1"), "{s}");
+        // No fault plan armed: no fault suffix at all.
+        assert!(!s.contains("faults"), "{s}");
     }
 
     #[test]
@@ -203,8 +250,25 @@ mod tests {
         let e = SimError::Deadlock {
             at: Ps::ZERO,
             blocked: vec!["block (0,0)".into()],
+            faults: None,
         };
         assert!(e.to_string().contains("1 blocked entity ("));
+    }
+
+    #[test]
+    fn fault_fingerprint_display_names_armed_channels() {
+        let fp = FaultFingerprint {
+            seed: 7,
+            armed: vec![("killed-blocks".into(), 2), ("stragglers".into(), 1)],
+        };
+        assert_eq!(fp.to_string(), "seed=7 killed-blocks:2 stragglers:1");
+        let e = SimError::Deadlock {
+            at: Ps::ZERO,
+            blocked: vec!["block 0".into()],
+            faults: Some(fp),
+        };
+        let s = e.to_string();
+        assert!(s.contains("[faults: seed=7 killed-blocks:2"), "{s}");
     }
 
     #[test]
@@ -234,6 +298,7 @@ mod tests {
             at: Ps::from_us(9),
             last_progress: Ps::from_us(4),
             stuck: (0..10).map(w).collect(),
+            faults: None,
         };
         let s = e.to_string();
         assert!(s.contains("10 stuck warps"), "{s}");
@@ -245,6 +310,7 @@ mod tests {
             at: Ps::ZERO,
             last_progress: Ps::ZERO,
             stuck: vec![w(3)],
+            faults: None,
         };
         assert!(one.to_string().contains("1 stuck warp ("));
     }
@@ -283,6 +349,10 @@ mod tests {
                 pc: 5,
                 waiting: StuckKind::GridBarrier,
             }],
+            faults: Some(FaultFingerprint {
+                seed: 42,
+                armed: vec![("link-latency".into(), 1)],
+            }),
         };
         let json = serde_json::to_string(&e).unwrap();
         let back: SimError = serde_json::from_str(&json).unwrap();

@@ -14,7 +14,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use error::{CellError, SimError, SimResult, StuckKind, StuckWarp};
+pub use error::{CellError, FaultFingerprint, SimError, SimResult, StuckKind, StuckWarp};
 pub use event::EventQueue;
 pub use resource::{interval_from_ops_per_cycle, Channel, Issue, Pipeline};
 pub use rng::SmallRng;

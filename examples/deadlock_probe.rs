@@ -13,7 +13,7 @@ use syncmark::prelude::*;
 fn outcome(label: &str, r: SimResult<gpu_sim::RunArtifacts>) {
     match r {
         Ok(arts) => println!("{label:<42} completes in {}", arts.report.duration),
-        Err(SimError::Deadlock { at, blocked }) => {
+        Err(SimError::Deadlock { at, blocked, .. }) => {
             println!("{label:<42} DEADLOCK at t={at}");
             for b in blocked.iter().take(3) {
                 println!("{:<42}   blocked: {b}", "");
@@ -26,6 +26,7 @@ fn outcome(label: &str, r: SimResult<gpu_sim::RunArtifacts>) {
             at,
             last_progress,
             stuck,
+            ..
         }) => {
             println!("{label:<42} LIVELOCK at t={at} (no progress since {last_progress})");
             for s in stuck.iter().take(3) {
